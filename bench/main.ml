@@ -1,0 +1,164 @@
+(* Benchmark & reproduction harness.
+
+   Running this executable regenerates every table/figure of the
+   reproduction (the T*/F* experiment index of DESIGN.md) and then
+   times the pipeline stages and each experiment with Bechamel.
+
+   Usage:
+     main.exe                 all tables (full sizes) + bechamel timings
+     main.exe --quick         reduced sizes everywhere
+     main.exe --table T1      a single experiment table
+     main.exe --no-bench      tables only
+     main.exe --no-tables     bechamel timings only *)
+
+open Bechamel
+
+let p = Wa_sinr.Params.default
+
+let deployment n seed =
+  Wa_instances.Random_deploy.uniform_square (Wa_util.Rng.create seed) ~n
+    ~side:1000.0
+
+(* Micro-benchmarks of the pipeline stages. *)
+let stage_tests () =
+  let ps = deployment 200 1 in
+  let agg = Wa_core.Agg_tree.mst ps in
+  let ls = agg.Wa_core.Agg_tree.links in
+  let garb = Wa_core.Conflict.log_power () in
+  let graph = Wa_core.Conflict.graph p garb ls in
+  let coloring =
+    Wa_graph.Coloring.greedy ~order:(Wa_sinr.Linkset.by_decreasing_length ls) graph
+  in
+  let slots = Wa_graph.Coloring.classes coloring in
+  let big_slot =
+    Array.to_list slots |> List.sort (fun a b -> compare (List.length b) (List.length a))
+    |> List.hd
+  in
+  let plan = Wa_core.Pipeline.plan ~params:p `Global ps in
+  let sched = plan.Wa_core.Pipeline.schedule in
+  [
+    Test.make ~name:"mst-200" (Staged.stage (fun () -> Wa_graph.Mst.euclidean ps));
+    Test.make ~name:"mst-delaunay-2000"
+      (Staged.stage
+         (let big = deployment 2000 3 in
+          fun () -> Wa_graph.Mst.euclidean_fast big));
+    Test.make ~name:"conflict-graph-200"
+      (Staged.stage (fun () -> Wa_core.Conflict.graph p garb ls));
+    Test.make ~name:"greedy-coloring-200"
+      (Staged.stage (fun () ->
+           Wa_graph.Coloring.greedy
+             ~order:(Wa_sinr.Linkset.by_decreasing_length ls)
+             graph));
+    Test.make ~name:"refinement-200"
+      (Staged.stage (fun () -> Wa_core.Refinement.refine p ls));
+    Test.make ~name:"power-solver-slot"
+      (Staged.stage (fun () -> Wa_sinr.Power_solver.solve p ls big_slot));
+    Test.make ~name:"schedule-validate"
+      (Staged.stage (fun () -> Wa_core.Schedule.is_valid p ls sched));
+    Test.make ~name:"simulate-20-periods"
+      (Staged.stage (fun () ->
+           Wa_core.Simulator.run agg sched
+             (Wa_core.Simulator.config
+                ~horizon:(20 * Wa_core.Schedule.length sched)
+                sched)));
+    Test.make ~name:"capacity-one-shot"
+      (Staged.stage (fun () ->
+           Wa_core.Capacity.max_feasible_subset p ls
+             Wa_core.Capacity.With_power_control));
+    Test.make ~name:"multicolor-balanced"
+      (Staged.stage (fun () ->
+           Wa_core.Multicolor.balanced p ls Wa_core.Schedule.Arbitrary));
+    Test.make ~name:"radio-protocol-60"
+      (Staged.stage
+         (let small = deployment 60 2 in
+          let small_agg = Wa_core.Agg_tree.mst small in
+          fun () ->
+            Wa_distributed.Protocol.run p small_agg
+              Wa_core.Greedy_schedule.Global_power));
+    Test.make ~name:"metric-core-3d-100"
+      (Staged.stage
+         (let module E3 = Wa_metric.Scheduling.Make (Wa_metric.Space.Euclid3) in
+          let rng = Wa_util.Rng.create 9 in
+          let stations =
+            Array.init 100 (fun _ ->
+                ( Wa_util.Rng.float rng 1000.0,
+                  Wa_util.Rng.float rng 1000.0,
+                  Wa_util.Rng.float rng 1000.0 ))
+          in
+          fun () ->
+            let inst = E3.instance stations in
+            E3.greedy_slots ~alpha:3.0 (E3.Constant 1.0) inst));
+  ]
+
+(* One Bechamel test per experiment table (quick sizes, output dropped). *)
+let table_tests () =
+  List.map
+    (fun (e : Wa_experiments.Experiments.t) ->
+      Test.make ~name:("table-" ^ e.Wa_experiments.Experiments.id)
+        (Staged.stage (fun () ->
+             ignore (e.Wa_experiments.Experiments.run ~quick:true))))
+    Wa_experiments.Experiments.all
+
+let run_bechamel tests =
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.4) ~kde:None ~stabilize:false ()
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let grouped = Test.make_grouped ~name:"wireless_agg" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with
+        | Some (e :: _) -> e
+        | _ -> nan
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan
+      in
+      rows := (name, estimate, r2) :: !rows)
+    results;
+  let table =
+    Wa_util.Table.create ~title:"Bechamel timings (monotonic clock)"
+      ~notes:[ "time is the OLS estimate per call" ]
+      [ "benchmark"; "time/call"; "r^2" ]
+  in
+  let fmt_ns ns =
+    if Float.is_nan ns then "-"
+    else if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+    else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  List.iter
+    (fun (name, est, r2) ->
+      Wa_util.Table.add_row table
+        [ name; fmt_ns est;
+          (if Float.is_nan r2 then "-" else Printf.sprintf "%.4f" r2) ])
+    (List.sort compare !rows);
+  Wa_util.Table.print table
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let has flag = List.mem flag args in
+  let quick = has "--quick" in
+  let rec find_table = function
+    | "--table" :: id :: _ -> Some id
+    | _ :: rest -> find_table rest
+    | [] -> None
+  in
+  let t0 = Unix.gettimeofday () in
+  (if not (has "--no-tables") then
+     match find_table args with
+     | Some id -> Wa_experiments.Experiments.run_all ~quick ~ids:[ id ] ()
+     | None -> Wa_experiments.Experiments.run_all ~quick ());
+  if not (has "--no-bench") then begin
+    print_endline "running bechamel micro-benchmarks...";
+    run_bechamel (stage_tests () @ table_tests ())
+  end;
+  Printf.printf "total wall time: %.1f s\n%!" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,334 @@
+(* Command-line interface to the wireless-aggregation library.
+
+   Subcommands:
+     plan        build and validate an aggregation schedule for a deployment
+     simulate    run the convergecast simulator on a plan
+     median      order-statistics queries over counting convergecasts
+     kconnect    k-edge-connected structures (Remark 2)
+     experiment  regenerate one or all of the paper's tables/figures
+     list        list available experiments *)
+
+module Pipeline = Wa_core.Pipeline
+module Agg_tree = Wa_core.Agg_tree
+module Simulator = Wa_core.Simulator
+module Params = Wa_sinr.Params
+module Rng = Wa_util.Rng
+
+open Cmdliner
+
+(* Shared arguments ---------------------------------------------------- *)
+
+let seed_arg =
+  let doc = "PRNG seed for the deployment." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let nodes_arg =
+  let doc = "Number of sensor nodes." in
+  Arg.(value & opt int 100 & info [ "n"; "nodes" ] ~docv:"N" ~doc)
+
+let side_arg =
+  let doc = "Side of the deployment square." in
+  Arg.(value & opt float 1000.0 & info [ "side" ] ~docv:"S" ~doc)
+
+let deploy_arg =
+  let doc =
+    "Deployment family: uniform | disk | grid | clusters | line | expline."
+  in
+  Arg.(value & opt string "uniform" & info [ "deploy" ] ~docv:"KIND" ~doc)
+
+let power_arg =
+  let doc =
+    "Power mode: global | oblivious:<tau> | uniform | linear (e.g. \
+     oblivious:0.5)."
+  in
+  Arg.(value & opt string "global" & info [ "power" ] ~docv:"MODE" ~doc)
+
+let alpha_arg =
+  let doc = "Path-loss exponent alpha (> 2)." in
+  Arg.(value & opt float 3.0 & info [ "alpha" ] ~doc)
+
+let beta_arg =
+  let doc = "SINR threshold beta (> 0)." in
+  Arg.(value & opt float 1.0 & info [ "beta" ] ~doc)
+
+let quick_arg =
+  let doc = "Use reduced experiment sizes." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let parse_power s =
+  match String.lowercase_ascii s with
+  | "global" -> Ok `Global
+  | "uniform" -> Ok `Uniform
+  | "linear" -> Ok `Linear
+  | s when String.length s > 10 && String.sub s 0 10 = "oblivious:" -> (
+      match float_of_string_opt (String.sub s 10 (String.length s - 10)) with
+      | Some tau when tau > 0.0 && tau < 1.0 -> Ok (`Oblivious tau)
+      | _ -> Error (`Msg "oblivious tau must lie strictly in (0,1)"))
+  | _ -> Error (`Msg ("unknown power mode: " ^ s))
+
+let make_deployment kind ~seed ~n ~side params =
+  let rng = Rng.create seed in
+  match String.lowercase_ascii kind with
+  | "uniform" -> Ok (Wa_instances.Random_deploy.uniform_square rng ~n ~side)
+  | "disk" ->
+      Ok (Wa_instances.Random_deploy.uniform_disk rng ~n ~radius:(side /. 2.0))
+  | "grid" ->
+      let r = max 2 (int_of_float (sqrt (float_of_int n))) in
+      Ok
+        (Wa_instances.Random_deploy.grid ~rows:r ~cols:r
+           ~spacing:(side /. float_of_int r))
+  | "clusters" ->
+      let c = max 2 (n / 20) in
+      Ok
+        (Wa_instances.Random_deploy.clusters rng ~clusters:c
+           ~per_cluster:(max 1 (n / c)) ~side ~spread:(side /. 200.0))
+  | "line" -> Ok (Wa_instances.Random_deploy.uniform_line rng ~n ~length:side)
+  | "expline" ->
+      let nmax = Wa_instances.Exp_line.max_float_points params ~tau:0.5 in
+      Ok (Wa_instances.Exp_line.pointset params ~tau:0.5 ~n:(min n nmax))
+  | k -> Error (`Msg ("unknown deployment kind: " ^ k))
+
+let build_params alpha beta =
+  match Params.make ~alpha ~beta () with
+  | p -> Ok p
+  | exception Invalid_argument m -> Error (`Msg m)
+
+(* plan ----------------------------------------------------------------- *)
+
+let json_arg =
+  let doc = "Write the plan (nodes, links, schedule) to this file as JSON." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let dot_arg =
+  let doc = "Write a Graphviz rendering of the scheduled tree to this file." in
+  Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
+
+let points_in_arg =
+  let doc = "Read the deployment from a CSV file (x,y per line) instead of \
+             generating one." in
+  Arg.(value & opt (some string) None & info [ "points" ] ~docv:"FILE" ~doc)
+
+let obtain_deployment points_in deploy ~seed ~n ~side params =
+  match points_in with
+  | Some path -> Wa_io.Pointset_io.read_file path |> Result.map_error (fun m -> `Msg m)
+  | None -> make_deployment deploy ~seed ~n ~side params
+
+let run_plan seed n side deploy power alpha beta json dot points_in =
+  let ( let* ) = Result.bind in
+  let* params = build_params alpha beta in
+  let* mode = parse_power power in
+  let* ps = obtain_deployment points_in deploy ~seed ~n ~side params in
+  let plan = Pipeline.plan ~params mode ps in
+  Printf.printf "deployment: %s (n=%d, seed=%d)\n"
+    (match points_in with Some f -> f | None -> deploy)
+    (Wa_geom.Pointset.size ps) seed;
+  Printf.printf "plan: %s\n" (Pipeline.describe plan);
+  Printf.printf "raw colors: %d, repair added: %d\n" plan.Pipeline.raw_colors
+    plan.Pipeline.repair_added;
+  Printf.printf "schedule verified: %b\n" plan.Pipeline.valid;
+  Printf.printf "tree depth: %d links\n" (Agg_tree.depth_in_links plan.Pipeline.agg);
+  Option.iter
+    (fun path ->
+      Wa_io.Export.write_string path
+        (Wa_io.Json.to_string (Wa_io.Export.plan_to_json plan));
+      Printf.printf "wrote JSON to %s\n" path)
+    json;
+  Option.iter
+    (fun path ->
+      Wa_io.Export.write_string path (Wa_io.Export.plan_to_dot plan);
+      Printf.printf "wrote DOT to %s (render: neato -n2 -Tsvg)\n" path)
+    dot;
+  Ok ()
+
+let plan_cmd =
+  let term =
+    Term.(
+      const run_plan $ seed_arg $ nodes_arg $ side_arg $ deploy_arg $ power_arg
+      $ alpha_arg $ beta_arg $ json_arg $ dot_arg $ points_in_arg)
+  in
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Build and validate an aggregation schedule.")
+    (Term.term_result term)
+
+(* generate --------------------------------------------------------------- *)
+
+let out_arg =
+  let doc = "Output CSV file for the generated deployment." in
+  Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let run_generate seed n side deploy alpha beta out =
+  let ( let* ) = Result.bind in
+  let* params = build_params alpha beta in
+  let* ps = make_deployment deploy ~seed ~n ~side params in
+  Wa_io.Pointset_io.write_file out ps;
+  Printf.printf "wrote %d points to %s\n" (Wa_geom.Pointset.size ps) out;
+  Ok ()
+
+let generate_cmd =
+  let term =
+    Term.(
+      const run_generate $ seed_arg $ nodes_arg $ side_arg $ deploy_arg
+      $ alpha_arg $ beta_arg $ out_arg)
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a deployment and write it as CSV.")
+    (Term.term_result term)
+
+(* simulate -------------------------------------------------------------- *)
+
+let periods_arg =
+  let doc = "Schedule periods to simulate." in
+  Arg.(value & opt int 50 & info [ "periods" ] ~docv:"P" ~doc)
+
+let run_simulate seed n side deploy power alpha beta periods =
+  let ( let* ) = Result.bind in
+  let* params = build_params alpha beta in
+  let* mode = parse_power power in
+  let* ps = make_deployment deploy ~seed ~n ~side params in
+  let plan = Pipeline.plan ~params mode ps in
+  let r = Pipeline.simulate ~horizon_periods:periods plan in
+  Printf.printf "plan: %s\n" (Pipeline.describe plan);
+  Printf.printf "frames: generated %d, delivered %d\n"
+    r.Simulator.frames_generated r.Simulator.frames_delivered;
+  Printf.printf "rate: achieved %.4f, steady %.4f (schedule %.4f)\n"
+    r.Simulator.achieved_rate r.Simulator.steady_rate (Pipeline.rate plan);
+  Printf.printf "latency: mean %.1f, max %d slots\n" r.Simulator.mean_latency
+    r.Simulator.max_latency;
+  Printf.printf "max buffered frames: %d\n" r.Simulator.max_buffer;
+  Printf.printf "aggregates correct: %b, violations: %d, idle slots: %d\n"
+    r.Simulator.aggregates_correct r.Simulator.violations r.Simulator.idle_slots;
+  Ok ()
+
+let simulate_cmd =
+  let term =
+    Term.(
+      const run_simulate $ seed_arg $ nodes_arg $ side_arg $ deploy_arg
+      $ power_arg $ alpha_arg $ beta_arg $ periods_arg)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run the convergecast simulator on a plan.")
+    (Term.term_result term)
+
+(* experiment ------------------------------------------------------------ *)
+
+let ids_arg =
+  let doc = "Experiment ids (F1..F5, T1..T14); all when omitted." in
+  Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+
+let run_experiment quick ids =
+  match ids with
+  | [] ->
+      Wa_experiments.Experiments.run_all ~quick ();
+      Ok ()
+  | ids -> (
+      try
+        Wa_experiments.Experiments.run_all ~quick ~ids ();
+        Ok ()
+      with Failure m -> Error (`Msg m))
+
+let experiment_cmd =
+  let term = Term.(const run_experiment $ quick_arg $ ids_arg) in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Regenerate the paper's tables and figures (see DESIGN.md).")
+    (Term.term_result term)
+
+(* median ----------------------------------------------------------------- *)
+
+let run_median seed n side deploy power alpha beta =
+  let ( let* ) = Result.bind in
+  let* params = build_params alpha beta in
+  let* mode = parse_power power in
+  let* ps = make_deployment deploy ~seed ~n ~side params in
+  let plan = Pipeline.plan ~params mode ps in
+  let rng = Rng.create (seed + 99) in
+  let values = Array.init (Wa_geom.Pointset.size ps) (fun _ -> Rng.int rng 10_000) in
+  let readings node = values.(node) in
+  let r =
+    Wa_core.Functions.median ~range:(0, 10_000) ~readings plan.Pipeline.agg
+      plan.Pipeline.schedule
+  in
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  Printf.printf "plan: %s\n" (Pipeline.describe plan);
+  Printf.printf "true median: %d\n" sorted.(((Array.length sorted + 1) / 2) - 1);
+  Printf.printf "network-computed median: %d\n" r.Wa_core.Functions.value;
+  Printf.printf "cost: %d probes x %d slots = %d slots\n"
+    r.Wa_core.Functions.probes r.Wa_core.Functions.probe_latency
+    r.Wa_core.Functions.slots_used;
+  Ok ()
+
+let median_cmd =
+  let term =
+    Term.(
+      const run_median $ seed_arg $ nodes_arg $ side_arg $ deploy_arg $ power_arg
+      $ alpha_arg $ beta_arg)
+  in
+  Cmd.v
+    (Cmd.info "median"
+       ~doc:"Compute the median reading by counting convergecasts (Sec 3.1).")
+    (Term.term_result term)
+
+(* kconnect --------------------------------------------------------------- *)
+
+let k_arg =
+  let doc = "Redundancy level (edge-disjoint spanning trees)." in
+  Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc)
+
+let run_kconnect seed n side deploy alpha beta k =
+  let ( let* ) = Result.bind in
+  let* params = build_params alpha beta in
+  let* ps = make_deployment deploy ~seed ~n ~side params in
+  match Wa_core.K_connectivity.build ~k ps with
+  | exception Invalid_argument m -> Error (`Msg m)
+  | kc ->
+      let sched, repairs =
+        Wa_core.K_connectivity.schedule params kc Wa_core.Greedy_schedule.Global_power
+      in
+      Printf.printf "k = %d: %d links over %d nodes\n" k
+        (Wa_sinr.Linkset.size kc.Wa_core.K_connectivity.links)
+        (Wa_geom.Pointset.size ps);
+      Printf.printf "k-edge-connected: %b\n"
+        (Wa_core.K_connectivity.is_k_edge_connected kc);
+      Printf.printf "Lemma-1 pressure: %.2f\n"
+        (Wa_core.K_connectivity.max_longer_pressure params kc);
+      Printf.printf "verified schedule: %d slots (%d repair splits)\n"
+        (Wa_core.Schedule.length sched) repairs;
+      Ok ()
+
+let kconnect_cmd =
+  let term =
+    Term.(
+      const run_kconnect $ seed_arg $ nodes_arg $ side_arg $ deploy_arg
+      $ alpha_arg $ beta_arg $ k_arg)
+  in
+  Cmd.v
+    (Cmd.info "kconnect"
+       ~doc:"Build and schedule a k-edge-connected structure (Remark 2).")
+    (Term.term_result term)
+
+(* list ------------------------------------------------------------------ *)
+
+let run_list () =
+  List.iter
+    (fun (e : Wa_experiments.Experiments.t) ->
+      Printf.printf "%-4s %s\n" e.Wa_experiments.Experiments.id
+        e.Wa_experiments.Experiments.title)
+    Wa_experiments.Experiments.all
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List available experiments.") Term.(const run_list $ const ())
+
+(* main ------------------------------------------------------------------ *)
+
+let () =
+  let info =
+    Cmd.info "wireless_agg" ~version:"1.0.0"
+      ~doc:
+        "Wireless aggregation scheduling in the SINR model \
+         (Halldorsson-Tonoyan, ICDCS 2018)."
+  in
+  exit
+    (Cmd.eval (Cmd.group info
+       [ plan_cmd; generate_cmd; simulate_cmd; median_cmd; kconnect_cmd;
+         experiment_cmd; list_cmd ]))

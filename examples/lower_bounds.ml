@@ -1,0 +1,77 @@
+(* The paper's three lower-bound constructions, built and checked
+   against the exact SINR condition.
+
+   Run with: dune exec examples/lower_bounds.exe *)
+
+module P = Wa_sinr.Params
+module Pipeline = Wa_core.Pipeline
+module Logline = Wa_sinr.Logline
+
+let p = P.default
+
+let section title =
+  Printf.printf "\n=== %s ===\n" title
+
+let () =
+  (* -- Proposition 1 (Fig. 2): the doubly-exponential line ------------- *)
+  section "Prop. 1: oblivious power cannot beat 1/(n-1) on doubly-exponential lines";
+  let tau = 0.5 in
+  let n = Wa_instances.Exp_line.max_float_points p ~tau in
+  let ps = Wa_instances.Exp_line.pointset p ~tau ~n in
+  Printf.printf "instance: %d points, Delta = %.3g\n" n (Wa_geom.Pointset.diversity ps);
+  let obl = Pipeline.plan (`Oblivious tau) ps in
+  let glob = Pipeline.plan `Global ps in
+  Printf.printf "oblivious P_%.1f schedule: %d slots (= n-1 = %d)\n" tau
+    (Pipeline.slots obl) (n - 1);
+  Printf.printf "global power schedule:   %d slots — power control wins\n"
+    (Pipeline.slots glob);
+  (* Beyond float coordinates, verify in log-domain arithmetic. *)
+  let big_n = min 40 (Wa_instances.Exp_line.max_logline_points p ~tau) in
+  let ll = Wa_instances.Exp_line.logline p ~tau ~n:big_n in
+  let links = Logline.mst_links ll in
+  Printf.printf
+    "log-domain check at n = %d (Delta ~ 2^%.0f): %d feasible link pairs (expect 0)\n"
+    big_n
+    (Wa_util.Logfloat.log_value (Logline.diversity ll) /. log 2.0)
+    (Logline.max_schedulable_pairs p ~tau ll links);
+
+  (* -- Theorem 4 (Fig. 3): the recursive R_t family --------------------- *)
+  section "Thm. 4: the MST of R_t needs Omega(log* Delta) slots even with global power";
+  List.iter
+    (fun level ->
+      match Wa_instances.Nested.build p ~level with
+      | inst ->
+          let pts = Wa_instances.Nested.pointset inst in
+          let plan = Pipeline.plan `Global pts in
+          Printf.printf
+            "R_%d: %d nodes, Delta = %.3g, min slots (paper) = %.0f, greedy slots = %d\n"
+            level
+            (Wa_instances.Nested.size inst)
+            (if Wa_instances.Nested.size inst > 1 then Wa_geom.Pointset.diversity pts
+             else 1.0)
+            (Float.ceil (1.0 /. Wa_instances.Nested.rate_upper_bound inst))
+            (Pipeline.slots plan)
+      | exception Invalid_argument msg ->
+          Printf.printf "R_%d: %s\n" level msg)
+    [ 1; 2; 3; 4 ];
+
+  (* -- Proposition 3 (Fig. 4): the MST is not always the right tree ----- *)
+  section "Prop. 3: a non-MST tree beats the MST by Theta(n) under P_tau";
+  let tau = 0.3 in
+  let inst = Wa_instances.Suboptimal.build p ~tau ~stations:4 in
+  let agg =
+    Wa_core.Agg_tree.of_edges ~sink:inst.Wa_instances.Suboptimal.sink
+      inst.Wa_instances.Suboptimal.points inst.Wa_instances.Suboptimal.tree_edges
+  in
+  let long_slot, conn_slot =
+    Wa_instances.Suboptimal.two_slot_partition inst agg
+  in
+  let alt =
+    Wa_core.Schedule.of_slots [ long_slot; conn_slot ]
+      (Wa_core.Schedule.Scheme (Wa_sinr.Power.Oblivious tau))
+  in
+  Printf.printf "alternative tree: 2 slots, SINR-valid = %b\n"
+    (Wa_core.Schedule.is_valid p agg.Wa_core.Agg_tree.links alt);
+  let mst = Pipeline.plan (`Oblivious tau) inst.Wa_instances.Suboptimal.points in
+  Printf.printf "MST of the same points: %d slots (= one per link)\n"
+    (Pipeline.slots mst)

@@ -1,0 +1,68 @@
+(* How much does power control buy?  One deployment, four power
+   regimes, side by side — including the concrete witness powers the
+   solver finds for the global regime.
+
+   Run with: dune exec examples/power_comparison.exe *)
+
+module Pipeline = Wa_core.Pipeline
+module Schedule = Wa_core.Schedule
+module Linkset = Wa_sinr.Linkset
+module Power = Wa_sinr.Power
+
+let p = Wa_sinr.Params.default
+
+let () =
+  (* A clustered deployment: two dense villages and scattered farms —
+     high length diversity, the regime where power control matters. *)
+  let rng = Wa_util.Rng.create 7 in
+  let villages =
+    Wa_instances.Random_deploy.clusters rng ~clusters:2 ~per_cluster:40
+      ~side:5000.0 ~spread:20.0
+  in
+  let farms = Wa_instances.Random_deploy.uniform_square rng ~n:20 ~side:5000.0 in
+  let points =
+    Wa_geom.Pointset.of_array
+      (Array.append
+         (Wa_geom.Pointset.points villages)
+         (Wa_geom.Pointset.points farms))
+  in
+  Printf.printf "deployment: %d nodes, point diversity %.3g\n\n"
+    (Wa_geom.Pointset.size points)
+    (Wa_geom.Pointset.diversity points);
+
+  let plans =
+    List.map
+      (fun (label, mode) -> (label, Pipeline.plan ~params:p mode points))
+      [
+        ("global ", `Global);
+        ("obl .25", `Oblivious 0.25);
+        ("obl .50", `Oblivious 0.5);
+        ("obl .75", `Oblivious 0.75);
+        ("linear ", `Linear);
+        ("uniform", `Uniform);
+      ]
+  in
+  Printf.printf "%-8s %6s %9s %7s %6s\n" "power" "slots" "rate" "repairs" "valid";
+  List.iter
+    (fun (label, plan) ->
+      Printf.printf "%-8s %6d %9.4f %7d %6b\n" label (Pipeline.slots plan)
+        (Pipeline.rate plan) plan.Pipeline.repair_added plan.Pipeline.valid)
+    plans;
+
+  (* Show the power profile the solver chose for the global plan: long
+     links whisper relative to their length, short links shout. *)
+  let _, global_plan = List.hd plans in
+  let ls = global_plan.Pipeline.agg.Wa_core.Agg_tree.links in
+  match Schedule.witness_power p ls global_plan.Pipeline.schedule with
+  | Some (Power.Custom powers) ->
+      let ids = Linkset.by_decreasing_length ls in
+      Printf.printf
+        "\nwitness powers for the global plan (per unit of l^alpha, longest first):\n";
+      Array.iteri
+        (fun rank i ->
+          if rank < 8 then
+            Printf.printf "  link %3d: length %8.1f  power/l^alpha = %.3g\n" i
+              (Linkset.length ls i)
+              (powers.(i) /. (Linkset.length ls i ** p.Wa_sinr.Params.alpha)))
+        ids
+  | Some _ | None -> print_endline "no witness available"

@@ -1,0 +1,56 @@
+(* The Sec-3.3 distributed scheduling protocol, executed message by
+   message on a physical-layer radio simulation: claims, acks and
+   color announcements all contend under the exact SINR reception
+   rule.
+
+   Run with: dune exec examples/radio_protocol.exe *)
+
+module Protocol = Wa_distributed.Protocol
+module Radio = Wa_distributed.Radio
+module Agg_tree = Wa_core.Agg_tree
+module Schedule = Wa_core.Schedule
+
+let p = Wa_sinr.Params.default
+
+let () =
+  print_endline "=== a single radio round, up close ===";
+  (* Three nodes: two contending transmitters and a listener. *)
+  let pts =
+    Wa_geom.Pointset.of_list
+      [ Wa_geom.Vec2.make 0.0 0.0; Wa_geom.Vec2.make 40.0 0.0; Wa_geom.Vec2.make 40.0 3.0 ]
+  in
+  let radio = Radio.create pts in
+  let rs =
+    Radio.round radio (fun node ->
+        if node = 0 then Radio.Transmit { power = 1.0; payload = "from-far" }
+        else if node = 2 then Radio.Transmit { power = 1.0; payload = "from-near" }
+        else Radio.Listen)
+  in
+  (match rs.(1) with
+  | Radio.Received { payload; _ } ->
+      Printf.printf "node 1 decodes %S (the nearby signal captures the channel)\n"
+        payload
+  | Radio.Collision -> print_endline "node 1: collision"
+  | Radio.Silence -> print_endline "node 1: silence");
+
+  print_endline "\n=== the full protocol on a 150-node network ===";
+  let field =
+    Wa_instances.Random_deploy.uniform_square (Wa_util.Rng.create 77) ~n:150
+      ~side:1500.0
+  in
+  let agg = Agg_tree.mst field in
+  let r = Protocol.run p agg Wa_core.Greedy_schedule.Global_power in
+  Printf.printf "radio rounds used: %d over %d length-class phases\n"
+    r.Protocol.rounds r.Protocol.phases;
+  Printf.printf "colors negotiated purely over the air: %d (properness %.3f)\n"
+    r.Protocol.colors r.Protocol.properness;
+  Printf.printf "links the phases left unresolved: %d\n" r.Protocol.unresolved;
+  Printf.printf "final verified schedule: %d slots (repair added %d), valid = %b\n"
+    (Schedule.length r.Protocol.schedule)
+    r.Protocol.repair_added r.Protocol.schedule_valid;
+  let central =
+    (Wa_core.Greedy_schedule.coloring p agg.Agg_tree.links
+       Wa_core.Greedy_schedule.Global_power)
+      .Wa_graph.Coloring.classes
+  in
+  Printf.printf "centralized greedy, for reference: %d colors\n" central

@@ -1,0 +1,103 @@
+module Rng = Wa_util.Rng
+module Pointset = Wa_geom.Pointset
+module Mst = Wa_graph.Mst
+
+let star ~sink ps =
+  let n = Pointset.size ps in
+  List.filter_map
+    (fun v -> if v = sink then None else Some (min v sink, max v sink))
+    (List.init n Fun.id)
+
+let spt_with_cost_exponent ~q ~sink ps =
+  if q < 1.0 then invalid_arg "Alt_trees.spt_with_cost_exponent: q must be >= 1";
+  let n = Pointset.size ps in
+  let dist = Array.make n infinity in
+  let parent = Array.make n (-1) in
+  let visited = Array.make n false in
+  dist.(sink) <- 0.0;
+  for _ = 1 to n do
+    let u = ref (-1) in
+    for v = 0 to n - 1 do
+      if (not visited.(v)) && (!u = -1 || dist.(v) < dist.(!u)) then u := v
+    done;
+    let u = !u in
+    visited.(u) <- true;
+    for v = 0 to n - 1 do
+      if (not visited.(v)) && v <> u then begin
+        let w = Pointset.dist ps u v ** q in
+        if dist.(u) +. w < dist.(v) then begin
+          dist.(v) <- dist.(u) +. w;
+          parent.(v) <- u
+        end
+      end
+    done
+  done;
+  List.filter_map
+    (fun v ->
+      if v = sink then None else Some (min v parent.(v), max v parent.(v)))
+    (List.init n Fun.id)
+
+let shortest_path_tree ~sink ps = spt_with_cost_exponent ~q:1.0 ~sink ps
+
+let matching_tree ~sink ps =
+  let n = Pointset.size ps in
+  let edges = ref [] in
+  let alive = ref (List.init n Fun.id) in
+  while List.length !alive > 1 do
+    (* Greedy nearest-neighbor matching among the survivors: repeatedly
+       take the globally closest surviving pair. *)
+    let survivors = Array.of_list !alive in
+    let m = Array.length survivors in
+    let pairs = ref [] in
+    for a = 0 to m - 1 do
+      for b = a + 1 to m - 1 do
+        pairs := (Pointset.dist ps survivors.(a) survivors.(b), survivors.(a), survivors.(b)) :: !pairs
+      done
+    done;
+    let sorted = List.sort (fun (d1, _, _) (d2, _, _) -> Float.compare d1 d2) !pairs in
+    let matched = Hashtbl.create m in
+    List.iter
+      (fun (_, u, v) ->
+        if (not (Hashtbl.mem matched u)) && not (Hashtbl.mem matched v) then begin
+          Hashtbl.replace matched u v;
+          Hashtbl.replace matched v u
+        end)
+      sorted;
+    (* One endpoint of each pair retires (never the sink); unmatched
+       nodes survive to the next phase. *)
+    let next = ref [] in
+    let handled = Hashtbl.create m in
+    List.iter
+      (fun u ->
+        if not (Hashtbl.mem handled u) then
+          match Hashtbl.find_opt matched u with
+          | None ->
+              Hashtbl.replace handled u ();
+              next := u :: !next
+          | Some v ->
+              Hashtbl.replace handled u ();
+              Hashtbl.replace handled v ();
+              let keep, retire = if v = sink then (v, u) else (u, v) in
+              edges := (min keep retire, max keep retire) :: !edges;
+              next := keep :: !next)
+      !alive;
+    alive := List.rev !next
+  done;
+  (match !alive with
+  | [ survivor ] when survivor <> sink ->
+      (* The sink retired along the way only if it was never kept —
+         impossible by construction; the lone survivor must be able to
+         reach the sink, which the keep rule guarantees. *)
+      assert false
+  | _ -> ());
+  List.rev !edges
+
+let random_spanning_tree rng ps =
+  let n = Pointset.size ps in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v, Rng.float rng 1.0) :: !edges
+    done
+  done;
+  Mst.kruskal ~n !edges

@@ -1,0 +1,38 @@
+(** Alternative aggregation topologies.
+
+    Used by the Sec. 5 experiments (is the MST the best tree?) and
+    the rate/latency tradeoff of Sec. 3.1: a star has depth 1 but
+    long, mutually-hostile links; a shortest-path tree biases toward
+    low latency; random spanning trees calibrate how special the MST
+    is. *)
+
+val star : sink:int -> Wa_geom.Pointset.t -> (int * int) list
+(** Every node linked directly to the sink. *)
+
+val shortest_path_tree :
+  sink:int -> Wa_geom.Pointset.t -> (int * int) list
+(** Dijkstra over the complete Euclidean graph.  By the triangle
+    inequality the direct edge is always a shortest path, so this
+    coincides with {!star}; it exists as the [q = 1] endpoint of
+    {!spt_with_cost_exponent}. *)
+
+val spt_with_cost_exponent :
+  q:float -> sink:int -> Wa_geom.Pointset.t -> (int * int) list
+(** Shortest-path tree where an edge of length [d] costs [d^q].
+    [q = 1] degenerates to the star; [q > 1] makes long hops
+    super-additive so multi-hop routes win, interpolating toward
+    MST-like trees (energy-optimal routing uses [q = alpha]).
+    Requires [q >= 1]. *)
+
+val random_spanning_tree :
+  Wa_util.Rng.t -> Wa_geom.Pointset.t -> (int * int) list
+(** Uniform-ish random spanning tree (random edge weights, then
+    MST). *)
+
+val matching_tree : sink:int -> Wa_geom.Pointset.t -> (int * int) list
+(** The nearest-neighbor matching tree of Halldórsson–Mitra [11] (the
+    construction behind the O(log n)-latency aggregation results the
+    paper contrasts itself with): in each phase the surviving nodes
+    are greedily paired with their nearest surviving neighbor and one
+    endpoint of each pair retires, halving the population; the sink
+    always survives.  Depth is at most [ceil(log2 n)] phases. *)

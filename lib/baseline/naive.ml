@@ -1,0 +1,23 @@
+module Linkset = Wa_sinr.Linkset
+module Params = Wa_sinr.Params
+module Power = Wa_sinr.Power
+module Schedule = Wa_core.Schedule
+module Greedy_schedule = Wa_core.Greedy_schedule
+
+let tdma ls =
+  let order = Linkset.by_decreasing_length ls in
+  Schedule.of_slots
+    (Array.to_list (Array.map (fun i -> [ i ]) order))
+    (Schedule.Scheme Power.Uniform)
+
+let uniform_power_schedule ?guard_beta p ls =
+  let graph_params =
+    match guard_beta with
+    | None -> p
+    | Some b -> { p with Params.beta = b }
+  in
+  let coloring =
+    Greedy_schedule.coloring graph_params ls (Greedy_schedule.Fixed_scheme Power.Uniform)
+  in
+  let raw = Schedule.of_coloring coloring (Schedule.Scheme Power.Uniform) in
+  Schedule.repair p ls raw

@@ -1,0 +1,19 @@
+(** Degenerate baselines.
+
+    The trivial TDMA schedule (one link per slot, rate 1/n) is the
+    floor every method must beat; it is also the best possible rate on
+    the Sec. 4.1 instances under oblivious power, which is how the
+    lower-bound experiments read their result. *)
+
+val tdma : Wa_sinr.Linkset.t -> Wa_core.Schedule.t
+(** One slot per link, longest first, uniform power.  Always
+    SINR-valid in the interference-limited regime. *)
+
+val uniform_power_schedule :
+  ?guard_beta:float -> Wa_sinr.Params.t -> Wa_sinr.Linkset.t ->
+  Wa_core.Schedule.t * int
+(** The no-power-control baseline: greedy coloring of the exact
+    pairwise-conflict graph under [P0], then SINR repair.  Returns the
+    verified schedule and the number of repair splits.
+    [guard_beta] optionally raises beta during graph construction to
+    leave headroom (default: none). *)

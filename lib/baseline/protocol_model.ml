@@ -1,0 +1,30 @@
+module Linkset = Wa_sinr.Linkset
+module Graph = Wa_graph.Graph
+module Coloring = Wa_graph.Coloring
+
+let conflicting ~guard ls i j =
+  if guard < 0.0 then invalid_arg "Protocol_model: guard must be >= 0";
+  if i = j then false
+  else
+    let range_i = (1.0 +. guard) *. Linkset.length ls i in
+    let range_j = (1.0 +. guard) *. Linkset.length ls j in
+    let li = Linkset.link ls i and lj = Linkset.link ls j in
+    let open Wa_geom.Vec2 in
+    dist li.Wa_sinr.Link.src lj.Wa_sinr.Link.dst <= range_i
+    || dist lj.Wa_sinr.Link.src li.Wa_sinr.Link.dst <= range_j
+    || Wa_sinr.Link.shares_endpoint li lj
+
+let graph ~guard ls =
+  let n = Linkset.size ls in
+  let g = Graph.create n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if conflicting ~guard ls i j then Graph.add_edge g i j
+    done
+  done;
+  g
+
+let schedule ?(guard = 1.0) ls =
+  let g = graph ~guard ls in
+  let coloring = Coloring.greedy ~order:(Linkset.by_decreasing_length ls) g in
+  Wa_core.Schedule.of_coloring coloring (Wa_core.Schedule.Scheme Wa_sinr.Power.Uniform)

@@ -1,0 +1,72 @@
+module Pointset = Wa_geom.Pointset
+module Tree = Wa_graph.Tree
+module Mst = Wa_graph.Mst
+module Linkset = Wa_sinr.Linkset
+
+type t = {
+  points : Pointset.t;
+  tree : Tree.t;
+  links : Linkset.t;
+}
+
+let of_edges ~sink points edges =
+  let n = Pointset.size points in
+  if n < 2 then invalid_arg "Agg_tree: need at least two nodes";
+  let tree = Tree.root ~n ~sink edges in
+  { points; tree; links = Linkset.of_tree points tree }
+
+(* Above this size, Kruskal over the Delaunay edges replaces the
+   O(n²) Prim scan. *)
+let dense_mst_limit = 512
+
+let mst ?(sink = 0) points =
+  let edges =
+    if Pointset.size points <= dense_mst_limit then Mst.euclidean points
+    else Mst.euclidean_fast points
+  in
+  of_edges ~sink points edges
+
+let mst_bounded ?(sink = 0) ~max_link points =
+  if max_link <= 0.0 then invalid_arg "Agg_tree.mst_bounded: non-positive range";
+  let n = Pointset.size points in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let d = Pointset.dist points u v in
+      if d <= max_link then edges := (u, v, d) :: !edges
+    done
+  done;
+  let forest = Mst.kruskal ~n !edges in
+  if not (Mst.is_spanning_tree ~n forest) then
+    failwith
+      (Printf.sprintf
+         "Agg_tree.mst_bounded: range %g disconnects the network (threshold %g)"
+         max_link
+         (let t = Mst.euclidean points in
+          List.fold_left (fun acc (u, v) -> Float.max acc (Pointset.dist points u v)) 0.0 t));
+  of_edges ~sink points forest
+
+let connectivity_threshold points =
+  let edges = Mst.euclidean points in
+  List.fold_left (fun acc (u, v) -> Float.max acc (Pointset.dist points u v)) 0.0 edges
+
+let min_power_for (p : Wa_sinr.Params.t) l =
+  (1.0 +. p.Wa_sinr.Params.epsilon) *. p.Wa_sinr.Params.beta *. p.Wa_sinr.Params.noise
+  *. (l ** p.Wa_sinr.Params.alpha)
+
+let link_of_node t node =
+  let n = Linkset.size t.links in
+  let rec go i =
+    if i = n then raise Not_found
+    else
+      match Linkset.tree_child t.links i with
+      | Some c when c = node -> i
+      | _ -> go (i + 1)
+  in
+  go 0
+
+let size t = Pointset.size t.points
+
+let link_count t = Linkset.size t.links
+
+let depth_in_links t = Tree.height t.tree

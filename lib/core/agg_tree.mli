@@ -1,0 +1,53 @@
+(** Aggregation (convergecast) instances: a pointset, a spanning tree
+    rooted at a sink, and the induced directed link set.
+
+    Theorem 1 uses the Euclidean MST; {!of_edges} admits any spanning
+    tree so that alternative topologies (Sec. 5, baselines) run
+    through the same machinery. *)
+
+type t = {
+  points : Wa_geom.Pointset.t;
+  tree : Wa_graph.Tree.t;
+  links : Wa_sinr.Linkset.t;
+      (** One link per non-sink node, directed child → parent;
+          [Linkset.tree_child] maps link ids back to nodes. *)
+}
+
+val mst : ?sink:int -> Wa_geom.Pointset.t -> t
+(** MST aggregation instance.  The sink defaults to node 0.  Raises
+    [Invalid_argument] on singleton pointsets (no links to
+    schedule). *)
+
+val of_edges : sink:int -> Wa_geom.Pointset.t -> (int * int) list -> t
+(** Same, over an explicit spanning tree. *)
+
+val mst_bounded : ?sink:int -> max_link:float -> Wa_geom.Pointset.t -> t
+(** MST of the {e reduced} graph containing only node pairs within
+    distance [max_link] — the power-limited setting of Sec. 3.1,
+    where not all pairs can communicate.  Raises [Failure] when the
+    reduced graph is disconnected (the network is then noise-limited
+    and no aggregation tree exists). *)
+
+val connectivity_threshold : Wa_geom.Pointset.t -> float
+(** The longest edge of the unrestricted MST — the smallest
+    transmission range under which {!mst_bounded} succeeds.  (By the
+    cycle property, any spanning structure must contain an edge at
+    least this long.) *)
+
+val min_power_for : Wa_sinr.Params.t -> float -> float
+(** [min_power_for p l = (1+eps)·beta·N·l^alpha]: the power the
+    interference-limited assumption requires for a link of length
+    [l] (Sec. 2). *)
+
+val link_of_node : t -> int -> int
+(** The link id whose sender is the given non-sink node.  Raises
+    [Not_found] for the sink. *)
+
+val size : t -> int
+(** Number of nodes. *)
+
+val link_count : t -> int
+
+val depth_in_links : t -> int
+(** Height of the rooted tree — the hop count a frame from the
+    deepest node must travel. *)

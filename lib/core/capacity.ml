@@ -1,0 +1,35 @@
+module Params = Wa_sinr.Params
+module Linkset = Wa_sinr.Linkset
+module Power = Wa_sinr.Power
+module Feasibility = Wa_sinr.Feasibility
+module Power_solver = Wa_sinr.Power_solver
+
+type regime =
+  | With_power_control
+  | Under_scheme of Power.scheme
+
+let feasible p ls regime subset =
+  match regime with
+  | With_power_control -> Power_solver.feasible p ls subset
+  | Under_scheme scheme -> Feasibility.is_feasible p ls ~power:scheme subset
+
+let max_feasible_subset ?order p ls regime =
+  let order = Option.value order ~default:(Linkset.by_increasing_length ls) in
+  let chosen = ref [] in
+  Array.iter
+    (fun i ->
+      let candidate = i :: !chosen in
+      if feasible p ls regime candidate then chosen := candidate)
+    order;
+  List.sort Int.compare !chosen
+
+let capacity p ls regime = List.length (max_feasible_subset p ls regime)
+
+let vs_schedule p ls =
+  let sched, _ = Greedy_schedule.schedule p ls Greedy_schedule.Global_power in
+  let n = Linkset.size ls in
+  let t = Schedule.length sched in
+  let largest_slot =
+    Array.fold_left (fun acc slot -> max acc (List.length slot)) 0 sched.Schedule.slots
+  in
+  (capacity p ls With_power_control, largest_slot, (n + t - 1) / t)

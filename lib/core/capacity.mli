@@ -1,0 +1,38 @@
+(** One-shot capacity maximization.
+
+    The paper's global-power results lean on Kesselheim's
+    constant-factor approximation for {e capacity maximization with
+    power control} [16]: selecting a maximum-cardinality feasible
+    subset of a given link set for a single slot.  This module
+    provides the greedy selection (shortest links first, each accepted
+    iff the set stays exactly feasible) for both power regimes, plus
+    the per-instance capacity profile experiment code builds on.
+
+    Every returned subset is verified feasible by the exact machinery
+    ({!Wa_sinr.Power_solver} / {!Wa_sinr.Feasibility}). *)
+
+type regime =
+  | With_power_control  (** Feasible under some power assignment. *)
+  | Under_scheme of Wa_sinr.Power.scheme
+      (** Feasible under the fixed assignment. *)
+
+val max_feasible_subset :
+  ?order:int array ->
+  Wa_sinr.Params.t ->
+  Wa_sinr.Linkset.t ->
+  regime ->
+  int list
+(** Greedy one-shot selection in the given order (default: by
+    non-decreasing length, Kesselheim's order).  The result is
+    feasible in the given regime; ascending link ids. *)
+
+val capacity : Wa_sinr.Params.t -> Wa_sinr.Linkset.t -> regime -> int
+(** Size of {!max_feasible_subset}. *)
+
+val vs_schedule : Wa_sinr.Params.t -> Wa_sinr.Linkset.t -> int * int * int
+(** [(one-shot greedy capacity, largest slot of the greedy
+    global-power schedule, ceil(n/T))].  A T-slot schedule forces some
+    slot to carry at least [ceil(n/T)] links (pigeonhole), so the true
+    capacity always dominates the third component; comparing the first
+    two shows how much single-slot packing the periodic schedule
+    leaves on the table. *)

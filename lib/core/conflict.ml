@@ -1,0 +1,106 @@
+module Params = Wa_sinr.Params
+module Linkset = Wa_sinr.Linkset
+module Graph = Wa_graph.Graph
+module Growth = Wa_util.Growth
+
+type threshold =
+  | Constant of float
+  | Power_law of { gamma : float; delta : float }
+  | Log_power of float
+
+let check_gamma gamma =
+  if gamma <= 0.0 then invalid_arg "Conflict: gamma must be positive"
+
+let constant ?(gamma = 1.0) () =
+  check_gamma gamma;
+  Constant gamma
+
+let power_law ?(gamma = 2.0) ~tau () =
+  check_gamma gamma;
+  if tau <= 0.0 || tau >= 1.0 then
+    invalid_arg "Conflict.power_law: tau must lie strictly in (0,1)";
+  Power_law { gamma; delta = Float.max tau (1.0 -. tau) }
+
+let log_power ?(gamma = 1.0) () =
+  check_gamma gamma;
+  Log_power gamma
+
+let eval (p : Params.t) th x =
+  if x < 1.0 then invalid_arg "Conflict.eval: length ratio below 1";
+  match th with
+  | Constant gamma -> gamma
+  | Power_law { gamma; delta } -> gamma *. (x ** delta)
+  | Log_power gamma ->
+      gamma *. Float.max 1.0 (Growth.log2 x ** (2.0 /. (p.Params.alpha -. 2.0)))
+
+let conflicting p th ls i j =
+  if i = j then false
+  else begin
+    let li = Linkset.length ls i and lj = Linkset.length ls j in
+    let lmin = Float.min li lj and lmax = Float.max li lj in
+    let d = Linkset.dist ls i j in
+    d /. lmin <= eval p th (lmax /. lmin)
+  end
+
+let graph p th ls =
+  let n = Linkset.size ls in
+  let g = Graph.create n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if conflicting p th ls i j then Graph.add_edge g i j
+    done
+  done;
+  g
+
+let describe = function
+  | Constant gamma -> Printf.sprintf "G1 (f = %g)" gamma
+  | Power_law { gamma; delta } -> Printf.sprintf "Gobl (f = %g * x^%g)" gamma delta
+  | Log_power gamma -> Printf.sprintf "Garb (f = %g * log^{2/(a-2)} x)" gamma
+
+(* Maximum independent set of the conflict graph restricted to a small
+   candidate list, by branch and bound: at each step branch on the
+   first remaining candidate (take it and drop its conflictors, or
+   skip it), pruning when the remainder cannot beat the incumbent. *)
+let independence_of_candidates p th ls candidates =
+  let conflicts i j = conflicting p th ls i j in
+  let rec go best taken = function
+    | [] -> max best taken
+    | c :: rest ->
+        if taken + 1 + List.length rest <= best then best
+        else begin
+          let without_c = go best taken rest in
+          let compatible = List.filter (fun o -> not (conflicts c o)) rest in
+          go without_c (taken + 1) compatible
+        end
+  in
+  go 0 0 candidates
+
+(* Greedy independent-set lower bound for oversized neighborhoods. *)
+let greedy_independence p th ls candidates =
+  List.fold_left
+    (fun chosen c ->
+      if List.for_all (fun o -> not (conflicting p th ls c o)) chosen then
+        c :: chosen
+      else chosen)
+    [] candidates
+  |> List.length
+
+let inductive_independence p th ls =
+  let n = Linkset.size ls in
+  let worst = ref 0 in
+  for i = 0 to n - 1 do
+    let li = Linkset.length ls i in
+    let neighbors = ref [] in
+    for j = 0 to n - 1 do
+      if j <> i && Linkset.length ls j >= li && conflicting p th ls i j then
+        neighbors := j :: !neighbors
+    done;
+    let candidates = !neighbors in
+    let value =
+      if List.length candidates <= 24 then
+        independence_of_candidates p th ls candidates
+      else greedy_independence p th ls candidates
+    in
+    if value > !worst then worst := value
+  done;
+  !worst

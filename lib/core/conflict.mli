@@ -1,0 +1,65 @@
+(** The conflict-graph family [G_f] of Appendix A.
+
+    For a positive non-decreasing sublinear [f], links [i, j] are
+    {e f-independent} when
+
+    {v d(i,j) / l_min > f (l_max / l_min) v}
+
+    with [l_min = min(l_i, l_j)], [l_max = max(l_i, l_j)] and [d(i,j)]
+    the link-to-link distance; otherwise they conflict and are
+    adjacent in [G_f(L)].
+
+    Three instantiations carry the paper's results:
+
+    - [G_gamma] ([f ≡ γ], threshold {!constant}): the "unit" graph of
+      Theorem 2 — constant chromatic number on MSTs;
+    - [G^δ_γ] ([f = γ·x^δ], threshold {!power_law}): independence
+      implies feasibility under the oblivious scheme [Pτ] (with
+      [δ = max(τ, 1-τ)]);
+    - [G_{γ log}] ([f = γ·max(1, log^{2/(α-2)} x)], threshold
+      {!log_power}): independence implies feasibility under global
+      power control. *)
+
+type threshold =
+  | Constant of float  (** [f(x) = γ]. *)
+  | Power_law of { gamma : float; delta : float }
+      (** [f(x) = γ·x^δ], [δ ∈ (0,1)]. *)
+  | Log_power of float
+      (** [f(x) = γ·max(1, (log2 x)^{2/(α-2)})]. *)
+
+val constant : ?gamma:float -> unit -> threshold
+(** Default [γ = 1]: the graph [G1] of Sec. 3.2. *)
+
+val power_law : ?gamma:float -> tau:float -> unit -> threshold
+(** The conflict graph matched to the oblivious scheme [Pτ]:
+    [δ = max(τ, 1-τ)] (under [Pτ], two links at lengths [l ≤ l']
+    tolerate each other only beyond distance
+    [~ l·(l'/l)^{max(τ,1-τ)}]).  Default [γ = 2].  Requires
+    [τ ∈ (0,1)]. *)
+
+val log_power : ?gamma:float -> unit -> threshold
+(** The arbitrary-power graph [Garb].  Default [γ = 1]. *)
+
+val eval : Wa_sinr.Params.t -> threshold -> float -> float
+(** [eval p th x] is [f(x)] for the length ratio [x >= 1]. *)
+
+val conflicting :
+  Wa_sinr.Params.t -> threshold -> Wa_sinr.Linkset.t -> int -> int -> bool
+(** Whether two links of the set are adjacent in [G_f].  Links
+    sharing an endpoint always conflict ([d(i,j) = 0]). *)
+
+val graph :
+  Wa_sinr.Params.t -> threshold -> Wa_sinr.Linkset.t -> Wa_graph.Graph.t
+(** The conflict graph on link ids; O(n²) pair tests. *)
+
+val describe : threshold -> string
+
+val inductive_independence :
+  Wa_sinr.Params.t -> threshold -> Wa_sinr.Linkset.t -> int
+(** The measured inductive-independence number of [G_f(L)]: the
+    maximum, over links [i], of the largest [f]-independent subset of
+    [i]'s {e not-shorter} conflicting neighbors.  Appendix A shows
+    this is a constant for the graphs used here, which is exactly why
+    first-fit in non-increasing length order is a constant-factor
+    approximation.  Exact on neighborhoods up to 24 independent
+    candidates (branch and bound), greedy beyond. *)

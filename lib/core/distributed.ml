@@ -1,0 +1,124 @@
+module Params = Wa_sinr.Params
+module Linkset = Wa_sinr.Linkset
+module Length_class = Wa_sinr.Length_class
+module Graph = Wa_graph.Graph
+module Coloring = Wa_graph.Coloring
+module Rng = Wa_util.Rng
+module Growth = Wa_util.Growth
+
+type result = {
+  phases : int;
+  rounds_coloring : int;
+  rounds_broadcast : int;
+  rounds_total : int;
+  colors : int;
+  coloring : Coloring.t;
+  valid : bool;
+}
+
+let ceil_log2 n = if n <= 1 then 1 else Growth.ilog2 (n - 1) + 1
+
+(* One phase: color the class links by repeated random trials against
+   the finalized colors of longer links and concurrent picks. *)
+let color_class rng g colors class_links =
+  let pending = ref class_links in
+  let rounds = ref 0 in
+  (* Palette: enough colors that a constrained link always has a free
+     one with probability >= 1/2. *)
+  let palette link =
+    let constrained =
+      Graph.fold_neighbors
+        (fun u acc -> if colors.(u) >= 0 then acc + 1 else acc)
+        g link 0
+    in
+    let class_degree =
+      Graph.fold_neighbors
+        (fun u acc -> if List.mem u class_links then acc + 1 else acc)
+        g link 0
+    in
+    (2 * (constrained + class_degree)) + 2
+  in
+  while !pending <> [] do
+    incr rounds;
+    if !rounds > 100_000 then failwith "Distributed.color_class: no progress";
+    let picks =
+      List.map (fun link -> (link, Rng.int rng (palette link))) !pending
+    in
+    let keeps, retries =
+      List.partition
+        (fun (link, c) ->
+          let finalized_clash =
+            Graph.fold_neighbors
+              (fun u acc -> acc || colors.(u) = c)
+              g link false
+          in
+          let concurrent_clash =
+            List.exists
+              (fun (other, c') ->
+                other <> link && c' = c && Graph.mem_edge g link other)
+              picks
+          in
+          not (finalized_clash || concurrent_clash))
+        picks
+    in
+    List.iter (fun (link, c) -> colors.(link) <- c) keeps;
+    pending := List.map fst retries
+  done;
+  !rounds
+
+let run ?gamma ?(seed = 42) p ls mode =
+  let threshold =
+    match Greedy_schedule.threshold_for ?gamma mode with
+    | Some th -> th
+    | None ->
+        invalid_arg "Distributed.run: protocol requires a geometric conflict graph"
+  in
+  let g = Conflict.graph p threshold ls in
+  let classes = Length_class.partition ls in
+  let rng = Rng.create seed in
+  let n = Linkset.size ls in
+  let colors = Array.make n (-1) in
+  let rounds_coloring = ref 0 in
+  let rounds_broadcast = ref 0 in
+  let phases = ref 0 in
+  let log2n = ceil_log2 n in
+  List.iter
+    (fun (_idx, class_links) ->
+      incr phases;
+      rounds_coloring := !rounds_coloring + color_class rng g colors class_links;
+      (* Local broadcast of the class's colors to shorter neighbors:
+         opt_t + log^2 n rounds (collision detection). *)
+      let opt_t =
+        List.fold_left (fun acc l -> max acc (colors.(l) + 1)) 0 class_links
+      in
+      rounds_broadcast := !rounds_broadcast + opt_t + (log2n * log2n))
+    (Length_class.descending classes);
+  let used = Array.fold_left (fun acc c -> max acc (c + 1)) 0 colors in
+  (* Compact color ids so the schedule has no empty slots. *)
+  let remap = Array.make used (-1) in
+  let next = ref 0 in
+  Array.iter
+    (fun c ->
+      if remap.(c) = -1 then begin
+        remap.(c) <- !next;
+        incr next
+      end)
+    colors;
+  let compact = Array.map (fun c -> remap.(c)) colors in
+  let coloring = { Coloring.colors = compact; classes = !next } in
+  {
+    phases = !phases;
+    rounds_coloring = !rounds_coloring;
+    rounds_broadcast = !rounds_broadcast;
+    rounds_total = !rounds_coloring + !rounds_broadcast;
+    colors = !next;
+    coloring;
+    valid = Coloring.validate g coloring;
+  }
+
+let predicted_rounds p ls ~opt =
+  ignore p;
+  let n = float_of_int (Linkset.size ls) in
+  let log_n = Float.max 1.0 (Growth.log2 n) in
+  let log_delta = Float.max 1.0 (Growth.log2 (Linkset.diversity ls)) in
+  ((log_n *. float_of_int opt) +. (log_n *. log_n)) *. log_delta

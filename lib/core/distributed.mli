@@ -1,0 +1,42 @@
+(** Simulation of the distributed scheduling protocol (Sec. 3.3).
+
+    The protocol processes the dyadic length classes of the MST links
+    from the longest class down.  Within a phase, the links of the
+    class compute a coloring by a randomized Luby-style subroutine
+    (each still-uncolored link picks a color uniformly from its
+    palette each round and keeps it if no conflicting link — already
+    finalized or picking concurrently — holds the same color), then
+    locally broadcast their colors to shorter neighbors; the broadcast
+    cost is accounted with the paper's
+    [opt_t + ceil(log2 n)²]-rounds-per-phase model (collision
+    detection available).
+
+    The output coloring is checked proper on the true conflict graph,
+    so the measured round counts belong to a correct execution. *)
+
+type result = {
+  phases : int;  (** Non-empty length classes processed. *)
+  rounds_coloring : int;
+      (** Total randomized-coloring rounds over all phases. *)
+  rounds_broadcast : int;  (** Modeled local-broadcast rounds. *)
+  rounds_total : int;
+  colors : int;  (** Slots in the resulting schedule. *)
+  coloring : Wa_graph.Coloring.t;
+  valid : bool;  (** Properness on the conflict graph. *)
+}
+
+val run :
+  ?gamma:float ->
+  ?seed:int ->
+  Wa_sinr.Params.t ->
+  Wa_sinr.Linkset.t ->
+  Greedy_schedule.mode ->
+  result
+(** [seed] defaults to 42.  Raises [Invalid_argument] for
+    [Fixed_scheme] modes whose conflict graph the protocol does not
+    define (the protocol needs a geometric threshold). *)
+
+val predicted_rounds :
+  Wa_sinr.Params.t -> Wa_sinr.Linkset.t -> opt:int -> float
+(** The paper's bound shape [(log n · opt + log² n) · log Δ] for
+    comparison against measured totals. *)

@@ -1,0 +1,60 @@
+(** Incremental maintenance of tree and schedule under churn.
+
+    Sec. 3.1 ("Robustness and temporal variability") notes that
+    long-term changes require repairing or reconstructing the tree and
+    the schedule.  This module maintains a deployment under node
+    arrivals and departures: after each change the MST is recomputed,
+    but every surviving link {e keeps its slot} unless the new
+    conflict structure (or the exact SINR check) forces a change —
+    so the churn cost is measured in recolored links, not a full
+    reschedule.
+
+    Nodes carry stable identifiers that survive arrivals and
+    departures of other nodes. *)
+
+type node_id = int
+
+type stats = {
+  links_total : int;  (** Links in the new tree. *)
+  links_kept : int;  (** Links that kept both endpoints and slot. *)
+  links_recolored : int;
+      (** Surviving links whose slot had to change, plus new links. *)
+  slots : int;  (** Schedule length after the repair. *)
+  recompute_slots : int;
+      (** Length a from-scratch pipeline run would have produced. *)
+}
+
+type t
+
+val create :
+  ?params:Wa_sinr.Params.t ->
+  ?gamma:float ->
+  sink:Wa_geom.Vec2.t ->
+  Pipeline.power_mode ->
+  t
+(** A network containing only the sink.  The power mode is fixed for
+    the network's lifetime. *)
+
+val add_node : t -> Wa_geom.Vec2.t -> node_id * stats
+(** Joins a node and repairs tree + schedule.  Raises
+    [Invalid_argument] if the position coincides with an existing
+    node. *)
+
+val remove_node : t -> node_id -> stats
+(** Removes a node (not the sink).  Raises [Not_found] for unknown
+    ids and [Invalid_argument] for the sink. *)
+
+val size : t -> int
+(** Nodes currently in the network (including the sink). *)
+
+val node_ids : t -> node_id list
+
+val schedule_valid : t -> bool
+(** Ground-truth SINR validation of the current schedule (always true
+    after a successful operation; exposed for tests). *)
+
+val current_slots : t -> int
+
+val plan_now : t -> Pipeline.plan
+(** A from-scratch plan of the current deployment, for comparison.
+    Requires at least two nodes. *)

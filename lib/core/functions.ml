@@ -1,0 +1,66 @@
+type selection_result = {
+  value : int;
+  probes : int;
+  slots_used : int;
+  probe_latency : int;
+}
+
+(* One frame must travel from the deepest node to the sink: with a
+   T-slot period that takes at most (depth+1) periods; a small safety
+   margin covers slot alignment. *)
+let probe_horizon agg sched =
+  let period = Schedule.length sched in
+  ((Agg_tree.depth_in_links agg + 2) * period) + period
+
+let count_probe ~threshold ~readings agg sched =
+  let horizon = probe_horizon agg sched in
+  let reading ~node ~frame:_ = if readings node > threshold then 1 else 0 in
+  let cfg =
+    Simulator.config
+      ~aggregation:(Simulator.count_above threshold)
+      ~reading ~gen_period:horizon ~horizon sched
+  in
+  let r = Simulator.run agg sched cfg in
+  (match r.Simulator.delivered_values with
+  | (0, count) :: _ ->
+      if not r.Simulator.aggregates_correct then
+        failwith "Functions.count_probe: simulated count diverged from ground truth";
+      ignore count
+  | _ -> failwith "Functions.count_probe: probe frame was not delivered in time");
+  let count = snd (List.hd r.Simulator.delivered_values) in
+  (count, horizon)
+
+let select ?range ~k ~readings agg sched =
+  let n = Agg_tree.size agg in
+  if k < 1 || k > n then invalid_arg "Functions.select: k out of range";
+  let lo0, hi0 =
+    match range with
+    | Some (lo, hi) -> (lo, hi)
+    | None ->
+        let values = List.init n readings in
+        (List.fold_left min max_int values, List.fold_left max min_int values)
+  in
+  if lo0 > hi0 then invalid_arg "Functions.select: empty range";
+  let probes = ref 0 in
+  let slots = ref 0 in
+  let latency = ref 0 in
+  (* Invariant: the k-th smallest lies in [lo, hi].  A probe at m
+     tells us how many readings exceed m: if more than n-k readings
+     exceed m, the answer is above m. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else begin
+      let m = lo + ((hi - lo) / 2) in
+      let above, used = count_probe ~threshold:m ~readings agg sched in
+      incr probes;
+      slots := !slots + used;
+      latency := used;
+      if above > n - k then search (m + 1) hi else search lo m
+    end
+  in
+  let value = search lo0 hi0 in
+  { value; probes = !probes; slots_used = !slots; probe_latency = !latency }
+
+let median ?range ~readings agg sched =
+  let n = Agg_tree.size agg in
+  select ?range ~k:((n + 1) / 2) ~readings agg sched

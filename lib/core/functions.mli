@@ -1,0 +1,49 @@
+(** Non-compressible aggregation functions on top of the convergecast
+    machinery (Sec. 3.1, "other aggregation functions").
+
+    The paper's schedules compute any fully-compressible function
+    directly (one convergecast per frame).  Order statistics such as
+    the median are not compressible, but the classical reduction works
+    on top: binary-search the value domain, and for each probe run one
+    {e counting} convergecast ("how many readings exceed m?") — each
+    probe costs one aggregation with the library's near-constant rate.
+
+    The driver below actually executes every probe on the simulator,
+    so its round counts are measured, not assumed. *)
+
+type selection_result = {
+  value : int;  (** The selected order statistic. *)
+  probes : int;  (** Counting convergecasts executed. *)
+  slots_used : int;  (** Total TDMA slots consumed by all probes. *)
+  probe_latency : int;  (** Slots per probe (delivery of one frame). *)
+}
+
+val select :
+  ?range:int * int ->
+  k:int ->
+  readings:(int -> int) ->
+  Agg_tree.t ->
+  Schedule.t ->
+  selection_result
+(** [select ~k ~readings agg sched] computes the [k]-th smallest value
+    (1-indexed) among [readings node] over all nodes, by binary search
+    over [range] (default: the full span of the readings, which a real
+    deployment would know as the sensor's value range).  Raises
+    [Invalid_argument] if [k] is out of [1 .. n] or the schedule does
+    not cover the tree.
+
+    Each probe verifies end-to-end that the simulated count equals the
+    true count; the driver raises [Failure] on any mismatch. *)
+
+val median :
+  ?range:int * int ->
+  readings:(int -> int) ->
+  Agg_tree.t ->
+  Schedule.t ->
+  selection_result
+(** The [ceil(n/2)]-th smallest reading. *)
+
+val count_probe :
+  threshold:int -> readings:(int -> int) -> Agg_tree.t -> Schedule.t -> int * int
+(** One counting convergecast: [(count of readings > threshold,
+    slots used)].  Exposed for tests and experiments. *)

@@ -1,0 +1,55 @@
+module Params = Wa_sinr.Params
+module Linkset = Wa_sinr.Linkset
+module Power = Wa_sinr.Power
+module Feasibility = Wa_sinr.Feasibility
+module Graph = Wa_graph.Graph
+module Coloring = Wa_graph.Coloring
+
+type mode =
+  | Global_power
+  | Oblivious_power of float
+  | Fixed_scheme of Power.scheme
+
+let threshold_for ?gamma mode =
+  match mode with
+  | Global_power -> Some (Conflict.log_power ?gamma ())
+  | Oblivious_power tau -> Some (Conflict.power_law ?gamma ~tau ())
+  | Fixed_scheme _ -> None
+
+let conflict_graph ?gamma p ls mode =
+  match threshold_for ?gamma mode with
+  | Some th -> Conflict.graph p th ls
+  | None ->
+      let scheme =
+        match mode with Fixed_scheme s -> s | _ -> assert false
+      in
+      (* Exact pairwise SINR conflicts under the fixed scheme.  A
+         pairwise-compatible class need not be set-feasible; the repair
+         pass covers the difference.  The power vector is hoisted out
+         of the O(n^2) pair loop. *)
+      let n = Linkset.size ls in
+      let vec = Power.vector p ls scheme in
+      let pair_ok i j =
+        Feasibility.sinr p ls ~power:vec ~concurrent:[ i; j ] i >= p.Params.beta
+        && Feasibility.sinr p ls ~power:vec ~concurrent:[ i; j ] j >= p.Params.beta
+      in
+      let g = Graph.create n in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          if not (pair_ok i j) then Graph.add_edge g i j
+        done
+      done;
+      g
+
+let coloring ?gamma p ls mode =
+  let g = conflict_graph ?gamma p ls mode in
+  Coloring.greedy ~order:(Linkset.by_decreasing_length ls) g
+
+let power_mode_of = function
+  | Global_power -> Schedule.Arbitrary
+  | Oblivious_power tau -> Schedule.Scheme (Power.Oblivious tau)
+  | Fixed_scheme s -> Schedule.Scheme s
+
+let schedule ?gamma ?(repair = true) p ls mode =
+  let schedule = Schedule.of_coloring (coloring ?gamma p ls mode) (power_mode_of mode) in
+  if repair then Schedule.repair p ls schedule else (schedule, 0)

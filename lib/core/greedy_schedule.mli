@@ -1,0 +1,41 @@
+(** The paper's scheduling algorithm (Sec. 3, Appendix A).
+
+    Build the conflict graph for the chosen power mode, color it
+    greedily in non-increasing link-length order (first-fit), and use
+    the color classes as TDMA slots.  Because the graphs [G_f] have
+    constant inductive independence, this order makes first-fit a
+    constant-factor approximation of the chromatic number. *)
+
+type mode =
+  | Global_power
+      (** [Garb] conflict graph; slots scheduled with per-slot solved
+          power vectors — the [O(log* Δ)] regime. *)
+  | Oblivious_power of float
+      (** [Gobl] matched to [Pτ]; the [O(log log Δ)] regime.
+          Argument is [τ ∈ (0,1)]. *)
+  | Fixed_scheme of Wa_sinr.Power.scheme
+      (** Any concrete scheme with its pairwise-feasibility conflict
+          graph (used by baselines, e.g. uniform power). *)
+
+val threshold_for :
+  ?gamma:float -> mode -> Conflict.threshold option
+(** The conflict-graph threshold used for a mode; [None] for
+    [Fixed_scheme] (which uses exact pairwise SINR conflicts instead
+    of a geometric threshold). *)
+
+val conflict_graph :
+  ?gamma:float -> Wa_sinr.Params.t -> Wa_sinr.Linkset.t -> mode -> Wa_graph.Graph.t
+
+val coloring :
+  ?gamma:float -> Wa_sinr.Params.t -> Wa_sinr.Linkset.t -> mode ->
+  Wa_graph.Coloring.t
+(** Greedy first-fit over links by non-increasing length. *)
+
+val schedule :
+  ?gamma:float -> ?repair:bool -> Wa_sinr.Params.t -> Wa_sinr.Linkset.t -> mode ->
+  Schedule.t * int
+(** Full pipeline for a link set: conflict graph → greedy coloring →
+    schedule; when [repair] (default true) every slot is verified
+    against the physical model and infeasible slots are split.  The
+    integer is the number of slots added by repair (0 when the
+    constants already guarantee feasibility). *)

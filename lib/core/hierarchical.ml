@@ -1,0 +1,68 @@
+module Pointset = Wa_geom.Pointset
+module Vec2 = Wa_geom.Vec2
+module Bbox = Wa_geom.Bbox
+
+type t = {
+  levels : int;
+  edges : (int * int) list;
+  agg : Agg_tree.t;
+}
+
+let build ?(base_factor = 1.0) ~sink points =
+  if base_factor <= 0.0 then invalid_arg "Hierarchical.build: non-positive factor";
+  let n = Pointset.size points in
+  if n < 2 then invalid_arg "Hierarchical.build: need at least two nodes";
+  let box = Pointset.bbox points in
+  let origin = Vec2.make box.Bbox.min_x box.Bbox.min_y in
+  let top = Float.max (Bbox.width box) (Bbox.height box) in
+  let base = base_factor *. Agg_tree.connectivity_threshold points in
+  let levels =
+    if top <= base then 1
+    else min 30 (1 + int_of_float (Float.ceil (log (top /. base) /. log 2.0)))
+  in
+  let cell level v =
+    (* Level 0 is one cell covering everything; each level halves. *)
+    let size = top /. (2.0 ** float_of_int level) in
+    let p = Pointset.get points v in
+    if level = 0 then (0, 0)
+    else
+      ( int_of_float (Float.floor ((p.Vec2.x -. origin.Vec2.x) /. size)),
+        int_of_float (Float.floor ((p.Vec2.y -. origin.Vec2.y) /. size)) )
+  in
+  (* Leader of each cell: the sink wherever present, else the smallest
+     node id — a choice that persists up the hierarchy. *)
+  let leaders = Array.init (levels + 1) (fun _ -> Hashtbl.create 16) in
+  for level = 0 to levels do
+    for v = 0 to n - 1 do
+      let key = cell level v in
+      match Hashtbl.find_opt leaders.(level) key with
+      | Some u when u = sink -> ()
+      | Some u -> if v = sink || v < u then Hashtbl.replace leaders.(level) key v
+      | None -> Hashtbl.add leaders.(level) key v
+    done
+  done;
+  let leader level v = Hashtbl.find leaders.(level) (cell level v) in
+  (* Each non-sink node's parent: the leader of the first enclosing
+     cell (walking up from the deepest level) that it does not lead. *)
+  let edges = ref [] in
+  for v = 0 to n - 1 do
+    if v <> sink then begin
+      let rec find_parent level =
+        if level < 0 then None
+        else
+          let u = leader level v in
+          if u <> v then Some u else find_parent (level - 1)
+      in
+      match find_parent levels with
+      | Some u -> edges := (min v u, max v u) :: !edges
+      | None ->
+          (* v leads even the root cell, impossible for v <> sink since
+             the sink leads every cell containing it. *)
+          assert false
+    end
+  done;
+  let edges = List.sort_uniq compare !edges in
+  let agg = Agg_tree.of_edges ~sink points edges in
+  { levels; edges; agg }
+
+let depth t = Agg_tree.depth_in_links t.agg

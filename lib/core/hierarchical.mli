@@ -1,0 +1,27 @@
+(** Hierarchical (quadtree) aggregation trees — the low-latency end of
+    the rate/latency tradeoff (Sec. 3.1).
+
+    The paper contrasts its constant-rate MST schedules (whose latency
+    can be linear) with trees of logarithmic depth that pay a
+    logarithmic rate ([11]).  This module builds the standard
+    dyadic-cell hierarchy: the bounding square is halved level by
+    level; every cell elects a leader (the sink leads every cell
+    containing it); each node's uplink goes to the leader of the
+    first enclosing cell where it is not itself the leader.  The
+    result is a spanning tree of depth at most one more than the
+    number of levels [O(log Δ)], with link lengths increasing
+    geometrically up the hierarchy. *)
+
+type t = {
+  levels : int;  (** Cell-hierarchy depth. *)
+  edges : (int * int) list;  (** The spanning tree. *)
+  agg : Agg_tree.t;
+}
+
+val build : ?base_factor:float -> sink:int -> Wa_geom.Pointset.t -> t
+(** [base_factor] (default 1) scales the deepest cell size relative to
+    the connectivity threshold.  Raises [Invalid_argument] on
+    singleton inputs or non-positive factors. *)
+
+val depth : t -> int
+(** Tree depth in links (at most [levels + 1]). *)

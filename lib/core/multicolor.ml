@@ -1,0 +1,63 @@
+module Params = Wa_sinr.Params
+module Linkset = Wa_sinr.Linkset
+module Power = Wa_sinr.Power
+module Feasibility = Wa_sinr.Feasibility
+module Power_solver = Wa_sinr.Power_solver
+
+let slot_accepts p ls mode candidate =
+  match mode with
+  | Schedule.Scheme scheme -> Feasibility.is_feasible p ls ~power:scheme candidate
+  | Schedule.Arbitrary -> Power_solver.feasible p ls candidate
+
+let balanced ?period p ls mode =
+  let n = Linkset.size ls in
+  let default_period =
+    let coloring_mode =
+      match mode with
+      | Schedule.Arbitrary -> Greedy_schedule.Global_power
+      | Schedule.Scheme (Power.Oblivious tau) when tau > 0.0 && tau < 1.0 ->
+          Greedy_schedule.Oblivious_power tau
+      | Schedule.Scheme scheme -> Greedy_schedule.Fixed_scheme scheme
+    in
+    let sched, _ = Greedy_schedule.schedule p ls coloring_mode in
+    2 * Schedule.length sched
+  in
+  let period = Option.value period ~default:default_period in
+  if period < 1 then invalid_arg "Multicolor.balanced: period must be positive";
+  let appearances = Array.make n 0 in
+  let slots = ref [] in
+  for _slot = 1 to period do
+    (* Deficit order: fewest appearances first, longer first on ties
+       (mirroring the paper's length ordering). *)
+    let order = Array.init n Fun.id in
+    Array.sort
+      (fun a b ->
+        let c = Int.compare appearances.(a) appearances.(b) in
+        if c <> 0 then c
+        else
+          let c = Float.compare (Linkset.length ls b) (Linkset.length ls a) in
+          if c <> 0 then c else Int.compare a b)
+      order;
+    let chosen = ref [] in
+    Array.iter
+      (fun i ->
+        let candidate = i :: !chosen in
+        if slot_accepts p ls mode candidate then chosen := candidate)
+      order;
+    List.iter (fun i -> appearances.(i) <- appearances.(i) + 1) !chosen;
+    slots := List.sort Int.compare !chosen :: !slots
+  done;
+  if Array.exists (fun a -> a = 0) appearances then
+    failwith "Multicolor.balanced: a link was never scheduled (period too short)";
+  Periodic.make (List.rev !slots) mode
+
+let rate_improvement p ls mode =
+  let sched, _ = Greedy_schedule.schedule p ls mode in
+  let power_mode =
+    match mode with
+    | Greedy_schedule.Global_power -> Schedule.Arbitrary
+    | Greedy_schedule.Oblivious_power tau -> Schedule.Scheme (Power.Oblivious tau)
+    | Greedy_schedule.Fixed_scheme s -> Schedule.Scheme s
+  in
+  let multi = balanced p ls power_mode in
+  (Schedule.rate sched, Periodic.rate multi ls)

@@ -1,0 +1,96 @@
+module Pointset = Wa_geom.Pointset
+module Vec2 = Wa_geom.Vec2
+module Bbox = Wa_geom.Bbox
+module Mst = Wa_graph.Mst
+
+type t = {
+  cell_size : float;
+  leaders : int list;
+  edges : (int * int) list;
+  agg : Agg_tree.t;
+}
+
+let cell_of ~cell_size ~(origin : Vec2.t) (p : Vec2.t) =
+  ( int_of_float (Float.floor ((p.Vec2.x -. origin.Vec2.x) /. cell_size)),
+    int_of_float (Float.floor ((p.Vec2.y -. origin.Vec2.y) /. cell_size)) )
+
+let build ?(cell_factor = 4.0) ~sink points =
+  if cell_factor <= 0.0 then invalid_arg "Multihop.build: non-positive cell factor";
+  let n = Pointset.size points in
+  if n < 2 then invalid_arg "Multihop.build: need at least two nodes";
+  let cell_size = cell_factor *. Agg_tree.connectivity_threshold points in
+  let box = Pointset.bbox points in
+  let origin = Vec2.make box.Bbox.min_x box.Bbox.min_y in
+  (* Group nodes by cell. *)
+  let cells : (int * int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  for v = 0 to n - 1 do
+    let key = cell_of ~cell_size ~origin (Pointset.get points v) in
+    match Hashtbl.find_opt cells key with
+    | Some members -> members := v :: !members
+    | None -> Hashtbl.add cells key (ref [ v ])
+  done;
+  (* Leaders: the node nearest the cell center — except the sink's
+     cell, which the sink leads so the union stays a convergecast
+     tree toward it. *)
+  let sink_cell = cell_of ~cell_size ~origin (Pointset.get points sink) in
+  let leader_of key members =
+    if key = sink_cell then sink
+    else begin
+      let cx, cy = key in
+      let center =
+        Vec2.make
+          (origin.Vec2.x +. ((float_of_int cx +. 0.5) *. cell_size))
+          (origin.Vec2.y +. ((float_of_int cy +. 0.5) *. cell_size))
+      in
+      List.fold_left
+        (fun best v ->
+          let d = Vec2.dist (Pointset.get points v) center in
+          match best with
+          | Some (_, bd) when bd <= d -> best
+          | _ -> Some (v, d))
+        None members
+      |> Option.get |> fst
+    end
+  in
+  let leaders = ref [] in
+  let tier1 = ref [] in
+  Hashtbl.iter
+    (fun key members ->
+      let leader = leader_of key !members in
+      leaders := leader :: !leaders;
+      List.iter
+        (fun v -> if v <> leader then tier1 := (min v leader, max v leader) :: !tier1)
+        !members)
+    cells;
+  let leaders = List.sort Int.compare !leaders in
+  (* Tier 2: MST over the leaders. *)
+  let leader_arr = Array.of_list leaders in
+  let m = Array.length leader_arr in
+  let tier2 =
+    if m <= 1 then []
+    else begin
+      let leader_points =
+        Pointset.of_array (Array.map (Pointset.get points) leader_arr)
+      in
+      List.map
+        (fun (a, b) ->
+          let u = leader_arr.(a) and v = leader_arr.(b) in
+          (min u v, max u v))
+        (Mst.euclidean leader_points)
+    end
+  in
+  let edges = !tier1 @ tier2 in
+  let agg = Agg_tree.of_edges ~sink points edges in
+  { cell_size; leaders; edges; agg }
+
+let leader_count t = List.length t.leaders
+
+let tier2_of t =
+  let leaders = t.leaders in
+  List.filter (fun (u, v) -> List.mem u leaders && List.mem v leaders) t.edges
+
+let tier1_links t =
+  let tier2 = tier2_of t in
+  List.filter (fun e -> not (List.mem e tier2)) t.edges
+
+let tier2_links t = tier2_of t

@@ -1,0 +1,39 @@
+(** Two-tier cluster aggregation (Sec. 3.1, "Multi-hop settings").
+
+    The paper's single-hop analysis extends to multi-hop networks by
+    electing local leaders and flooding on the graph connecting them;
+    all leader-to-leader links are then of roughly equal length and
+    behave as in the protocol model.  This module realizes the
+    standard two-tier version of that idea:
+
+    - the plane is partitioned into square cells of a chosen size;
+    - each non-empty cell elects the node nearest its center as
+      {e leader} (the sink is always its own cell's leader);
+    - tier 1 links every member directly to its leader;
+    - tier 2 connects the leaders by their MST, oriented to the sink.
+
+    The union of the two tiers is a spanning tree, so the whole
+    standard pipeline (scheduling, validation, simulation) applies to
+    it unchanged; the interest is in how its slot count, depth, and
+    latency compare with the flat MST and the star (experiment T9). *)
+
+type t = {
+  cell_size : float;
+  leaders : int list;  (** Leader node per non-empty cell. *)
+  edges : (int * int) list;  (** The combined spanning tree. *)
+  agg : Agg_tree.t;
+}
+
+val build : ?cell_factor:float -> sink:int -> Wa_geom.Pointset.t -> t
+(** [cell_factor] (default 4) scales the cell side relative to the
+    connectivity threshold (the longest MST edge), so cells are
+    coarse enough that most nodes share a cell with their leader.
+    Raises [Invalid_argument] on degenerate inputs. *)
+
+val leader_count : t -> int
+
+val tier1_links : t -> (int * int) list
+(** Member-to-leader edges. *)
+
+val tier2_links : t -> (int * int) list
+(** Leader-to-leader tree edges. *)

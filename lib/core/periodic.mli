@@ -1,0 +1,50 @@
+(** Periodic multicoloring schedules.
+
+    An optimal coloring schedule need not be an optimal aggregation
+    schedule (Sec. 4): repeating a {e multicoloring} — a periodic
+    sequence of feasible sets in which a link may transmit several
+    times per period — can beat every proper coloring.  The paper's
+    example is the 5-cycle: any proper coloring of its edges needs 3
+    colors (rate 1/3), while the period-5 sequence
+    [13, 24, 14, 25, 35] gives every edge 2 transmissions in 5 slots
+    (rate 2/5).
+
+    A [t] is a fixed period of slots; the rate of a link is its number
+    of appearances divided by the period, and the rate of the schedule
+    is the minimum over links. *)
+
+type t = {
+  slots : int list array;  (** Transmitting link ids per slot. *)
+  power_mode : Schedule.power_mode;
+}
+
+val make : int list list -> Schedule.power_mode -> t
+(** Raises [Invalid_argument] on an empty period or a slot with
+    repeated links. *)
+
+val of_schedule : Schedule.t -> t
+(** A coloring schedule is the special case with one appearance per
+    link. *)
+
+val period : t -> int
+
+val appearances : t -> int -> int
+(** Times the link transmits per period. *)
+
+val link_rate : t -> int -> float
+
+val rate : t -> Wa_sinr.Linkset.t -> float
+(** Minimum link rate over the link set; 0 if some link never
+    transmits. *)
+
+val covers : t -> Wa_sinr.Linkset.t -> bool
+(** Every link transmits at least once per period. *)
+
+val infeasible_slots : Wa_sinr.Params.t -> Wa_sinr.Linkset.t -> t -> int list
+val is_valid : Wa_sinr.Params.t -> Wa_sinr.Linkset.t -> t -> bool
+
+val five_cycle_rates : unit -> float * float
+(** The paper's worked example, on the abstract 5-cycle conflict
+    structure: (best proper-coloring rate, multicoloring rate) =
+    (1/3, 2/5).  Computed, not hard-coded: colors the cycle greedily
+    and evaluates the [13,24,14,25,35] sequence. *)

@@ -1,0 +1,70 @@
+module Params = Wa_sinr.Params
+module Power = Wa_sinr.Power
+module Linkset = Wa_sinr.Linkset
+module Pointset = Wa_geom.Pointset
+
+type power_mode =
+  [ `Global | `Oblivious of float | `Uniform | `Linear ]
+
+type plan = {
+  agg : Agg_tree.t;
+  mode : Greedy_schedule.mode;
+  schedule : Schedule.t;
+  raw_colors : int;
+  repair_added : int;
+  point_diversity : float;
+  link_diversity : float;
+  valid : bool;
+}
+
+let mode_of = function
+  | `Global -> Greedy_schedule.Global_power
+  | `Oblivious tau -> Greedy_schedule.Oblivious_power tau
+  | `Uniform -> Greedy_schedule.Fixed_scheme Power.Uniform
+  | `Linear -> Greedy_schedule.Fixed_scheme Power.Linear
+
+let plan ?(params = Params.default) ?gamma ?(sink = 0) ?tree_edges power_mode ps =
+  let agg =
+    match tree_edges with
+    | None -> Agg_tree.mst ~sink ps
+    | Some edges -> Agg_tree.of_edges ~sink ps edges
+  in
+  let mode = mode_of power_mode in
+  let ls = agg.Agg_tree.links in
+  let coloring = Greedy_schedule.coloring ?gamma params ls mode in
+  let raw =
+    Schedule.of_coloring coloring
+      (match mode with
+      | Greedy_schedule.Global_power -> Schedule.Arbitrary
+      | Greedy_schedule.Oblivious_power tau -> Schedule.Scheme (Power.Oblivious tau)
+      | Greedy_schedule.Fixed_scheme s -> Schedule.Scheme s)
+  in
+  let schedule, repair_added = Schedule.repair params ls raw in
+  {
+    agg;
+    mode;
+    schedule;
+    raw_colors = Schedule.length raw;
+    repair_added;
+    point_diversity = Pointset.diversity ps;
+    link_diversity = Linkset.diversity ls;
+    valid = Schedule.is_valid params ls schedule;
+  }
+
+let slots p = Schedule.length p.schedule
+let rate p = Schedule.rate p.schedule
+
+let simulate ?(horizon_periods = 50) p =
+  let horizon = horizon_periods * slots p in
+  Simulator.run p.agg p.schedule (Simulator.config ~horizon p.schedule)
+
+let describe p =
+  Printf.sprintf
+    "%d nodes, %d links, %d slots (rate %.4f), link diversity %.3g, %s%s"
+    (Agg_tree.size p.agg) (Agg_tree.link_count p.agg) (slots p) (rate p)
+    p.link_diversity
+    (match p.mode with
+    | Greedy_schedule.Global_power -> "global power"
+    | Greedy_schedule.Oblivious_power tau -> Printf.sprintf "P_tau (tau=%g)" tau
+    | Greedy_schedule.Fixed_scheme s -> Power.describe s)
+    (if p.valid then "" else " [INVALID]")

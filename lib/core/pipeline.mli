@@ -1,0 +1,46 @@
+(** One-call API: from a pointset to a verified aggregation plan.
+
+    [plan] runs the paper's whole construction — MST, conflict graph
+    for the chosen power mode, greedy length-ordered coloring, SINR
+    validation with repair — and returns everything a caller needs to
+    operate or analyze the network. *)
+
+type power_mode =
+  [ `Global  (** Arbitrary power control: the [O(log* Δ)] regime. *)
+  | `Oblivious of float
+    (** [Pτ] with [τ ∈ (0,1)]: the [O(log log Δ)] regime. *)
+  | `Uniform  (** [P0] baseline. *)
+  | `Linear  (** [P1] baseline. *) ]
+
+type plan = {
+  agg : Agg_tree.t;
+  mode : Greedy_schedule.mode;
+  schedule : Schedule.t;  (** Verified feasible (post-repair). *)
+  raw_colors : int;  (** Colors before repair. *)
+  repair_added : int;  (** Slots added by the repair pass. *)
+  point_diversity : float;  (** Δ of the pointset. *)
+  link_diversity : float;  (** Δ(L) of the MST links. *)
+  valid : bool;  (** Result of the final ground-truth validation. *)
+}
+
+val plan :
+  ?params:Wa_sinr.Params.t ->
+  ?gamma:float ->
+  ?sink:int ->
+  ?tree_edges:(int * int) list ->
+  power_mode ->
+  Wa_geom.Pointset.t ->
+  plan
+(** Defaults: {!Wa_sinr.Params.default}, mode-specific γ, sink 0, and
+    the Euclidean MST ([tree_edges] overrides it with any spanning
+    tree). *)
+
+val slots : plan -> int
+val rate : plan -> float
+
+val simulate : ?horizon_periods:int -> plan -> Simulator.result
+(** Convenience: run the simulator for [horizon_periods] (default 50)
+    schedule periods at full rate with trusted interference. *)
+
+val describe : plan -> string
+(** One-line summary: nodes, slots, rate, diversity, mode. *)

@@ -1,0 +1,61 @@
+module Params = Wa_sinr.Params
+module Linkset = Wa_sinr.Linkset
+module Affectance = Wa_sinr.Affectance
+
+type t = {
+  buckets : int list array;
+  bucket_of : int array;
+  kappa : float;
+}
+
+let refine ?(kappa = 1.0) p ls =
+  if kappa <= 0.0 then invalid_arg "Refinement.refine: kappa must be positive";
+  let n = Linkset.size ls in
+  let order = Linkset.by_decreasing_length ls in
+  let buckets = ref [||] in
+  let bucket_of = Array.make n (-1) in
+  let bucket_load i k =
+    (* I(i, S_k): pressure of link i on the current bucket k. *)
+    Affectance.additive_on_set p ls (!buckets).(k) i
+  in
+  Array.iter
+    (fun i ->
+      let count = Array.length !buckets in
+      let rec place k =
+        if k = count then begin
+          buckets := Array.append !buckets [| [ i ] |];
+          bucket_of.(i) <- k
+        end
+        else if bucket_load i k < kappa then begin
+          (!buckets).(k) <- i :: (!buckets).(k);
+          bucket_of.(i) <- k
+        end
+        else place (k + 1)
+      in
+      place 0)
+    order;
+  let buckets = Array.map (List.sort Int.compare) !buckets in
+  { buckets; bucket_of; kappa }
+
+let bucket_count t = Array.length t.buckets
+
+let max_longer_pressure p ls =
+  let worst = ref 0.0 in
+  for i = 0 to Linkset.size ls - 1 do
+    worst := Float.max !worst (Affectance.mst_longer_pressure p ls i)
+  done;
+  !worst
+
+let buckets_g1_independent p ls t =
+  let gamma = t.kappa ** (-1.0 /. p.Params.alpha) in
+  let th = Conflict.Constant gamma in
+  Array.for_all
+    (fun bucket ->
+      let rec pairs = function
+        | [] -> true
+        | i :: rest ->
+            List.for_all (fun j -> not (Conflict.conflicting p th ls i j)) rest
+            && pairs rest
+      in
+      pairs bucket)
+    t.buckets

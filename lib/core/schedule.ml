@@ -1,0 +1,189 @@
+module Params = Wa_sinr.Params
+module Linkset = Wa_sinr.Linkset
+module Power = Wa_sinr.Power
+module Feasibility = Wa_sinr.Feasibility
+module Power_solver = Wa_sinr.Power_solver
+module Coloring = Wa_graph.Coloring
+
+type power_mode = Scheme of Power.scheme | Arbitrary
+
+type t = {
+  slots : int list array;
+  power_mode : power_mode;
+}
+
+let of_coloring coloring power_mode =
+  if coloring.Coloring.classes = 0 then invalid_arg "Schedule.of_coloring: empty";
+  { slots = Coloring.classes coloring; power_mode }
+
+let of_slots slots power_mode =
+  if slots = [] then invalid_arg "Schedule.of_slots: empty";
+  { slots = Array.of_list (List.map (List.sort Int.compare) slots); power_mode }
+
+let length t = Array.length t.slots
+
+let rate t = 1.0 /. float_of_int (length t)
+
+let covers t ls =
+  let n = Linkset.size ls in
+  let count = Array.make n 0 in
+  let in_range = ref true in
+  Array.iter
+    (List.iter (fun i ->
+         if i < 0 || i >= n then in_range := false else count.(i) <- count.(i) + 1))
+    t.slots;
+  !in_range && Array.for_all (fun c -> c = 1) count
+
+let slot_of_link t i =
+  let found = ref (-1) in
+  Array.iteri (fun k slot -> if !found = -1 && List.mem i slot then found := k) t.slots;
+  if !found = -1 then raise Not_found else !found
+
+let slot_feasible p ls mode slot =
+  match slot with
+  | [] -> true
+  | [ i ] -> (
+      (* A lone link can only fail against the noise floor. *)
+      match mode with
+      | Scheme scheme when p.Params.noise > 0.0 ->
+          Feasibility.is_feasible p ls ~power:scheme [ i ]
+      | Scheme _ | Arbitrary -> true)
+  | _ -> (
+      match mode with
+      | Scheme scheme -> Feasibility.is_feasible p ls ~power:scheme slot
+      | Arbitrary -> Power_solver.feasible p ls slot)
+
+let infeasible_slots p ls t =
+  let bad = ref [] in
+  Array.iteri
+    (fun k slot -> if not (slot_feasible p ls t.power_mode slot) then bad := k :: !bad)
+    t.slots;
+  List.rev !bad
+
+let is_valid p ls t = covers t ls && infeasible_slots p ls t = []
+
+(* First-fit the links of a broken slot into feasible sub-slots,
+   longest first (mirroring the paper's greedy order).  Every
+   placement attempt runs the exact feasibility check, so this is
+   reserved for small slots. *)
+let first_fit_split p ls mode slot =
+  let by_length =
+    List.sort
+      (fun a b -> Float.compare (Linkset.length ls b) (Linkset.length ls a))
+      slot
+  in
+  let sub_slots = ref [] in
+  List.iter
+    (fun i ->
+      let rec place acc = function
+        | [] -> List.rev ([ i ] :: acc)
+        | s :: rest ->
+            if slot_feasible p ls mode (i :: s) then
+              List.rev_append acc ((i :: s) :: rest)
+            else place (s :: acc) rest
+      in
+      sub_slots := place [] !sub_slots)
+    by_length;
+  List.map (List.sort Int.compare) !sub_slots
+
+(* Above this size, exact first-fit (O(k²) solver calls) is replaced by
+   a geometric pre-split. *)
+let exact_split_limit = 80
+
+(* Split a large infeasible slot by coloring its links against a
+   tighter constant-threshold conflict graph (cheap, geometric), then
+   recurse into each class; fall back to exact first-fit when the
+   geometric split stops making progress. *)
+let rec split_slot ?(gamma = 2.0) p ls mode slot =
+  if slot_feasible p ls mode slot then [ slot ]
+  else if List.length slot <= exact_split_limit || gamma > 64.0 then
+    first_fit_split p ls mode slot
+  else begin
+    let members = Array.of_list slot in
+    let k = Array.length members in
+    let th = Conflict.Constant gamma in
+    let graph = Wa_graph.Graph.create k in
+    for a = 0 to k - 1 do
+      for b = a + 1 to k - 1 do
+        if Conflict.conflicting p th ls members.(a) members.(b) then
+          Wa_graph.Graph.add_edge graph a b
+      done
+    done;
+    let order = Array.init k Fun.id in
+    Array.sort
+      (fun a b ->
+        Float.compare
+          (Linkset.length ls members.(b))
+          (Linkset.length ls members.(a)))
+      order;
+    let coloring = Wa_graph.Coloring.greedy ~order graph in
+    if coloring.Wa_graph.Coloring.classes <= 1 then
+      (* No geometric separation found; tighten the threshold. *)
+      split_slot ~gamma:(2.0 *. gamma) p ls mode slot
+    else
+      Array.to_list (Wa_graph.Coloring.classes coloring)
+      |> List.concat_map (fun class_members ->
+             let sub = List.map (fun a -> members.(a)) class_members in
+             split_slot ~gamma p ls mode sub)
+  end
+
+(* Greedily merge the parts a split produced: the geometric pre-split
+   can be coarser than necessary, and a single feasibility check per
+   candidate merge wins those slots back. *)
+let merge_parts p ls mode parts =
+  List.fold_left
+    (fun accepted part ->
+      let rec try_merge acc = function
+        | [] -> List.rev (part :: acc)
+        | s :: rest ->
+            let candidate = List.merge Int.compare s part in
+            if slot_feasible p ls mode candidate then
+              List.rev_append acc (candidate :: rest)
+            else try_merge (s :: acc) rest
+      in
+      try_merge [] accepted)
+    [] parts
+
+let repair p ls t =
+  let before = length t in
+  let slots =
+    Array.to_list t.slots
+    |> List.concat_map (fun slot ->
+           if slot_feasible p ls t.power_mode slot then [ slot ]
+           else merge_parts p ls t.power_mode (split_slot p ls t.power_mode slot))
+    |> List.filter (fun s -> s <> [])
+  in
+  let repaired = { t with slots = Array.of_list slots } in
+  (repaired, length repaired - before)
+
+let reorder_for_latency tree ls t =
+  let depth_of_link i =
+    match Linkset.tree_child ls i with
+    | Some child -> Wa_graph.Tree.depth tree child
+    | None -> 0
+  in
+  let mean_depth slot =
+    match slot with
+    | [] -> 0.0
+    | _ ->
+        float_of_int (List.fold_left (fun acc i -> acc + depth_of_link i) 0 slot)
+        /. float_of_int (List.length slot)
+  in
+  let keyed = Array.map (fun slot -> (mean_depth slot, slot)) t.slots in
+  Array.sort (fun (a, _) (b, _) -> Float.compare b a) keyed;
+  { t with slots = Array.map snd keyed }
+
+let witness_power p ls t =
+  match t.power_mode with
+  | Scheme scheme ->
+      if infeasible_slots p ls t = [] then Some scheme else None
+  | Arbitrary -> Power_solver.power_scheme p ls (Array.to_list t.slots)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>schedule: %d slots (rate %.4f)@," (length t) (rate t);
+  Array.iteri
+    (fun k slot ->
+      Format.fprintf fmt "  slot %d: {%s}@," k
+        (String.concat "," (List.map string_of_int slot)))
+    t.slots;
+  Format.fprintf fmt "@]"

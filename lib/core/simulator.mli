@@ -1,0 +1,162 @@
+(** Discrete-time pipelined convergecast simulation.
+
+    Executes a periodic schedule slot by slot, exactly in the manner
+    of the paper's Fig. 1: every node produces one reading per
+    {e frame} (a new frame every [gen_period] slots), readings are
+    combined on their way up the tree, and a node forwards — when its
+    uplink fires — the oldest frame for which its own reading and all
+    of its children's contributions have arrived.
+
+    The simulator measures the {e achieved} rate, per-frame latency
+    and buffer growth, and checks end-to-end that the value delivered
+    at the sink equals the true aggregate of every frame.  It can
+    re-verify interference per slot on the links that actually
+    transmit — including under random Rayleigh fading — and
+    optionally drop failing transmissions, in which case the sender
+    retries at its next slot (ack/retransmission semantics).
+
+    Aggregation is any commutative monoid over integer readings
+    (Sec. 3.1 "other aggregation functions"); the default is the sum.
+    Integer values make the sink-vs-ground-truth comparison exact. *)
+
+type interference =
+  | Trusted
+      (** Assume the schedule's slots are feasible (they are verified
+          elsewhere); no per-slot checking. *)
+  | Conflict_oracle of (int -> int -> bool)
+      (** [oracle i j] says whether links [i] and [j] conflict; a
+          transmitting pair that conflicts is a violation.  This is
+          the graph-interference abstraction of Fig. 1. *)
+  | Sinr of Wa_sinr.Params.t * Wa_sinr.Power.scheme
+      (** Re-check the SINR of every actually-transmitting set under
+          the given parameters and assignment; links below threshold
+          are violations. *)
+  | Rayleigh of {
+      params : Wa_sinr.Params.t;
+      power : Wa_sinr.Power.scheme;
+      seed : int;
+    }
+      (** Like [Sinr], but every received power (signal and each
+          interference term) is multiplied by an independent
+          unit-mean exponential fading coefficient, redrawn per slot
+          (Sec. 3.1 "robustness and temporal variability").
+          Deterministic given [seed]. *)
+
+type violation_policy =
+  | Count  (** Record violations but deliver the packets anyway. *)
+  | Drop
+      (** Violating transmissions fail: the receiver gets nothing and
+          the sender retries at its next transmission opportunity. *)
+
+type aggregation = {
+  name : string;
+  identity : int;
+  combine : int -> int -> int;  (** Commutative and associative. *)
+}
+
+val sum : aggregation
+val max_agg : aggregation
+val min_agg : aggregation
+
+val count_above : int -> aggregation
+(** Counts readings strictly above the threshold — the building block
+    of the paper's median computation (Sec. 3.1).  Note: with this
+    monoid a node contributes [0] or [1], so supply it together with
+    the default readings. *)
+
+type config = {
+  horizon : int;  (** Total slots simulated; must be positive. *)
+  gen_period : int;
+      (** Slots between consecutive frames; must be positive.  Set it
+          to the schedule period for full-rate operation; below the
+          sustainable rate, buffers grow without bound (the paper's
+          "buffers overflowing" argument). *)
+  interference : interference;
+  policy : violation_policy;
+  aggregation : aggregation;
+  reading : node:int -> frame:int -> int;
+      (** Per-node, per-frame measurement. *)
+}
+
+val config :
+  ?interference:interference ->
+  ?policy:violation_policy ->
+  ?aggregation:aggregation ->
+  ?reading:(node:int -> frame:int -> int) ->
+  ?gen_period:int ->
+  horizon:int ->
+  Schedule.t ->
+  config
+(** [gen_period] defaults to the schedule length; [interference] to
+    [Trusted]; [policy] to [Count]; [aggregation] to {!sum};
+    [reading] to {!reading}. *)
+
+val config_for_period :
+  ?interference:interference ->
+  ?policy:violation_policy ->
+  ?aggregation:aggregation ->
+  ?reading:(node:int -> frame:int -> int) ->
+  ?gen_period:int ->
+  horizon:int ->
+  int ->
+  config
+(** Same, for an explicit period length (used with {!run_periodic}). *)
+
+type result = {
+  frames_generated : int;
+  frames_delivered : int;
+  achieved_rate : float;  (** [frames_delivered / horizon]. *)
+  steady_rate : float;
+      (** Deliveries per slot between the first and last delivery;
+          [0.] with fewer than two deliveries. *)
+  latencies : int array;
+      (** Per delivered frame: delivery slot end minus generation
+          slot. *)
+  mean_latency : float;  (** [nan] when nothing was delivered. *)
+  max_latency : int;  (** [0] when nothing was delivered. *)
+  max_buffer : int;
+      (** Largest number of pending frames held at any node at any
+          time. *)
+  aggregates_correct : bool;
+      (** Every delivered sink value equals the true aggregate of that
+          frame's readings. *)
+  delivered_values : (int * int) list;
+      (** [(frame, value)] pairs in delivery order. *)
+  violations : int;  (** Interference violations observed. *)
+  idle_slots : int;
+      (** Scheduled transmission opportunities that went unused
+          because no complete frame was waiting. *)
+  transmissions : int array;
+      (** Per link: packets actually sent (including dropped ones —
+          the radio spent the energy either way). *)
+}
+
+val energy :
+  Wa_sinr.Params.t ->
+  Wa_sinr.Linkset.t ->
+  power:Wa_sinr.Power.scheme ->
+  result ->
+  float
+(** Total transmission energy of a run under the given assignment:
+    [sum_i transmissions(i) · P(i)] (slot-time units).  The paper's
+    intro motivates the MST by energy efficiency; experiment T20
+    quantifies it. *)
+
+val reading : node:int -> frame:int -> int
+(** The default deterministic synthetic measurement. *)
+
+val true_aggregate :
+  ?aggregation:aggregation ->
+  ?reading:(node:int -> frame:int -> int) ->
+  Agg_tree.t ->
+  frame:int ->
+  int
+(** Ground-truth aggregate of the frame's readings over all nodes. *)
+
+val run : Agg_tree.t -> Schedule.t -> config -> result
+(** Raises [Invalid_argument] if the schedule does not cover the
+    tree's links or the config is malformed. *)
+
+val run_periodic : Agg_tree.t -> Periodic.t -> config -> result
+(** Same, over a multicoloring period (links may transmit several
+    times per period, raising their rate). *)

@@ -1,0 +1,54 @@
+(** The Sec.-3.3 scheduling protocol, run over real radio messages.
+
+    The abstract round model in {!Wa_core.Distributed} accounts
+    broadcast costs with the paper's formulas; this module instead
+    {e executes} the protocol on {!Radio}: dyadic length classes of the
+    MST links are processed longest-first, and within a phase each
+    still-uncolored link's sender repeatedly
+
+    - claims a random color it has not heard in use (a CLAIM round,
+      contending with probability 1/2),
+    - waits for its receiver's acknowledgment (an ACK round; the claim
+      and the ack must both survive real SINR contention), and, once
+      acknowledged,
+    - announces its final color for a few backoff rounds so nearby
+      links learn it (ANNOUNCE rounds).
+
+    Because color knowledge spreads only through physically-decoded
+    announcements, the resulting coloring can miss a conflict the
+    geometric graph would catch; the result therefore reports the
+    measured properness fraction and finishes with the library's
+    verification/repair pass, so the schedule handed back is sound
+    regardless. *)
+
+type result = {
+  rounds : int;  (** Radio rounds consumed in total. *)
+  phases : int;  (** Length classes processed. *)
+  colors : int;  (** Distinct colors in the protocol's coloring. *)
+  unresolved : int;
+      (** Links still uncolored when their phase's round cap expired
+          (colored centrally afterwards). *)
+  properness : float;
+      (** Fraction of conflict-graph edges with distinct endpoint
+          colors (1.0 = proper). *)
+  schedule : Wa_core.Schedule.t;
+      (** The protocol coloring after verification/repair — always
+          SINR-valid. *)
+  schedule_valid : bool;
+  repair_added : int;
+}
+
+val run :
+  ?seed:int ->
+  ?claim_probability:float ->
+  ?announce_rounds:int ->
+  ?phase_round_cap:int ->
+  ?gamma:float ->
+  Wa_sinr.Params.t ->
+  Wa_core.Agg_tree.t ->
+  Wa_core.Greedy_schedule.mode ->
+  result
+(** Defaults: seed 42, claim probability 0.5, 6 announce rounds per
+    finalized link, and a per-phase cap of [50 + 20·(class size)]
+    rounds.  Raises [Invalid_argument] for [Fixed_scheme] modes (as
+    in {!Wa_core.Distributed.run}). *)

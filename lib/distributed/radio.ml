@@ -1,0 +1,79 @@
+module Params = Wa_sinr.Params
+module Pointset = Wa_geom.Pointset
+
+type 'msg action =
+  | Transmit of { power : float; payload : 'msg }
+  | Listen
+
+type 'msg reception =
+  | Received of { from : int; payload : 'msg }
+  | Collision
+  | Silence
+
+type t = {
+  params : Params.t;
+  points : Pointset.t;
+  mutable rounds : int;
+}
+
+let create ?(params = Params.default) points = { params; points; rounds = 0 }
+
+let size t = Pointset.size t.points
+
+let rounds_used t = t.rounds
+
+(* Received power of transmitter s at listener v. *)
+let rx_power t ~power s v =
+  let d = Pointset.dist t.points s v in
+  if d <= 0.0 then infinity else power /. (d ** t.params.Params.alpha)
+
+let round t behaviour =
+  t.rounds <- t.rounds + 1;
+  let n = size t in
+  let actions = Array.init n behaviour in
+  let transmitters = ref [] in
+  Array.iteri
+    (fun v action ->
+      match action with
+      | Transmit { power; _ } ->
+          if power <= 0.0 || not (Float.is_finite power) then
+            invalid_arg "Radio.round: non-positive transmission power";
+          transmitters := (v, power) :: !transmitters
+      | Listen -> ())
+    actions;
+  let transmitters = !transmitters in
+  Array.init n (fun v ->
+      match actions.(v) with
+      | Transmit _ -> Silence (* half duplex *)
+      | Listen ->
+          let audible =
+            List.filter_map
+              (fun (s, power) ->
+                let p = rx_power t ~power s v in
+                if p > t.params.Params.noise then Some (s, power, p) else None)
+              transmitters
+          in
+          if audible = [] then Silence
+          else begin
+            let total =
+              List.fold_left (fun acc (_, _, p) -> acc +. p) 0.0 audible
+            in
+            let decodable =
+              List.filter
+                (fun (_, _, p) ->
+                  p
+                  >= t.params.Params.beta
+                     *. (total -. p +. t.params.Params.noise))
+                audible
+            in
+            match decodable with
+            | [ (s, _, _) ] -> (
+                match actions.(s) with
+                | Transmit { payload; _ } -> Received { from = s; payload }
+                | Listen -> assert false)
+            | [] | _ :: _ :: _ ->
+                (* Zero decodable frames is interference; more than one
+                   (possible when beta <= 1) is synchronization
+                   ambiguity — a radio locks onto at most one frame. *)
+                Collision
+          end)

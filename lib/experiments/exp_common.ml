@@ -1,0 +1,28 @@
+module Rng = Wa_util.Rng
+module Pipeline = Wa_core.Pipeline
+
+let params = Wa_sinr.Params.default
+
+let seeds ~quick = if quick then [ 1 ] else [ 1; 2; 3 ]
+
+let deployment_sizes ~quick =
+  if quick then [ 25; 100 ] else [ 25; 50; 100; 200; 400; 800 ]
+
+let square ~seed ~n =
+  Wa_instances.Random_deploy.uniform_square (Rng.create seed) ~n ~side:1000.0
+
+let plan_slots ?gamma mode ps =
+  let plan = Pipeline.plan ~params ?gamma mode ps in
+  if not plan.Pipeline.valid then
+    failwith "experiment produced an unverified schedule";
+  Pipeline.slots plan
+
+let mean_slots ~quick ~n mode =
+  let values =
+    List.map
+      (fun seed -> float_of_int (plan_slots mode (square ~seed ~n)))
+      (seeds ~quick)
+  in
+  (Wa_util.Stats.mean values, Wa_util.Stats.maximum values)
+
+let fmt_g v = Printf.sprintf "%g" v

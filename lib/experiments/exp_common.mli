@@ -1,0 +1,28 @@
+(** Shared plumbing for the experiment harness. *)
+
+val params : Wa_sinr.Params.t
+(** The parameter set every experiment runs under
+    ([alpha = 3, beta = 1, N = 0, eps = 0.5]). *)
+
+val seeds : quick:bool -> int list
+(** Random seeds per configuration: 3 normally, 1 in quick mode. *)
+
+val deployment_sizes : quick:bool -> int list
+(** The n-axis of the scaling experiments. *)
+
+val square : seed:int -> n:int -> Wa_geom.Pointset.t
+(** The standard uniform-square deployment (side 1000). *)
+
+val plan_slots :
+  ?gamma:float -> Wa_core.Pipeline.power_mode -> Wa_geom.Pointset.t -> int
+(** Slots of a verified pipeline plan; raises [Failure] if the plan
+    fails validation (experiments must never report unverified
+    numbers). *)
+
+val mean_slots :
+  quick:bool -> n:int -> Wa_core.Pipeline.power_mode -> float * float
+(** Mean and max slots over the seed set for uniform-square
+    deployments of size [n]. *)
+
+val fmt_g : float -> string
+(** Compact [%g] formatting. *)

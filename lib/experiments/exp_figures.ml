@@ -1,0 +1,248 @@
+module Table = Wa_util.Table
+module Growth = Wa_util.Growth
+module Lf = Wa_util.Logfloat
+module Vec2 = Wa_geom.Vec2
+module Pointset = Wa_geom.Pointset
+module Params = Wa_sinr.Params
+module Linkset = Wa_sinr.Linkset
+module Link = Wa_sinr.Link
+module Power = Wa_sinr.Power
+module Feasibility = Wa_sinr.Feasibility
+module Logline = Wa_sinr.Logline
+module Agg_tree = Wa_core.Agg_tree
+module Schedule = Wa_core.Schedule
+module Simulator = Wa_core.Simulator
+module Pipeline = Wa_core.Pipeline
+module Exp_line = Wa_instances.Exp_line
+module Nested = Wa_instances.Nested
+module Suboptimal = Wa_instances.Suboptimal
+
+let p = Exp_common.params
+
+(* ------------------------------------------------------------------- F1 *)
+
+let f1_pipeline_example ~quick =
+  let horizon = if quick then 100 else 1000 in
+  let pts =
+    Pointset.of_array
+      [|
+        Vec2.make 0.0 0.0 (* sink *);
+        Vec2.make (-2.0) 1.0 (* a *);
+        Vec2.make 2.0 1.0 (* b *);
+        Vec2.make (-1.0) 0.5 (* c *);
+        Vec2.make 1.0 0.5 (* d *);
+      |]
+  in
+  let agg = Agg_tree.of_edges ~sink:0 pts [ (1, 3); (3, 0); (2, 4); (4, 0) ] in
+  let link_of node = Agg_tree.link_of_node agg node in
+  let sched =
+    Schedule.of_slots
+      [ [ link_of 1; link_of 4 ]; [ link_of 3; link_of 2 ] ]
+      (Schedule.Scheme Power.Uniform)
+  in
+  let ls = agg.Agg_tree.links in
+  let oracle i j = Link.shares_endpoint (Linkset.link ls i) (Linkset.link ls j) in
+  let r =
+    Simulator.run agg sched
+      (Simulator.config ~interference:(Simulator.Conflict_oracle oracle) ~horizon
+         sched)
+  in
+  let t =
+    Table.create ~title:"F1: Fig.1 pipeline (5 nodes, schedule S1,S2 repeated)"
+      ~notes:
+        [
+          "paper: rate 1/2, first frame aggregated by start of slot 4 (latency 3)";
+          Printf.sprintf "simulated over %d slots with endpoint-sharing interference"
+            horizon;
+        ]
+      [ "metric"; "paper"; "measured" ]
+  in
+  Table.add_row t [ "rate (frames/slot)"; "0.5"; Printf.sprintf "%.4f" r.Simulator.steady_rate ];
+  Table.add_row t [ "latency (slots)"; "3"; string_of_int r.Simulator.max_latency ];
+  Table.add_row t
+    [ "mean latency"; "3"; Printf.sprintf "%.2f" r.Simulator.mean_latency ];
+  Table.add_row t [ "max buffered frames"; "O(1)"; string_of_int r.Simulator.max_buffer ];
+  Table.add_row t
+    [ "aggregates correct"; "yes"; (if r.Simulator.aggregates_correct then "yes" else "NO") ];
+  Table.add_row t [ "interference violations"; "0"; string_of_int r.Simulator.violations ];
+  t
+
+(* ------------------------------------------------------------------- F2 *)
+
+let f2_oblivious_lower_bound ~quick =
+  let taus = if quick then [ 0.5 ] else [ 0.3; 0.5; 0.7 ] in
+  let t =
+    Table.create
+      ~title:"F2: Fig.2 / Prop.1 — doubly-exponential line vs oblivious power"
+      ~notes:
+        [
+          "paper: no two links of the instance are P_tau-compatible;";
+          "  any aggregation schedule needs n-1 = Theta(log log Delta) slots";
+          "float rows run the full scheduling pipeline; log rows run the exact";
+          "  log-domain greedy beyond float coordinate range";
+        ]
+      [ "tau"; "repr"; "n"; "log2(Delta)"; "loglog(Delta)"; "feas pairs"; "slots(Ptau)" ]
+  in
+  List.iter
+    (fun tau ->
+      (* Float-scale rows: full pipeline. *)
+      let n_float = Exp_line.max_float_points p ~tau in
+      List.iter
+        (fun n ->
+          if n >= 3 && n <= n_float then begin
+            let ps = Exp_line.pointset p ~tau ~n in
+            let delta = Pointset.diversity ps in
+            let agg = Agg_tree.mst ~sink:0 ps in
+            let ls = agg.Agg_tree.links in
+            let m = Linkset.size ls in
+            let pairs = ref 0 in
+            for i = 0 to m - 1 do
+              for j = i + 1 to m - 1 do
+                if Feasibility.pair_feasible p ls ~power:(Power.Oblivious tau) i j
+                then incr pairs
+              done
+            done;
+            let slots = Exp_common.plan_slots (`Oblivious tau) ps in
+            Table.add_row t
+              [
+                Exp_common.fmt_g tau;
+                "float";
+                string_of_int n;
+                Printf.sprintf "%.3g" (Growth.log2 delta);
+                Printf.sprintf "%.2f" (Growth.log_log delta);
+                string_of_int !pairs;
+                string_of_int slots;
+              ]
+          end)
+        [ 3; 5; 7; 9 ];
+      (* Log-domain rows: pairwise verification at larger n. *)
+      let n_log = min 40 (Exp_line.max_logline_points p ~tau) in
+      List.iter
+        (fun n ->
+          if n > n_float && n <= n_log then begin
+            let ll = Exp_line.logline p ~tau ~n in
+            let links = Logline.mst_links ll in
+            let pairs = Logline.max_schedulable_pairs p ~tau ll links in
+            let slots = List.length (Logline.greedy_schedule p ~tau ll links) in
+            let delta = Logline.diversity ll in
+            let log2_delta = Lf.log_value delta /. log 2.0 in
+            Table.add_row t
+              [
+                Exp_common.fmt_g tau;
+                "log";
+                string_of_int n;
+                Printf.sprintf "%.3g" log2_delta;
+                Printf.sprintf "%.2f" (Growth.log2 log2_delta);
+                string_of_int pairs;
+                string_of_int slots;
+              ]
+          end)
+        [ 12; 20; 30; 40 ])
+    taus;
+  t
+
+(* ------------------------------------------------------------------- F3 *)
+
+let f3_nested_lower_bound ~quick =
+  let levels = if quick then [ 1; 2 ] else [ 1; 2; 3 ] in
+  let t =
+    Table.create ~title:"F3: Fig.3 / Thm.4 — recursive R_t family (global power)"
+      ~notes:
+        [
+          "paper: rate on the MST of R_t is at most 2/(t+1), and t = Omega(log* Delta);";
+          "  Delta grows as a power tower, so t=4 is unbuildable";
+          "slots(greedy) is the library's verified global-power schedule length";
+        ]
+      [ "t"; "nodes"; "copies k_t"; "rho(R_t)"; "log2(Delta)"; "log*(Delta)";
+        "min slots (paper)"; "slots (greedy)" ]
+  in
+  List.iter
+    (fun level ->
+      let inst = Nested.build p ~level in
+      let ps = Nested.pointset inst in
+      let delta =
+        if Nested.size inst >= 2 then Pointset.diversity ps else 1.0
+      in
+      let slots = Exp_common.plan_slots `Global ps in
+      let min_slots =
+        int_of_float (Float.ceil (1.0 /. Nested.rate_upper_bound inst))
+      in
+      Table.add_row t
+        [
+          string_of_int level;
+          string_of_int (Nested.size inst);
+          string_of_int inst.Nested.copies;
+          Printf.sprintf "%.3g" inst.Nested.rho;
+          Printf.sprintf "%.3g" (Growth.log2 delta);
+          string_of_int (Growth.log_star delta);
+          string_of_int min_slots;
+          string_of_int slots;
+        ])
+    levels;
+  let t =
+    match Nested.build p ~level:4 with
+    | _ -> t
+    | exception Invalid_argument msg ->
+        Table.add_row t [ "4"; "unbuildable"; "-"; "-"; "-"; "-"; "-"; "-" ];
+        let rebuilt =
+          Table.create
+            ~title:"F3: Fig.3 / Thm.4 — recursive R_t family (global power)"
+            ~notes:
+              [
+                "paper: rate on the MST of R_t is at most 2/(t+1), and t = Omega(log* Delta);";
+                "  Delta grows as a power tower, so t=4 is unbuildable:";
+                "  " ^ msg;
+                "slots(greedy) is the library's verified global-power schedule length";
+              ]
+            [ "t"; "nodes"; "copies k_t"; "rho(R_t)"; "log2(Delta)"; "log*(Delta)";
+              "min slots (paper)"; "slots (greedy)" ]
+        in
+        List.iter (fun r -> Table.add_row rebuilt r) (Table.rows t);
+        rebuilt
+  in
+  t
+
+(* ------------------------------------------------------------------- F4 *)
+
+let f4_mst_suboptimality ~quick =
+  let taus = if quick then [ 0.3 ] else [ 0.25; 0.3; 0.35; 0.4; 0.65; 0.7 ] in
+  let t =
+    Table.create
+      ~title:"F4: Fig.4 / Prop.3 — MST is not optimal for oblivious power"
+      ~notes:
+        [
+          "paper: a non-MST spanning tree schedules in O(1) slots under P_tau";
+          "  while the MST needs Theta(n) = Theta(log log Delta);";
+          "2-slot feasibility checked against the exact SINR condition;";
+          "  gamma(tau) < 0 rows document where this concrete layout's";
+          "  constants fail (the paper's nominal range is tau' <= 2/5)";
+        ]
+      [ "tau"; "stations"; "nodes"; "gamma(tau)"; "alt tree slots"; "alt feasible";
+        "MST slots (P_tau)" ]
+  in
+  List.iter
+    (fun tau ->
+      let stations = 4 in
+      let inst = Suboptimal.build p ~tau ~stations in
+      let agg =
+        Agg_tree.of_edges ~sink:inst.Suboptimal.sink inst.Suboptimal.points
+          inst.Suboptimal.tree_edges
+      in
+      let long_slot, conn_slot = Suboptimal.two_slot_partition inst agg in
+      let alt =
+        Schedule.of_slots [ long_slot; conn_slot ] (Schedule.Scheme (Power.Oblivious tau))
+      in
+      let alt_ok = Schedule.is_valid p agg.Agg_tree.links alt in
+      let mst_slots = Exp_common.plan_slots (`Oblivious tau) inst.Suboptimal.points in
+      Table.add_row t
+        [
+          Exp_common.fmt_g tau;
+          string_of_int stations;
+          string_of_int (2 * stations);
+          Printf.sprintf "%.3f" (Suboptimal.gamma_margin ~tau);
+          "2";
+          (if alt_ok then "yes" else "NO (gamma<0)");
+          string_of_int mst_slots;
+        ])
+    taus;
+  t

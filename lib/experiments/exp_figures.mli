@@ -1,0 +1,19 @@
+(** Reproductions of the paper's figures (F1–F4 of the experiment
+    index in DESIGN.md).  Each function returns a rendered table;
+    [quick] shrinks sizes for CI. *)
+
+val f1_pipeline_example : quick:bool -> Wa_util.Table.t
+(** Fig. 1: the 5-node aggregation network under graph interference;
+    expected rate 1/2 and latency 3. *)
+
+val f2_oblivious_lower_bound : quick:bool -> Wa_util.Table.t
+(** Fig. 2 / Prop. 1: doubly-exponential lines; no two MST links are
+    Pτ-compatible, so slots = n-1 = Θ(log log Δ). *)
+
+val f3_nested_lower_bound : quick:bool -> Wa_util.Table.t
+(** Fig. 3 / Thm. 4: the recursive R_t family; MST slot counts grow
+    with t while Δ grows as a tower — the log* relation. *)
+
+val f4_mst_suboptimality : quick:bool -> Wa_util.Table.t
+(** Fig. 4 / Prop. 3: alternative tree in 2 Pτ-slots vs the MST's
+    2k-1. *)

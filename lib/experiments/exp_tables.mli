@@ -1,0 +1,35 @@
+(** The measured-scaling experiments (T1–T9 of DESIGN.md). *)
+
+val t1_headline_scaling : quick:bool -> Wa_util.Table.t
+(** Thm. 1 / Cor. 1: slots vs n for random deployments under every
+    power regime, against the log, loglog and log* reference
+    curves. *)
+
+val t2_theorem2_constant : quick:bool -> Wa_util.Table.t
+(** Thm. 2: χ(G1(MST)) and the refinement/Lemma-1 constants across
+    instance families. *)
+
+val t3_power_control_gap : quick:bool -> Wa_util.Table.t
+(** The no-power-control baseline: uniform/linear vs global power on
+    the doubly-exponential chain. *)
+
+val t4_mst_on_line : quick:bool -> Wa_util.Table.t
+(** Prop. 2: MST vs alternative spanning trees on random line
+    instances under P0/P1. *)
+
+val t5_simulator_rates : quick:bool -> Wa_util.Table.t
+(** Rate/latency/buffer semantics of the convergecast simulator,
+    including an overdriven run. *)
+
+val t6_distributed : quick:bool -> Wa_util.Table.t
+(** Sec. 3.3: measured round counts of the distributed protocol. *)
+
+val t7_tau_sweep : quick:bool -> Wa_util.Table.t
+(** Oblivious exponent sweep: slots vs τ. *)
+
+val t8_gamma_ablation : quick:bool -> Wa_util.Table.t
+(** Conflict-threshold ablation: raw colors vs repair splits vs final
+    slots as γ varies. *)
+
+val t9_rate_vs_latency : quick:bool -> Wa_util.Table.t
+(** Sec. 3.1: the rate/latency tradeoff across tree topologies. *)

@@ -1,0 +1,156 @@
+type t = {
+  id : string;
+  title : string;
+  run : quick:bool -> Wa_util.Table.t;
+}
+
+let all =
+  [
+    {
+      id = "F1";
+      title = "Fig.1 pipeline example (rate 1/2, latency 3)";
+      run = Exp_figures.f1_pipeline_example;
+    };
+    {
+      id = "F2";
+      title = "Fig.2 / Prop.1 oblivious-power lower bound";
+      run = Exp_figures.f2_oblivious_lower_bound;
+    };
+    {
+      id = "F3";
+      title = "Fig.3 / Thm.4 recursive R_t lower bound";
+      run = Exp_figures.f3_nested_lower_bound;
+    };
+    {
+      id = "F4";
+      title = "Fig.4 / Prop.3 MST suboptimality";
+      run = Exp_figures.f4_mst_suboptimality;
+    };
+    {
+      id = "T1";
+      title = "Thm.1/Cor.1 headline scaling";
+      run = Exp_tables.t1_headline_scaling;
+    };
+    {
+      id = "T2";
+      title = "Thm.2 constant chi(G1(MST))";
+      run = Exp_tables.t2_theorem2_constant;
+    };
+    {
+      id = "T3";
+      title = "Power-control gap baseline";
+      run = Exp_tables.t3_power_control_gap;
+    };
+    {
+      id = "T4";
+      title = "Prop.2 MST optimality on the line";
+      run = Exp_tables.t4_mst_on_line;
+    };
+    {
+      id = "T5";
+      title = "Simulator rate/latency/buffers";
+      run = Exp_tables.t5_simulator_rates;
+    };
+    {
+      id = "T6";
+      title = "Sec.3.3 distributed protocol rounds";
+      run = Exp_tables.t6_distributed;
+    };
+    { id = "T7"; title = "Oblivious tau sweep"; run = Exp_tables.t7_tau_sweep };
+    {
+      id = "T8";
+      title = "Conflict-threshold gamma ablation";
+      run = Exp_tables.t8_gamma_ablation;
+    };
+    {
+      id = "T9";
+      title = "Rate vs latency across topologies";
+      run = Exp_tables.t9_rate_vs_latency;
+    };
+    {
+      id = "F5";
+      title = "Sec.4 multicoloring beats coloring (5-cycle)";
+      run = Exp_extensions.f5_multicoloring;
+    };
+    {
+      id = "T10";
+      title = "Rayleigh fading with retransmission";
+      run = Exp_extensions.t10_fading;
+    };
+    {
+      id = "T11";
+      title = "Power-limited networks";
+      run = Exp_extensions.t11_power_limit;
+    };
+    {
+      id = "T12";
+      title = "k-edge-connected structures (Remark 2)";
+      run = Exp_extensions.t12_k_connectivity;
+    };
+    {
+      id = "T13";
+      title = "Greedy order ablation";
+      run = Exp_extensions.t13_order_ablation;
+    };
+    {
+      id = "T14";
+      title = "Median via counting convergecasts";
+      run = Exp_extensions.t14_median;
+    };
+    {
+      id = "T15";
+      title = "One-shot capacity and the multicoloring gap";
+      run = Exp_extensions.t15_capacity_multicolor;
+    };
+    {
+      id = "T16";
+      title = "Scheduling across doubling metrics";
+      run = Exp_extensions.t16_metrics;
+    };
+    {
+      id = "T17";
+      title = "Heavy-tailed deployments (Cor.1 caveat)";
+      run = Exp_extensions.t17_heavy_tails;
+    };
+    {
+      id = "T18";
+      title = "Schedule maintenance under churn";
+      run = Exp_extensions.t18_churn;
+    };
+    {
+      id = "T19";
+      title = "Sec.3.3 protocol over real radio messages";
+      run = Exp_extensions.t19_radio_protocol;
+    };
+    {
+      id = "T20";
+      title = "Energy per frame and latency vs slot order";
+      run = Exp_extensions.t20_energy_and_slot_order;
+    };
+    {
+      id = "T21";
+      title = "Headline at scale (n to 6400)";
+      run = Exp_extensions.t21_large_scale;
+    };
+  ]
+
+let find id =
+  let target = String.uppercase_ascii id in
+  List.find_opt (fun e -> String.uppercase_ascii e.id = target) all
+
+let run_and_print ?(quick = false) e =
+  Wa_util.Table.print (e.run ~quick)
+
+let run_all ?(quick = false) ?ids () =
+  let selected =
+    match ids with
+    | None -> all
+    | Some ids ->
+        List.map
+          (fun id ->
+            match find id with
+            | Some e -> e
+            | None -> failwith (Printf.sprintf "unknown experiment id %S" id))
+          ids
+  in
+  List.iter (run_and_print ~quick) selected

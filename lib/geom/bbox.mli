@@ -1,0 +1,19 @@
+(** Axis-aligned bounding boxes. *)
+
+type t = { min_x : float; min_y : float; max_x : float; max_y : float }
+
+val of_points : Vec2.t array -> t
+(** Raises [Invalid_argument] on an empty array. *)
+
+val width : t -> float
+val height : t -> float
+
+val diameter_upper_bound : t -> float
+(** Diagonal of the box; an upper bound on the pointset diameter. *)
+
+val contains : t -> Vec2.t -> bool
+
+val expand : float -> t -> t
+(** Grow the box by a margin on every side. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,167 @@
+(* Bowyer–Watson incremental triangulation with a super-triangle.
+   Points are indexed 0..n-1; the three synthetic super-vertices get
+   ids n, n+1, n+2 and are stripped at the end. *)
+
+type triangle = {
+  a : int;
+  b : int;
+  c : int;
+  (* Cached circumcircle (center and squared radius). *)
+  cx : float;
+  cy : float;
+  r2 : float;
+}
+
+let orient2d (ax, ay) (bx, by) (cx, cy) =
+  ((bx -. ax) *. (cy -. ay)) -. ((by -. ay) *. (cx -. ax))
+
+let circumcircle (ax, ay) (bx, by) (cx, cy) =
+  let d = 2.0 *. ((ax *. (by -. cy)) +. (bx *. (cy -. ay)) +. (cx *. (ay -. by))) in
+  if Float.abs d < 1e-300 then None
+  else begin
+    let a2 = (ax *. ax) +. (ay *. ay) in
+    let b2 = (bx *. bx) +. (by *. by) in
+    let c2 = (cx *. cx) +. (cy *. cy) in
+    let ux = ((a2 *. (by -. cy)) +. (b2 *. (cy -. ay)) +. (c2 *. (ay -. by))) /. d in
+    let uy = ((a2 *. (cx -. bx)) +. (b2 *. (ax -. cx)) +. (c2 *. (bx -. ax))) /. d in
+    let dx = ux -. ax and dy = uy -. ay in
+    Some (ux, uy, (dx *. dx) +. (dy *. dy))
+  end
+
+let triangles_impl ps =
+  let n = Pointset.size ps in
+  if n < 3 then []
+  else begin
+    let coord = Array.make (n + 3) (0.0, 0.0) in
+    for i = 0 to n - 1 do
+      let p = Pointset.get ps i in
+      coord.(i) <- (p.Vec2.x, p.Vec2.y)
+    done;
+    (* Super-triangle comfortably containing the bounding box. *)
+    let box = Pointset.bbox ps in
+    let w = Float.max 1.0 (Bbox.width box) and h = Float.max 1.0 (Bbox.height box) in
+    let mx = (box.Bbox.min_x +. box.Bbox.max_x) /. 2.0 in
+    let my = (box.Bbox.min_y +. box.Bbox.max_y) /. 2.0 in
+    let m = 64.0 *. Float.max w h in
+    coord.(n) <- (mx -. m, my -. m);
+    coord.(n + 1) <- (mx +. m, my -. m);
+    coord.(n + 2) <- (mx, my +. m);
+    let make_triangle a b c =
+      (* Normalize to counterclockwise orientation. *)
+      let a, b, c =
+        if orient2d coord.(a) coord.(b) coord.(c) >= 0.0 then (a, b, c)
+        else (a, c, b)
+      in
+      match circumcircle coord.(a) coord.(b) coord.(c) with
+      | Some (cx, cy, r2) -> Some { a; b; c; cx; cy; r2 }
+      | None -> None
+    in
+    let current = ref [] in
+    (match make_triangle n (n + 1) (n + 2) with
+    | Some t -> current := [ t ]
+    | None -> assert false);
+    for p = 0 to n - 1 do
+      let px, py = coord.(p) in
+      let in_circle t =
+        let dx = px -. t.cx and dy = py -. t.cy in
+        (dx *. dx) +. (dy *. dy) <= t.r2 *. (1.0 +. 1e-12)
+      in
+      let bad, good = List.partition in_circle !current in
+      (* Boundary of the cavity: edges of bad triangles that appear
+         exactly once. *)
+      let tally = Hashtbl.create 32 in
+      let add_edge u v =
+        let key = (min u v, max u v) in
+        Hashtbl.replace tally key
+          (1 + Option.value (Hashtbl.find_opt tally key) ~default:0)
+      in
+      List.iter
+        (fun t ->
+          add_edge t.a t.b;
+          add_edge t.b t.c;
+          add_edge t.c t.a)
+        bad;
+      let fresh = ref good in
+      Hashtbl.iter
+        (fun (u, v) count ->
+          if count = 1 then
+            match make_triangle u v p with
+            | Some t -> fresh := t :: !fresh
+            | None -> ())
+        tally;
+      current := !fresh
+    done;
+    List.filter_map
+      (fun t ->
+        if t.a >= n || t.b >= n || t.c >= n then None
+        else begin
+          let sorted = List.sort Int.compare [ t.a; t.b; t.c ] in
+          match sorted with [ a; b; c ] -> Some (a, b, c) | _ -> None
+        end)
+      !current
+    |> List.sort_uniq compare
+  end
+
+let triangles ps = triangles_impl ps
+
+let edges ps =
+  let n = Pointset.size ps in
+  if n = 2 then [ (0, 1) ]
+  else
+    triangles_impl ps
+    |> List.concat_map (fun (a, b, c) -> [ (a, b); (b, c); (a, c) ])
+    |> List.sort_uniq compare
+
+(* A tiny local union-find: wa_graph depends on wa_geom, so the graph
+   library's one is out of reach here. *)
+let connects n candidate =
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let count = ref n in
+  List.iter
+    (fun (u, v) ->
+      let ru = find u and rv = find v in
+      if ru <> rv then begin
+        parent.(ru) <- rv;
+        decr count
+      end)
+    candidate;
+  !count = 1
+
+let spanning_edges ps =
+  let n = Pointset.size ps in
+  let weighted es = List.map (fun (u, v) -> (u, v, Pointset.dist ps u v)) es in
+  let candidate = edges ps in
+  if n >= 2 && connects n candidate then weighted candidate
+  else begin
+    (* Degenerate input: fall back to the complete graph. *)
+    let acc = ref [] in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        acc := (u, v, Pointset.dist ps u v) :: !acc
+      done
+    done;
+    !acc
+  end
+
+let is_delaunay ps tris =
+  let n = Pointset.size ps in
+  let coord i =
+    let p = Pointset.get ps i in
+    (p.Vec2.x, p.Vec2.y)
+  in
+  List.for_all
+    (fun (a, b, c) ->
+      match circumcircle (coord a) (coord b) (coord c) with
+      | None -> false
+      | Some (cx, cy, r2) ->
+          let ok = ref true in
+          for i = 0 to n - 1 do
+            if i <> a && i <> b && i <> c then begin
+              let px, py = coord i in
+              let dx = px -. cx and dy = py -. cy in
+              if (dx *. dx) +. (dy *. dy) < r2 *. (1.0 -. 1e-9) then ok := false
+            end
+          done;
+          !ok)
+    tris

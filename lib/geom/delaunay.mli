@@ -1,0 +1,30 @@
+(** Delaunay triangulation (Bowyer–Watson).
+
+    The Euclidean MST is a subgraph of the Delaunay triangulation, so
+    Kruskal over the O(n) Delaunay edges replaces the O(n²) complete
+    graph for large deployments.  {!Wa_graph.Mst} stays the oracle;
+    the cross-check lives in the test suite.
+
+    The incremental construction uses floating-point incircle
+    predicates; on degenerate inputs (e.g. fully collinear pointsets,
+    which have no triangles at all) {!edges} can fail to span — use
+    {!spanning_edges}, which detects this and falls back to the
+    complete graph. *)
+
+val triangles : Pointset.t -> (int * int * int) list
+(** Triangles of the Delaunay triangulation, each a sorted triple of
+    point ids.  Empty for fewer than 3 points or fully degenerate
+    inputs. *)
+
+val edges : Pointset.t -> (int * int) list
+(** Unique undirected edges of the triangulation (plus the single
+    edge for 2-point inputs), each with [u < v]. *)
+
+val spanning_edges : Pointset.t -> (int * int * float) list
+(** Weighted candidate edges guaranteed to contain an MST: the
+    Delaunay edges when they connect the pointset, the complete graph
+    otherwise (degenerate inputs). *)
+
+val is_delaunay : Pointset.t -> (int * int * int) list -> bool
+(** Checks the empty-circumcircle property of every triangle against
+    every point (O(T·n); for tests). *)

@@ -1,0 +1,99 @@
+type t = {
+  cell_size : float;
+  points : Vec2.t array;
+  cells : (int * int, int list ref) Hashtbl.t;
+}
+
+let cell_of t (p : Vec2.t) =
+  ( int_of_float (Float.floor (p.x /. t.cell_size)),
+    int_of_float (Float.floor (p.y /. t.cell_size)) )
+
+let build ~cell_size points =
+  if cell_size <= 0.0 || not (Float.is_finite cell_size) then
+    invalid_arg "Grid_index.build: cell_size must be positive and finite";
+  let t = { cell_size; points; cells = Hashtbl.create (Array.length points) } in
+  Array.iteri
+    (fun i p ->
+      let key = cell_of t p in
+      match Hashtbl.find_opt t.cells key with
+      | Some bucket -> bucket := i :: !bucket
+      | None -> Hashtbl.add t.cells key (ref [ i ]))
+    points;
+  t
+
+let cell_size t = t.cell_size
+
+let bucket t key =
+  match Hashtbl.find_opt t.cells key with Some b -> !b | None -> []
+
+let neighbors_within t p r =
+  if r < 0.0 then invalid_arg "Grid_index.neighbors_within: negative radius";
+  let reach = int_of_float (Float.ceil (r /. t.cell_size)) in
+  let cx, cy = cell_of t p in
+  let acc = ref [] in
+  for dx = -reach to reach do
+    for dy = -reach to reach do
+      List.iter
+        (fun i -> if Vec2.dist t.points.(i) p <= r then acc := i :: !acc)
+        (bucket t (cx + dx, cy + dy))
+    done
+  done;
+  !acc
+
+(* Expand square rings of cells outward until a candidate is found,
+   then one extra ring to guarantee exactness (a point in a farther
+   ring can still be closer than a corner point of the current one). *)
+let nearest t ~exclude p =
+  let n = Array.length t.points in
+  if n = 0 then None
+  else begin
+    let best = ref None in
+    let consider i =
+      if i <> exclude then
+        let d = Vec2.dist t.points.(i) p in
+        match !best with
+        | Some (_, bd) when bd <= d -> ()
+        | _ -> best := Some (i, d)
+    in
+    let cx, cy = cell_of t p in
+    let scan_ring r =
+      if r = 0 then List.iter consider (bucket t (cx, cy))
+      else
+        for d = -r to r do
+          List.iter consider (bucket t (cx + d, cy - r));
+          List.iter consider (bucket t (cx + d, cy + r));
+          if d > -r && d < r then begin
+            List.iter consider (bucket t (cx - r, cy + d));
+            List.iter consider (bucket t (cx + r, cy + d))
+          end
+        done
+    in
+    (* A ring at radius r only contains points at distance >=
+       (r-1)*cell_size, so once best < (r-1)*cell_size we can stop.
+       On wildly non-uniform instances (doubly-exponential gaps) the
+       ring search can need astronomically many rings; past a fixed
+       budget a linear scan is cheaper and always correct. *)
+    let brute () =
+      for i = 0 to n - 1 do
+        consider i
+      done
+    in
+    let rec go r =
+      if r > 256 then brute ()
+      else begin
+        scan_ring r;
+        match !best with
+        | Some (_, d) when d < float_of_int (r - 1) *. t.cell_size -> ()
+        | _ -> go (r + 1)
+      end
+    in
+    go 0;
+    Option.map fst !best
+  end
+
+let iter_pairs_within t r f =
+  let n = Array.length t.points in
+  for i = 0 to n - 1 do
+    let close = neighbors_within t t.points.(i) r in
+    List.iter (fun j -> if i < j then f i j) close
+  done

@@ -1,0 +1,28 @@
+(** Uniform hash-grid spatial index.
+
+    Buckets points into square cells of a fixed side so that
+    near-neighbor queries touch only a constant number of cells.  Used
+    to accelerate closest-pair computation and candidate-edge
+    generation on large deployments. *)
+
+type t
+
+val build : cell_size:float -> Vec2.t array -> t
+(** [build ~cell_size points] indexes [points] (indices into the
+    array are the point ids).  [cell_size] must be positive. *)
+
+val cell_size : t -> float
+
+val neighbors_within : t -> Vec2.t -> float -> int list
+(** [neighbors_within t p r] returns ids of all indexed points within
+    distance [r] of [p] (including a point equal to [p] itself).
+    Exact: candidates from covering cells are distance-filtered. *)
+
+val nearest : t -> exclude:int -> Vec2.t -> int option
+(** [nearest t ~exclude p] is the id of the indexed point nearest to
+    [p], ignoring id [exclude]; [None] if no other point exists.
+    Searches rings of cells outward, so it is exact. *)
+
+val iter_pairs_within : t -> float -> (int -> int -> unit) -> unit
+(** [iter_pairs_within t r f] calls [f i j] (with [i < j]) for every
+    pair of indexed points at distance <= [r]. *)

@@ -1,0 +1,109 @@
+type t = { pts : Vec2.t array }
+
+let of_array arr =
+  if Array.length arr = 0 then invalid_arg "Pointset.of_array: empty";
+  let pts = Array.copy arr in
+  (* Coincident points would give Δ = infinity and degenerate links. *)
+  let sorted = Array.copy pts in
+  Array.sort Vec2.compare sorted;
+  for i = 0 to Array.length sorted - 2 do
+    if Vec2.equal sorted.(i) sorted.(i + 1) then
+      invalid_arg "Pointset.of_array: coincident points"
+  done;
+  { pts }
+
+let of_list l = of_array (Array.of_list l)
+
+let size t = Array.length t.pts
+let get t i = t.pts.(i)
+let points t = Array.copy t.pts
+
+let dist t i j = Vec2.dist t.pts.(i) t.pts.(j)
+
+let bbox t = Bbox.of_points t.pts
+
+let max_pairwise_distance t =
+  let n = size t in
+  let best = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let d = dist t i j in
+      if d > !best then best := d
+    done
+  done;
+  !best
+
+let min_pairwise_distance t =
+  let n = size t in
+  if n < 2 then invalid_arg "Pointset.min_pairwise_distance: need >= 2 points";
+  if n <= 64 then begin
+    let best = ref infinity in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let d = dist t i j in
+        if d < !best then best := d
+      done
+    done;
+    !best
+  end
+  else begin
+    (* Guess a cell size from a sample of nearest-neighbor distances,
+       then refine with the exact grid query. *)
+    let sample = ref infinity in
+    let step = max 1 (n / 64) in
+    let i = ref 0 in
+    while !i < n do
+      let j = (!i + 1) mod n in
+      let d = dist t !i j in
+      if d < !sample && d > 0.0 then sample := d;
+      i := !i + step
+    done;
+    let cell = if Float.is_finite !sample then !sample else 1.0 in
+    let grid = Grid_index.build ~cell_size:(Float.max cell 1e-12) t.pts in
+    let best = ref infinity in
+    for p = 0 to n - 1 do
+      match Grid_index.nearest grid ~exclude:p t.pts.(p) with
+      | Some q ->
+          let d = dist t p q in
+          if d < !best then best := d
+      | None -> ()
+    done;
+    !best
+  end
+
+let diversity t = max_pairwise_distance t /. min_pairwise_distance t
+
+let fold f t init =
+  let acc = ref init in
+  Array.iteri (fun i p -> acc := f i p !acc) t.pts;
+  !acc
+
+let nearest_neighbor t i =
+  let n = size t in
+  if n < 2 then invalid_arg "Pointset.nearest_neighbor: singleton set";
+  let best = ref (-1) and best_d = ref infinity in
+  for j = 0 to n - 1 do
+    if j <> i then begin
+      let d = dist t i j in
+      if d < !best_d then begin
+        best_d := d;
+        best := j
+      end
+    end
+  done;
+  !best
+
+let translate v t = { pts = Array.map (Vec2.add v) t.pts }
+
+let scale k t =
+  if k <= 0.0 then invalid_arg "Pointset.scale: factor must be positive";
+  { pts = Array.map (Vec2.scale k) t.pts }
+
+let pp fmt t =
+  Format.fprintf fmt "@[<hov 2>{";
+  Array.iteri
+    (fun i p ->
+      if i > 0 then Format.fprintf fmt ";@ ";
+      Vec2.pp fmt p)
+    t.pts;
+  Format.fprintf fmt "}@]"

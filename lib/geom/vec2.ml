@@ -1,0 +1,32 @@
+type t = { x : float; y : float }
+
+let make x y = { x; y }
+let zero = { x = 0.0; y = 0.0 }
+let origin = zero
+
+let add a b = { x = a.x +. b.x; y = a.y +. b.y }
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y }
+let scale k a = { x = k *. a.x; y = k *. a.y }
+let neg a = { x = -.a.x; y = -.a.y }
+let dot a b = (a.x *. b.x) +. (a.y *. b.y)
+
+let norm2 a = dot a a
+let norm a = sqrt (norm2 a)
+
+let dist2 a b = norm2 (sub a b)
+
+(* hypot avoids overflow when coordinates approach sqrt(max_float) —
+   the doubly-exponential instances live there. *)
+let dist a b = Float.hypot (a.x -. b.x) (a.y -. b.y)
+
+let midpoint a b = scale 0.5 (add a b)
+
+let lerp t a b = add a (scale t (sub b a))
+
+let equal a b = Float.equal a.x b.x && Float.equal a.y b.y
+
+let compare a b =
+  let c = Float.compare a.x b.x in
+  if c <> 0 then c else Float.compare a.y b.y
+
+let pp fmt a = Format.fprintf fmt "(%g, %g)" a.x a.y

@@ -1,0 +1,39 @@
+(** Points/vectors in the Euclidean plane.
+
+    The paper models sensor nodes as points in the plane (Sec. 2);
+    this is the coordinate type used throughout the library. *)
+
+type t = { x : float; y : float }
+
+val make : float -> float -> t
+val zero : t
+val origin : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val neg : t -> t
+val dot : t -> t -> float
+
+val norm : t -> float
+val norm2 : t -> float
+(** Squared norm; avoids the square root for comparisons. *)
+
+val dist : t -> t -> float
+(** Euclidean distance. *)
+
+val dist2 : t -> t -> float
+(** Squared Euclidean distance. *)
+
+val midpoint : t -> t -> t
+
+val lerp : float -> t -> t -> t
+(** [lerp t a b] is [a + t*(b-a)]. *)
+
+val equal : t -> t -> bool
+(** Exact float equality on both coordinates. *)
+
+val compare : t -> t -> int
+(** Lexicographic order (x, then y). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+(** Vertex colorings of graphs.
+
+    The paper's schedules are colorings of conflict graphs: each color
+    class is one TDMA slot (Sec. 2, "coloring schedule").  The greedy
+    first-fit run in a length-derived order is the paper's scheduling
+    algorithm; DSATUR is provided as a stronger heuristic for
+    comparison, and [validate] checks properness. *)
+
+type t = {
+  colors : int array;  (** Color of each vertex, in [0 .. classes-1]. *)
+  classes : int;  (** Number of colors used. *)
+}
+
+val greedy : ?order:int array -> Graph.t -> t
+(** First-fit in the given vertex order (default [0 .. n-1]): each
+    vertex receives the smallest color absent from its already-colored
+    neighbors.  [order] must be a permutation of the vertices. *)
+
+val dsatur : Graph.t -> t
+(** DSATUR heuristic: repeatedly color the vertex with the largest
+    number of distinctly-colored neighbors (ties by degree, then
+    id). *)
+
+val validate : Graph.t -> t -> bool
+(** True iff adjacent vertices always have distinct colors and every
+    color in [0 .. classes-1] is used by some vertex. *)
+
+val classes : t -> int list array
+(** [classes c] lists the vertices of each color, ascending. *)
+
+val class_sizes : t -> int array
+
+val trivial : int -> t
+(** Each of [n] vertices its own color — the rate-[1/n] naive TDMA
+    schedule. *)

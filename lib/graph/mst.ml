@@ -1,0 +1,78 @@
+module Pointset = Wa_geom.Pointset
+
+(* Prim with dense O(n^2) scan: best[v] is the cheapest connection of
+   v to the growing tree. *)
+let euclidean ps =
+  let n = Pointset.size ps in
+  if n <= 1 then []
+  else begin
+    let in_tree = Array.make n false in
+    let best_dist = Array.make n infinity in
+    let best_from = Array.make n (-1) in
+    in_tree.(0) <- true;
+    for v = 1 to n - 1 do
+      best_dist.(v) <- Pointset.dist ps 0 v;
+      best_from.(v) <- 0
+    done;
+    let edges = ref [] in
+    for _ = 1 to n - 1 do
+      (* Choose the cheapest fringe vertex; ties by smallest id. *)
+      let pick = ref (-1) in
+      for v = 0 to n - 1 do
+        if (not in_tree.(v)) && (!pick = -1 || best_dist.(v) < best_dist.(!pick))
+        then pick := v
+      done;
+      let v = !pick in
+      in_tree.(v) <- true;
+      let u = best_from.(v) in
+      edges := (min u v, max u v) :: !edges;
+      for w = 0 to n - 1 do
+        if not in_tree.(w) then begin
+          let d = Pointset.dist ps v w in
+          if d < best_dist.(w) then begin
+            best_dist.(w) <- d;
+            best_from.(w) <- v
+          end
+        end
+      done
+    done;
+    List.rev !edges
+  end
+
+let kruskal_edges ~n weighted_edges =
+  let sorted =
+    List.sort (fun (_, _, w1) (_, _, w2) -> Float.compare w1 w2) weighted_edges
+  in
+  let uf = Union_find.create n in
+  List.filter_map
+    (fun (u, v, _) ->
+      if Union_find.union uf u v then Some (min u v, max u v) else None)
+    sorted
+
+let euclidean_fast ps =
+  let n = Pointset.size ps in
+  if n <= 1 then []
+  else kruskal_edges ~n (Wa_geom.Delaunay.spanning_edges ps)
+
+let kruskal ~n weighted_edges =
+  let sorted =
+    List.sort
+      (fun (_, _, w1) (_, _, w2) -> Float.compare w1 w2)
+      weighted_edges
+  in
+  let uf = Union_find.create n in
+  List.filter_map
+    (fun (u, v, _) ->
+      if Union_find.union uf u v then Some (min u v, max u v) else None)
+    sorted
+
+let total_weight ps edges =
+  List.fold_left (fun acc (u, v) -> acc +. Pointset.dist ps u v) 0.0 edges
+
+let is_spanning_tree ~n edges =
+  if List.length edges <> n - 1 then false
+  else begin
+    let uf = Union_find.create n in
+    let acyclic = List.for_all (fun (u, v) -> Union_find.union uf u v) edges in
+    acyclic && Union_find.count uf = 1
+  end

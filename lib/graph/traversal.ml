@@ -1,0 +1,65 @@
+let bfs_depths g source =
+  let n = Graph.vertex_count g in
+  let depth = Array.make n (-1) in
+  let queue = Queue.create () in
+  depth.(source) <- 0;
+  Queue.add source queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if depth.(v) = -1 then begin
+          depth.(v) <- depth.(u) + 1;
+          Queue.add v queue
+        end)
+      (Graph.neighbors g u)
+  done;
+  depth
+
+let bfs_order g source =
+  let n = Graph.vertex_count g in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  let order = ref [] in
+  seen.(source) <- true;
+  Queue.add source queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    order := u :: !order;
+    List.iter
+      (fun v ->
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          Queue.add v queue
+        end)
+      (Graph.neighbors g u)
+  done;
+  List.rev !order
+
+let components g =
+  let n = Graph.vertex_count g in
+  let label = Array.make n (-1) in
+  for v = 0 to n - 1 do
+    if label.(v) = -1 then
+      List.iter (fun u -> label.(u) <- v) (bfs_order g v)
+  done;
+  label
+
+let component_count g =
+  let labels = components g in
+  let distinct = Hashtbl.create 16 in
+  Array.iter (fun l -> Hashtbl.replace distinct l ()) labels;
+  Hashtbl.length distinct
+
+let is_connected g = Graph.vertex_count g > 0 && component_count g = 1
+
+let diameter_hops g =
+  if not (is_connected g) then -1
+  else begin
+    let n = Graph.vertex_count g in
+    let best = ref 0 in
+    for v = 0 to n - 1 do
+      Array.iter (fun d -> if d > !best then best := d) (bfs_depths g v)
+    done;
+    !best
+  end

@@ -1,0 +1,60 @@
+type t = {
+  sink : int;
+  parent : int array; (* parent.(sink) = -1 *)
+  children : int list array;
+  depth : int array;
+  subtree : int array;
+  order : int list; (* bottom-up *)
+}
+
+let root ~n ~sink edges =
+  if not (Mst.is_spanning_tree ~n edges) then
+    invalid_arg "Tree.root: edges do not form a spanning tree";
+  if sink < 0 || sink >= n then invalid_arg "Tree.root: sink out of range";
+  let g = Graph.of_edges n edges in
+  let parent = Array.make n (-1) in
+  let children = Array.make n [] in
+  let depth = Array.make n (-1) in
+  let order = Traversal.bfs_order g sink in
+  depth.(sink) <- 0;
+  List.iter
+    (fun u ->
+      List.iter
+        (fun v ->
+          if depth.(v) = -1 then begin
+            depth.(v) <- depth.(u) + 1;
+            parent.(v) <- u;
+            children.(u) <- v :: children.(u)
+          end)
+        (Graph.neighbors g u))
+    order;
+  Array.iteri (fun i l -> children.(i) <- List.rev l) children;
+  let subtree = Array.make n 1 in
+  let bottom_up = List.rev order in
+  List.iter
+    (fun v -> if v <> sink then subtree.(parent.(v)) <- subtree.(parent.(v)) + subtree.(v))
+    bottom_up;
+  { sink; parent; children; depth; subtree; order = bottom_up }
+
+let size t = Array.length t.parent
+let sink t = t.sink
+
+let parent t v = if v = t.sink then None else Some t.parent.(v)
+
+let children t v = t.children.(v)
+let depth t v = t.depth.(v)
+
+let height t = Array.fold_left max 0 t.depth
+
+let subtree_size t v = t.subtree.(v)
+
+let directed_edges t =
+  let acc = ref [] in
+  for v = size t - 1 downto 0 do
+    if v <> t.sink then acc := (v, t.parent.(v)) :: !acc
+  done;
+  !acc
+
+let bottom_up_order t = t.order
+
+let is_leaf t v = t.children.(v) = []

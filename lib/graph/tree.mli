@@ -1,0 +1,41 @@
+(** Rooted spanning trees.
+
+    Aggregation (convergecast) directs every tree edge toward the sink
+    (Sec. 2: the links must induce an acyclic digraph directed toward
+    the sink).  [root] turns an undirected spanning tree into parent
+    pointers; the directed links of the aggregation instance are then
+    the pairs [child -> parent]. *)
+
+type t
+
+val root : n:int -> sink:int -> (int * int) list -> t
+(** [root ~n ~sink edges] roots the spanning tree at [sink].  Raises
+    [Invalid_argument] if [edges] is not a spanning tree of
+    [0 .. n-1]. *)
+
+val size : t -> int
+val sink : t -> int
+
+val parent : t -> int -> int option
+(** [None] exactly for the sink. *)
+
+val children : t -> int -> int list
+val depth : t -> int -> int
+(** Hops to the sink; 0 for the sink. *)
+
+val height : t -> int
+(** Maximum depth. *)
+
+val subtree_size : t -> int -> int
+(** Number of vertices in the subtree rooted at the vertex (including
+    itself). *)
+
+val directed_edges : t -> (int * int) list
+(** All [child, parent] pairs — the convergecast links, in order of
+    non-decreasing child id. *)
+
+val bottom_up_order : t -> int list
+(** Vertices ordered so every vertex appears before its parent (sink
+    last). *)
+
+val is_leaf : t -> int -> bool

@@ -1,0 +1,67 @@
+module Params = Wa_sinr.Params
+module Logline = Wa_sinr.Logline
+module Lf = Wa_util.Logfloat
+module Vec2 = Wa_geom.Vec2
+module Pointset = Wa_geom.Pointset
+
+let tau_prime tau =
+  if tau <= 0.0 || tau >= 1.0 then
+    invalid_arg "Exp_line: tau must lie strictly in (0,1)";
+  Float.min tau (1.0 -. tau)
+
+let default_base (p : Params.t) ~tau =
+  let tp = tau_prime tau in
+  let proof_bound = (2.0 /. (p.Params.beta ** (1.0 /. p.Params.alpha))) ** (1.0 /. tp) in
+  1.1 *. Float.max 2.0 proof_bound
+
+(* Gap t (t = 0 .. n-2) is x^{(1/tau')^t}; its logarithm is
+   (1/tau')^t * ln x. *)
+let log_gap ~x ~tp t = ((1.0 /. tp) ** float_of_int t) *. log x
+
+let max_float_points ?x p ~tau =
+  let tp = tau_prime tau in
+  let x = Option.value x ~default:(default_base p ~tau) in
+  let rec go t acc count =
+    let g = exp (log_gap ~x ~tp t) in
+    let next = acc +. g in
+    if Float.is_finite g && next < 1e280 then go (t + 1) next (count + 1)
+    else count
+  in
+  go 0 0.0 1
+
+let pointset ?x p ~tau ~n =
+  if n < 2 then invalid_arg "Exp_line.pointset: need at least two points";
+  let tp = tau_prime tau in
+  let x = Option.value x ~default:(default_base p ~tau) in
+  let positions = Array.make n 0.0 in
+  for t = 0 to n - 2 do
+    positions.(t + 1) <- positions.(t) +. exp (log_gap ~x ~tp t)
+  done;
+  if not (Float.is_finite positions.(n - 1)) || positions.(n - 1) > 1e280 then
+    invalid_arg "Exp_line.pointset: coordinates overflow floats (use logline)";
+  Pointset.of_array (Array.map (fun px -> Vec2.make px 0.0) positions)
+
+(* Past this magnitude of a stored logarithm, float epsilon on the log
+   exceeds the O(1) residuals the SINR comparison cancels down to. *)
+let log_precision_limit = 1e12
+
+let max_logline_points ?x p ~tau =
+  let tp = tau_prime tau in
+  let x = Option.value x ~default:(default_base p ~tau) in
+  let rec go t = if log_gap ~x ~tp t > log_precision_limit then t + 1 else go (t + 1) in
+  go 0
+
+let logline ?x p ~tau ~n =
+  if n < 2 then invalid_arg "Exp_line.logline: need at least two points";
+  let limit = max_logline_points ?x p ~tau in
+  if n > limit then
+    invalid_arg
+      (Printf.sprintf
+         "Exp_line.logline: n = %d exceeds the precision-safe bound %d for tau = %g"
+         n limit tau);
+  let tp = tau_prime tau in
+  let x = Option.value x ~default:(default_base p ~tau) in
+  Logline.of_gaps (Array.init (n - 1) (fun t -> Lf.of_log (log_gap ~x ~tp t)))
+
+let diversity_float ?x p ~tau ~n =
+  Pointset.diversity (pointset ?x p ~tau ~n)

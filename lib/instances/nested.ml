@@ -1,0 +1,99 @@
+module Params = Wa_sinr.Params
+module Vec2 = Wa_geom.Vec2
+module Pointset = Wa_geom.Pointset
+
+type t = {
+  level : int;
+  positions : float array;
+  rho : float;
+  copies : int;
+}
+
+(* rho(R) over the line MST: links are consecutive gaps; d̂ of the
+   link (p_i, p_{i+1}) is the distance from its right endpoint to the
+   leftmost point. *)
+let rho_of (p : Params.t) positions =
+  let n = Array.length positions in
+  let worst = ref infinity in
+  for i = 0 to n - 2 do
+    let l = positions.(i + 1) -. positions.(i) in
+    let dhat = positions.(i + 1) -. positions.(0) in
+    worst := Float.min !worst ((l /. dhat) ** p.Params.alpha)
+  done;
+  !worst
+
+let max_gap positions =
+  let best = ref 0.0 in
+  for i = 0 to Array.length positions - 2 do
+    best := Float.max !best (positions.(i + 1) -. positions.(i))
+  done;
+  !best
+
+let build ?(c = 2.0) ?(max_nodes = 5000) p ~level =
+  if level < 1 then invalid_arg "Nested.build: level must be >= 1";
+  if c <= 0.0 then invalid_arg "Nested.build: c must be positive";
+  let rec grow t positions =
+    if t = level then
+      { level; positions; rho = rho_of p positions; copies = 0 }
+    else begin
+      let rho = rho_of p positions in
+      let copies_needed = Float.ceil (c /. rho) in
+      if copies_needed > float_of_int max_nodes then
+        invalid_arg
+          (Printf.sprintf
+             "Nested.build: level %d needs ~%.3g copies (max_nodes = %d) — the log* tower"
+             (t + 1) copies_needed max_nodes);
+      let k = max 2 (int_of_float copies_needed) in
+      let base_nodes = Array.length positions in
+      let projected = (k * (base_nodes - 1)) + 2 in
+      if projected > max_nodes then
+        invalid_arg
+          (Printf.sprintf
+             "Nested.build: level %d needs %d nodes (max_nodes = %d) — the log* tower"
+             (t + 1) projected max_nodes);
+      let base_max_link = max_gap positions in
+      (* Work with coordinates relative to the template's leftmost
+         point; never translate the template itself (a shift of
+         magnitude >> the smallest gaps would be absorbed by float
+         rounding and collapse points). *)
+      let leftmost = positions.(0) in
+      let rel i = positions.(i) -. leftmost in
+      let template_span = rel (Array.length positions - 1) in
+      let buf = ref [ 0.0 ] in
+      let right = ref 0.0 in
+      for _s = 1 to k do
+        (* Scale the copy so its longest link equals the prefix diameter
+           (the first copy keeps unit scale: the prefix is empty). *)
+        let factor = if !right = 0.0 then 1.0 else !right /. base_max_link in
+        let offset = !right in
+        for i = 1 to Array.length positions - 1 do
+          buf := (offset +. (factor *. rel i)) :: !buf
+        done;
+        right := offset +. (factor *. template_span)
+      done;
+      (* Prepend the long link: a point at distance diam(R') to the left. *)
+      let all = Array.of_list (List.rev ((-. !right) :: List.rev !buf)) in
+      Array.sort Float.compare all;
+      if not (Float.is_finite all.(Array.length all - 1))
+         || all.(Array.length all - 1) > 1e280
+      then invalid_arg "Nested.build: coordinates overflow floats";
+      let result = grow (t + 1) all in
+      if t + 1 = level then { result with copies = k } else result
+    end
+  in
+  grow 1 [| 0.0; 1.0 |]
+
+let max_buildable_level ?c ?max_nodes p =
+  let rec go level =
+    match build ?c ?max_nodes p ~level:(level + 1) with
+    | _ -> go (level + 1)
+    | exception Invalid_argument _ -> level
+  in
+  go 1
+
+let pointset t =
+  Pointset.of_array (Array.map (fun x -> Vec2.make x 0.0) t.positions)
+
+let size t = Array.length t.positions
+
+let rate_upper_bound t = 2.0 /. float_of_int (t.level + 1)

@@ -1,0 +1,38 @@
+(** The recursive lower-bound family [R_t] of Theorem 4 (Fig. 3).
+
+    [R_1] is a unit-length pair.  [R_{t+1}] concatenates
+    [k_{t+1} = ceil(c / ρ(R_t))] scaled copies of [R_t] (each scaled
+    so its longest link equals the diameter of the prefix before it)
+    and prepends a long link spanning the whole concatenation.  Here
+    [ρ(R) = min_i (l_i / d̂_i)^α] over the MST links of [R], with
+    [d̂_i] the larger distance from an endpoint of link [i] to the
+    leftmost point.
+
+    The MST of [R_t] cannot be aggregated at rate better than
+    [2/(t+1)], and [t = Ω(log* Δ)].  The growth is a power tower:
+    [t = 3] is a few hundred nodes, [t = 4] is unbuildable — which is
+    the log* statement made tangible. *)
+
+type t = {
+  level : int;  (** The [t] of [R_t]. *)
+  positions : float array;  (** Ascending coordinates on the line. *)
+  rho : float;  (** ρ(R_t) under the construction's α. *)
+  copies : int;  (** [k_t] used at the top level (0 for [R_1]). *)
+}
+
+val build : ?c:float -> ?max_nodes:int -> Wa_sinr.Params.t -> level:int -> t
+(** [c] defaults to 2, [max_nodes] to 5000.  Raises [Invalid_argument]
+    when the requested level would exceed [max_nodes] or overflow
+    float coordinates. *)
+
+val max_buildable_level : ?c:float -> ?max_nodes:int -> Wa_sinr.Params.t -> int
+(** Largest level [build] accepts — 3 for the defaults, the point of
+    the experiment. *)
+
+val pointset : t -> Wa_geom.Pointset.t
+(** The nodes as a pointset on the x-axis. *)
+
+val size : t -> int
+
+val rate_upper_bound : t -> float
+(** Theorem 4's bound [2/(t+1)] for this instance. *)

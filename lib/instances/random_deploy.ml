@@ -1,0 +1,89 @@
+module Rng = Wa_util.Rng
+module Vec2 = Wa_geom.Vec2
+module Pointset = Wa_geom.Pointset
+
+(* Draw points until all are pairwise distinct (collisions have
+   probability ~0 with float coordinates; the loop is a safety net
+   because Pointset rejects coincident points). *)
+let distinct_points draw n =
+  let seen = Hashtbl.create n in
+  let pts = Array.make n Vec2.zero in
+  let i = ref 0 in
+  while !i < n do
+    let p = draw () in
+    let key = (p.Vec2.x, p.Vec2.y) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      pts.(!i) <- p;
+      incr i
+    end
+  done;
+  Pointset.of_array pts
+
+let uniform_square rng ~n ~side =
+  if n < 1 then invalid_arg "Random_deploy.uniform_square: n must be positive";
+  if side <= 0.0 then invalid_arg "Random_deploy.uniform_square: side must be positive";
+  distinct_points (fun () -> Vec2.make (Rng.float rng side) (Rng.float rng side)) n
+
+let uniform_disk rng ~n ~radius =
+  if n < 1 then invalid_arg "Random_deploy.uniform_disk: n must be positive";
+  if radius <= 0.0 then invalid_arg "Random_deploy.uniform_disk: radius must be positive";
+  let draw () =
+    let r = radius *. sqrt (Rng.float rng 1.0) in
+    let theta = Rng.float rng (2.0 *. Float.pi) in
+    Vec2.make (r *. cos theta) (r *. sin theta)
+  in
+  distinct_points draw n
+
+let grid ~rows ~cols ~spacing =
+  if rows < 1 || cols < 1 then invalid_arg "Random_deploy.grid: empty grid";
+  if spacing <= 0.0 then invalid_arg "Random_deploy.grid: spacing must be positive";
+  Pointset.of_array
+    (Array.init (rows * cols) (fun k ->
+         Vec2.make
+           (float_of_int (k mod cols) *. spacing)
+           (float_of_int (k / cols) *. spacing)))
+
+let jittered_grid rng ~rows ~cols ~spacing ~jitter =
+  if jitter < 0.0 || jitter >= 0.5 then
+    invalid_arg "Random_deploy.jittered_grid: jitter must be in [0, 0.5)";
+  let base = grid ~rows ~cols ~spacing in
+  let displace p =
+    let dx = Rng.float_range rng (-.jitter) jitter *. spacing in
+    let dy = Rng.float_range rng (-.jitter) jitter *. spacing in
+    Vec2.add p (Vec2.make dx dy)
+  in
+  Pointset.of_array (Array.map displace (Pointset.points base))
+
+let clusters rng ~clusters ~per_cluster ~side ~spread =
+  if clusters < 1 || per_cluster < 1 then
+    invalid_arg "Random_deploy.clusters: empty configuration";
+  let centers =
+    Array.init clusters (fun _ ->
+        Vec2.make (Rng.float rng side) (Rng.float rng side))
+  in
+  let k = ref 0 in
+  let draw () =
+    let c = centers.(!k mod clusters) in
+    incr k;
+    Vec2.add c
+      (Vec2.make (spread *. Rng.gaussian rng) (spread *. Rng.gaussian rng))
+  in
+  distinct_points draw (clusters * per_cluster)
+
+let uniform_line rng ~n ~length =
+  if n < 1 then invalid_arg "Random_deploy.uniform_line: n must be positive";
+  distinct_points (fun () -> Vec2.make (Rng.float rng length) 0.0) n
+
+let heavy_tailed rng ~n ~exponent =
+  if n < 1 then invalid_arg "Random_deploy.heavy_tailed: n must be positive";
+  if exponent <= 0.0 then
+    invalid_arg "Random_deploy.heavy_tailed: exponent must be positive";
+  let draw () =
+    let u = Rng.float rng 1.0 in
+    (* Pareto radius, capped so coordinates stay well inside floats. *)
+    let r = Float.min 1e150 ((1.0 -. u) ** (-1.0 /. exponent)) in
+    let theta = Rng.float rng (2.0 *. Float.pi) in
+    Vec2.make (r *. cos theta) (r *. sin theta)
+  in
+  distinct_points draw n

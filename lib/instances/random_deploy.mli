@@ -1,0 +1,42 @@
+(** Random and regular deployments.
+
+    Corollary 1 concerns nodes placed uniformly at random in a square
+    or disk; grids and perturbed grids are the classical
+    constant-rate topologies (Sec. 1, [1]); clustered deployments
+    stress the length-diversity dependence. *)
+
+val uniform_square : Wa_util.Rng.t -> n:int -> side:float -> Wa_geom.Pointset.t
+(** [n] points uniform in [\[0,side\]²].  Coincident draws are
+    rejected and redrawn. *)
+
+val uniform_disk : Wa_util.Rng.t -> n:int -> radius:float -> Wa_geom.Pointset.t
+
+val grid : rows:int -> cols:int -> spacing:float -> Wa_geom.Pointset.t
+(** Perfect square grid. *)
+
+val jittered_grid :
+  Wa_util.Rng.t -> rows:int -> cols:int -> spacing:float -> jitter:float ->
+  Wa_geom.Pointset.t
+(** Grid points displaced uniformly by up to [jitter·spacing] in each
+    coordinate; [jitter] in [\[0, 0.5)]. *)
+
+val clusters :
+  Wa_util.Rng.t ->
+  clusters:int -> per_cluster:int -> side:float -> spread:float ->
+  Wa_geom.Pointset.t
+(** Cluster centers uniform in the square; members Gaussian around
+    their center with standard deviation [spread].  High Δ when
+    [spread << side]. *)
+
+val uniform_line : Wa_util.Rng.t -> n:int -> length:float -> Wa_geom.Pointset.t
+(** Points uniform on a segment (collinear instances for the Sec. 5
+    experiments). *)
+
+val heavy_tailed :
+  Wa_util.Rng.t -> n:int -> exponent:float -> Wa_geom.Pointset.t
+(** Radial Pareto deployment: each point at a uniform angle and a
+    radius drawn as [(1-u)^(-1/exponent)] (Pareto tail index
+    [exponent] > 0).  Small exponents produce super-polynomial length
+    diversity — the regime Corollary 1 explicitly excludes ("any
+    {e non-heavy-tailed} distribution"); experiment T17 measures what
+    happens to the bounds there. *)

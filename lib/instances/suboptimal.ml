@@ -1,0 +1,113 @@
+module Params = Wa_sinr.Params
+module Vec2 = Wa_geom.Vec2
+module Pointset = Wa_geom.Pointset
+module Linkset = Wa_sinr.Linkset
+
+type t = {
+  points : Pointset.t;
+  tree_edges : (int * int) list;
+  sink : int;
+  long_ids : int list;
+  connector_ids : int list;
+  tau : float;
+  x : float;
+}
+
+let a_id s = 2 * (s - 1)
+let b_id s = (2 * (s - 1)) + 1
+
+let build ?(x = 16.0) p ~tau ~stations =
+  ignore p;
+  if stations < 2 then invalid_arg "Suboptimal.build: need at least two stations";
+  if x <= 2.0 then invalid_arg "Suboptimal.build: x must exceed 2";
+  let in_low = tau > 0.0 && tau <= 0.4 in
+  let in_high = tau >= 0.6 && tau < 1.0 in
+  if not (in_low || in_high) then
+    invalid_arg "Suboptimal.build: tau must lie in (0, 2/5] or [3/5, 1)";
+  let te = if in_low then tau else 1.0 -. tau in
+  let reversed = in_high in
+  let k = stations in
+  (* Long-link lengths L_s = x^{(1/te)^(s-1)} and connectors
+     C_s = L_{s+1}^te * L_s^{1 - te + te²}. *)
+  let lengths = Array.make (k + 1) 0.0 in
+  lengths.(1) <- x;
+  for s = 2 to k do
+    lengths.(s) <- lengths.(s - 1) ** (1.0 /. te)
+  done;
+  let connector s =
+    (lengths.(s + 1) ** te) *. (lengths.(s) ** (1.0 -. te +. (te *. te)))
+  in
+  (* Positions: b_1 at the origin; each long link s spans a_s .. b_s;
+     connector s reaches back from b_s to a_{s+1}. *)
+  let pos_a = Array.make (k + 1) 0.0 and pos_b = Array.make (k + 1) 0.0 in
+  pos_b.(1) <- 0.0;
+  pos_a.(1) <- -.x;
+  for s = 2 to k do
+    pos_a.(s) <- pos_b.(s - 1) -. connector (s - 1);
+    pos_b.(s) <- pos_a.(s) +. lengths.(s)
+  done;
+  let coords = Array.make (2 * k) Vec2.zero in
+  for s = 1 to k do
+    coords.(a_id s) <- Vec2.make pos_a.(s) 0.0;
+    coords.(b_id s) <- Vec2.make pos_b.(s) 0.0
+  done;
+  Array.iter
+    (fun (v : Vec2.t) ->
+      if (not (Float.is_finite v.x)) || Float.abs v.x > 1e280 then
+        invalid_arg "Suboptimal.build: coordinates overflow floats")
+    coords;
+  let tree_edges =
+    List.concat
+      (List.init k (fun i ->
+           let s = i + 1 in
+           (a_id s, b_id s)
+           :: (if s < k then [ (b_id s, a_id (s + 1)) ] else [])))
+  in
+  let long_ids, connector_ids, sink =
+    if reversed then
+      ( List.init k (fun i -> b_id (i + 1)),
+        List.init (k - 1) (fun i -> a_id (i + 2)),
+        a_id 1 )
+    else
+      ( List.init k (fun i -> a_id (i + 1)),
+        List.init (k - 1) (fun i -> b_id (i + 1)),
+        b_id k )
+  in
+  {
+    points = Pointset.of_array coords;
+    tree_edges;
+    sink;
+    long_ids;
+    connector_ids;
+    tau;
+    x;
+  }
+
+let gamma_margin ~tau =
+  let te = Float.min tau (1.0 -. tau) in
+  1.0 -. (4.0 *. te) +. (4.0 *. te *. te) -. (3.0 *. (te ** 3.0)) +. (te ** 4.0)
+
+let max_stations ?(x = 16.0) p ~tau =
+  let rec go k =
+    match build ~x p ~tau ~stations:(k + 1) with
+    | _ -> go (k + 1)
+    | exception Invalid_argument _ -> k
+  in
+  go 1
+
+let two_slot_partition t agg =
+  let ls = agg.Wa_core.Agg_tree.links in
+  let ids_of senders =
+    List.filter_map
+      (fun node ->
+        let rec find i =
+          if i = Linkset.size ls then None
+          else
+            match Linkset.tree_child ls i with
+            | Some c when c = node -> Some i
+            | _ -> find (i + 1)
+        in
+        find 0)
+      senders
+  in
+  (ids_of t.long_ids, ids_of t.connector_ids)

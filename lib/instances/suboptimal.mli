@@ -1,0 +1,49 @@
+(** The MST-suboptimality family of Sec. 5 (Fig. 4, Prop. 3).
+
+    [stations] pairs of collinear nodes [(a_s, b_s)] carrying "long"
+    links [a_s → b_s] of doubly-exponentially growing lengths
+    [L_1 = x, L_{s+1} = L_s^{1/τ}], chained by "connector" links
+    [b_s → a_{s+1}] of length [C_s = L_{s+1}^τ · L_s^{1-τ+τ²}].
+    The resulting spanning tree is a convergecast tree toward [b_k]
+    and splits into two Pτ-feasible slots ({e long} and
+    {e connectors}) — while the MST of the same points is a
+    doubly-exponential chain needing one slot per link under [Pτ].
+
+    Valid for [τ ∈ (0, 2/5]]; for [τ ∈ [3/5, 1)] the symmetric
+    construction (exponents in [1-τ], directions reversed) is built
+    automatically.  Node ids: [a_s = 2(s-1)], [b_s = 2(s-1)+1]. *)
+
+type t = {
+  points : Wa_geom.Pointset.t;
+  tree_edges : (int * int) list;
+      (** The alternative spanning tree (undirected node pairs). *)
+  sink : int;  (** [b_k]: orienting the tree toward it reproduces the
+                   construction's link directions. *)
+  long_ids : int list;
+      (** Node ids of the long links' senders, [a_1 .. a_k]. *)
+  connector_ids : int list;
+      (** Senders of the connectors, [b_1 .. b_{k-1}]. *)
+  tau : float;
+  x : float;
+}
+
+val build : ?x:float -> Wa_sinr.Params.t -> tau:float -> stations:int -> t
+(** [x] defaults to 16.  Raises [Invalid_argument] if [tau] is in the
+    uncovered middle band (2/5, 3/5), [stations < 2], or coordinates
+    would overflow. *)
+
+val max_stations : ?x:float -> Wa_sinr.Params.t -> tau:float -> int
+
+val gamma_margin : tau:float -> float
+(** The decay exponent [γ(τ') = 1 - 4τ' + 4τ'² - 3τ'³ + τ'⁴] (with
+    [τ' = min(τ, 1-τ)]) controlling the connector slot's feasibility
+    in the Claim-2 argument.  The two-slot property holds when this is
+    positive — numerically [τ' ≲ 0.345]; at the paper's nominal
+    boundary [τ' = 2/5] the margin of {e this concrete layout} is
+    negative and the connector slot indeed fails the SINR check
+    (recorded as a deviation in EXPERIMENTS.md). *)
+
+val two_slot_partition : t -> Wa_core.Agg_tree.t -> int list * int list
+(** Link ids of the aggregation tree split into the (long,
+    connectors) slots, identified through the senders recorded in
+    [t]. *)

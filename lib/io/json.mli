@@ -1,0 +1,20 @@
+(** Minimal JSON emitter (no external dependencies).
+
+    Only what the exporters need: construction and compact/pretty
+    printing.  Strings are escaped per RFC 8259; floats print with
+    round-trippable precision. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** [pretty] (default true) indents with two spaces. *)
+
+val escape_string : string -> string
+(** The escaped, quoted form of a string literal. *)

@@ -1,0 +1,61 @@
+module Pointset = Wa_geom.Pointset
+module Vec2 = Wa_geom.Vec2
+
+let to_csv ps =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "x,y\n";
+  Pointset.fold
+    (fun _ (pt : Vec2.t) () ->
+      Buffer.add_string buf (Printf.sprintf "%.17g,%.17g\n" pt.Vec2.x pt.Vec2.y))
+    ps ();
+  Buffer.contents buf
+
+let of_csv content =
+  let lines = String.split_on_char '\n' content in
+  let points = ref [] in
+  let error = ref None in
+  List.iteri
+    (fun idx line ->
+      if !error = None then begin
+        let line = String.trim line in
+        let is_comment = String.length line > 0 && line.[0] = '#' in
+        let is_header =
+          String.lowercase_ascii (String.concat "" (String.split_on_char ' ' line))
+          = "x,y"
+        in
+        if line <> "" && (not is_comment) && not is_header then
+          match String.split_on_char ',' line with
+          | [ xs; ys ] -> (
+              match
+                (float_of_string_opt (String.trim xs), float_of_string_opt (String.trim ys))
+              with
+              | Some x, Some y when Float.is_finite x && Float.is_finite y ->
+                  points := Vec2.make x y :: !points
+              | _ ->
+                  error := Some (Printf.sprintf "line %d: malformed number" (idx + 1)))
+          | _ -> error := Some (Printf.sprintf "line %d: expected x,y" (idx + 1))
+      end)
+    lines;
+  match !error with
+  | Some e -> Error e
+  | None -> (
+      match List.rev !points with
+      | [] -> Error "no points found"
+      | pts -> (
+          match Pointset.of_list pts with
+          | ps -> Ok ps
+          | exception Invalid_argument m -> Error m))
+
+let write_file path ps =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv ps))
+
+let read_file path =
+  match open_in path with
+  | exception Sys_error m -> Error m
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> of_csv (In_channel.input_all ic))

@@ -1,0 +1,15 @@
+(** Pointset import/export as CSV.
+
+    The on-disk format is one [x,y] pair per line; blank lines,
+    [#]-comments and an optional [x,y] header are tolerated on
+    input. *)
+
+val to_csv : Wa_geom.Pointset.t -> string
+(** With header, node id order preserved. *)
+
+val of_csv : string -> (Wa_geom.Pointset.t, string) result
+(** Parses the textual content; the error carries a line number. *)
+
+val write_file : string -> Wa_geom.Pointset.t -> unit
+val read_file : string -> (Wa_geom.Pointset.t, string) result
+(** [Error] also covers file-system failures. *)

@@ -1,0 +1,193 @@
+module Make (Sp : Space.S) = struct
+  type instance = {
+    stations : Sp.point array;
+    sink : int;
+  }
+
+  let instance ?(sink = 0) stations =
+    let n = Array.length stations in
+    if n < 2 then invalid_arg "Scheduling.instance: need at least two stations";
+    if sink < 0 || sink >= n then invalid_arg "Scheduling.instance: sink out of range";
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if Sp.dist stations.(i) stations.(j) <= 0.0 then
+          invalid_arg "Scheduling.instance: coincident stations"
+      done
+    done;
+    { stations; sink }
+
+  let size t = Array.length t.stations
+
+  let station_dist t i j = Sp.dist t.stations.(i) t.stations.(j)
+
+  (* Prim over the complete metric graph, then root at the sink. *)
+  let mst_links t =
+    let n = size t in
+    let in_tree = Array.make n false in
+    let best_dist = Array.make n infinity in
+    let best_from = Array.make n (-1) in
+    in_tree.(t.sink) <- true;
+    for v = 0 to n - 1 do
+      if v <> t.sink then begin
+        best_dist.(v) <- station_dist t t.sink v;
+        best_from.(v) <- t.sink
+      end
+    done;
+    let edges = ref [] in
+    for _ = 1 to n - 1 do
+      let pick = ref (-1) in
+      for v = 0 to n - 1 do
+        if (not in_tree.(v)) && (!pick = -1 || best_dist.(v) < best_dist.(!pick))
+        then pick := v
+      done;
+      let v = !pick in
+      in_tree.(v) <- true;
+      edges := (v, best_from.(v)) :: !edges;
+      for w = 0 to n - 1 do
+        if not in_tree.(w) then begin
+          let d = station_dist t v w in
+          if d < best_dist.(w) then begin
+            best_dist.(w) <- d;
+            best_from.(w) <- v
+          end
+        end
+      done
+    done;
+    (* Orient each undirected MST edge toward the sink: BFS from the
+       sink over the tree adjacency. *)
+    let adj = Array.make n [] in
+    List.iter
+      (fun (u, v) ->
+        adj.(u) <- v :: adj.(u);
+        adj.(v) <- u :: adj.(v))
+      !edges;
+    let parent = Array.make n (-1) in
+    let seen = Array.make n false in
+    let queue = Queue.create () in
+    seen.(t.sink) <- true;
+    Queue.add t.sink queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      List.iter
+        (fun v ->
+          if not seen.(v) then begin
+            seen.(v) <- true;
+            parent.(v) <- u;
+            Queue.add v queue
+          end)
+        adj.(u)
+    done;
+    List.filter_map
+      (fun v -> if v = t.sink then None else Some (v, parent.(v)))
+      (List.init n Fun.id)
+
+  let link_length t (s, r) = station_dist t s r
+
+  let diversity t =
+    let n = size t in
+    let dmin = ref infinity and dmax = ref 0.0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let d = station_dist t i j in
+        if d < !dmin then dmin := d;
+        if d > !dmax then dmax := d
+      done
+    done;
+    !dmax /. !dmin
+
+  (* Minimum distance among the four endpoint pairs of two links. *)
+  let link_dist t (s1, r1) (s2, r2) =
+    Float.min
+      (Float.min (station_dist t s1 s2) (station_dist t s1 r2))
+      (Float.min (station_dist t r1 s2) (station_dist t r1 r2))
+
+  type threshold =
+    | Constant of float
+    | Power_law of { gamma : float; delta : float }
+    | Log_power of float
+
+  let eval ~alpha th x =
+    match th with
+    | Constant gamma -> gamma
+    | Power_law { gamma; delta } -> gamma *. (x ** delta)
+    | Log_power gamma ->
+        gamma
+        *. Float.max 1.0 ((log x /. log 2.0) ** (2.0 /. (alpha -. 2.0)))
+
+  let conflicting ~alpha th t a b =
+    if a = b then false
+    else begin
+      let la = link_length t a and lb = link_length t b in
+      let lmin = Float.min la lb and lmax = Float.max la lb in
+      let d = link_dist t a b in
+      d /. lmin <= eval ~alpha th (lmax /. lmin)
+    end
+
+  let greedy_slots ~alpha th t =
+    let links = Array.of_list (mst_links t) in
+    let order = Array.init (Array.length links) Fun.id in
+    Array.sort
+      (fun a b ->
+        Float.compare (link_length t links.(b)) (link_length t links.(a)))
+      order;
+    let slots = ref [] in
+    Array.iter
+      (fun idx ->
+        let link = links.(idx) in
+        let rec place acc = function
+          | [] -> List.rev ([ link ] :: acc)
+          | slot :: rest ->
+              if List.for_all (fun other -> not (conflicting ~alpha th t link other)) slot
+              then List.rev_append acc ((link :: slot) :: rest)
+              else place (slot :: acc) rest
+        in
+        slots := place [] !slots)
+      order;
+    !slots
+
+  (* Exact noise-free Ptau SINR check: for each link, the total
+     relative interference must stay below 1/beta. *)
+  let ptau_feasible ~alpha ~beta ~tau t slot =
+    List.for_all
+      (fun ((_, ri) as i) ->
+        let li = link_length t i in
+        let total =
+          List.fold_left
+            (fun acc ((sj, _) as j) ->
+              if j = i then acc
+              else
+                let d = station_dist t sj ri in
+                if d <= 0.0 then infinity
+                else
+                  acc
+                  +. (link_length t j ** (tau *. alpha))
+                     *. (li ** ((1.0 -. tau) *. alpha))
+                     /. (d ** alpha))
+            0.0 slot
+        in
+        total <= 1.0 /. beta)
+      slot
+
+  let validate_ptau ~alpha ~beta ~tau t slots =
+    List.for_all (ptau_feasible ~alpha ~beta ~tau t) slots
+
+  let lemma1_pressure ~alpha t =
+    let links = Array.of_list (mst_links t) in
+    let m = Array.length links in
+    let worst = ref 0.0 in
+    for i = 0 to m - 1 do
+      let li = link_length t links.(i) in
+      let total = ref 0.0 in
+      for j = 0 to m - 1 do
+        if j <> i && link_length t links.(j) >= li then begin
+          let d = link_dist t links.(i) links.(j) in
+          let contribution =
+            if d <= 0.0 then 1.0 else Float.min 1.0 ((li /. d) ** alpha)
+          in
+          total := !total +. contribution
+        end
+      done;
+      if !total > !worst then worst := !total
+    done;
+    !worst
+end

@@ -1,0 +1,58 @@
+(** The scheduling core, generic over the metric.
+
+    A compact reimplementation of the paper's pipeline — MST,
+    convergecast links, the conflict-graph family, length-ordered
+    greedy coloring, exact Pτ-feasibility validation, and the Lemma-1
+    pressure measurement — parameterized only by a distance function.
+    Everything here speaks in distances, which is precisely why the
+    paper's arguments survive in doubling metrics (Sec. 3.1).
+
+    The Euclidean-plane instantiation is cross-checked against the
+    specialized main pipeline in the test suite; the 3-D and L1/L∞
+    instantiations back experiment T16. *)
+
+module Make (Sp : Space.S) : sig
+  type instance
+  (** A set of stations with a chosen sink. *)
+
+  val instance : ?sink:int -> Sp.point array -> instance
+  (** Raises [Invalid_argument] on fewer than two stations or
+      coincident stations (zero distance). *)
+
+  val size : instance -> int
+
+  val mst_links : instance -> (int * int) list
+  (** Convergecast links of the metric MST, directed
+      [(child, parent)] toward the sink. *)
+
+  val link_length : instance -> int * int -> float
+
+  val diversity : instance -> float
+  (** Ratio of extreme pairwise station distances. *)
+
+  type threshold =
+    | Constant of float
+    | Power_law of { gamma : float; delta : float }
+    | Log_power of float
+
+  val conflicting :
+    alpha:float -> threshold -> instance -> int * int -> int * int -> bool
+
+  val greedy_slots :
+    alpha:float -> threshold -> instance -> (int * int) list list
+  (** Conflict-graph coloring of the MST links in non-increasing
+      length order; slots of links. *)
+
+  val ptau_feasible :
+    alpha:float -> beta:float -> tau:float -> instance -> (int * int) list -> bool
+  (** Exact noise-free Pτ SINR check of a candidate slot. *)
+
+  val validate_ptau :
+    alpha:float -> beta:float -> tau:float -> instance ->
+    (int * int) list list -> bool
+  (** Every slot passes {!ptau_feasible}. *)
+
+  val lemma1_pressure : alpha:float -> instance -> float
+  (** [max_i I(i, T+_i)] over the MST links — the Lemma-1 constant in
+      this metric. *)
+end

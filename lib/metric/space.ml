@@ -1,0 +1,38 @@
+module type S = sig
+  type point
+
+  val dist : point -> point -> float
+  val name : string
+end
+
+module Euclid2 = struct
+  type point = float * float
+
+  let dist (x1, y1) (x2, y2) = Float.hypot (x1 -. x2) (y1 -. y2)
+  let name = "euclidean plane"
+end
+
+module Euclid3 = struct
+  type point = float * float * float
+
+  let dist (x1, y1, z1) (x2, y2, z2) =
+    sqrt (((x1 -. x2) ** 2.0) +. ((y1 -. y2) ** 2.0) +. ((z1 -. z2) ** 2.0))
+
+  let name = "euclidean 3-space"
+end
+
+module Manhattan = struct
+  type point = float * float
+
+  let dist (x1, y1) (x2, y2) = Float.abs (x1 -. x2) +. Float.abs (y1 -. y2)
+  let name = "L1 plane"
+end
+
+module Chebyshev = struct
+  type point = float * float
+
+  let dist (x1, y1) (x2, y2) =
+    Float.max (Float.abs (x1 -. x2)) (Float.abs (y1 -. y2))
+
+  let name = "Linf plane"
+end

@@ -1,0 +1,28 @@
+(** Abstract metric spaces.
+
+    Sec. 3.1 ("Pathloss assumptions") notes that the paper's planarity
+    assumption relaxes to general doubling metrics.  {!S} is the
+    interface the generalized scheduling core ({!Scheduling.Make})
+    needs; this module provides ready instances: the Euclidean plane
+    (for cross-checking against the specialized main pipeline),
+    Euclidean 3-space, and the doubling-but-non-Euclidean L1 and L∞
+    planes. *)
+
+module type S = sig
+  type point
+
+  val dist : point -> point -> float
+  (** A metric: symmetric, zero iff equal, triangle inequality. *)
+
+  val name : string
+end
+
+module Euclid2 : S with type point = float * float
+
+module Euclid3 : S with type point = float * float * float
+
+(** The L1 plane. *)
+module Manhattan : S with type point = float * float
+
+(** The L∞ plane. *)
+module Chebyshev : S with type point = float * float

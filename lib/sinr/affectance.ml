@@ -1,0 +1,35 @@
+let additive (p : Params.t) ls j i =
+  if j = i then 0.0
+  else
+    let d = Linkset.dist ls i j in
+    if d <= 0.0 then 1.0
+    else Float.min 1.0 ((Linkset.length ls j /. d) ** p.Params.alpha)
+
+let additive_on_set p ls s i =
+  List.fold_left (fun acc j -> acc +. additive p ls i j) 0.0 s
+
+let additive_from_set p ls s i =
+  List.fold_left (fun acc j -> acc +. additive p ls j i) 0.0 s
+
+let relative (p : Params.t) ls ~power j i =
+  if j = i then 0.0
+  else
+    let d_ji = Linkset.sender_to_receiver ls j i in
+    if d_ji <= 0.0 then infinity
+    else
+      power.(j) *. (Linkset.length ls i ** p.Params.alpha)
+      /. (power.(i) *. (d_ji ** p.Params.alpha))
+
+let relative_total p ls ~power s i =
+  List.fold_left
+    (fun acc j -> if j = i then acc else acc +. relative p ls ~power j i)
+    0.0 s
+
+let mst_longer_pressure p ls i =
+  let li = Linkset.length ls i in
+  let total = ref 0.0 in
+  for j = 0 to Linkset.size ls - 1 do
+    if j <> i && Linkset.length ls j >= li then
+      total := !total +. additive p ls i j
+  done;
+  !total

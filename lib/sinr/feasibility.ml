@@ -1,0 +1,40 @@
+type violation = { link : int; sinr : float; required : float }
+
+type verdict = Feasible | Infeasible of violation list
+
+let sinr (p : Params.t) ls ~power ~concurrent i =
+  let signal = power.(i) /. (Linkset.length ls i ** p.Params.alpha) in
+  let interference =
+    List.fold_left
+      (fun acc j ->
+        if j = i then acc
+        else
+          let d = Linkset.sender_to_receiver ls j i in
+          acc +. (power.(j) /. (d ** p.Params.alpha)))
+      0.0 concurrent
+  in
+  let denom = interference +. p.Params.noise in
+  if denom = 0.0 then infinity else signal /. denom
+
+let check p ls ~power slot =
+  let vec = Power.vector p ls power in
+  let violations =
+    List.filter_map
+      (fun i ->
+        let s = sinr p ls ~power:vec ~concurrent:slot i in
+        if s >= p.Params.beta then None
+        else Some { link = i; sinr = s; required = p.Params.beta })
+      (List.sort_uniq Int.compare slot)
+  in
+  if violations = [] then Feasible else Infeasible violations
+
+let is_feasible p ls ~power slot =
+  match check p ls ~power slot with Feasible -> true | Infeasible _ -> false
+
+let pair_feasible p ls ~power i j = is_feasible p ls ~power [ i; j ]
+
+let margin p ls ~power slot =
+  List.fold_left
+    (fun acc i ->
+      Float.min acc (sinr p ls ~power ~concurrent:slot i /. p.Params.beta))
+    infinity slot

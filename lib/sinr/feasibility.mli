@@ -1,0 +1,38 @@
+(** SINR feasibility of link sets under a concrete power assignment.
+
+    This is the ground-truth check of the whole library: every
+    schedule the library emits is validated slot-by-slot against the
+    physical-model inequality (1) of the paper. *)
+
+type violation = {
+  link : int;  (** Offending link id. *)
+  sinr : float;  (** Its achieved SINR. *)
+  required : float;  (** The threshold beta. *)
+}
+
+type verdict = Feasible | Infeasible of violation list
+
+val sinr :
+  Params.t -> Linkset.t -> power:float array -> concurrent:int list -> int -> float
+(** [sinr p ls ~power ~concurrent i] is the signal-to-interference-
+    plus-noise ratio at the receiver of [i] when all links of
+    [concurrent] transmit simultaneously ([i] itself is excluded from
+    the interference sum whether or not it is listed).  [infinity]
+    when there is neither interference nor noise; [0.] when some
+    interferer sits on the receiver. *)
+
+val check :
+  Params.t -> Linkset.t -> power:Power.scheme -> int list -> verdict
+(** Full SINR check of the given slot.  Violations are reported in
+    ascending link id. *)
+
+val is_feasible :
+  Params.t -> Linkset.t -> power:Power.scheme -> int list -> bool
+
+val pair_feasible : Params.t -> Linkset.t -> power:Power.scheme -> int -> int -> bool
+(** Can the two links share a slot under the scheme? *)
+
+val margin :
+  Params.t -> Linkset.t -> power:float array -> int list -> float
+(** Minimum over the slot of [sinr/beta]; >= 1 iff feasible.  Useful
+    for reporting how close a slot is to the threshold. *)

@@ -1,0 +1,37 @@
+type t = {
+  index_of_link : int array;
+  by_class : (int, int list ref) Hashtbl.t;
+  span : int;
+}
+
+let partition ls =
+  let lmin = Linkset.min_length ls in
+  let n = Linkset.size ls in
+  let index_of_link = Array.make n 0 in
+  let by_class = Hashtbl.create 16 in
+  let span = ref 0 in
+  for i = n - 1 downto 0 do
+    let ratio = Linkset.length ls i /. lmin in
+    (* floor(log2 ratio), robust at the exact class boundaries. *)
+    let idx = max 0 (int_of_float (Float.floor (log ratio /. log 2.0 +. 1e-12))) in
+    index_of_link.(i) <- idx;
+    if idx + 1 > !span then span := idx + 1;
+    (match Hashtbl.find_opt by_class idx with
+    | Some bucket -> bucket := i :: !bucket
+    | None -> Hashtbl.add by_class idx (ref [ i ]))
+  done;
+  { index_of_link; by_class; span = !span }
+
+let class_count t = Hashtbl.length t.by_class
+
+let class_index_count t = t.span
+
+let class_of_link t i = t.index_of_link.(i)
+
+let links_of_class t idx =
+  match Hashtbl.find_opt t.by_class idx with Some b -> !b | None -> []
+
+let descending t =
+  let idxs = Hashtbl.fold (fun k _ acc -> k :: acc) t.by_class [] in
+  let idxs = List.sort (fun a b -> Int.compare b a) idxs in
+  List.map (fun k -> (k, links_of_class t k)) idxs

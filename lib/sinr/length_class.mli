@@ -1,0 +1,28 @@
+(** Dyadic length classes of a link set (Sec. 3.3).
+
+    Class [t] contains the links with length in
+    [\[2^t·l_min, 2^(t+1)·l_min)]; the distributed protocol processes
+    classes from the longest down.  There are at most
+    [ceil(log2 Δ) + 1] classes, of which only the non-empty ones are
+    materialized. *)
+
+type t
+
+val partition : Linkset.t -> t
+
+val class_count : t -> int
+(** Number of {e non-empty} classes. *)
+
+val class_index_count : t -> int
+(** Total number of dyadic indices spanned, [floor(log2 Δ) + 1] —
+    the [log Δ] factor of the distributed bound. *)
+
+val class_of_link : t -> int -> int
+(** Dyadic index of the class containing the link. *)
+
+val links_of_class : t -> int -> int list
+(** Link ids in a dyadic class (possibly empty), ascending. *)
+
+val descending : t -> (int * int list) list
+(** Non-empty classes from longest to shortest, as
+    [(dyadic index, link ids)]. *)

@@ -1,0 +1,24 @@
+module Vec2 = Wa_geom.Vec2
+
+type t = { src : Vec2.t; dst : Vec2.t }
+
+let make src dst =
+  if Vec2.equal src dst then invalid_arg "Link.make: zero-length link";
+  { src; dst }
+
+let length t = Vec2.dist t.src t.dst
+
+let sender_to_receiver i j = Vec2.dist i.src j.dst
+
+let min_distance i j =
+  Float.min
+    (Float.min (Vec2.dist i.src j.src) (Vec2.dist i.src j.dst))
+    (Float.min (Vec2.dist i.dst j.src) (Vec2.dist i.dst j.dst))
+
+let shares_endpoint i j =
+  Vec2.equal i.src j.src || Vec2.equal i.src j.dst || Vec2.equal i.dst j.src
+  || Vec2.equal i.dst j.dst
+
+let reverse t = { src = t.dst; dst = t.src }
+
+let pp fmt t = Format.fprintf fmt "%a->%a" Vec2.pp t.src Vec2.pp t.dst

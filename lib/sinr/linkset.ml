@@ -1,0 +1,65 @@
+module Pointset = Wa_geom.Pointset
+module Tree = Wa_graph.Tree
+
+type t = {
+  links : Link.t array;
+  lengths : float array;
+  tree_children : int array option; (* child vertex per link id, for of_tree *)
+}
+
+let of_array arr =
+  if Array.length arr = 0 then invalid_arg "Linkset.of_array: empty";
+  let links = Array.copy arr in
+  { links; lengths = Array.map Link.length links; tree_children = None }
+
+let of_links l = of_array (Array.of_list l)
+
+let of_tree ps tree =
+  let edges = Tree.directed_edges tree in
+  if edges = [] then invalid_arg "Linkset.of_tree: single-vertex tree has no links";
+  let links =
+    List.map (fun (c, p) -> Link.make (Pointset.get ps c) (Pointset.get ps p)) edges
+  in
+  let children = Array.of_list (List.map fst edges) in
+  let t = of_links links in
+  { t with tree_children = Some children }
+
+let size t = Array.length t.links
+let link t i = t.links.(i)
+let length t i = t.lengths.(i)
+
+let tree_child t i =
+  match t.tree_children with None -> None | Some c -> Some c.(i)
+
+let min_length t = Array.fold_left Float.min infinity t.lengths
+let max_length t = Array.fold_left Float.max 0.0 t.lengths
+
+let diversity t = max_length t /. min_length t
+
+let dist t i j = Link.min_distance t.links.(i) t.links.(j)
+
+let sender_to_receiver t i j = Link.sender_to_receiver t.links.(i) t.links.(j)
+
+let sorted_ids t cmp =
+  let ids = Array.init (size t) (fun i -> i) in
+  Array.sort cmp ids;
+  ids
+
+let by_decreasing_length t =
+  sorted_ids t (fun a b ->
+      let c = Float.compare t.lengths.(b) t.lengths.(a) in
+      if c <> 0 then c else Int.compare a b)
+
+let by_increasing_length t =
+  sorted_ids t (fun a b ->
+      let c = Float.compare t.lengths.(a) t.lengths.(b) in
+      if c <> 0 then c else Int.compare a b)
+
+let subset t ids = List.map (fun i -> t.links.(i)) ids
+
+let iter f t = Array.iteri f t.links
+
+let fold f t init =
+  let acc = ref init in
+  Array.iteri (fun i l -> acc := f i l !acc) t.links;
+  !acc

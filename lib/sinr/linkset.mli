@@ -1,0 +1,49 @@
+(** Indexed sets of links.
+
+    A linkset fixes ids [0 .. n-1] for a collection of links (Sec. 2
+    numbers links 1..n); schedules, colorings and conflict graphs all
+    speak in these ids.  Pairwise geometric quantities are cached on
+    demand. *)
+
+type t
+
+val of_links : Link.t list -> t
+val of_array : Link.t array -> t
+
+val of_tree : Wa_geom.Pointset.t -> Wa_graph.Tree.t -> t
+(** Convergecast links of a rooted tree: one link per non-sink vertex,
+    directed [child -> parent].  Link ids follow ascending child id;
+    {!tree_child} recovers the mapping. *)
+
+val size : t -> int
+val link : t -> int -> Link.t
+val length : t -> int -> float
+
+val tree_child : t -> int -> int option
+(** For linksets built by {!of_tree}, the child vertex whose uplink
+    this is; [None] otherwise. *)
+
+val min_length : t -> float
+val max_length : t -> float
+
+val diversity : t -> float
+(** Ratio of longest to shortest link length (the paper's Δ(L)). *)
+
+val dist : t -> int -> int -> float
+(** [dist t i j] is the link-to-link distance [d(i,j)] (min endpoint
+    distance). *)
+
+val sender_to_receiver : t -> int -> int -> float
+(** [sender_to_receiver t i j = d_ij = d(s_i, r_j)]. *)
+
+val by_decreasing_length : t -> int array
+(** Link ids sorted by non-increasing length (ties by id) — the
+    processing order of the paper's greedy algorithms. *)
+
+val by_increasing_length : t -> int array
+
+val subset : t -> int list -> Link.t list
+(** The links with the given ids, in the given order. *)
+
+val iter : (int -> Link.t -> unit) -> t -> unit
+val fold : (int -> Link.t -> 'a -> 'a) -> t -> 'a -> 'a

@@ -1,0 +1,98 @@
+module Lf = Wa_util.Logfloat
+
+type t = { gaps : Lf.t array }
+
+type link = { src : int; dst : int }
+
+let of_gaps gaps =
+  if Array.length gaps = 0 then invalid_arg "Logline.of_gaps: no gaps";
+  Array.iter
+    (fun g -> if Lf.is_zero g then invalid_arg "Logline.of_gaps: zero gap")
+    gaps;
+  { gaps = Array.copy gaps }
+
+let size t = Array.length t.gaps + 1
+
+let dist t i j =
+  let lo = min i j and hi = max i j in
+  if lo < 0 || hi >= size t then invalid_arg "Logline.dist: index out of range";
+  if lo = hi then Lf.zero
+  else begin
+    let acc = ref Lf.zero in
+    for k = lo to hi - 1 do
+      acc := Lf.add !acc t.gaps.(k)
+    done;
+    !acc
+  end
+
+let diversity t =
+  let span = dist t 0 (size t - 1) in
+  let min_gap = Array.fold_left Lf.min t.gaps.(0) t.gaps in
+  Lf.div span min_gap
+
+let length t l = dist t l.src l.dst
+
+let mst_links ?(toward = `Right) t =
+  Array.init
+    (size t - 1)
+    (fun i ->
+      match toward with
+      | `Right -> { src = i; dst = i + 1 }
+      | `Left -> { src = i + 1; dst = i })
+
+let relative_interference (p : Params.t) ~tau t j i =
+  if tau < 0.0 || tau > 1.0 then invalid_arg "Logline: tau out of [0,1]";
+  let d_ji = dist t j.src i.dst in
+  if Lf.is_zero d_ji then Lf.of_log infinity
+  else
+    let alpha = p.Params.alpha in
+    let lj = length t j and li = length t i in
+    Lf.div
+      (Lf.mul (Lf.pow lj (tau *. alpha)) (Lf.pow li ((1.0 -. tau) *. alpha)))
+      (Lf.pow d_ji alpha)
+
+let set_feasible p ~tau t links =
+  let threshold = Lf.of_float (1.0 /. p.Params.beta) in
+  List.for_all
+    (fun i ->
+      let total =
+        Lf.sum
+          (List.filter_map
+             (fun j ->
+               if j = i then None else Some (relative_interference p ~tau t j i))
+             links)
+      in
+      Lf.( <= ) total threshold)
+    links
+
+let pair_feasible p ~tau t i j = set_feasible p ~tau t [ i; j ]
+
+let greedy_schedule p ~tau t links =
+  let order = Array.init (Array.length links) Fun.id in
+  Array.sort
+    (fun a b -> Lf.compare (length t links.(b)) (length t links.(a)))
+    order;
+  let slots = ref [] in
+  Array.iter
+    (fun idx ->
+      let rec place acc = function
+        | [] -> List.rev ([ idx ] :: acc)
+        | slot :: rest ->
+            let candidate = List.map (fun i -> links.(i)) (idx :: slot) in
+            if set_feasible p ~tau t candidate then
+              List.rev_append acc ((idx :: slot) :: rest)
+            else place (slot :: acc) rest
+      in
+      slots := place [] !slots)
+    order;
+  List.map (List.sort Int.compare) !slots
+
+let max_schedulable_pairs p ~tau t links =
+  let n = Array.length links in
+  let count = ref 0 in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      if pair_feasible p ~tau t links.(a) links.(b) then incr count
+    done
+  done;
+  !count

@@ -1,0 +1,16 @@
+type t = { alpha : float; beta : float; noise : float; epsilon : float }
+
+let make ?(alpha = 3.0) ?(beta = 1.0) ?(noise = 0.0) ?(epsilon = 0.5) () =
+  if alpha <= 2.0 then invalid_arg "Params.make: alpha must exceed 2";
+  if beta <= 0.0 then invalid_arg "Params.make: beta must be positive";
+  if noise < 0.0 then invalid_arg "Params.make: noise must be non-negative";
+  if epsilon <= 0.0 then invalid_arg "Params.make: epsilon must be positive";
+  { alpha; beta; noise; epsilon }
+
+let default = make ()
+
+let strict t = { t with beta = 3.0 ** t.alpha }
+
+let pp fmt t =
+  Format.fprintf fmt "alpha=%g beta=%g N=%g eps=%g" t.alpha t.beta t.noise
+    t.epsilon

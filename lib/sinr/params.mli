@@ -1,0 +1,40 @@
+(** Physical (SINR) model parameters (Sec. 2 of the paper).
+
+    A transmission on link [i] succeeds, concurrently with the links
+    of a set [S], iff
+
+    {v S_i >= beta * ( sum_{j in S\{i}} I_ji + noise ) v}
+
+    where [S_i = P(i)/l_i^alpha] is the received signal and
+    [I_ji = P(j)/d_ji^alpha] the interference from sender [j] at
+    receiver [i]. *)
+
+type t = {
+  alpha : float;
+      (** Path-loss exponent; the paper requires [alpha > 2]. *)
+  beta : float;  (** Minimum SINR threshold; [> 0]. *)
+  noise : float;
+      (** Ambient noise [N >= 0].  [0.] models the interference-limited
+          regime the paper assumes (Sec. 2: setting N = 0 affects only
+          constant factors). *)
+  epsilon : float;
+      (** Power-margin constant of the interference-limited assumption
+          [P(i) >= (1+epsilon)·beta·N·l_i^alpha]; [> 0]. *)
+}
+
+val default : t
+(** [alpha = 3], [beta = 1], [noise = 0], [epsilon = 0.5]. *)
+
+val make :
+  ?alpha:float -> ?beta:float -> ?noise:float -> ?epsilon:float -> unit -> t
+(** Validated constructor; raises [Invalid_argument] on out-of-range
+    values ([alpha <= 2], [beta <= 0], [noise < 0],
+    [epsilon <= 0]). *)
+
+val strict : t -> t
+(** The same parameters with [beta] raised to [3^alpha] — the
+    threshold used by the paper's lower-bound arguments (Thm. 3 and
+    Sec. 5), under which pairwise separation implies distance at least
+    the longer link length. *)
+
+val pp : Format.formatter -> t -> unit

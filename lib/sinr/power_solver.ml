@@ -1,0 +1,189 @@
+type outcome = {
+  feasible : bool;
+  spectral_radius : float;
+  iterations : int;
+  power : float array option;
+}
+
+(* Normalized gain matrix of a slot: m.(a).(b) is the relative
+   interference that unit power on slot member b causes at member a,
+   scaled by beta. *)
+let gain_matrix (p : Params.t) ls slot =
+  let ids = Array.of_list slot in
+  let k = Array.length ids in
+  let m = Array.make_matrix k k 0.0 in
+  for a = 0 to k - 1 do
+    let la = Linkset.length ls ids.(a) ** p.Params.alpha in
+    for b = 0 to k - 1 do
+      if a <> b then begin
+        let d = Linkset.sender_to_receiver ls ids.(b) ids.(a) in
+        m.(a).(b) <-
+          (if d <= 0.0 then infinity else p.Params.beta *. la /. (d ** p.Params.alpha))
+      end
+    done
+  done;
+  (ids, m)
+
+let mat_vec m x =
+  let k = Array.length x in
+  Array.init k (fun a ->
+      let row = m.(a) in
+      let acc = ref 0.0 in
+      for b = 0 to k - 1 do
+        acc := !acc +. (row.(b) *. x.(b))
+      done;
+      !acc)
+
+let inf_norm x = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 x
+
+let has_infinite m =
+  Array.exists (fun row -> Array.exists (fun v -> not (Float.is_finite v)) row) m
+
+let rho_iterations = 40
+
+let estimate_rho ?(iterations = rho_iterations) m =
+  let k = Array.length m in
+  if k = 0 then 0.0
+  else if has_infinite m then infinity
+  else begin
+    let x = ref (Array.make k 1.0) in
+    let rho = ref 0.0 in
+    (try
+       for _ = 1 to iterations do
+         let y = mat_vec m !x in
+         let n = inf_norm y in
+         if n = 0.0 then begin
+           rho := 0.0;
+           raise Exit
+         end;
+         rho := n;
+         x := Array.map (fun v -> v /. n) y
+       done
+     with Exit -> ());
+    !rho
+  end
+
+let spectral_radius p ls slot =
+  let _, m = gain_matrix p ls slot in
+  estimate_rho m
+
+(* Solve (I - M) x = c by Gaussian elimination with partial pivoting.
+   For the non-negative gain matrix M and positive c, the solution is
+   entrywise positive iff rho(M) < 1 (M-matrix theory), which is
+   exactly SINR feasibility with power control; the verification
+   against the ground-truth check below keeps the decision sound under
+   float error either way.  Returns None on a (numerically) singular
+   system. *)
+let solve_linear m c =
+  let k = Array.length c in
+  let a = Array.init k (fun i ->
+      Array.init (k + 1) (fun j ->
+          if j = k then c.(i)
+          else if i = j then 1.0 -. m.(i).(j)
+          else -.m.(i).(j)))
+  in
+  let ok = ref true in
+  (try
+     for col = 0 to k - 1 do
+       (* Partial pivot. *)
+       let pivot = ref col in
+       for r = col + 1 to k - 1 do
+         if Float.abs a.(r).(col) > Float.abs a.(!pivot).(col) then pivot := r
+       done;
+       if Float.abs a.(!pivot).(col) < 1e-300 then begin
+         ok := false;
+         raise Exit
+       end;
+       if !pivot <> col then begin
+         let tmp = a.(col) in
+         a.(col) <- a.(!pivot);
+         a.(!pivot) <- tmp
+       end;
+       for r = col + 1 to k - 1 do
+         let f = a.(r).(col) /. a.(col).(col) in
+         if f <> 0.0 then
+           for j = col to k do
+             a.(r).(j) <- a.(r).(j) -. (f *. a.(col).(j))
+           done
+       done
+     done
+   with Exit -> ());
+  if not !ok then None
+  else begin
+    let x = Array.make k 0.0 in
+    for i = k - 1 downto 0 do
+      let acc = ref a.(i).(k) in
+      for j = i + 1 to k - 1 do
+        acc := !acc -. (a.(i).(j) *. x.(j))
+      done;
+      x.(i) <- !acc /. a.(i).(i)
+    done;
+    if Array.for_all Float.is_finite x then Some x else None
+  end
+
+let solve ?max_iter (p : Params.t) ls slot =
+  ignore max_iter;
+  let slot = List.sort_uniq Int.compare slot in
+  match slot with
+  | [] -> { feasible = true; spectral_radius = 0.0; iterations = 0; power = None }
+  | _ ->
+      let ids, m = gain_matrix p ls slot in
+      let k = Array.length ids in
+      if has_infinite m then
+        { feasible = false; spectral_radius = infinity; iterations = 0; power = None }
+      else begin
+        let rho = estimate_rho m in
+        (* Source term: noise floor, or an arbitrary positive vector in
+           the noise-free regime (the fixed point then strictly
+           dominates M·P, which is exactly strict feasibility). *)
+        let c =
+          Array.init k (fun a ->
+              let la = Linkset.length ls ids.(a) ** p.Params.alpha in
+              Float.max (p.Params.beta *. p.Params.noise *. la) la)
+        in
+        match solve_linear m c with
+        | Some x when Array.for_all (fun v -> v > 0.0) x ->
+            (* Embed the slot powers into a full-length vector and
+               verify against the ground-truth SINR check. *)
+            let full = Array.make (Linkset.size ls) 1.0 in
+            Array.iteri (fun a id -> full.(id) <- x.(a)) ids;
+            let ok =
+              List.for_all
+                (fun i ->
+                  Feasibility.sinr p ls ~power:full ~concurrent:slot i
+                  >= p.Params.beta *. (1.0 -. 1e-9))
+                slot
+            in
+            if ok then
+              {
+                feasible = true;
+                spectral_radius = rho;
+                iterations = rho_iterations;
+                power = Some full;
+              }
+            else
+              {
+                feasible = false;
+                spectral_radius = rho;
+                iterations = rho_iterations;
+                power = None;
+              }
+        | Some _ | None ->
+            { feasible = false; spectral_radius = rho; iterations = rho_iterations; power = None }
+      end
+
+let feasible p ls slot = (solve p ls slot).feasible
+
+let power_scheme p ls slots =
+  let full = Array.make (Linkset.size ls) 1.0 in
+  let ok =
+    List.for_all
+      (fun slot ->
+        match (solve p ls slot).power with
+        | Some witness ->
+            List.iter (fun i -> full.(i) <- witness.(i)) slot;
+            true
+        | None -> slot = [])
+      slots
+  in
+  if ok then Some (Power.Custom full) else None

@@ -1,0 +1,44 @@
+(** Feasibility under arbitrary (global) power control.
+
+    The paper leans on Kesselheim's result that suitable power
+    assignments {e exist} for independent sets of the conflict graph
+    [Garb].  Here we decide feasibility exactly and constructively:
+    writing [M_ij = beta·l_i^alpha / d_ji^alpha] (the normalized gain
+    matrix of a candidate slot) and [c_i = beta·N·l_i^alpha], a slot
+    admits a feasible power assignment iff the spectral radius of [M]
+    is below 1, in which case the fixed point of [P = M·P + c] (with
+    [c_i = l_i^alpha] when noise is zero) is an explicit witness,
+    computed exactly by LU-solving [(I - M)·P = c] — the solution is
+    entrywise positive iff [rho(M) < 1] (M-matrix theory).  Every
+    answer of [solve] is verified against {!Feasibility} before being
+    reported feasible. *)
+
+type outcome = {
+  feasible : bool;
+  spectral_radius : float;
+      (** Power-iteration estimate of [rho(M)]; [infinity] when two
+          slot links touch. *)
+  iterations : int;
+      (** Power-iteration rounds used for the spectral estimate. *)
+  power : float array option;
+      (** On success, a full-length power vector (indexed by link id
+          of the whole linkset; links outside the slot carry the
+          neutral value 1.0 and are never read). *)
+}
+
+val solve : ?max_iter:int -> Params.t -> Linkset.t -> int list -> outcome
+(** Decide feasibility of the slot and produce a witness power
+    vector.  [max_iter] is accepted for compatibility and ignored
+    (the linear system is solved directly). *)
+
+val feasible : Params.t -> Linkset.t -> int list -> bool
+(** [solve] and drop the witness. *)
+
+val spectral_radius : Params.t -> Linkset.t -> int list -> float
+(** Estimate of [rho(M)] alone (200 power iterations). *)
+
+val power_scheme : Params.t -> Linkset.t -> int list list -> Power.scheme option
+(** Given a full partition of the linkset into slots, solve every slot
+    and combine the witnesses into one [Power.Custom] assignment
+    (valid because each link transmits only in its own slot).  [None]
+    if any slot is infeasible. *)

@@ -1,0 +1,20 @@
+let log2 x = log x /. log 2.0
+
+let log_star x =
+  let rec go count v = if v <= 1.0 then count else go (count + 1) (log2 v) in
+  go 0 x
+
+let log_log x = if x <= 2.0 then 0.0 else Float.max 0.0 (log2 (log2 x))
+
+let ilog2 n =
+  if n < 1 then invalid_arg "Growth.ilog2: n must be >= 1";
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) (v lsr 1) in
+  go 0 n
+
+let tower k =
+  let rec go k acc =
+    if k = 0 then acc
+    else if acc > 1024.0 then infinity
+    else go (k - 1) (2.0 ** acc)
+  in
+  go k 1.0

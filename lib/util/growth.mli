@@ -1,0 +1,25 @@
+(** Slow-growing functions used in the paper's bounds.
+
+    The paper expresses schedule lengths as [O(log* Δ)] and
+    [O(log log Δ)] where Δ is the length diversity of the link set.
+    These helpers evaluate those reference curves so experiments can
+    report measured slot counts against them. *)
+
+val log2 : float -> float
+(** Base-2 logarithm. *)
+
+val log_star : float -> int
+(** [log_star x] is the iterated-logarithm (base 2): the number of
+    times [log2] must be applied to [x] before the result is <= 1.
+    [log_star x = 0] for [x <= 1]. *)
+
+val log_log : float -> float
+(** [log_log x] is [log2 (log2 x)] clamped to be >= 0; returns [0.]
+    for [x <= 2]. *)
+
+val ilog2 : int -> int
+(** Integer floor of [log2 n] for [n >= 1]. *)
+
+val tower : int -> float
+(** [tower k] is the power tower 2^2^...^2 of height [k]
+    ([tower 0 = 1.]).  Saturates to [infinity] beyond height 5. *)

@@ -1,0 +1,72 @@
+type align = Left | Right
+
+type t = {
+  title : string option;
+  notes : string list;
+  headers : string list;
+  mutable rev_rows : string list list;
+}
+
+let create ?title ?(notes = []) headers = { title; notes; headers; rev_rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Table.add_row: arity mismatch with header";
+  t.rev_rows <- row :: t.rev_rows
+
+let add_rowf t fmt =
+  Format.kasprintf (fun s -> add_row t (String.split_on_char '\t' s)) fmt
+
+let rows t = List.rev t.rev_rows
+
+let title t = t.title
+
+let render ?(align = Right) t =
+  let all = t.headers :: rows t in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    all;
+  let pad i cell =
+    let w = widths.(i) in
+    let n = w - String.length cell in
+    if n <= 0 then cell
+    else
+      match align with
+      | Left -> cell ^ String.make n ' '
+      | Right -> String.make n ' ' ^ cell
+  in
+  let render_row row = String.concat "  " (List.mapi pad row) in
+  let sep =
+    String.concat "  "
+      (List.init ncols (fun i -> String.make widths.(i) '-'))
+  in
+  let buf = Buffer.create 256 in
+  (match t.title with
+  | Some title ->
+      Buffer.add_string buf ("== " ^ title ^ " ==");
+      Buffer.add_char buf '\n'
+  | None -> ());
+  Buffer.add_string buf (render_row t.headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    (rows t);
+  List.iter
+    (fun note ->
+      Buffer.add_string buf ("  note: " ^ note);
+      Buffer.add_char buf '\n')
+    t.notes;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()

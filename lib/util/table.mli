@@ -1,0 +1,34 @@
+(** Plain-text tables for the experiment harness.
+
+    Every experiment in [Wa_experiments] produces a [t]; the bench
+    executable and the CLI render them with {!render} so that
+    [bench_output.txt] contains the paper-style rows. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> ?notes:string list -> string list -> t
+(** [create headers] makes an empty table with the given column
+    headers.  [notes] are printed under the table. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row.  Raises [Invalid_argument] if the arity does not
+    match the header. *)
+
+val add_rowf : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** [add_rowf t fmt ...] formats a single string and splits it on
+    ['\t'] into cells. *)
+
+val rows : t -> string list list
+(** All rows added so far, in order. *)
+
+val title : t -> string option
+
+val render : ?align:align -> t -> string
+(** Monospace rendering with a header separator; columns are padded to
+    the widest cell.  Numeric-looking experiments generally read best
+    with [~align:Right] (the default). *)
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)

@@ -1,0 +1,162 @@
+module Params = Wa_sinr.Params
+module Linkset = Wa_sinr.Linkset
+module Power = Wa_sinr.Power
+module Pointset = Wa_geom.Pointset
+module Vec2 = Wa_geom.Vec2
+module Rng = Wa_util.Rng
+module Mst = Wa_graph.Mst
+module Agg_tree = Wa_core.Agg_tree
+module Schedule = Wa_core.Schedule
+module Pipeline = Wa_core.Pipeline
+module Protocol_model = Wa_baseline.Protocol_model
+module Alt_trees = Wa_baseline.Alt_trees
+module Naive = Wa_baseline.Naive
+module Random_deploy = Wa_instances.Random_deploy
+module Exp_line = Wa_instances.Exp_line
+
+let p = Params.default
+let v = Vec2.make
+
+let random_square seed n =
+  Random_deploy.uniform_square (Rng.create seed) ~n ~side:1000.0
+
+(* --------------------------------------------------------- Protocol_model *)
+
+let test_protocol_conflicts () =
+  let ls =
+    Linkset.of_links
+      [
+        Wa_sinr.Link.make (v 0.0 0.0) (v 1.0 0.0);
+        Wa_sinr.Link.make (v 1.5 0.0) (v 2.5 0.0);
+        Wa_sinr.Link.make (v 100.0 0.0) (v 101.0 0.0);
+      ]
+  in
+  Alcotest.(check bool) "close conflicts" true (Protocol_model.conflicting ~guard:1.0 ls 0 1);
+  Alcotest.(check bool) "far independent" false (Protocol_model.conflicting ~guard:1.0 ls 0 2);
+  Alcotest.(check bool) "symmetric" true
+    (Protocol_model.conflicting ~guard:1.0 ls 1 0 = Protocol_model.conflicting ~guard:1.0 ls 0 1)
+
+let test_protocol_schedule_covers () =
+  let ps = random_square 61 60 in
+  let agg = Agg_tree.mst ps in
+  let sched = Protocol_model.schedule agg.Agg_tree.links in
+  Alcotest.(check bool) "covers" true (Schedule.covers sched agg.Agg_tree.links);
+  Alcotest.(check bool) "nonempty" true (Schedule.length sched >= 1)
+
+let test_protocol_guard_monotone () =
+  let ps = random_square 67 60 in
+  let agg = Agg_tree.mst ps in
+  let s1 = Protocol_model.schedule ~guard:0.5 agg.Agg_tree.links in
+  let s2 = Protocol_model.schedule ~guard:2.0 agg.Agg_tree.links in
+  Alcotest.(check bool) "larger guard needs >= slots" true
+    (Schedule.length s2 >= Schedule.length s1)
+
+(* ------------------------------------------------------------- Alt_trees *)
+
+let test_star () =
+  let ps = random_square 71 20 in
+  let edges = Alt_trees.star ~sink:3 ps in
+  Alcotest.(check bool) "spanning" true (Mst.is_spanning_tree ~n:20 edges);
+  let agg = Agg_tree.of_edges ~sink:3 ps edges in
+  Alcotest.(check int) "depth 1" 1 (Agg_tree.depth_in_links agg)
+
+let test_spt_equals_star_on_plane () =
+  (* With no hop cost on a complete Euclidean graph, the direct edge is
+     always the shortest path (triangle inequality). *)
+  let ps = random_square 73 15 in
+  let spt = List.sort compare (Alt_trees.shortest_path_tree ~sink:0 ps) in
+  let star = List.sort compare (Alt_trees.star ~sink:0 ps) in
+  Alcotest.(check (list (pair int int))) "spt = star" star spt
+
+let test_spt_cost_exponent_shapes () =
+  let ps = random_square 79 30 in
+  let star_like = Alt_trees.spt_with_cost_exponent ~q:1.0 ~sink:0 ps in
+  let deep = Alt_trees.spt_with_cost_exponent ~q:3.0 ~sink:0 ps in
+  Alcotest.(check bool) "both spanning" true
+    (Mst.is_spanning_tree ~n:30 star_like && Mst.is_spanning_tree ~n:30 deep);
+  let depth edges = Agg_tree.depth_in_links (Agg_tree.of_edges ~sink:0 ps edges) in
+  (* q = 1 degenerates to the star; a super-additive exponent makes
+     multi-hop routes win and the tree grow deeper. *)
+  Alcotest.(check int) "q=1 is star" 1 (depth star_like);
+  Alcotest.(check bool) "q=3 is deeper" true (depth deep > 1);
+  Alcotest.check_raises "q below 1"
+    (Invalid_argument "Alt_trees.spt_with_cost_exponent: q must be >= 1") (fun () ->
+      ignore (Alt_trees.spt_with_cost_exponent ~q:0.5 ~sink:0 ps))
+
+let test_random_spanning_tree () =
+  let rng = Rng.create 83 in
+  let ps = random_square 89 25 in
+  for _ = 1 to 5 do
+    let edges = Alt_trees.random_spanning_tree rng ps in
+    Alcotest.(check bool) "spanning" true (Mst.is_spanning_tree ~n:25 edges)
+  done
+
+let test_matching_tree () =
+  let ps = random_square 91 33 in
+  let edges = Alt_trees.matching_tree ~sink:5 ps in
+  Alcotest.(check bool) "spanning" true (Mst.is_spanning_tree ~n:33 edges);
+  let agg = Agg_tree.of_edges ~sink:5 ps edges in
+  let depth = Agg_tree.depth_in_links agg in
+  (* Depth bounded by the number of halving phases (log2 33 < 6),
+     with slack for unmatched carry-overs. *)
+  Alcotest.(check bool) (Printf.sprintf "depth %d logarithmic" depth) true (depth <= 8);
+  (* And far below the MST's depth on the same instance. *)
+  let mst_depth = Agg_tree.depth_in_links (Agg_tree.mst ~sink:5 ps) in
+  Alcotest.(check bool) "below MST depth" true (depth < mst_depth)
+
+(* ----------------------------------------------------------------- Naive *)
+
+let test_tdma () =
+  let ps = random_square 97 20 in
+  let agg = Agg_tree.mst ps in
+  let sched = Naive.tdma agg.Agg_tree.links in
+  Alcotest.(check int) "one slot per link" (Linkset.size agg.Agg_tree.links)
+    (Schedule.length sched);
+  Alcotest.(check bool) "covers" true (Schedule.covers sched agg.Agg_tree.links);
+  Alcotest.(check bool) "valid" true (Schedule.is_valid p agg.Agg_tree.links sched)
+
+let test_uniform_power_baseline_valid () =
+  let ps = random_square 101 60 in
+  let agg = Agg_tree.mst ps in
+  let sched, _repairs = Naive.uniform_power_schedule p agg.Agg_tree.links in
+  Alcotest.(check bool) "covers" true (Schedule.covers sched agg.Agg_tree.links);
+  Alcotest.(check bool) "valid" true (Schedule.is_valid p agg.Agg_tree.links sched)
+
+let test_uniform_power_linear_on_exp_chain () =
+  (* The headline baseline: on the doubly-exponential chain the
+     no-power-control schedule degenerates to one link per slot while
+     global power control reuses slots. *)
+  let tau = 0.5 in
+  let n = min 9 (Exp_line.max_float_points p ~tau) in
+  let ps = Exp_line.pointset p ~tau ~n in
+  let agg = Agg_tree.mst ~sink:0 ps in
+  let uniform, _ = Naive.uniform_power_schedule p agg.Agg_tree.links in
+  Alcotest.(check int) "uniform is linear" (n - 1) (Schedule.length uniform);
+  let glob = Pipeline.plan ~params:p `Global ps in
+  Alcotest.(check bool) "global beats uniform" true
+    (Pipeline.slots glob < Schedule.length uniform)
+
+let () =
+  Alcotest.run "wa_baseline"
+    [
+      ( "protocol_model",
+        [
+          Alcotest.test_case "conflicts" `Quick test_protocol_conflicts;
+          Alcotest.test_case "schedule covers" `Quick test_protocol_schedule_covers;
+          Alcotest.test_case "guard monotone" `Quick test_protocol_guard_monotone;
+        ] );
+      ( "alt_trees",
+        [
+          Alcotest.test_case "star" `Quick test_star;
+          Alcotest.test_case "spt = star" `Quick test_spt_equals_star_on_plane;
+          Alcotest.test_case "cost exponent shapes" `Quick test_spt_cost_exponent_shapes;
+          Alcotest.test_case "random spanning tree" `Quick test_random_spanning_tree;
+          Alcotest.test_case "matching tree" `Quick test_matching_tree;
+        ] );
+      ( "naive",
+        [
+          Alcotest.test_case "tdma" `Quick test_tdma;
+          Alcotest.test_case "uniform power valid" `Quick test_uniform_power_baseline_valid;
+          Alcotest.test_case "uniform linear on chain" `Quick test_uniform_power_linear_on_exp_chain;
+        ] );
+    ]

@@ -1,0 +1,54 @@
+(* Smoke coverage of the experiment harness: every registered
+   experiment must run (quick mode), produce a non-empty table, and be
+   addressable through the registry. *)
+
+module Experiments = Wa_experiments.Experiments
+module Table = Wa_util.Table
+
+let test_registry_ids_unique () =
+  let ids = List.map (fun e -> e.Experiments.id) Experiments.all in
+  Alcotest.(check int) "no duplicate ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_registry_covers_design_index () =
+  let ids = List.map (fun e -> e.Experiments.id) Experiments.all in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) ("has " ^ expected) true (List.mem expected ids))
+    [
+      "F1"; "F2"; "F3"; "F4"; "F5"; "T1"; "T2"; "T3"; "T4"; "T5"; "T6"; "T7";
+      "T8"; "T9"; "T10"; "T11"; "T12"; "T13"; "T14"; "T15"; "T16"; "T17";
+      "T18"; "T19"; "T20"; "T21";
+    ]
+
+let test_find_case_insensitive () =
+  (match Experiments.find "t1" with
+  | Some e -> Alcotest.(check string) "found" "T1" e.Experiments.id
+  | None -> Alcotest.fail "t1 not found");
+  Alcotest.(check bool) "unknown" true (Experiments.find "Z9" = None)
+
+let run_quick (e : Experiments.t) () =
+  let table = e.Experiments.run ~quick:true in
+  Alcotest.(check bool)
+    (e.Experiments.id ^ " has rows")
+    true
+    (List.length (Table.rows table) > 0);
+  match Table.title table with
+  | Some t -> Alcotest.(check bool) "titled" true (String.length t > 0)
+  | None -> Alcotest.fail "untitled table"
+
+let () =
+  Alcotest.run "wa_experiments"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "unique ids" `Quick test_registry_ids_unique;
+          Alcotest.test_case "covers index" `Quick test_registry_covers_design_index;
+          Alcotest.test_case "find" `Quick test_find_case_insensitive;
+        ] );
+      ( "quick runs",
+        List.map
+          (fun e ->
+            Alcotest.test_case e.Experiments.id `Quick (run_quick e))
+          Experiments.all );
+    ]

@@ -1,0 +1,658 @@
+(* Tests for the Sec-3.1 extension modules: periodic multicoloring,
+   aggregation monoids / median queries, fading, power limits,
+   k-connectivity, and the two-tier multihop scheme. *)
+
+module Params = Wa_sinr.Params
+module Linkset = Wa_sinr.Linkset
+module Power = Wa_sinr.Power
+module Pointset = Wa_geom.Pointset
+module Vec2 = Wa_geom.Vec2
+module Rng = Wa_util.Rng
+module Agg_tree = Wa_core.Agg_tree
+module Schedule = Wa_core.Schedule
+module Periodic = Wa_core.Periodic
+module Simulator = Wa_core.Simulator
+module Functions = Wa_core.Functions
+module Pipeline = Wa_core.Pipeline
+module K_connectivity = Wa_core.K_connectivity
+module Multihop = Wa_core.Multihop
+module Greedy_schedule = Wa_core.Greedy_schedule
+module Random_deploy = Wa_instances.Random_deploy
+
+let p = Params.default
+let v = Vec2.make
+
+let random_square seed n =
+  Random_deploy.uniform_square (Rng.create seed) ~n ~side:1000.0
+
+let chain n spacing =
+  Pointset.of_array (Array.init n (fun i -> v (float_of_int i *. spacing) 0.0))
+
+(* -------------------------------------------------------------- Periodic *)
+
+let test_periodic_basics () =
+  let t = Periodic.make [ [ 0; 2 ]; [ 1 ]; [ 0 ] ] (Schedule.Scheme Power.Uniform) in
+  Alcotest.(check int) "period" 3 (Periodic.period t);
+  Alcotest.(check int) "appearances of 0" 2 (Periodic.appearances t 0);
+  Alcotest.(check int) "appearances of 1" 1 (Periodic.appearances t 1);
+  Alcotest.(check (float 1e-9)) "link rate" (2.0 /. 3.0) (Periodic.link_rate t 0)
+
+let test_periodic_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Periodic.make: empty period")
+    (fun () -> ignore (Periodic.make [] (Schedule.Scheme Power.Uniform)));
+  Alcotest.check_raises "repeated link"
+    (Invalid_argument "Periodic.make: repeated link within a slot") (fun () ->
+      ignore (Periodic.make [ [ 1; 1 ] ] (Schedule.Scheme Power.Uniform)))
+
+let test_periodic_covers_and_rate () =
+  let ps = chain 4 10.0 in
+  let agg = Agg_tree.mst ~sink:0 ps in
+  let ls = agg.Agg_tree.links in
+  let full = Periodic.make [ [ 0; 2 ]; [ 1 ]; [ 0 ] ] (Schedule.Scheme Power.Uniform) in
+  Alcotest.(check bool) "covers" true (Periodic.covers full ls);
+  Alcotest.(check (float 1e-9)) "rate is min link rate" (1.0 /. 3.0)
+    (Periodic.rate full ls);
+  let partial = Periodic.make [ [ 0 ] ] (Schedule.Scheme Power.Uniform) in
+  Alcotest.(check bool) "partial does not cover" false (Periodic.covers partial ls);
+  Alcotest.(check (float 1e-9)) "rate 0 when missing" 0.0 (Periodic.rate partial ls)
+
+let test_periodic_of_schedule () =
+  let s = Schedule.of_slots [ [ 0 ]; [ 1; 2 ] ] (Schedule.Scheme Power.Uniform) in
+  let t = Periodic.of_schedule s in
+  Alcotest.(check int) "period preserved" 2 (Periodic.period t);
+  Alcotest.(check int) "single appearance" 1 (Periodic.appearances t 2)
+
+let test_five_cycle_rates () =
+  let coloring, multi = Periodic.five_cycle_rates () in
+  Alcotest.(check (float 1e-9)) "coloring 1/3" (1.0 /. 3.0) coloring;
+  Alcotest.(check (float 1e-9)) "multicolor 2/5" 0.4 multi
+
+let test_periodic_feasibility_check () =
+  let ps = chain 3 10.0 in
+  let agg = Agg_tree.mst ~sink:0 ps in
+  let ls = agg.Agg_tree.links in
+  (* Links 0 and 1 share a node: a slot containing both is infeasible. *)
+  let bad = Periodic.make [ [ 0; 1 ] ] (Schedule.Scheme Power.Uniform) in
+  Alcotest.(check (list int)) "bad slot flagged" [ 0 ]
+    (Periodic.infeasible_slots p ls bad);
+  Alcotest.(check bool) "invalid" false (Periodic.is_valid p ls bad);
+  let good = Periodic.make [ [ 0 ]; [ 1 ]; [ 0 ] ] (Schedule.Scheme Power.Uniform) in
+  Alcotest.(check bool) "valid" true (Periodic.is_valid p ls good)
+
+let test_simulator_periodic_rate_gain () =
+  (* A 2-link chain where link 0 (nearer the sink) transmits twice per
+     3-slot period: over-driving shows the multicolor rate only if the
+     bottleneck link's extra appearances are usable.  Here both links
+     need equal rate, so the gain comes from shorter waits. *)
+  let ps = chain 6 10.0 in
+  let agg = Agg_tree.mst ~sink:0 ps in
+  let ls = agg.Agg_tree.links in
+  let oracle i j = (i + 1) mod 5 = j || (j + 1) mod 5 = i in
+  let simulate slots gen =
+    let per = Periodic.make slots (Schedule.Scheme Power.Uniform) in
+    let cfg =
+      Simulator.config_for_period
+        ~interference:(Simulator.Conflict_oracle oracle)
+        ~policy:Simulator.Drop ~gen_period:gen
+        ~horizon:(600 * Periodic.period per)
+        (Periodic.period per)
+    in
+    (Simulator.run_periodic agg per cfg).Simulator.steady_rate
+  in
+  ignore ls;
+  let coloring_rate = simulate [ [ 0; 2 ]; [ 1; 3 ]; [ 4 ] ] 2 in
+  let multi_rate = simulate [ [ 0; 2 ]; [ 1; 3 ]; [ 0; 3 ]; [ 1; 4 ]; [ 2; 4 ] ] 2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "multicolor %.3f beats coloring %.3f" multi_rate coloring_rate)
+    true
+    (multi_rate > coloring_rate +. 0.05)
+
+(* ----------------------------------------------------- aggregation monoids *)
+
+let test_monoid_max () =
+  let ps = random_square 3 30 in
+  let plan = Pipeline.plan ~params:p `Global ps in
+  let sched = plan.Pipeline.schedule in
+  let cfg =
+    Simulator.config ~aggregation:Simulator.max_agg
+      ~horizon:(30 * Schedule.length sched)
+      sched
+  in
+  let r = Simulator.run plan.Pipeline.agg sched cfg in
+  Alcotest.(check bool) "max aggregation correct" true r.Simulator.aggregates_correct;
+  Alcotest.(check bool) "delivered" true (r.Simulator.frames_delivered > 0)
+
+let test_monoid_min_and_custom_readings () =
+  let ps = random_square 5 20 in
+  let plan = Pipeline.plan ~params:p (`Oblivious 0.5) ps in
+  let sched = plan.Pipeline.schedule in
+  let reading ~node ~frame = (node * 3) - (frame * 2) in
+  let cfg =
+    Simulator.config ~aggregation:Simulator.min_agg ~reading
+      ~horizon:(30 * Schedule.length sched)
+      sched
+  in
+  let r = Simulator.run plan.Pipeline.agg sched cfg in
+  Alcotest.(check bool) "min aggregation correct" true r.Simulator.aggregates_correct;
+  (* Cross-check one delivered value explicitly. *)
+  match r.Simulator.delivered_values with
+  | (f, value) :: _ ->
+      let expect =
+        Simulator.true_aggregate ~aggregation:Simulator.min_agg ~reading
+          plan.Pipeline.agg ~frame:f
+      in
+      Alcotest.(check int) "explicit min" expect value
+  | [] -> Alcotest.fail "nothing delivered"
+
+(* ------------------------------------------------------------- Functions *)
+
+let test_count_probe () =
+  let ps = random_square 7 25 in
+  let plan = Pipeline.plan ~params:p `Global ps in
+  let readings node = node * 10 in
+  let count, slots =
+    Functions.count_probe ~threshold:100 ~readings plan.Pipeline.agg
+      plan.Pipeline.schedule
+  in
+  (* Nodes 11..24 have readings 110..240 > 100. *)
+  Alcotest.(check int) "count" 14 count;
+  Alcotest.(check bool) "slots positive" true (slots > 0)
+
+let test_median_exact () =
+  List.iter
+    (fun seed ->
+      let n = 31 in
+      let ps = random_square (100 + seed) n in
+      let plan = Pipeline.plan ~params:p `Global ps in
+      let rng = Rng.create seed in
+      let values = Array.init n (fun _ -> Rng.int rng 1000) in
+      let readings node = values.(node) in
+      let sorted = Array.copy values in
+      Array.sort compare sorted;
+      let truth = sorted.(((n + 1) / 2) - 1) in
+      let r = Functions.median ~range:(0, 1000) ~readings plan.Pipeline.agg
+          plan.Pipeline.schedule
+      in
+      Alcotest.(check int) (Printf.sprintf "median seed %d" seed) truth
+        r.Functions.value;
+      Alcotest.(check bool) "probes ~ log range" true (r.Functions.probes <= 12))
+    [ 1; 2; 3 ]
+
+let test_select_extremes () =
+  let n = 16 in
+  let ps = random_square 11 n in
+  let plan = Pipeline.plan ~params:p `Global ps in
+  let readings node = 100 - node in
+  let select k =
+    (Functions.select ~k ~readings plan.Pipeline.agg plan.Pipeline.schedule)
+      .Functions.value
+  in
+  Alcotest.(check int) "minimum" (100 - (n - 1)) (select 1);
+  Alcotest.(check int) "maximum" 100 (select n);
+  Alcotest.check_raises "k out of range"
+    (Invalid_argument "Functions.select: k out of range") (fun () ->
+      ignore (select 0))
+
+(* --------------------------------------------------------------- fading *)
+
+let test_rayleigh_deterministic () =
+  let ps = random_square 13 30 in
+  let plan = Pipeline.plan ~params:p (`Oblivious 0.5) ps in
+  let sched = plan.Pipeline.schedule in
+  let run seed =
+    let cfg =
+      Simulator.config
+        ~interference:
+          (Simulator.Rayleigh { params = p; power = Power.Oblivious 0.5; seed })
+        ~policy:Simulator.Drop
+        ~horizon:(40 * Schedule.length sched)
+        sched
+    in
+    Simulator.run plan.Pipeline.agg sched cfg
+  in
+  let a = run 9 and b = run 9 and c = run 10 in
+  Alcotest.(check int) "same seed, same deliveries" a.Simulator.frames_delivered
+    b.Simulator.frames_delivered;
+  Alcotest.(check int) "same seed, same violations" a.Simulator.violations
+    b.Simulator.violations;
+  Alcotest.(check bool) "different seed differs somewhere" true
+    (a.Simulator.violations <> c.Simulator.violations
+    || a.Simulator.frames_delivered <> c.Simulator.frames_delivered)
+
+let test_rayleigh_retransmission_correct () =
+  (* Fading drops packets, retransmission recovers them: aggregation
+     stays correct, throughput degrades but survives. *)
+  let ps = random_square 17 40 in
+  let plan = Pipeline.plan ~params:p (`Oblivious 0.5) ps in
+  let sched = plan.Pipeline.schedule in
+  let cfg =
+    Simulator.config
+      ~interference:
+        (Simulator.Rayleigh { params = p; power = Power.Oblivious 0.5; seed = 3 })
+      ~policy:Simulator.Drop
+      ~horizon:(120 * Schedule.length sched)
+      sched
+  in
+  let r = Simulator.run plan.Pipeline.agg sched cfg in
+  Alcotest.(check bool) "losses occurred" true (r.Simulator.violations > 0);
+  Alcotest.(check bool) "still delivers" true (r.Simulator.frames_delivered > 10);
+  Alcotest.(check bool) "aggregates correct despite losses" true
+    r.Simulator.aggregates_correct
+
+(* ---------------------------------------------------------- power limits *)
+
+let test_mst_bounded () =
+  let ps = random_square 19 50 in
+  let threshold = Agg_tree.connectivity_threshold ps in
+  Alcotest.(check bool) "threshold positive" true (threshold > 0.0);
+  (* At the threshold the bounded MST exists and equals the MST's
+     weight. *)
+  let bounded = Agg_tree.mst_bounded ~max_link:threshold ps in
+  let unbounded = Agg_tree.mst ps in
+  Alcotest.(check int) "same link count" (Agg_tree.link_count unbounded)
+    (Agg_tree.link_count bounded);
+  (* Below the threshold the graph disconnects. *)
+  match Agg_tree.mst_bounded ~max_link:(0.99 *. threshold) ps with
+  | _ -> Alcotest.fail "expected disconnection"
+  | exception Failure _ -> ()
+
+let test_min_power_for () =
+  let noisy = Params.make ~noise:2.0 ~epsilon:0.5 () in
+  Alcotest.(check (float 1e-9)) "formula" (1.5 *. 2.0 *. 8.0)
+    (Agg_tree.min_power_for noisy 2.0)
+
+(* -------------------------------------------------------- K_connectivity *)
+
+let test_k_connectivity_build () =
+  let ps = random_square 23 40 in
+  List.iter
+    (fun k ->
+      let kc = K_connectivity.build ~k ps in
+      Alcotest.(check int) "tree count" k (K_connectivity.redundancy kc);
+      Alcotest.(check int) "link count" (k * 39)
+        (Linkset.size kc.K_connectivity.links);
+      Alcotest.(check bool)
+        (Printf.sprintf "%d-edge-connected" k)
+        true
+        (K_connectivity.is_k_edge_connected kc))
+    [ 1; 2; 3 ]
+
+let test_k_connectivity_edge_disjoint () =
+  let ps = random_square 29 30 in
+  let kc = K_connectivity.build ~k:3 ps in
+  let all = List.concat kc.K_connectivity.trees in
+  let sorted = List.sort compare all in
+  let rec no_dup = function
+    | a :: (b :: _ as rest) -> a <> b && no_dup rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "edge disjoint" true (no_dup sorted)
+
+let test_k_connectivity_schedule_valid () =
+  let ps = random_square 31 30 in
+  let kc = K_connectivity.build ~k:2 ps in
+  let sched, _ = K_connectivity.schedule p kc Greedy_schedule.Global_power in
+  Alcotest.(check bool) "covers" true (Schedule.covers sched kc.K_connectivity.links);
+  Alcotest.(check bool) "valid" true (Schedule.is_valid p kc.K_connectivity.links sched)
+
+let test_k_connectivity_validation () =
+  let ps = random_square 37 10 in
+  Alcotest.check_raises "k 0" (Invalid_argument "K_connectivity.build: k must be >= 1")
+    (fun () -> ignore (K_connectivity.build ~k:0 ps));
+  match K_connectivity.build ~k:6 ps with
+  | _ -> Alcotest.fail "k too large should fail"
+  | exception Invalid_argument _ -> ()
+
+(* -------------------------------------------------------------- Multihop *)
+
+let test_multihop_structure () =
+  let ps = random_square 41 80 in
+  let mh = Multihop.build ~cell_factor:1.5 ~sink:0 ps in
+  Alcotest.(check bool) "several cells" true (Multihop.leader_count mh >= 2);
+  Alcotest.(check bool) "spanning tree" true
+    (Wa_graph.Mst.is_spanning_tree ~n:80 mh.Multihop.edges);
+  Alcotest.(check bool) "sink is a leader" true (List.mem 0 mh.Multihop.leaders);
+  let t1 = Multihop.tier1_links mh and t2 = Multihop.tier2_links mh in
+  Alcotest.(check int) "tiers partition the edges"
+    (List.length mh.Multihop.edges)
+    (List.length t1 + List.length t2);
+  Alcotest.(check int) "tier2 edges connect leaders"
+    (Multihop.leader_count mh - 1)
+    (List.length t2)
+
+let test_multihop_schedulable () =
+  let ps = random_square 43 60 in
+  let mh = Multihop.build ~cell_factor:2.0 ~sink:0 ps in
+  let plan = Pipeline.plan ~params:p ~tree_edges:mh.Multihop.edges `Global ps in
+  Alcotest.(check bool) "valid" true plan.Pipeline.valid;
+  let r = Pipeline.simulate ~horizon_periods:30 plan in
+  Alcotest.(check bool) "simulates correctly" true r.Simulator.aggregates_correct
+
+(* -------------------------------------------------------------- Capacity *)
+
+let test_capacity_subset_feasible () =
+  let ps = random_square 61 40 in
+  let ls = (Agg_tree.mst ps).Agg_tree.links in
+  let subset =
+    Wa_core.Capacity.max_feasible_subset p ls Wa_core.Capacity.With_power_control
+  in
+  Alcotest.(check bool) "nonempty" true (subset <> []);
+  Alcotest.(check bool) "feasible" true (Wa_sinr.Power_solver.feasible p ls subset);
+  let obl =
+    Wa_core.Capacity.max_feasible_subset p ls
+      (Wa_core.Capacity.Under_scheme (Power.Oblivious 0.5))
+  in
+  Alcotest.(check bool) "oblivious subset feasible" true
+    (Wa_sinr.Feasibility.is_feasible p ls ~power:(Power.Oblivious 0.5) obl);
+  Alcotest.(check bool) "power control packs at least as many" true
+    (List.length subset >= List.length obl)
+
+let test_capacity_vs_schedule () =
+  let ps = random_square 67 50 in
+  let ls = (Agg_tree.mst ps).Agg_tree.links in
+  let cap, largest, pigeonhole = Wa_core.Capacity.vs_schedule p ls in
+  Alcotest.(check bool) "largest slot >= pigeonhole" true (largest >= pigeonhole);
+  Alcotest.(check bool) "capacity >= largest slot" true (cap >= largest)
+
+let test_capacity_singleton_instance () =
+  (* On the doubly-exponential chain, oblivious capacity is exactly 1. *)
+  let tau = 0.5 in
+  let n = min 8 (Wa_instances.Exp_line.max_float_points p ~tau) in
+  let ps = Wa_instances.Exp_line.pointset p ~tau ~n in
+  let ls = (Agg_tree.mst ~sink:0 ps).Agg_tree.links in
+  Alcotest.(check int) "oblivious capacity 1" 1
+    (Wa_core.Capacity.capacity p ls
+       (Wa_core.Capacity.Under_scheme (Power.Oblivious tau)))
+
+(* ------------------------------------------------------------ Multicolor *)
+
+let test_multicolor_covers_and_valid () =
+  let ps = random_square 71 40 in
+  let ls = (Agg_tree.mst ps).Agg_tree.links in
+  let per = Wa_core.Multicolor.balanced p ls Schedule.Arbitrary in
+  Alcotest.(check bool) "covers" true (Periodic.covers per ls);
+  Alcotest.(check bool) "valid" true (Periodic.is_valid p ls per)
+
+let test_multicolor_never_worse () =
+  List.iter
+    (fun seed ->
+      let ps = random_square (300 + seed) 40 in
+      let ls = (Agg_tree.mst ps).Agg_tree.links in
+      let c_rate, m_rate =
+        Wa_core.Multicolor.rate_improvement p ls Greedy_schedule.Global_power
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "multicolor %.4f >= coloring %.4f" m_rate c_rate)
+        true
+        (m_rate >= c_rate -. 1e-9))
+    [ 1; 2; 3 ]
+
+let test_multicolor_simulates () =
+  let ps = random_square 73 30 in
+  let agg = Agg_tree.mst ps in
+  let ls = agg.Agg_tree.links in
+  let per = Wa_core.Multicolor.balanced p ls Schedule.Arbitrary in
+  let target = Periodic.rate per ls in
+  (* Drive at the multicolor rate; the pipeline must sustain it. *)
+  let gen = int_of_float (Float.ceil (1.0 /. target)) in
+  let cfg =
+    Simulator.config_for_period ~gen_period:gen
+      ~horizon:(80 * Periodic.period per)
+      (Periodic.period per)
+  in
+  let r = Simulator.run_periodic agg per cfg in
+  Alcotest.(check bool) "correct" true r.Simulator.aggregates_correct;
+  Alcotest.(check bool)
+    (Printf.sprintf "steady %.4f ~ 1/gen %.4f" r.Simulator.steady_rate
+       (1.0 /. float_of_int gen))
+    true
+    (r.Simulator.steady_rate >= 0.8 /. float_of_int gen)
+
+let test_hierarchical_structure () =
+  let ps = random_square 51 80 in
+  let h = Wa_core.Hierarchical.build ~sink:0 ps in
+  Alcotest.(check bool) "spanning" true
+    (Wa_graph.Mst.is_spanning_tree ~n:80 h.Wa_core.Hierarchical.edges);
+  Alcotest.(check bool) "depth bounded by levels + 1" true
+    (Wa_core.Hierarchical.depth h <= h.Wa_core.Hierarchical.levels + 1);
+  Alcotest.(check bool) "levels logarithmic" true
+    (h.Wa_core.Hierarchical.levels <= 12)
+
+let test_hierarchical_low_latency () =
+  (* The quadtree tree's depth must be far below the MST's on a large
+     random deployment. *)
+  let ps = random_square 53 200 in
+  let mst_depth = Agg_tree.depth_in_links (Agg_tree.mst ~sink:0 ps) in
+  let h = Wa_core.Hierarchical.build ~sink:0 ps in
+  Alcotest.(check bool)
+    (Printf.sprintf "quadtree depth %d << MST depth %d"
+       (Wa_core.Hierarchical.depth h) mst_depth)
+    true
+    (2 * Wa_core.Hierarchical.depth h < mst_depth)
+
+let test_hierarchical_schedulable () =
+  let ps = random_square 57 60 in
+  let h = Wa_core.Hierarchical.build ~sink:0 ps in
+  let plan = Pipeline.plan ~params:p ~tree_edges:h.Wa_core.Hierarchical.edges `Global ps in
+  Alcotest.(check bool) "valid" true plan.Pipeline.valid;
+  let r = Pipeline.simulate ~horizon_periods:30 plan in
+  Alcotest.(check bool) "correct" true r.Simulator.aggregates_correct
+
+let test_multihop_depth_between () =
+  let ps = random_square 47 100 in
+  let mst_depth = Agg_tree.depth_in_links (Agg_tree.mst ~sink:0 ps) in
+  let mh = Multihop.build ~cell_factor:1.5 ~sink:0 ps in
+  let mh_depth = Agg_tree.depth_in_links mh.Multihop.agg in
+  Alcotest.(check bool)
+    (Printf.sprintf "two-tier depth %d < MST depth %d" mh_depth mst_depth)
+    true (mh_depth < mst_depth)
+
+
+(* ---------------------------------------------------- energy & ordering *)
+
+let test_transmissions_counted () =
+  let ps = random_square 81 20 in
+  let plan = Pipeline.plan ~params:p `Global ps in
+  let sched = plan.Pipeline.schedule in
+  let periods = 30 in
+  let r =
+    Simulator.run plan.Pipeline.agg sched
+      (Simulator.config ~horizon:(periods * Schedule.length sched) sched)
+  in
+  (* Each link transmits at most once per period, and any link that
+     delivered frames transmitted at least that many times. *)
+  Array.iter
+    (fun c -> Alcotest.(check bool) "bounded by periods" true (c <= periods))
+    r.Simulator.transmissions;
+  Alcotest.(check bool) "some transmissions" true
+    (Array.exists (fun c -> c > 0) r.Simulator.transmissions);
+  Alcotest.(check bool) "sink uplinks carry every frame" true
+    (Array.exists (fun c -> c >= r.Simulator.frames_delivered) r.Simulator.transmissions)
+
+let test_energy_monotone_in_power () =
+  let ps = random_square 83 30 in
+  let plan = Pipeline.plan ~params:p (`Oblivious 0.5) ps in
+  let sched = plan.Pipeline.schedule in
+  let r =
+    Simulator.run plan.Pipeline.agg sched
+      (Simulator.config ~horizon:(20 * Schedule.length sched) sched)
+  in
+  let ls = plan.Pipeline.agg.Agg_tree.links in
+  let e_obl = Simulator.energy p ls ~power:(Power.Oblivious 0.5) r in
+  Alcotest.(check bool) "positive" true (e_obl > 0.0);
+  (* Scaling every power up scales energy up. *)
+  let vec = Wa_sinr.Power.vector p ls (Power.Oblivious 0.5) in
+  let doubled = Power.Custom (Array.map (fun x -> 2.0 *. x) vec) in
+  let e2 = Simulator.energy p ls ~power:doubled r in
+  Alcotest.(check (float 1e-6)) "doubles" (2.0 *. e_obl) e2
+
+let test_reorder_preserves_schedule () =
+  let ps = random_square 87 40 in
+  let plan = Pipeline.plan ~params:p `Global ps in
+  let sched = plan.Pipeline.schedule in
+  let ls = plan.Pipeline.agg.Agg_tree.links in
+  let re = Schedule.reorder_for_latency plan.Pipeline.agg.Agg_tree.tree ls sched in
+  Alcotest.(check int) "same length" (Schedule.length sched) (Schedule.length re);
+  Alcotest.(check bool) "still covers" true (Schedule.covers re ls);
+  Alcotest.(check bool) "still valid" true (Schedule.is_valid p ls re);
+  (* The simulated run still delivers correctly. *)
+  let r =
+    Simulator.run plan.Pipeline.agg re
+      (Simulator.config ~horizon:(30 * Schedule.length re) re)
+  in
+  Alcotest.(check bool) "correct" true r.Simulator.aggregates_correct
+
+(* --------------------------------------------------------------- Dynamic *)
+
+let test_dynamic_growth () =
+  let net = Wa_core.Dynamic.create ~sink:(v 0.0 0.0) `Global in
+  Alcotest.(check int) "starts with sink" 1 (Wa_core.Dynamic.size net);
+  let rng = Rng.create 99 in
+  for _ = 1 to 25 do
+    let _, stats =
+      Wa_core.Dynamic.add_node net (v (Rng.float rng 500.0) (Rng.float rng 500.0))
+    in
+    Alcotest.(check bool) "valid after add" true (Wa_core.Dynamic.schedule_valid net);
+    Alcotest.(check int) "kept + recolored = total"
+      stats.Wa_core.Dynamic.links_total
+      (stats.Wa_core.Dynamic.links_kept + stats.Wa_core.Dynamic.links_recolored)
+  done;
+  Alcotest.(check int) "26 nodes" 26 (Wa_core.Dynamic.size net);
+  let fresh = Wa_core.Pipeline.slots (Wa_core.Dynamic.plan_now net) in
+  Alcotest.(check bool)
+    (Printf.sprintf "maintained %d within 2x of fresh %d"
+       (Wa_core.Dynamic.current_slots net) fresh)
+    true
+    (Wa_core.Dynamic.current_slots net <= (2 * fresh) + 2)
+
+let test_dynamic_remove () =
+  let net = Wa_core.Dynamic.create ~sink:(v 0.0 0.0) (`Oblivious 0.5) in
+  let rng = Rng.create 7 in
+  let ids = ref [] in
+  for _ = 1 to 15 do
+    let id, _ =
+      Wa_core.Dynamic.add_node net (v (Rng.float rng 300.0) (Rng.float rng 300.0))
+    in
+    ids := id :: !ids
+  done;
+  (* Remove five random nodes; schedule must stay valid throughout. *)
+  List.iteri
+    (fun k id ->
+      if k < 5 then begin
+        let stats = Wa_core.Dynamic.remove_node net id in
+        Alcotest.(check bool) "valid after remove" true
+          (Wa_core.Dynamic.schedule_valid net);
+        Alcotest.(check bool) "links shrink" true
+          (stats.Wa_core.Dynamic.links_total = Wa_core.Dynamic.size net - 1)
+      end)
+    !ids;
+  Alcotest.(check int) "11 nodes left" 11 (Wa_core.Dynamic.size net)
+
+let test_dynamic_churn_mostly_kept () =
+  let net = Wa_core.Dynamic.create ~sink:(v 500.0 500.0) `Global in
+  let rng = Rng.create 17 in
+  for _ = 1 to 30 do
+    ignore (Wa_core.Dynamic.add_node net (v (Rng.float rng 1000.0) (Rng.float rng 1000.0)))
+  done;
+  (* In steady state a single arrival recolors only a few links. *)
+  let _, stats =
+    Wa_core.Dynamic.add_node net (v (Rng.float rng 1000.0) (Rng.float rng 1000.0))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "only %d links recolored of %d" stats.Wa_core.Dynamic.links_recolored
+       stats.Wa_core.Dynamic.links_total)
+    true
+    (stats.Wa_core.Dynamic.links_recolored <= stats.Wa_core.Dynamic.links_total / 3)
+
+let test_dynamic_errors () =
+  let net = Wa_core.Dynamic.create ~sink:(v 0.0 0.0) `Global in
+  let id, _ = Wa_core.Dynamic.add_node net (v 1.0 1.0) in
+  Alcotest.check_raises "coincident" (Invalid_argument "Dynamic.add_node: coincident node")
+    (fun () -> ignore (Wa_core.Dynamic.add_node net (v 1.0 1.0)));
+  Alcotest.check_raises "sink removal"
+    (Invalid_argument "Dynamic.remove_node: cannot remove the sink") (fun () ->
+      ignore (Wa_core.Dynamic.remove_node net 0));
+  Alcotest.check_raises "unknown id" Not_found (fun () ->
+      ignore (Wa_core.Dynamic.remove_node net 999));
+  ignore (Wa_core.Dynamic.remove_node net id);
+  Alcotest.(check int) "back to sink only" 1 (Wa_core.Dynamic.size net)
+
+let () =
+  Alcotest.run "wa_extensions"
+    [
+      ( "periodic",
+        [
+          Alcotest.test_case "basics" `Quick test_periodic_basics;
+          Alcotest.test_case "validation" `Quick test_periodic_validation;
+          Alcotest.test_case "covers and rate" `Quick test_periodic_covers_and_rate;
+          Alcotest.test_case "of_schedule" `Quick test_periodic_of_schedule;
+          Alcotest.test_case "five-cycle rates" `Quick test_five_cycle_rates;
+          Alcotest.test_case "feasibility" `Quick test_periodic_feasibility_check;
+          Alcotest.test_case "simulated rate gain" `Quick test_simulator_periodic_rate_gain;
+        ] );
+      ( "monoids",
+        [
+          Alcotest.test_case "max" `Quick test_monoid_max;
+          Alcotest.test_case "min + custom readings" `Quick test_monoid_min_and_custom_readings;
+        ] );
+      ( "functions",
+        [
+          Alcotest.test_case "count probe" `Quick test_count_probe;
+          Alcotest.test_case "median exact" `Quick test_median_exact;
+          Alcotest.test_case "select extremes" `Quick test_select_extremes;
+        ] );
+      ( "fading",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rayleigh_deterministic;
+          Alcotest.test_case "retransmission correct" `Quick test_rayleigh_retransmission_correct;
+        ] );
+      ( "power_limits",
+        [
+          Alcotest.test_case "bounded MST" `Quick test_mst_bounded;
+          Alcotest.test_case "min power" `Quick test_min_power_for;
+        ] );
+      ( "k_connectivity",
+        [
+          Alcotest.test_case "build" `Quick test_k_connectivity_build;
+          Alcotest.test_case "edge disjoint" `Quick test_k_connectivity_edge_disjoint;
+          Alcotest.test_case "schedule valid" `Quick test_k_connectivity_schedule_valid;
+          Alcotest.test_case "validation" `Quick test_k_connectivity_validation;
+        ] );
+      ( "multihop",
+        [
+          Alcotest.test_case "structure" `Quick test_multihop_structure;
+          Alcotest.test_case "schedulable" `Quick test_multihop_schedulable;
+          Alcotest.test_case "depth between" `Quick test_multihop_depth_between;
+        ] );
+      ( "capacity",
+        [
+          Alcotest.test_case "subset feasible" `Quick test_capacity_subset_feasible;
+          Alcotest.test_case "vs schedule" `Quick test_capacity_vs_schedule;
+          Alcotest.test_case "singleton instance" `Quick test_capacity_singleton_instance;
+        ] );
+      ( "multicolor",
+        [
+          Alcotest.test_case "covers and valid" `Quick test_multicolor_covers_and_valid;
+          Alcotest.test_case "never worse" `Quick test_multicolor_never_worse;
+          Alcotest.test_case "simulates" `Quick test_multicolor_simulates;
+        ] );
+      ( "energy_ordering",
+        [
+          Alcotest.test_case "transmissions counted" `Quick test_transmissions_counted;
+          Alcotest.test_case "energy scaling" `Quick test_energy_monotone_in_power;
+          Alcotest.test_case "reorder preserves" `Quick test_reorder_preserves_schedule;
+        ] );
+      ( "dynamic",
+        [
+          Alcotest.test_case "growth" `Quick test_dynamic_growth;
+          Alcotest.test_case "remove" `Quick test_dynamic_remove;
+          Alcotest.test_case "churn mostly kept" `Quick test_dynamic_churn_mostly_kept;
+          Alcotest.test_case "errors" `Quick test_dynamic_errors;
+        ] );
+      ( "hierarchical",
+        [
+          Alcotest.test_case "structure" `Quick test_hierarchical_structure;
+          Alcotest.test_case "low latency" `Quick test_hierarchical_low_latency;
+          Alcotest.test_case "schedulable" `Quick test_hierarchical_schedulable;
+        ] );
+    ]

@@ -1,0 +1,336 @@
+module Params = Wa_sinr.Params
+module Linkset = Wa_sinr.Linkset
+module Power = Wa_sinr.Power
+module Feasibility = Wa_sinr.Feasibility
+module Power_solver = Wa_sinr.Power_solver
+module Logline = Wa_sinr.Logline
+module Pointset = Wa_geom.Pointset
+module Vec2 = Wa_geom.Vec2
+module Rng = Wa_util.Rng
+module Growth = Wa_util.Growth
+module Agg_tree = Wa_core.Agg_tree
+module Pipeline = Wa_core.Pipeline
+module Random_deploy = Wa_instances.Random_deploy
+module Exp_line = Wa_instances.Exp_line
+module Nested = Wa_instances.Nested
+module Suboptimal = Wa_instances.Suboptimal
+
+let p = Params.default
+
+(* -------------------------------------------------------- Random_deploy *)
+
+let test_uniform_square () =
+  let rng = Rng.create 1 in
+  let ps = Random_deploy.uniform_square rng ~n:100 ~side:50.0 in
+  Alcotest.(check int) "size" 100 (Pointset.size ps);
+  Pointset.fold
+    (fun _ pt () ->
+      Alcotest.(check bool) "in square" true
+        (pt.Vec2.x >= 0.0 && pt.Vec2.x < 50.0 && pt.Vec2.y >= 0.0 && pt.Vec2.y < 50.0))
+    ps ()
+
+let test_uniform_disk () =
+  let rng = Rng.create 2 in
+  let ps = Random_deploy.uniform_disk rng ~n:100 ~radius:10.0 in
+  Pointset.fold
+    (fun _ pt () ->
+      Alcotest.(check bool) "in disk" true (Vec2.norm pt <= 10.0 +. 1e-9))
+    ps ()
+
+let test_grid () =
+  let ps = Random_deploy.grid ~rows:3 ~cols:4 ~spacing:2.0 in
+  Alcotest.(check int) "12 points" 12 (Pointset.size ps);
+  Alcotest.(check (float 1e-9)) "min spacing" 2.0 (Pointset.min_pairwise_distance ps)
+
+let test_jittered_grid () =
+  let rng = Rng.create 3 in
+  let ps = Random_deploy.jittered_grid rng ~rows:4 ~cols:4 ~spacing:1.0 ~jitter:0.2 in
+  Alcotest.(check int) "16 points" 16 (Pointset.size ps);
+  Alcotest.(check bool) "min distance positive" true
+    (Pointset.min_pairwise_distance ps > 0.1);
+  Alcotest.check_raises "jitter bound"
+    (Invalid_argument "Random_deploy.jittered_grid: jitter must be in [0, 0.5)")
+    (fun () ->
+      ignore (Random_deploy.jittered_grid rng ~rows:2 ~cols:2 ~spacing:1.0 ~jitter:0.5))
+
+let test_clusters_diverse () =
+  let rng = Rng.create 4 in
+  let tight = Random_deploy.clusters rng ~clusters:4 ~per_cluster:10 ~side:1000.0 ~spread:0.5 in
+  Alcotest.(check int) "40 points" 40 (Pointset.size tight);
+  Alcotest.(check bool) "high diversity" true (Pointset.diversity tight > 100.0)
+
+let test_uniform_line () =
+  let rng = Rng.create 5 in
+  let ps = Random_deploy.uniform_line rng ~n:20 ~length:100.0 in
+  Pointset.fold
+    (fun _ pt () -> Alcotest.(check (float 1e-9)) "collinear" 0.0 pt.Vec2.y)
+    ps ()
+
+(* -------------------------------------------------------------- Exp_line *)
+
+let test_exp_line_structure () =
+  let tau = 0.5 in
+  let n = 6 in
+  let ps = Exp_line.pointset p ~tau ~n in
+  Alcotest.(check int) "n points" n (Pointset.size ps);
+  (* Gaps grow monotonically (doubly exponentially). *)
+  let xs = Array.map (fun (pt : Vec2.t) -> pt.Vec2.x) (Pointset.points ps) in
+  for i = 0 to n - 3 do
+    Alcotest.(check bool) "gaps increase" true
+      (xs.(i + 2) -. xs.(i + 1) > xs.(i + 1) -. xs.(i))
+  done
+
+let test_exp_line_no_feasible_pair_float () =
+  (* Proposition 1 at float scale: every pair of MST links conflicts
+     under the matching P_tau. *)
+  List.iter
+    (fun tau ->
+      let n = min 8 (Exp_line.max_float_points p ~tau) in
+      let ps = Exp_line.pointset p ~tau ~n in
+      let agg = Agg_tree.mst ~sink:0 ps in
+      let ls = agg.Agg_tree.links in
+      let m = Linkset.size ls in
+      for i = 0 to m - 1 do
+        for j = i + 1 to m - 1 do
+          if Feasibility.pair_feasible p ls ~power:(Power.Oblivious tau) i j then
+            Alcotest.failf "tau=%g: links %d,%d feasible" tau i j
+        done
+      done)
+    [ 0.3; 0.5; 0.7 ]
+
+let test_exp_line_no_feasible_pair_logdomain () =
+  (* The same far beyond float coordinates, capped at the
+     precision-safe size for each tau. *)
+  List.iter
+    (fun tau ->
+      let n = min 40 (Exp_line.max_logline_points p ~tau) in
+      Alcotest.(check bool)
+        (Printf.sprintf "tau=%g log domain reaches past floats" tau)
+        true
+        (n > Exp_line.max_float_points p ~tau);
+      let ll = Exp_line.logline p ~tau ~n in
+      let links = Logline.mst_links ll in
+      Alcotest.(check int)
+        (Printf.sprintf "tau=%g zero pairs (n=%d)" tau n)
+        0
+        (Logline.max_schedulable_pairs p ~tau ll links))
+    [ 0.2; 0.4; 0.5; 0.6; 0.8 ]
+
+let test_exp_line_logline_precision_guard () =
+  let limit = Exp_line.max_logline_points p ~tau:0.2 in
+  Alcotest.(check bool) "limit sane" true (limit > 8 && limit < 40);
+  match Exp_line.logline p ~tau:0.2 ~n:(limit + 1) with
+  | _ -> Alcotest.fail "expected precision rejection"
+  | exception Invalid_argument _ -> ()
+
+let test_exp_line_oblivious_needs_n_minus_1 () =
+  let tau = 0.5 in
+  let n = min 9 (Exp_line.max_float_points p ~tau) in
+  let ps = Exp_line.pointset p ~tau ~n in
+  let plan = Pipeline.plan ~params:p (`Oblivious tau) ps in
+  Alcotest.(check int) "n-1 slots" (n - 1) (Wa_core.Pipeline.slots plan);
+  Alcotest.(check bool) "valid" true plan.Pipeline.valid
+
+let test_exp_line_global_power_helps () =
+  (* Arbitrary power reuses slots that no oblivious scheme can. *)
+  let tau = 0.5 in
+  let n = min 9 (Exp_line.max_float_points p ~tau) in
+  let ps = Exp_line.pointset p ~tau ~n in
+  let glob = Pipeline.plan ~params:p `Global ps in
+  Alcotest.(check bool)
+    (Printf.sprintf "global %d < n-1 = %d" (Pipeline.slots glob) (n - 1))
+    true
+    (Pipeline.slots glob < n - 1);
+  Alcotest.(check bool) "valid" true glob.Pipeline.valid
+
+let test_exp_line_diversity_matches_loglog () =
+  (* n tracks log log Delta: Prop. 1's parameterization. *)
+  let tau = 0.5 in
+  let n = min 9 (Exp_line.max_float_points p ~tau) in
+  let delta = Exp_line.diversity_float p ~tau ~n in
+  let loglog = Growth.log_log delta in
+  Alcotest.(check bool)
+    (Printf.sprintf "n=%d ~ loglog=%.1f" n loglog)
+    true
+    (Float.abs (float_of_int n -. loglog) <= 4.0)
+
+let test_exp_line_validation () =
+  Alcotest.check_raises "n too small"
+    (Invalid_argument "Exp_line.pointset: need at least two points") (fun () ->
+      ignore (Exp_line.pointset p ~tau:0.5 ~n:1));
+  Alcotest.check_raises "tau out of range"
+    (Invalid_argument "Exp_line: tau must lie strictly in (0,1)") (fun () ->
+      ignore (Exp_line.pointset p ~tau:1.0 ~n:4));
+  let nmax = Exp_line.max_float_points p ~tau:0.5 in
+  Alcotest.check_raises "overflow"
+    (Invalid_argument "Exp_line.pointset: coordinates overflow floats (use logline)")
+    (fun () -> ignore (Exp_line.pointset p ~tau:0.5 ~n:(nmax + 1)))
+
+let test_heavy_tailed () =
+  let rng = Rng.create 8 in
+  let light = Random_deploy.heavy_tailed rng ~n:100 ~exponent:3.0 in
+  let heavy = Random_deploy.heavy_tailed rng ~n:100 ~exponent:0.2 in
+  Alcotest.(check int) "sizes" 100 (Pointset.size light);
+  Alcotest.(check bool) "heavier tail => larger diversity" true
+    (Pointset.diversity heavy > Pointset.diversity light);
+  Alcotest.check_raises "exponent"
+    (Invalid_argument "Random_deploy.heavy_tailed: exponent must be positive")
+    (fun () -> ignore (Random_deploy.heavy_tailed rng ~n:5 ~exponent:0.0))
+
+(* ---------------------------------------------------------------- Nested *)
+
+let test_nested_levels () =
+  let r1 = Nested.build p ~level:1 in
+  Alcotest.(check int) "R1 size" 2 (Nested.size r1);
+  Alcotest.(check (float 1e-9)) "R1 rho" 1.0 r1.Nested.rho;
+  let r2 = Nested.build p ~level:2 in
+  Alcotest.(check bool) "R2 larger" true (Nested.size r2 > Nested.size r1);
+  Alcotest.(check bool) "rho decreases" true (r2.Nested.rho < r1.Nested.rho);
+  let r3 = Nested.build p ~level:3 in
+  Alcotest.(check bool) "R3 much larger" true (Nested.size r3 > 100);
+  Alcotest.(check bool) "copies recorded" true (r3.Nested.copies > 10)
+
+let test_nested_tower_rejection () =
+  Alcotest.(check int) "max level 3" 3 (Nested.max_buildable_level p);
+  match Nested.build p ~level:4 with
+  | _ -> Alcotest.fail "level 4 should be unbuildable"
+  | exception Invalid_argument _ -> ()
+
+let test_nested_positions_sorted_distinct () =
+  let r3 = Nested.build p ~level:3 in
+  let pos = r3.Nested.positions in
+  for i = 0 to Array.length pos - 2 do
+    if pos.(i) >= pos.(i + 1) then Alcotest.failf "positions not increasing at %d" i
+  done;
+  (* Pointset construction re-checks distinctness. *)
+  Alcotest.(check int) "pointset size" (Nested.size r3)
+    (Pointset.size (Nested.pointset r3))
+
+let test_nested_longest_link_spans () =
+  (* The prepended link has length = half the span. *)
+  let r2 = Nested.build p ~level:2 in
+  let pos = r2.Nested.positions in
+  let span = pos.(Array.length pos - 1) -. pos.(0) in
+  let first_gap = pos.(1) -. pos.(0) in
+  Alcotest.(check (float 1e-6)) "long link is half the span" (span /. 2.0) first_gap
+
+let test_nested_rate_bound () =
+  let r2 = Nested.build p ~level:2 in
+  Alcotest.(check (float 1e-9)) "2/(t+1)" (2.0 /. 3.0) (Nested.rate_upper_bound r2)
+
+let test_nested_schedule_growth () =
+  (* Greedy global-power slots grow with the level (the measured side
+     of Theorem 4). *)
+  let slots level =
+    let inst = Nested.build p ~level in
+    Pipeline.slots (Pipeline.plan ~params:p `Global (Nested.pointset inst))
+  in
+  let s1 = slots 1 and s2 = slots 2 and s3 = slots 3 in
+  Alcotest.(check int) "R1 trivial" 1 s1;
+  Alcotest.(check bool) "R2 needs more" true (s2 > s1);
+  Alcotest.(check bool) "R3 needs more" true (s3 > s2);
+  (* Theorem 4: rate at most 2/(t+1), i.e. at least (t+1)/2 slots. *)
+  Alcotest.(check bool) "R3 at least 2 slots" true (s3 >= 2)
+
+(* ------------------------------------------------------------ Suboptimal *)
+
+let test_suboptimal_two_slots () =
+  List.iter
+    (fun tau ->
+      let inst = Suboptimal.build p ~tau ~stations:4 in
+      let agg =
+        Agg_tree.of_edges ~sink:inst.Suboptimal.sink inst.Suboptimal.points
+          inst.Suboptimal.tree_edges
+      in
+      let long_slot, conn_slot = Suboptimal.two_slot_partition inst agg in
+      Alcotest.(check int) "4 long" 4 (List.length long_slot);
+      Alcotest.(check int) "3 connectors" 3 (List.length conn_slot);
+      let ls = agg.Agg_tree.links in
+      Alcotest.(check bool)
+        (Printf.sprintf "tau=%g long slot feasible" tau)
+        true
+        (Feasibility.is_feasible p ls ~power:(Power.Oblivious tau) long_slot);
+      Alcotest.(check bool)
+        (Printf.sprintf "tau=%g connector slot feasible" tau)
+        true
+        (Feasibility.is_feasible p ls ~power:(Power.Oblivious tau) conn_slot))
+    [ 0.3; 0.7 ]
+
+let test_suboptimal_mst_needs_linear () =
+  List.iter
+    (fun tau ->
+      let inst = Suboptimal.build p ~tau ~stations:4 in
+      let plan = Pipeline.plan ~params:p (`Oblivious tau) inst.Suboptimal.points in
+      Alcotest.(check int)
+        (Printf.sprintf "tau=%g MST linear slots" tau)
+        7 (Pipeline.slots plan))
+    [ 0.3; 0.7 ]
+
+let test_suboptimal_gamma_margin () =
+  Alcotest.(check bool) "tau=0.3 positive" true (Suboptimal.gamma_margin ~tau:0.3 > 0.0);
+  Alcotest.(check bool) "tau=0.7 positive" true (Suboptimal.gamma_margin ~tau:0.7 > 0.0);
+  Alcotest.(check bool) "tau=0.4 negative (documented deviation)" true
+    (Suboptimal.gamma_margin ~tau:0.4 < 0.0)
+
+let test_suboptimal_tree_is_spanning () =
+  let inst = Suboptimal.build p ~tau:0.3 ~stations:5 in
+  Alcotest.(check bool) "spanning" true
+    (Wa_graph.Mst.is_spanning_tree ~n:(Pointset.size inst.Suboptimal.points)
+       inst.Suboptimal.tree_edges)
+
+let test_suboptimal_validation () =
+  Alcotest.check_raises "middle band"
+    (Invalid_argument "Suboptimal.build: tau must lie in (0, 2/5] or [3/5, 1)")
+    (fun () -> ignore (Suboptimal.build p ~tau:0.5 ~stations:4));
+  Alcotest.check_raises "one station"
+    (Invalid_argument "Suboptimal.build: need at least two stations") (fun () ->
+      ignore (Suboptimal.build p ~tau:0.3 ~stations:1))
+
+let test_suboptimal_max_stations () =
+  let k = Suboptimal.max_stations p ~tau:0.3 in
+  Alcotest.(check bool) "buildable range" true (k >= 4);
+  ignore (Suboptimal.build p ~tau:0.3 ~stations:k)
+
+let () =
+  Alcotest.run "wa_instances"
+    [
+      ( "random_deploy",
+        [
+          Alcotest.test_case "uniform square" `Quick test_uniform_square;
+          Alcotest.test_case "uniform disk" `Quick test_uniform_disk;
+          Alcotest.test_case "grid" `Quick test_grid;
+          Alcotest.test_case "jittered grid" `Quick test_jittered_grid;
+          Alcotest.test_case "clusters" `Quick test_clusters_diverse;
+          Alcotest.test_case "uniform line" `Quick test_uniform_line;
+          Alcotest.test_case "heavy tailed" `Quick test_heavy_tailed;
+        ] );
+      ( "exp_line",
+        [
+          Alcotest.test_case "structure" `Quick test_exp_line_structure;
+          Alcotest.test_case "no feasible pair (float)" `Quick test_exp_line_no_feasible_pair_float;
+          Alcotest.test_case "no feasible pair (log)" `Quick test_exp_line_no_feasible_pair_logdomain;
+          Alcotest.test_case "logline precision guard" `Quick test_exp_line_logline_precision_guard;
+          Alcotest.test_case "oblivious needs n-1" `Quick test_exp_line_oblivious_needs_n_minus_1;
+          Alcotest.test_case "global power helps" `Quick test_exp_line_global_power_helps;
+          Alcotest.test_case "diversity ~ loglog" `Quick test_exp_line_diversity_matches_loglog;
+          Alcotest.test_case "validation" `Quick test_exp_line_validation;
+        ] );
+      ( "nested",
+        [
+          Alcotest.test_case "levels" `Quick test_nested_levels;
+          Alcotest.test_case "tower rejection" `Quick test_nested_tower_rejection;
+          Alcotest.test_case "positions sorted" `Quick test_nested_positions_sorted_distinct;
+          Alcotest.test_case "long link spans" `Quick test_nested_longest_link_spans;
+          Alcotest.test_case "rate bound" `Quick test_nested_rate_bound;
+          Alcotest.test_case "schedule growth" `Quick test_nested_schedule_growth;
+        ] );
+      ( "suboptimal",
+        [
+          Alcotest.test_case "two slots" `Quick test_suboptimal_two_slots;
+          Alcotest.test_case "MST linear" `Quick test_suboptimal_mst_needs_linear;
+          Alcotest.test_case "gamma margin" `Quick test_suboptimal_gamma_margin;
+          Alcotest.test_case "spanning tree" `Quick test_suboptimal_tree_is_spanning;
+          Alcotest.test_case "validation" `Quick test_suboptimal_validation;
+          Alcotest.test_case "max stations" `Quick test_suboptimal_max_stations;
+        ] );
+    ]

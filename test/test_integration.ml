@@ -1,0 +1,222 @@
+(* End-to-end scenarios: the paper's headline claims exercised through
+   the full public pipeline, plus cross-component consistency. *)
+
+module Params = Wa_sinr.Params
+module Linkset = Wa_sinr.Linkset
+module Power = Wa_sinr.Power
+module Feasibility = Wa_sinr.Feasibility
+module Agg_tree = Wa_core.Agg_tree
+module Schedule = Wa_core.Schedule
+module Simulator = Wa_core.Simulator
+module Pipeline = Wa_core.Pipeline
+module Greedy_schedule = Wa_core.Greedy_schedule
+module Distributed = Wa_core.Distributed
+module Pointset = Wa_geom.Pointset
+module Rng = Wa_util.Rng
+module Growth = Wa_util.Growth
+module Stats = Wa_util.Stats
+module Random_deploy = Wa_instances.Random_deploy
+module Exp_line = Wa_instances.Exp_line
+module Suboptimal = Wa_instances.Suboptimal
+
+let p = Params.default
+
+(* Theorem 1 shape: on uniform deployments, slots grow (at most) very
+   slowly with n under global power, and stay modest under oblivious
+   power; schedules are always verified. *)
+let test_theorem1_shape () =
+  let slots_at n mode =
+    let samples =
+      List.map
+        (fun seed ->
+          let ps =
+            Random_deploy.uniform_square (Rng.create (1000 + seed)) ~n ~side:1000.0
+          in
+          let plan = Pipeline.plan ~params:p mode ps in
+          Alcotest.(check bool) "valid" true plan.Pipeline.valid;
+          float_of_int (Pipeline.slots plan))
+        [ 1; 2; 3 ]
+    in
+    Stats.mean samples
+  in
+  let g_small = slots_at 40 `Global and g_large = slots_at 400 `Global in
+  (* A 10x larger network may cost only a few more slots. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "global slots near-flat: %.1f -> %.1f" g_small g_large)
+    true
+    (g_large -. g_small <= 4.0);
+  let o_large = slots_at 400 (`Oblivious 0.5) in
+  Alcotest.(check bool)
+    (Printf.sprintf "oblivious %.1f within constant of global %.1f" o_large g_large)
+    true
+    (o_large <= 4.0 *. g_large)
+
+(* Corollary 1: random deployments have polynomial diversity, so the
+   log* and loglog reference curves stay tiny. *)
+let test_corollary1_diversity () =
+  let ps = Random_deploy.uniform_square (Rng.create 77) ~n:500 ~side:1000.0 in
+  let delta = Pointset.diversity ps in
+  Alcotest.(check bool)
+    (Printf.sprintf "diversity %.3g polynomial-ish" delta)
+    true
+    (delta < 1e8);
+  Alcotest.(check bool) "log* tiny" true (Growth.log_star delta <= 5)
+
+(* The full global-power pipeline, simulated end to end, sustains the
+   promised rate with correct aggregation. *)
+let test_end_to_end_global () =
+  let ps = Random_deploy.uniform_square (Rng.create 5) ~n:150 ~side:1000.0 in
+  let plan = Pipeline.plan ~params:p `Global ps in
+  Alcotest.(check bool) "valid" true plan.Pipeline.valid;
+  let r = Pipeline.simulate ~horizon_periods:50 plan in
+  Alcotest.(check bool) "aggregates correct" true r.Simulator.aggregates_correct;
+  let expected = Pipeline.rate plan in
+  Alcotest.(check bool)
+    (Printf.sprintf "steady %.4f vs schedule %.4f" r.Simulator.steady_rate expected)
+    true
+    (r.Simulator.steady_rate >= 0.85 *. expected)
+
+(* Witness powers from the solver drive the simulator's per-slot SINR
+   re-verification with zero violations. *)
+let test_witness_power_simulation () =
+  let ps = Random_deploy.uniform_square (Rng.create 13) ~n:60 ~side:800.0 in
+  let plan = Pipeline.plan ~params:p `Global ps in
+  let ls = plan.Pipeline.agg.Agg_tree.links in
+  match Schedule.witness_power p ls plan.Pipeline.schedule with
+  | Some scheme ->
+      let cfg =
+        Simulator.config
+          ~interference:(Simulator.Sinr (p, scheme))
+          ~policy:Simulator.Drop
+          ~horizon:(30 * Schedule.length plan.Pipeline.schedule)
+          plan.Pipeline.schedule
+      in
+      let r = Simulator.run plan.Pipeline.agg plan.Pipeline.schedule cfg in
+      Alcotest.(check int) "zero violations under witness powers" 0
+        r.Simulator.violations;
+      Alcotest.(check bool) "aggregates correct" true r.Simulator.aggregates_correct
+  | None -> Alcotest.fail "expected witness power"
+
+(* Oblivious schedules survive per-slot SINR re-verification too. *)
+let test_oblivious_simulation_verified () =
+  let ps = Random_deploy.uniform_square (Rng.create 19) ~n:80 ~side:800.0 in
+  let plan = Pipeline.plan ~params:p (`Oblivious 0.4) ps in
+  let sched = plan.Pipeline.schedule in
+  let cfg =
+    Simulator.config
+      ~interference:(Simulator.Sinr (p, Power.Oblivious 0.4))
+      ~policy:Simulator.Drop
+      ~horizon:(30 * Schedule.length sched)
+      sched
+  in
+  let r = Simulator.run plan.Pipeline.agg sched cfg in
+  Alcotest.(check int) "zero violations" 0 r.Simulator.violations
+
+(* Section 5 end-to-end: on the Fig-4 family the library's own MST plan
+   is beaten by the alternative tree by a Theta(n) factor. *)
+let test_mst_suboptimality_end_to_end () =
+  let tau = 0.3 in
+  let inst = Suboptimal.build p ~tau ~stations:4 in
+  let mst_plan = Pipeline.plan ~params:p (`Oblivious tau) inst.Suboptimal.points in
+  Alcotest.(check bool) "MST plan valid" true mst_plan.Pipeline.valid;
+  Alcotest.(check int) "MST linear" 7 (Pipeline.slots mst_plan);
+  (* The geometric conflict graph is conservative (sufficient, not
+     necessary, for feasibility), so the alternative tree's 2-slot
+     schedule is constructed from the instance and validated against
+     the exact SINR condition. *)
+  let agg =
+    Agg_tree.of_edges ~sink:inst.Suboptimal.sink inst.Suboptimal.points
+      inst.Suboptimal.tree_edges
+  in
+  let long_slot, conn_slot = Suboptimal.two_slot_partition inst agg in
+  let alt =
+    Schedule.of_slots [ long_slot; conn_slot ]
+      (Schedule.Scheme (Power.Oblivious tau))
+  in
+  Alcotest.(check bool) "2-slot schedule is exactly SINR-valid" true
+    (Schedule.is_valid p agg.Agg_tree.links alt);
+  Alcotest.(check int) "two slots" 2 (Schedule.length alt)
+
+(* The distributed protocol and the centralized greedy agree on
+   validity, and the distributed coloring feeds a working schedule. *)
+let test_distributed_to_schedule () =
+  let ps = Random_deploy.uniform_square (Rng.create 23) ~n:100 ~side:1000.0 in
+  let agg = Agg_tree.mst ps in
+  let ls = agg.Agg_tree.links in
+  let d = Distributed.run p ls Greedy_schedule.Global_power in
+  Alcotest.(check bool) "coloring valid" true d.Distributed.valid;
+  let sched = Schedule.of_coloring d.Distributed.coloring Schedule.Arbitrary in
+  let sched, _ = Schedule.repair p ls sched in
+  Alcotest.(check bool) "schedule valid" true (Schedule.is_valid p ls sched);
+  let r =
+    Simulator.run agg sched
+      (Simulator.config ~horizon:(20 * Schedule.length sched) sched)
+  in
+  Alcotest.(check bool) "simulates" true r.Simulator.aggregates_correct
+
+(* Rate/latency tradeoff (Sec. 3.1): on a chain, the MST gives constant
+   slots but linear latency; the star gives depth 1 but linear slots. *)
+let test_rate_latency_tradeoff () =
+  let n = 24 in
+  let ps =
+    Pointset.of_array
+      (Array.init n (fun i -> Wa_geom.Vec2.make (float_of_int i) 0.0))
+  in
+  let mst_plan = Pipeline.plan ~params:p `Global ps in
+  let star_edges = Wa_baseline.Alt_trees.star ~sink:0 ps in
+  let star_plan = Pipeline.plan ~params:p ~tree_edges:star_edges `Global ps in
+  Alcotest.(check bool)
+    (Printf.sprintf "chain slots %d small" (Pipeline.slots mst_plan))
+    true
+    (Pipeline.slots mst_plan <= 6);
+  Alcotest.(check int) "chain depth linear" (n - 1)
+    (Agg_tree.depth_in_links mst_plan.Pipeline.agg);
+  Alcotest.(check int) "star depth 1" 1 (Agg_tree.depth_in_links star_plan.Pipeline.agg);
+  Alcotest.(check bool)
+    (Printf.sprintf "star slots %d large" (Pipeline.slots star_plan))
+    true
+    (Pipeline.slots star_plan > 2 * Pipeline.slots mst_plan)
+
+(* Grid networks schedule in O(1) slots (Sec. 3.1: "chains of
+   unit-length links (or the regular grid) can be scheduled in a
+   constant number of slots"). *)
+let test_grid_constant () =
+  let ps = Random_deploy.grid ~rows:12 ~cols:12 ~spacing:10.0 in
+  let plan = Pipeline.plan ~params:p `Global ps in
+  Alcotest.(check bool)
+    (Printf.sprintf "grid slots %d constant" (Pipeline.slots plan))
+    true
+    (Pipeline.slots plan <= 8);
+  Alcotest.(check bool) "valid" true plan.Pipeline.valid
+
+(* Noise: the interference-limited regime tolerates a positive noise
+   floor with only constant-factor slot growth. *)
+let test_noise_robustness () =
+  let noisy = Params.make ~noise:1e-9 () in
+  let ps = Random_deploy.uniform_square (Rng.create 29) ~n:80 ~side:100.0 in
+  let quiet_plan = Pipeline.plan ~params:p (`Oblivious 0.5) ps in
+  let noisy_plan = Pipeline.plan ~params:noisy (`Oblivious 0.5) ps in
+  Alcotest.(check bool) "noisy valid" true noisy_plan.Pipeline.valid;
+  Alcotest.(check bool)
+    (Printf.sprintf "noisy %d vs quiet %d" (Pipeline.slots noisy_plan)
+       (Pipeline.slots quiet_plan))
+    true
+    (Pipeline.slots noisy_plan <= (3 * Pipeline.slots quiet_plan) + 2)
+
+let () =
+  Alcotest.run "wa_integration"
+    [
+      ( "end-to-end",
+        [
+          Alcotest.test_case "theorem 1 shape" `Slow test_theorem1_shape;
+          Alcotest.test_case "corollary 1 diversity" `Quick test_corollary1_diversity;
+          Alcotest.test_case "global pipeline" `Quick test_end_to_end_global;
+          Alcotest.test_case "witness power simulation" `Quick test_witness_power_simulation;
+          Alcotest.test_case "oblivious verified" `Quick test_oblivious_simulation_verified;
+          Alcotest.test_case "MST suboptimality" `Quick test_mst_suboptimality_end_to_end;
+          Alcotest.test_case "distributed to schedule" `Quick test_distributed_to_schedule;
+          Alcotest.test_case "rate/latency tradeoff" `Quick test_rate_latency_tradeoff;
+          Alcotest.test_case "grid constant" `Quick test_grid_constant;
+          Alcotest.test_case "noise robustness" `Quick test_noise_robustness;
+        ] );
+    ]

@@ -1,0 +1,168 @@
+(* Tests for the metric-generic scheduling core, including a
+   cross-check of its Euclidean-plane instantiation against the
+   specialized main pipeline. *)
+
+module Rng = Wa_util.Rng
+module E2 = Wa_metric.Scheduling.Make (Wa_metric.Space.Euclid2)
+module E3 = Wa_metric.Scheduling.Make (Wa_metric.Space.Euclid3)
+module L1 = Wa_metric.Scheduling.Make (Wa_metric.Space.Manhattan)
+module Linf = Wa_metric.Scheduling.Make (Wa_metric.Space.Chebyshev)
+
+let p = Wa_sinr.Params.default
+let alpha = p.Wa_sinr.Params.alpha
+let beta = p.Wa_sinr.Params.beta
+
+let random_stations seed n =
+  let rng = Rng.create seed in
+  Array.init n (fun _ -> (Rng.float rng 1000.0, Rng.float rng 1000.0))
+
+let random_stations_3d seed n =
+  let rng = Rng.create seed in
+  Array.init n (fun _ ->
+      (Rng.float rng 1000.0, Rng.float rng 1000.0, Rng.float rng 1000.0))
+
+(* ------------------------------------------------ cross-check vs main *)
+
+let test_mst_matches_main_pipeline () =
+  let stations = random_stations 3 60 in
+  let inst = E2.instance stations in
+  let generic_links = E2.mst_links inst in
+  let ps =
+    Wa_geom.Pointset.of_array
+      (Array.map (fun (x, y) -> Wa_geom.Vec2.make x y) stations)
+  in
+  let main = Wa_core.Agg_tree.mst ~sink:0 ps in
+  (* Same undirected edge set (MST unique in general position). *)
+  let norm edges = List.sort compare (List.map (fun (a, b) -> (min a b, max a b)) edges) in
+  let main_edges =
+    Wa_graph.Tree.directed_edges main.Wa_core.Agg_tree.tree
+  in
+  Alcotest.(check (list (pair int int))) "same MST" (norm main_edges)
+    (norm generic_links)
+
+let test_slots_match_main_pipeline () =
+  let stations = random_stations 7 50 in
+  let inst = E2.instance stations in
+  let generic =
+    List.length
+      (E2.greedy_slots ~alpha
+         (E2.Power_law { gamma = 2.0; delta = 0.5 })
+         inst)
+  in
+  let ps =
+    Wa_geom.Pointset.of_array
+      (Array.map (fun (x, y) -> Wa_geom.Vec2.make x y) stations)
+  in
+  let agg = Wa_core.Agg_tree.mst ~sink:0 ps in
+  let coloring =
+    Wa_core.Greedy_schedule.coloring p agg.Wa_core.Agg_tree.links
+      (Wa_core.Greedy_schedule.Oblivious_power 0.5)
+  in
+  Alcotest.(check int) "same Gobl colors" coloring.Wa_graph.Coloring.classes generic
+
+(* ---------------------------------------------------------- validation *)
+
+let test_instance_validation () =
+  Alcotest.check_raises "singleton"
+    (Invalid_argument "Scheduling.instance: need at least two stations")
+    (fun () -> ignore (E2.instance [| (0.0, 0.0) |]));
+  Alcotest.check_raises "coincident"
+    (Invalid_argument "Scheduling.instance: coincident stations") (fun () ->
+      ignore (E2.instance [| (0.0, 0.0); (0.0, 0.0) |]))
+
+let test_mst_size_and_direction () =
+  let inst = E2.instance ~sink:2 (random_stations 11 20) in
+  let links = E2.mst_links inst in
+  Alcotest.(check int) "n-1 links" 19 (List.length links);
+  Alcotest.(check bool) "sink is no sender" true
+    (List.for_all (fun (s, _) -> s <> 2) links)
+
+let test_ptau_validation_all_metrics () =
+  let check name run = Alcotest.(check bool) name true run in
+  let run_e2 stations =
+    let inst = E2.instance stations in
+    let slots = E2.greedy_slots ~alpha (E2.Power_law { gamma = 2.0; delta = 0.5 }) inst in
+    E2.validate_ptau ~alpha ~beta ~tau:0.5 inst slots
+  in
+  let run_l1 stations =
+    let inst = L1.instance stations in
+    let slots = L1.greedy_slots ~alpha (L1.Power_law { gamma = 2.0; delta = 0.5 }) inst in
+    L1.validate_ptau ~alpha ~beta ~tau:0.5 inst slots
+  in
+  let run_linf stations =
+    let inst = Linf.instance stations in
+    let slots =
+      Linf.greedy_slots ~alpha (Linf.Power_law { gamma = 2.0; delta = 0.5 }) inst
+    in
+    Linf.validate_ptau ~alpha ~beta ~tau:0.5 inst slots
+  in
+  check "euclid2" (run_e2 (random_stations 13 60));
+  check "manhattan" (run_l1 (random_stations 17 60));
+  check "chebyshev" (run_linf (random_stations 19 60));
+  let inst3 = E3.instance (random_stations_3d 23 60) in
+  let slots3 =
+    E3.greedy_slots ~alpha (E3.Power_law { gamma = 2.0; delta = 0.5 }) inst3
+  in
+  check "euclid3" (E3.validate_ptau ~alpha ~beta ~tau:0.5 inst3 slots3)
+
+let test_constants_flat_across_metrics () =
+  let stations = random_stations 29 100 in
+  let values =
+    [
+      List.length (E2.greedy_slots ~alpha (E2.Constant 1.0) (E2.instance stations));
+      List.length (L1.greedy_slots ~alpha (L1.Constant 1.0) (L1.instance stations));
+      List.length
+        (Linf.greedy_slots ~alpha (Linf.Constant 1.0) (Linf.instance stations));
+    ]
+  in
+  List.iter
+    (fun v -> Alcotest.(check bool) (Printf.sprintf "chi(G1)=%d small" v) true (v <= 8))
+    values;
+  let inst3 = E3.instance (random_stations_3d 31 100) in
+  Alcotest.(check bool) "3D pressure bounded" true
+    (E3.lemma1_pressure ~alpha inst3 <= 15.0)
+
+let test_metric_axioms_spotcheck () =
+  let pts = [ (0.0, 0.0); (3.0, 4.0); (-1.0, 2.0) ] in
+  List.iter
+    (fun (name, d) ->
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              Alcotest.(check bool) (name ^ " symmetric") true (d a b = d b a);
+              List.iter
+                (fun c ->
+                  Alcotest.(check bool) (name ^ " triangle") true
+                    (d a c <= d a b +. d b c +. 1e-12))
+                pts)
+            pts)
+        pts)
+    [
+      ("euclid", Wa_metric.Space.Euclid2.dist);
+      ("manhattan", Wa_metric.Space.Manhattan.dist);
+      ("chebyshev", Wa_metric.Space.Chebyshev.dist);
+    ]
+
+let test_diversity () =
+  let inst = E2.instance [| (0.0, 0.0); (1.0, 0.0); (10.0, 0.0) |] in
+  Alcotest.(check (float 1e-9)) "delta" 10.0 (E2.diversity inst)
+
+let () =
+  Alcotest.run "wa_metric"
+    [
+      ( "cross-check",
+        [
+          Alcotest.test_case "MST matches main" `Quick test_mst_matches_main_pipeline;
+          Alcotest.test_case "slots match main" `Quick test_slots_match_main_pipeline;
+        ] );
+      ( "generic core",
+        [
+          Alcotest.test_case "validation" `Quick test_instance_validation;
+          Alcotest.test_case "mst shape" `Quick test_mst_size_and_direction;
+          Alcotest.test_case "Ptau valid all metrics" `Quick test_ptau_validation_all_metrics;
+          Alcotest.test_case "constants flat" `Quick test_constants_flat_across_metrics;
+          Alcotest.test_case "metric axioms" `Quick test_metric_axioms_spotcheck;
+          Alcotest.test_case "diversity" `Quick test_diversity;
+        ] );
+    ]

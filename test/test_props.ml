@@ -1,0 +1,361 @@
+(* Cross-cutting property-based tests: the invariants that tie the
+   paper's machinery together, exercised on randomized instances. *)
+
+module Params = Wa_sinr.Params
+module Link = Wa_sinr.Link
+module Linkset = Wa_sinr.Linkset
+module Power = Wa_sinr.Power
+module Feasibility = Wa_sinr.Feasibility
+module Power_solver = Wa_sinr.Power_solver
+module Affectance = Wa_sinr.Affectance
+module Conflict = Wa_core.Conflict
+module Refinement = Wa_core.Refinement
+module Greedy_schedule = Wa_core.Greedy_schedule
+module Schedule = Wa_core.Schedule
+module Agg_tree = Wa_core.Agg_tree
+module Simulator = Wa_core.Simulator
+module Pipeline = Wa_core.Pipeline
+module Pointset = Wa_geom.Pointset
+module Vec2 = Wa_geom.Vec2
+module Mst = Wa_graph.Mst
+module Rng = Wa_util.Rng
+module Random_deploy = Wa_instances.Random_deploy
+module Alt_trees = Wa_baseline.Alt_trees
+
+let p = Params.default
+
+(* Generators --------------------------------------------------------- *)
+
+let gen_pointset =
+  QCheck.make ~print:(fun (seed, n) -> Printf.sprintf "seed=%d n=%d" seed n)
+    QCheck.Gen.(
+      map
+        (fun (seed, n) -> (seed, 5 + (abs n mod 40)))
+        (pair (int_bound 100000) int))
+
+let pointset_of (seed, n) =
+  Random_deploy.uniform_square (Rng.create seed) ~n ~side:500.0
+
+let gen_linkset =
+  QCheck.make ~print:(fun (seed, n) -> Printf.sprintf "seed=%d n=%d" seed n)
+    QCheck.Gen.(
+      map
+        (fun (seed, n) -> (seed, 3 + (abs n mod 10)))
+        (pair (int_bound 100000) int))
+
+let linkset_of (seed, n) =
+  let rng = Rng.create (seed + 7919) in
+  Linkset.of_links
+    (List.init n (fun _ ->
+         let sx = Rng.float rng 200.0 and sy = Rng.float rng 200.0 in
+         let dx = Rng.float_range rng 1.0 10.0 and dy = Rng.float_range rng 0.0 5.0 in
+         Link.make (Vec2.make sx sy) (Vec2.make (sx +. dx) (sy +. dy))))
+
+(* Properties ---------------------------------------------------------- *)
+
+let prop_mst_minimal_weight =
+  QCheck.Test.make ~count:40 ~name:"MST weight <= random spanning tree weight"
+    gen_pointset (fun input ->
+      let ps = pointset_of input in
+      let n = Pointset.size ps in
+      let mst = Mst.euclidean ps in
+      let rng = Rng.create (fst input + 1) in
+      let alt = Alt_trees.random_spanning_tree rng ps in
+      ignore n;
+      Mst.total_weight ps mst <= Mst.total_weight ps alt +. 1e-9)
+
+let prop_mst_edges_local =
+  QCheck.Test.make ~count:40 ~name:"every point connects to its nearest neighbor"
+    gen_pointset (fun input ->
+      (* Cycle property corollary: the nearest-neighbor edge of every
+         point is in the (unique, generic-position) MST. *)
+      let ps = pointset_of input in
+      let mst = Mst.euclidean ps in
+      let has u v = List.mem (min u v, max u v) mst in
+      let ok = ref true in
+      for i = 0 to Pointset.size ps - 1 do
+        let nn = Pointset.nearest_neighbor ps i in
+        (* Ties could break this; tolerate by checking distance equal. *)
+        if not (has i nn) then begin
+          let connected_closer =
+            List.exists
+              (fun (u, v) ->
+                (u = i || v = i)
+                && Pointset.dist ps u v <= Pointset.dist ps i nn +. 1e-9)
+              mst
+          in
+          if not connected_closer then ok := false
+        end
+      done;
+      !ok)
+
+let prop_feasible_subset_closed =
+  QCheck.Test.make ~count:60 ~name:"subsets of oblivious-feasible sets stay feasible"
+    gen_linkset (fun input ->
+      let ls = linkset_of input in
+      let n = Linkset.size ls in
+      let all = List.init n Fun.id in
+      let scheme = Power.Oblivious 0.5 in
+      (* Take the first feasible slot the greedy scheduler produces and
+         drop one element at a time; feasibility must persist (removing
+         an interferer only raises everyone's SINR). *)
+      let sched, _ = Greedy_schedule.schedule p ls (Greedy_schedule.Oblivious_power 0.5) in
+      ignore all;
+      Array.for_all
+        (fun slot ->
+          List.for_all
+            (fun drop ->
+              let sub = List.filter (fun i -> i <> drop) slot in
+              sub = [] || Feasibility.is_feasible p ls ~power:scheme sub)
+            slot)
+        sched.Schedule.slots)
+
+let prop_solver_subset_closed =
+  QCheck.Test.make ~count:30 ~name:"subsets of solver-feasible sets stay feasible"
+    gen_linkset (fun input ->
+      let ls = linkset_of input in
+      let n = Linkset.size ls in
+      let all = List.init n Fun.id in
+      if Power_solver.feasible p ls all then
+        List.for_all
+          (fun drop ->
+            Power_solver.feasible p ls (List.filter (fun i -> i <> drop) all))
+          all
+      else QCheck.assume_fail ())
+
+let prop_solver_witness_sound =
+  QCheck.Test.make ~count:60 ~name:"solver witness always passes the SINR check"
+    gen_linkset (fun input ->
+      let ls = linkset_of input in
+      let n = Linkset.size ls in
+      let slot = List.init (min n 5) Fun.id in
+      match (Power_solver.solve p ls slot).Power_solver.power with
+      | Some witness ->
+          Feasibility.is_feasible p ls ~power:(Power.Custom witness) slot
+      | None -> true)
+
+let prop_conflict_symmetric =
+  QCheck.Test.make ~count:60 ~name:"conflict relation is symmetric" gen_linkset
+    (fun input ->
+      let ls = linkset_of input in
+      let n = Linkset.size ls in
+      let ths =
+        [ Conflict.constant (); Conflict.power_law ~tau:0.4 (); Conflict.log_power () ]
+      in
+      List.for_all
+        (fun th ->
+          let ok = ref true in
+          for i = 0 to n - 1 do
+            for j = 0 to n - 1 do
+              if Conflict.conflicting p th ls i j <> Conflict.conflicting p th ls j i
+              then ok := false
+            done
+          done;
+          !ok)
+        ths)
+
+let prop_refinement_buckets_independent =
+  QCheck.Test.make ~count:40 ~name:"refinement buckets are G1-independent on MSTs"
+    gen_pointset (fun input ->
+      let ps = pointset_of input in
+      let agg = Agg_tree.mst ps in
+      let r = Refinement.refine p agg.Agg_tree.links in
+      Refinement.buckets_g1_independent p agg.Agg_tree.links r)
+
+let prop_pipeline_schedules_verified =
+  QCheck.Test.make ~count:25 ~name:"pipeline schedules are always SINR-valid"
+    gen_pointset (fun input ->
+      let ps = pointset_of input in
+      List.for_all
+        (fun mode ->
+          let plan = Pipeline.plan ~params:p mode ps in
+          plan.Pipeline.valid)
+        [ `Global; `Oblivious 0.5; `Uniform ])
+
+let prop_simulator_conserves_frames =
+  QCheck.Test.make ~count:20 ~name:"simulator aggregates every frame correctly"
+    gen_pointset (fun input ->
+      let ps = pointset_of input in
+      let plan = Pipeline.plan ~params:p (`Oblivious 0.5) ps in
+      let r = Pipeline.simulate ~horizon_periods:30 plan in
+      r.Simulator.aggregates_correct
+      && r.Simulator.frames_delivered <= r.Simulator.frames_generated
+      && r.Simulator.violations = 0)
+
+let prop_simulator_latency_monotone_frames =
+  QCheck.Test.make ~count:15 ~name:"delivered frame count grows with horizon"
+    gen_pointset (fun input ->
+      let ps = pointset_of input in
+      let plan = Pipeline.plan ~params:p `Global ps in
+      let sched = plan.Pipeline.schedule in
+      let run periods =
+        (Simulator.run plan.Pipeline.agg sched
+           (Simulator.config ~horizon:(periods * Schedule.length sched) sched))
+          .Simulator.frames_delivered
+      in
+      run 40 >= run 20)
+
+let prop_schedule_partition =
+  QCheck.Test.make ~count:30 ~name:"greedy schedules partition the links"
+    gen_pointset (fun input ->
+      let ps = pointset_of input in
+      let agg = Agg_tree.mst ps in
+      List.for_all
+        (fun mode ->
+          let sched, _ = Greedy_schedule.schedule p agg.Agg_tree.links mode in
+          Schedule.covers sched agg.Agg_tree.links)
+        [ Greedy_schedule.Global_power; Greedy_schedule.Oblivious_power 0.3 ])
+
+let prop_affectance_feasibility_consistent =
+  QCheck.Test.make ~count:40 ~name:"feasibility iff total relative interference <= 1/beta"
+    gen_linkset (fun input ->
+      let ls = linkset_of input in
+      let n = Linkset.size ls in
+      let slot = List.init (min n 4) Fun.id in
+      let scheme = Power.Oblivious 0.5 in
+      let vec = Power.vector p ls scheme in
+      (* In the noise-free regime the SINR check and the relative
+         interference sum are the same statement. *)
+      let by_sinr = Feasibility.is_feasible p ls ~power:scheme slot in
+      let by_affectance =
+        List.for_all
+          (fun i ->
+            Affectance.relative_total p ls ~power:vec slot i
+            <= (1.0 /. p.Params.beta) +. 1e-9)
+          slot
+      in
+      by_sinr = by_affectance)
+
+let prop_periodic_of_schedule_consistent =
+  QCheck.Test.make ~count:30 ~name:"Periodic.of_schedule preserves rate and validity"
+    gen_pointset (fun input ->
+      let ps = pointset_of input in
+      let agg = Agg_tree.mst ps in
+      let ls = agg.Agg_tree.links in
+      let sched, _ = Greedy_schedule.schedule p ls (Greedy_schedule.Oblivious_power 0.5) in
+      let per = Wa_core.Periodic.of_schedule sched in
+      Wa_core.Periodic.covers per ls
+      && Float.abs (Wa_core.Periodic.rate per ls -. Schedule.rate sched) < 1e-12
+      && Wa_core.Periodic.is_valid p ls per)
+
+let prop_monoid_aggregation_correct =
+  QCheck.Test.make ~count:20 ~name:"all monoids aggregate correctly" gen_pointset
+    (fun input ->
+      let ps = pointset_of input in
+      let plan = Pipeline.plan ~params:p `Global ps in
+      let sched = plan.Pipeline.schedule in
+      List.for_all
+        (fun aggregation ->
+          let cfg =
+            Simulator.config ~aggregation
+              ~horizon:(25 * Schedule.length sched)
+              sched
+          in
+          (Simulator.run plan.Pipeline.agg sched cfg).Simulator.aggregates_correct)
+        [ Simulator.sum; Simulator.max_agg; Simulator.min_agg ])
+
+let prop_kconnect_trees_disjoint_and_spanning =
+  QCheck.Test.make ~count:15 ~name:"k-connectivity trees edge-disjoint and spanning"
+    gen_pointset (fun input ->
+      let ps = pointset_of input in
+      let n = Pointset.size ps in
+      if n < 8 then QCheck.assume_fail ()
+      else begin
+        let kc = Wa_core.K_connectivity.build ~k:2 ps in
+        let all = List.concat kc.Wa_core.K_connectivity.trees in
+        let distinct = List.sort_uniq compare all in
+        List.length distinct = List.length all
+        && List.for_all (Wa_graph.Mst.is_spanning_tree ~n)
+             kc.Wa_core.K_connectivity.trees
+      end)
+
+let prop_multihop_spanning =
+  QCheck.Test.make ~count:20 ~name:"multihop union is a spanning tree" gen_pointset
+    (fun input ->
+      let ps = pointset_of input in
+      let n = Pointset.size ps in
+      let mh = Wa_core.Multihop.build ~cell_factor:1.5 ~sink:0 ps in
+      Wa_graph.Mst.is_spanning_tree ~n mh.Wa_core.Multihop.edges)
+
+let prop_hierarchical_spanning_and_shallow =
+  QCheck.Test.make ~count:20 ~name:"hierarchical tree spanning with bounded depth"
+    gen_pointset (fun input ->
+      let ps = pointset_of input in
+      let n = Pointset.size ps in
+      let h = Wa_core.Hierarchical.build ~sink:0 ps in
+      Wa_graph.Mst.is_spanning_tree ~n h.Wa_core.Hierarchical.edges
+      && Wa_core.Hierarchical.depth h <= h.Wa_core.Hierarchical.levels + 1)
+
+let prop_selection_matches_sort =
+  QCheck.Test.make ~count:10 ~name:"network selection equals sorted order statistic"
+    gen_pointset (fun input ->
+      let ps = pointset_of input in
+      let n = Pointset.size ps in
+      let plan = Pipeline.plan ~params:p `Global ps in
+      let rng = Rng.create (fst input) in
+      let values = Array.init n (fun _ -> Rng.int rng 500) in
+      let readings node = values.(node) in
+      let sorted = Array.copy values in
+      Array.sort compare sorted;
+      let k = 1 + Rng.int rng n in
+      let r =
+        Wa_core.Functions.select ~range:(0, 500) ~k ~readings plan.Pipeline.agg
+          plan.Pipeline.schedule
+      in
+      r.Wa_core.Functions.value = sorted.(k - 1))
+
+let prop_mst_bounded_matches_mst_at_threshold =
+  QCheck.Test.make ~count:20 ~name:"bounded MST at the threshold equals the MST"
+    gen_pointset (fun input ->
+      let ps = pointset_of input in
+      let threshold = Agg_tree.connectivity_threshold ps in
+      let bounded = Agg_tree.mst_bounded ~max_link:threshold ps in
+      let plain = Agg_tree.mst ps in
+      Agg_tree.link_count bounded = Agg_tree.link_count plain)
+
+let prop_inductive_independence_small =
+  QCheck.Test.make ~count:15 ~name:"inductive independence stays constant on MSTs"
+    gen_pointset (fun input ->
+      let ps = pointset_of input in
+      let agg = Agg_tree.mst ps in
+      let ls = agg.Agg_tree.links in
+      Conflict.inductive_independence p (Conflict.constant ()) ls <= 8
+      && Conflict.inductive_independence p (Conflict.log_power ()) ls <= 10)
+
+let prop_tdma_always_valid =
+  QCheck.Test.make ~count:30 ~name:"naive TDMA is always valid" gen_pointset
+    (fun input ->
+      let ps = pointset_of input in
+      let agg = Agg_tree.mst ps in
+      let sched = Wa_baseline.Naive.tdma agg.Agg_tree.links in
+      Schedule.is_valid p agg.Agg_tree.links sched)
+
+let () =
+  Alcotest.run "wa_props"
+    [
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_mst_minimal_weight;
+            prop_mst_edges_local;
+            prop_feasible_subset_closed;
+            prop_solver_subset_closed;
+            prop_solver_witness_sound;
+            prop_conflict_symmetric;
+            prop_refinement_buckets_independent;
+            prop_pipeline_schedules_verified;
+            prop_simulator_conserves_frames;
+            prop_simulator_latency_monotone_frames;
+            prop_schedule_partition;
+            prop_affectance_feasibility_consistent;
+            prop_tdma_always_valid;
+            prop_periodic_of_schedule_consistent;
+            prop_monoid_aggregation_correct;
+            prop_kconnect_trees_disjoint_and_spanning;
+            prop_multihop_spanning;
+            prop_hierarchical_spanning_and_shallow;
+            prop_selection_matches_sort;
+            prop_mst_bounded_matches_mst_at_threshold;
+            prop_inductive_independence_small;
+          ] );
+    ]

@@ -1,0 +1,333 @@
+module Rng = Wa_util.Rng
+module Lf = Wa_util.Logfloat
+module Growth = Wa_util.Growth
+module Stats = Wa_util.Stats
+module Table = Wa_util.Table
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Rng.bits64 a) (Rng.bits64 b)) then differs := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differs
+
+let test_rng_int_range () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_rejects_nonpositive () =
+  let r = Rng.create 3 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_float_range () =
+  let r = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.float_range r 2.0 3.0 in
+    Alcotest.(check bool) "in [2,3)" true (v >= 2.0 && v < 3.0)
+  done
+
+let test_rng_copy_independent () =
+  let a = Rng.create 11 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy replays" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_split () =
+  let a = Rng.create 13 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "split differs from parent" true
+    (not (Int64.equal (Rng.bits64 a) (Rng.bits64 b)))
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 17 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted
+
+let test_rng_gaussian_moments () =
+  let r = Rng.create 19 in
+  let n = 20000 in
+  let sum = ref 0.0 and sq = ref 0.0 in
+  for _ = 1 to n do
+    let v = Rng.gaussian r in
+    sum := !sum +. v;
+    sq := !sq +. (v *. v)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean near 0" true (Float.abs mean < 0.05);
+  Alcotest.(check bool) "variance near 1" true (Float.abs (var -. 1.0) < 0.1)
+
+let test_rng_bool_balanced () =
+  let r = Rng.create 23 in
+  let trues = ref 0 in
+  for _ = 1 to 10000 do
+    if Rng.bool r then incr trues
+  done;
+  Alcotest.(check bool) "roughly fair" true (!trues > 4500 && !trues < 5500)
+
+let test_rng_pick () =
+  let r = Rng.create 29 in
+  let a = [| 3; 5; 9 |] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "member" true (Array.mem (Rng.pick r a) a)
+  done
+
+(* ------------------------------------------------------------- Logfloat *)
+
+let lf = Alcotest.testable Lf.pp Lf.equal
+
+let check_rel name expected actual =
+  let tol = 1e-12 *. Float.max 1.0 (Float.abs expected) in
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %g, got %g" name expected actual
+
+let test_lf_roundtrip () =
+  List.iter
+    (fun v -> check_rel "roundtrip" v (Lf.to_float (Lf.of_float v)))
+    [ 0.0; 1.0; 0.5; 42.0; 1e-30; 1e30 ]
+
+let test_lf_add () =
+  check_float "2+3" 5.0 (Lf.to_float (Lf.add (Lf.of_float 2.0) (Lf.of_float 3.0)));
+  Alcotest.check lf "0+x" (Lf.of_float 7.0) (Lf.add Lf.zero (Lf.of_float 7.0))
+
+let test_lf_sub () =
+  check_float "5-3" 2.0 (Lf.to_float (Lf.sub (Lf.of_float 5.0) (Lf.of_float 3.0)));
+  Alcotest.(check bool) "x-x=0" true (Lf.is_zero (Lf.sub (Lf.of_float 5.0) (Lf.of_float 5.0)));
+  Alcotest.check_raises "negative result"
+    (Invalid_argument "Logfloat.sub: result would be negative") (fun () ->
+      ignore (Lf.sub (Lf.of_float 1.0) (Lf.of_float 2.0)))
+
+let test_lf_mul_div () =
+  check_float "6*7" 42.0 (Lf.to_float (Lf.mul (Lf.of_float 6.0) (Lf.of_float 7.0)));
+  check_float "42/6" 7.0 (Lf.to_float (Lf.div (Lf.of_float 42.0) (Lf.of_float 6.0)));
+  Alcotest.(check bool) "0*x" true (Lf.is_zero (Lf.mul Lf.zero (Lf.of_float 3.0)));
+  Alcotest.check_raises "x/0" Division_by_zero (fun () ->
+      ignore (Lf.div (Lf.of_float 1.0) Lf.zero))
+
+let test_lf_pow () =
+  check_float "2^10" 1024.0 (Lf.to_float (Lf.pow (Lf.of_float 2.0) 10.0));
+  check_float "x^0" 1.0 (Lf.to_float (Lf.pow (Lf.of_float 9.0) 0.0));
+  check_float "0^0" 1.0 (Lf.to_float (Lf.pow Lf.zero 0.0));
+  Alcotest.(check bool) "0^2" true (Lf.is_zero (Lf.pow Lf.zero 2.0))
+
+let test_lf_huge () =
+  (* Values far beyond float range still compare correctly. *)
+  let a = Lf.pow (Lf.of_float 10.0) 500.0 in
+  let b = Lf.pow (Lf.of_float 10.0) 501.0 in
+  Alcotest.(check bool) "10^500 < 10^501" true (Lf.( < ) a b);
+  check_float "ratio" 10.0 (Lf.to_float (Lf.div b a));
+  Alcotest.(check bool) "overflows to_float" true
+    (Float.is_integer (Lf.to_float a) = false || Lf.to_float a = infinity)
+
+let test_lf_sum () =
+  check_float "sum" 10.0
+    (Lf.to_float (Lf.sum [ Lf.of_float 1.0; Lf.of_float 2.0; Lf.of_float 3.0; Lf.of_float 4.0 ]));
+  Alcotest.(check bool) "empty sum" true (Lf.is_zero (Lf.sum []))
+
+let test_lf_compare () =
+  Alcotest.(check bool) "1 < 2" true (Lf.( < ) Lf.one (Lf.of_float 2.0));
+  Alcotest.(check bool) "0 <= 0" true (Lf.( <= ) Lf.zero Lf.zero);
+  Alcotest.check lf "min" Lf.one (Lf.min Lf.one (Lf.of_float 3.0));
+  Alcotest.check lf "max" (Lf.of_float 3.0) (Lf.max Lf.one (Lf.of_float 3.0))
+
+let test_lf_of_float_rejects () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Logfloat.of_float: negative or NaN") (fun () ->
+      ignore (Lf.of_float (-1.0)))
+
+let lf_qcheck =
+  let pos_float = QCheck.float_range 1e-6 1e6 in
+  [
+    QCheck.Test.make ~count:300 ~name:"logfloat add commutes"
+      (QCheck.pair pos_float pos_float) (fun (a, b) ->
+        Lf.equal (Lf.add (Lf.of_float a) (Lf.of_float b))
+          (Lf.add (Lf.of_float b) (Lf.of_float a)));
+    QCheck.Test.make ~count:300 ~name:"logfloat mul/div inverse"
+      (QCheck.pair pos_float pos_float) (fun (a, b) ->
+        let r = Lf.div (Lf.mul (Lf.of_float a) (Lf.of_float b)) (Lf.of_float b) in
+        Float.abs (Lf.to_float r -. a) <= 1e-9 *. a);
+    QCheck.Test.make ~count:300 ~name:"logfloat add matches floats"
+      (QCheck.pair pos_float pos_float) (fun (a, b) ->
+        let r = Lf.to_float (Lf.add (Lf.of_float a) (Lf.of_float b)) in
+        Float.abs (r -. (a +. b)) <= 1e-9 *. (a +. b));
+    QCheck.Test.make ~count:300 ~name:"logfloat order matches floats"
+      (QCheck.pair pos_float pos_float) (fun (a, b) ->
+        Lf.compare (Lf.of_float a) (Lf.of_float b) = Float.compare a b);
+  ]
+
+(* --------------------------------------------------------------- Growth *)
+
+let test_log_star () =
+  Alcotest.(check int) "log* 1" 0 (Growth.log_star 1.0);
+  Alcotest.(check int) "log* 2" 1 (Growth.log_star 2.0);
+  Alcotest.(check int) "log* 4" 2 (Growth.log_star 4.0);
+  Alcotest.(check int) "log* 16" 3 (Growth.log_star 16.0);
+  Alcotest.(check int) "log* 65536" 4 (Growth.log_star 65536.0);
+  Alcotest.(check int) "log* 2^300" 5 (Growth.log_star (2.0 ** 300.0))
+
+let test_log_log () =
+  check_float "loglog 16" 2.0 (Growth.log_log 16.0);
+  check_float "loglog 2" 0.0 (Growth.log_log 2.0);
+  check_float "loglog below 2" 0.0 (Growth.log_log 1.5)
+
+let test_ilog2 () =
+  Alcotest.(check int) "ilog2 1" 0 (Growth.ilog2 1);
+  Alcotest.(check int) "ilog2 2" 1 (Growth.ilog2 2);
+  Alcotest.(check int) "ilog2 3" 1 (Growth.ilog2 3);
+  Alcotest.(check int) "ilog2 1024" 10 (Growth.ilog2 1024);
+  Alcotest.check_raises "ilog2 0" (Invalid_argument "Growth.ilog2: n must be >= 1")
+    (fun () -> ignore (Growth.ilog2 0))
+
+let test_tower () =
+  check_float "tower 0" 1.0 (Growth.tower 0);
+  check_float "tower 1" 2.0 (Growth.tower 1);
+  check_float "tower 2" 4.0 (Growth.tower 2);
+  check_float "tower 3" 16.0 (Growth.tower 3);
+  check_float "tower 4" 65536.0 (Growth.tower 4);
+  Alcotest.(check bool) "tower 6 saturates" true (Growth.tower 6 = infinity)
+
+let test_tower_log_star_inverse () =
+  (* log*(tower k) = k for the finite tower levels. *)
+  List.iter
+    (fun k -> Alcotest.(check int) "inverse" k (Growth.log_star (Growth.tower k)))
+    [ 0; 1; 2; 3; 4 ]
+
+(* ---------------------------------------------------------------- Stats *)
+
+let test_stats_summary () =
+  let s = Stats.summarize [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  check_float "mean" 3.0 s.Stats.mean;
+  check_float "median" 3.0 s.Stats.median;
+  check_float "min" 1.0 s.Stats.min;
+  check_float "max" 5.0 s.Stats.max;
+  Alcotest.(check int) "count" 5 s.Stats.count;
+  check_float "stddev" (sqrt 2.5) s.Stats.stddev
+
+let test_stats_singleton () =
+  let s = Stats.summarize [ 42.0 ] in
+  check_float "mean" 42.0 s.Stats.mean;
+  check_float "stddev" 0.0 s.Stats.stddev
+
+let test_stats_percentile () =
+  let xs = [ 10.0; 20.0; 30.0; 40.0 ] in
+  check_float "p0" 10.0 (Stats.percentile 0.0 xs);
+  check_float "p100" 40.0 (Stats.percentile 100.0 xs);
+  check_float "p50" 25.0 (Stats.percentile 50.0 xs)
+
+let test_stats_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.mean: empty sample")
+    (fun () -> ignore (Stats.mean []))
+
+(* ---------------------------------------------------------------- Table *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_table_render () =
+  let t = Table.create ~title:"demo" [ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333"; "4" ];
+  let out = Table.render t in
+  Alcotest.(check bool) "has title" true (contains out "== demo ==");
+  Alcotest.(check bool) "has separator" true (contains out "---");
+  Alcotest.(check int) "rows kept" 2 (List.length (Table.rows t))
+
+let test_table_arity () =
+  let t = Table.create [ "a"; "b" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch with header")
+    (fun () -> Table.add_row t [ "only-one" ])
+
+let test_table_left_align () =
+  let t = Table.create [ "name"; "v" ] in
+  Table.add_row t [ "a"; "1" ];
+  Table.add_row t [ "bbbb"; "2" ];
+  let out = Table.render ~align:Table.Left t in
+  Alcotest.(check bool) "left-padded" true (contains out "a    ");
+  let right = Table.render ~align:Table.Right t in
+  Alcotest.(check bool) "right-padded" true (contains right "   a")
+
+let test_lf_zero_extremes () =
+  Alcotest.(check bool) "min with zero" true (Lf.is_zero (Lf.min Lf.zero Lf.one));
+  Alcotest.(check bool) "max with zero" true (Lf.equal Lf.one (Lf.max Lf.zero Lf.one));
+  Alcotest.(check bool) "zero <= all" true (Lf.( <= ) Lf.zero (Lf.of_float 1e-300))
+
+let test_table_rowf () =
+  let t = Table.create [ "x"; "y" ] in
+  Table.add_rowf t "%d\t%.2f" 3 1.5;
+  Alcotest.(check (list (list string))) "split on tab" [ [ "3"; "1.50" ] ] (Table.rows t)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest lf_qcheck in
+  Alcotest.run "wa_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "int rejects nonpositive" `Quick test_rng_int_rejects_nonpositive;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "copy" `Quick test_rng_copy_independent;
+          Alcotest.test_case "split" `Quick test_rng_split;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "bool balanced" `Quick test_rng_bool_balanced;
+          Alcotest.test_case "pick" `Quick test_rng_pick;
+        ] );
+      ( "logfloat",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_lf_roundtrip;
+          Alcotest.test_case "add" `Quick test_lf_add;
+          Alcotest.test_case "sub" `Quick test_lf_sub;
+          Alcotest.test_case "mul/div" `Quick test_lf_mul_div;
+          Alcotest.test_case "pow" `Quick test_lf_pow;
+          Alcotest.test_case "huge values" `Quick test_lf_huge;
+          Alcotest.test_case "sum" `Quick test_lf_sum;
+          Alcotest.test_case "compare" `Quick test_lf_compare;
+          Alcotest.test_case "of_float rejects" `Quick test_lf_of_float_rejects;
+          Alcotest.test_case "zero extremes" `Quick test_lf_zero_extremes;
+        ]
+        @ qc );
+      ( "growth",
+        [
+          Alcotest.test_case "log_star" `Quick test_log_star;
+          Alcotest.test_case "log_log" `Quick test_log_log;
+          Alcotest.test_case "ilog2" `Quick test_ilog2;
+          Alcotest.test_case "tower" `Quick test_tower;
+          Alcotest.test_case "tower/log* inverse" `Quick test_tower_log_star_inverse;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "singleton" `Quick test_stats_singleton;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "empty rejected" `Quick test_stats_empty_rejected;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "arity" `Quick test_table_arity;
+          Alcotest.test_case "rowf" `Quick test_table_rowf;
+          Alcotest.test_case "alignment" `Quick test_table_left_align;
+        ] );
+    ]
