@@ -1,15 +1,20 @@
 (* Benchmark & reproduction harness.
 
    Running this executable regenerates every table/figure of the
-   reproduction (the T*/F* experiment index of DESIGN.md) and then
-   times the pipeline stages and each experiment with Bechamel.
+   reproduction (the T*/F* experiment index of DESIGN.md), runs the
+   conflict-graph / validation scaling benchmarks (dense vs indexed
+   engine, JSON-recorded), and then times the pipeline stages and each
+   experiment with Bechamel.
 
    Usage:
-     main.exe                 all tables (full sizes) + bechamel timings
+     main.exe                 tables (full sizes) + scaling + bechamel
      main.exe --quick         reduced sizes everywhere
      main.exe --table T1      a single experiment table
-     main.exe --no-bench      tables only
-     main.exe --no-tables     bechamel timings only *)
+     main.exe --no-bench      skip the bechamel micro-benchmarks
+     main.exe --no-tables     skip the experiment tables
+     main.exe --no-scaling    skip the scaling benchmarks
+     main.exe --json PATH     where to write the scaling timings
+                              (default BENCH_PR1.json) *)
 
 open Bechamel
 
@@ -18,6 +23,149 @@ let p = Wa_sinr.Params.default
 let deployment n seed =
   Wa_instances.Random_deploy.uniform_square (Wa_util.Rng.create seed) ~n
     ~side:1000.0
+
+(* Scaling benchmarks: the spatial-indexed conflict-graph pipeline
+   against the dense O(n²) reference, on uniform MST link sets.  One
+   wall-clock sample per cell — these are second-scale effects, not
+   nanosecond ones, and the JSON is meant for cross-PR trajectory
+   tracking, so simplicity beats OLS here. *)
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+
+let sorted_edges g = List.sort compare (Wa_graph.Graph.edges g)
+
+(* Dense references above this size take minutes and add nothing:
+   the equivalence oracle and speedup row at 5000 is the contract. *)
+let dense_reference_limit = 5000
+
+let scaling_row n =
+  let module C = Wa_core.Conflict in
+  let ps = deployment n 42 in
+  let agg, mst_ms = timed (fun () -> Wa_core.Agg_tree.mst ps) in
+  let ls = agg.Wa_core.Agg_tree.links in
+  let th = C.log_power () in
+  let index, index_ms = timed (fun () -> Wa_sinr.Link_index.build ls) in
+  let g_indexed, indexed_ms =
+    timed (fun () -> C.graph ~engine:`Indexed ~index p th ls)
+  in
+  let dense =
+    if n <= dense_reference_limit then
+      Some (timed (fun () -> C.graph_dense p th ls))
+    else None
+  in
+  let equivalent =
+    Option.map (fun (g, _) -> sorted_edges g = sorted_edges g_indexed) dense
+  in
+  let _, pressure_indexed_ms =
+    timed (fun () -> Wa_core.Refinement.max_longer_pressure ~index ~tol:1e-6 p ls)
+  in
+  let pressure_dense_ms =
+    if n <= dense_reference_limit then
+      Some (snd (timed (fun () -> Wa_core.Refinement.max_longer_pressure p ls)))
+    else None
+  in
+  let _, inductive_indexed_ms =
+    timed (fun () -> C.inductive_independence ~engine:`Indexed ~index p th ls)
+  in
+  let inductive_dense_ms =
+    if n <= dense_reference_limit then
+      Some (snd (timed (fun () -> C.inductive_independence ~engine:`Dense p th ls)))
+    else None
+  in
+  let (sched, _), schedule_ms =
+    timed (fun () ->
+        Wa_core.Greedy_schedule.schedule p ls
+          (Wa_core.Greedy_schedule.Oblivious_power 0.5))
+  in
+  let valid, validate_ms =
+    timed (fun () -> Wa_core.Schedule.is_valid p ls sched)
+  in
+  let fopt = function Some v -> Wa_io.Json.Float v | None -> Wa_io.Json.Null in
+  let speedup =
+    Option.map (fun (_, dense_ms) -> dense_ms /. indexed_ms) dense
+  in
+  let row_json =
+    Wa_io.Json.Obj
+      [
+        ("n", Int n);
+        ("links", Int (Wa_sinr.Linkset.size ls));
+        ("length_classes", Int (Wa_sinr.Link_index.class_count index));
+        ("edges", Int (Wa_graph.Graph.edge_count g_indexed));
+        ("mst_ms", Float mst_ms);
+        ("index_build_ms", Float index_ms);
+        ("graph_indexed_ms", Float indexed_ms);
+        ("graph_dense_ms", fopt (Option.map snd dense));
+        ("graph_speedup", fopt speedup);
+        ( "graph_equivalent",
+          match equivalent with Some b -> Bool b | None -> Null );
+        ("pressure_indexed_ms", Float pressure_indexed_ms);
+        ("pressure_dense_ms", fopt pressure_dense_ms);
+        ("inductive_indexed_ms", Float inductive_indexed_ms);
+        ("inductive_dense_ms", fopt inductive_dense_ms);
+        ("schedule_ms", Float schedule_ms);
+        ("slots", Int (Wa_core.Schedule.length sched));
+        ("validate_ms", Float validate_ms);
+        ("valid", Bool valid);
+      ]
+  in
+  let cell = Printf.sprintf "%.1f" in
+  let table_row =
+    [
+      string_of_int n;
+      cell indexed_ms;
+      (match dense with Some (_, ms) -> cell ms | None -> "-");
+      (match speedup with Some s -> Printf.sprintf "%.1fx" s | None -> "-");
+      (match equivalent with
+      | Some true -> "yes"
+      | Some false -> "NO"
+      | None -> "-");
+      cell validate_ms;
+    ]
+  in
+  (row_json, table_row, equivalent = Some false)
+
+let run_scaling ~quick ~json_path =
+  let sizes = if quick then [ 200; 500 ] else [ 1000; 5000; 20000 ] in
+  print_endline "running conflict-graph/validation scaling benchmarks...";
+  let rows = List.map scaling_row sizes in
+  let table =
+    Wa_util.Table.create
+      ~title:"Conflict graph + validation scaling (uniform MST links)"
+      ~notes:
+        [
+          "dense reference and equivalence oracle run up to n = 5000";
+          "full timings in " ^ json_path;
+        ]
+      [ "n"; "indexed ms"; "dense ms"; "speedup"; "equal"; "validate ms" ]
+  in
+  List.iter (fun (_, r, _) -> Wa_util.Table.add_row table r) rows;
+  Wa_util.Table.print table;
+  let doc =
+    Wa_io.Json.Obj
+      [
+        ("benchmark", String "conflict-graph and validation scaling");
+        ("engine_default", String "indexed");
+        ("threshold", String "log_power (Garb)");
+        ("deployment", String "uniform square, side 1000, seed 42, MST links");
+        ("quick", Bool quick);
+        ( "domains",
+          Int (Wa_util.Parallel.available_domains ()) );
+        ("rows", List (List.map (fun (j, _, _) -> j) rows));
+      ]
+  in
+  let oc = open_out json_path in
+  output_string oc (Wa_io.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" json_path;
+  if List.exists (fun (_, _, mismatch) -> mismatch) rows then begin
+    prerr_endline
+      "FATAL: indexed conflict graph differs from the dense reference";
+    exit 1
+  end
 
 (* Micro-benchmarks of the pipeline stages. *)
 let stage_tests () =
@@ -99,9 +247,13 @@ let table_tests () =
              ignore (e.Wa_experiments.Experiments.run ~quick:true))))
     Wa_experiments.Experiments.all
 
-let run_bechamel tests =
+let run_bechamel ~quick tests =
   let cfg =
-    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.4) ~kde:None ~stabilize:false ()
+    (* Quick mode trades statistical weight for wall time so the
+       bench-smoke alias can run inside the test suite. *)
+    let quota = Time.second (if quick then 0.05 else 0.4) in
+    let limit = if quick then 25 else 200 in
+    Benchmark.cfg ~limit ~quota ~kde:None ~stabilize:false ()
   in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
   let grouped = Test.make_grouped ~name:"wireless_agg" tests in
@@ -147,18 +299,26 @@ let () =
   let args = Array.to_list Sys.argv in
   let has flag = List.mem flag args in
   let quick = has "--quick" in
-  let rec find_table = function
-    | "--table" :: id :: _ -> Some id
-    | _ :: rest -> find_table rest
+  let rec find_value flag = function
+    | f :: v :: _ when f = flag -> Some v
+    | _ :: rest -> find_value flag rest
     | [] -> None
+  in
+  let find_table args = find_value "--table" args in
+  let json_path =
+    Option.value ~default:"BENCH_PR1.json" (find_value "--json" args)
   in
   let t0 = Unix.gettimeofday () in
   (if not (has "--no-tables") then
      match find_table args with
      | Some id -> Wa_experiments.Experiments.run_all ~quick ~ids:[ id ] ()
      | None -> Wa_experiments.Experiments.run_all ~quick ());
+  if not (has "--no-scaling") then run_scaling ~quick ~json_path;
   if not (has "--no-bench") then begin
     print_endline "running bechamel micro-benchmarks...";
-    run_bechamel (stage_tests () @ table_tests ())
+    (* The per-table timings rerun every experiment; in quick mode the
+       stage micro-benchmarks alone keep the run seconds-scale. *)
+    run_bechamel ~quick
+      (if quick then stage_tests () else stage_tests () @ table_tests ())
   end;
   Printf.printf "total wall time: %.1f s\n%!" (Unix.gettimeofday () -. t0)

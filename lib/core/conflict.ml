@@ -1,12 +1,16 @@
 module Params = Wa_sinr.Params
 module Linkset = Wa_sinr.Linkset
+module Link_index = Wa_sinr.Link_index
 module Graph = Wa_graph.Graph
 module Growth = Wa_util.Growth
+module Parallel = Wa_util.Parallel
 
 type threshold =
   | Constant of float
   | Power_law of { gamma : float; delta : float }
   | Log_power of float
+
+type engine = [ `Dense | `Indexed ]
 
 let check_gamma gamma =
   if gamma <= 0.0 then invalid_arg "Conflict: gamma must be positive"
@@ -42,7 +46,40 @@ let conflicting p th ls i j =
     d /. lmin <= eval p th (lmax /. lmin)
   end
 
-let graph p th ls =
+(* Safe over-estimate of the conflict distance between link [i] (length
+   [li]) and any link of a class with lengths in [cmin, cmax]: with
+   m = min lengths and M = max lengths of a pair, a conflict needs
+   d <= m·f(M/m), and (f non-decreasing) m <= min(li, cmax),
+   M/m <= max(li, cmax) / min(li, cmin).  The bound holds in exact
+   arithmetic, but the floating evaluations of the distance and of
+   m·f(M/m) each round independently, so on boundary pairs (e.g.
+   d/lmin exactly at the threshold) the computed radius can land a few
+   ulps below the computed distance.  The 1e-9 relative slack dwarfs
+   that round-off while barely perturbing the query; candidates are
+   then filtered by the exact predicate, so over-query never costs
+   correctness. *)
+let radius_slack = 1.0 +. 1e-9
+
+let class_radius p th ~li ~cmin ~cmax =
+  Float.min li cmax
+  *. eval p th (Float.max li cmax /. Float.min li cmin)
+  *. radius_slack
+
+(* Conflicting neighbors of [i] in class position [c] of the index,
+   found by an exact-radius-bounded grid query.  Ascending ids. *)
+let indexed_neighbors idx p th i c =
+  let ls = Link_index.linkset idx in
+  let li = Linkset.length ls i in
+  let radius =
+    class_radius p th ~li
+      ~cmin:(Link_index.class_min_length idx c)
+      ~cmax:(Link_index.class_max_length idx c)
+  in
+  List.filter
+    (fun j -> conflicting p th ls i j)
+    (Link_index.candidates_within idx ~cls:c i ~radius)
+
+let graph_dense p th ls =
   let n = Linkset.size ls in
   let g = Graph.create n in
   for i = 0 to n - 1 do
@@ -52,6 +89,34 @@ let graph p th ls =
   done;
   g
 
+let graph_indexed ?index p th ls =
+  let idx = match index with Some idx -> idx | None -> Link_index.build ls in
+  let n = Linkset.size ls in
+  let nc = Link_index.class_count idx in
+  (* Each unordered pair is emitted exactly once, from its lower-class
+     endpoint (lower id within the same class): a link in a strictly
+     higher class is strictly longer, so its own sweep never revisits
+     the pair. *)
+  let edges_of i =
+    let ci = Link_index.class_of_link idx i in
+    let acc = ref [] in
+    for c = nc - 1 downto ci do
+      List.iter
+        (fun j -> if c > ci || j > i then acc := j :: !acc)
+        (indexed_neighbors idx p th i c)
+    done;
+    !acc
+  in
+  let per_link = Parallel.init n edges_of in
+  let g = Graph.create n in
+  Array.iteri (fun i js -> List.iter (fun j -> Graph.add_edge g i j) js) per_link;
+  g
+
+let graph ?(engine = `Indexed) ?index p th ls =
+  match engine with
+  | `Dense -> graph_dense p th ls
+  | `Indexed -> graph_indexed ?index p th ls
+
 let describe = function
   | Constant gamma -> Printf.sprintf "G1 (f = %g)" gamma
   | Power_law { gamma; delta } -> Printf.sprintf "Gobl (f = %g * x^%g)" gamma delta
@@ -60,20 +125,27 @@ let describe = function
 (* Maximum independent set of the conflict graph restricted to a small
    candidate list, by branch and bound: at each step branch on the
    first remaining candidate (take it and drop its conflictors, or
-   skip it), pruning when the remainder cannot beat the incumbent. *)
+   skip it), pruning when the remainder cannot beat the incumbent.
+   The remaining-count argument [len] keeps the pruning test O(1) —
+   it always equals the length of the list argument. *)
 let independence_of_candidates p th ls candidates =
   let conflicts i j = conflicting p th ls i j in
-  let rec go best taken = function
+  let rec go best taken len = function
     | [] -> max best taken
     | c :: rest ->
-        if taken + 1 + List.length rest <= best then best
+        if taken + len <= best then best
         else begin
-          let without_c = go best taken rest in
-          let compatible = List.filter (fun o -> not (conflicts c o)) rest in
-          go without_c (taken + 1) compatible
+          let without_c = go best taken (len - 1) rest in
+          let compatible, ncomp =
+            List.fold_left
+              (fun (acc, k) o ->
+                if conflicts c o then (acc, k) else (o :: acc, k + 1))
+              ([], 0) rest
+          in
+          go without_c (taken + 1) ncomp (List.rev compatible)
         end
   in
-  go 0 0 candidates
+  go 0 0 (List.length candidates) candidates
 
 (* Greedy independent-set lower bound for oversized neighborhoods. *)
 let greedy_independence p th ls candidates =
@@ -85,22 +157,51 @@ let greedy_independence p th ls candidates =
     [] candidates
   |> List.length
 
-let inductive_independence p th ls =
-  let n = Linkset.size ls in
-  let worst = ref 0 in
-  for i = 0 to n - 1 do
-    let li = Linkset.length ls i in
-    let neighbors = ref [] in
-    for j = 0 to n - 1 do
-      if j <> i && Linkset.length ls j >= li && conflicting p th ls i j then
-        neighbors := j :: !neighbors
-    done;
-    let candidates = !neighbors in
-    let value =
-      if List.length candidates <= 24 then
-        independence_of_candidates p th ls candidates
-      else greedy_independence p th ls candidates
-    in
-    if value > !worst then worst := value
+let exact_independence_limit = 24
+
+let independence_value p th ls candidates =
+  if List.length candidates <= exact_independence_limit then
+    independence_of_candidates p th ls candidates
+  else greedy_independence p th ls candidates
+
+(* Not-shorter conflicting neighbors of [i], in descending id order
+   (the order the dense scan produces, so the greedy fallback of
+   [independence_value] sees identical inputs on either engine). *)
+let longer_neighbors_dense p th ls i =
+  let li = Linkset.length ls i in
+  let neighbors = ref [] in
+  for j = 0 to Linkset.size ls - 1 do
+    if j <> i && Linkset.length ls j >= li && conflicting p th ls i j then
+      neighbors := j :: !neighbors
   done;
-  !worst
+  !neighbors
+
+let longer_neighbors_indexed idx p th i =
+  let ls = Link_index.linkset idx in
+  let li = Linkset.length ls i in
+  let ci = Link_index.class_of_link idx i in
+  let acc = ref [] in
+  (* Ascending classes with ascending ids inside, then one reversal:
+     descending-id order overall needs descending (class, id) — links
+     of a higher class position always have longer lengths but not
+     necessarily higher ids, so sort explicitly. *)
+  for c = ci to Link_index.class_count idx - 1 do
+    List.iter
+      (fun j -> if j <> i && Linkset.length ls j >= li then acc := j :: !acc)
+      (indexed_neighbors idx p th i c)
+  done;
+  List.sort (fun a b -> Int.compare b a) !acc
+
+let inductive_independence ?(engine = `Indexed) ?index p th ls =
+  let n = Linkset.size ls in
+  let value_of =
+    match engine with
+    | `Dense -> fun i -> independence_value p th ls (longer_neighbors_dense p th ls i)
+    | `Indexed ->
+        let idx =
+          match index with Some idx -> idx | None -> Link_index.build ls
+        in
+        fun i -> independence_value p th ls (longer_neighbors_indexed idx p th i)
+  in
+  let values = Parallel.init n value_of in
+  Array.fold_left max 0 values

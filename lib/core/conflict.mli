@@ -27,6 +27,15 @@ type threshold =
   | Log_power of float
       (** [f(x) = γ·max(1, (log2 x)^{2/(α-2)})]. *)
 
+type engine = [ `Dense | `Indexed ]
+(** How geometric conflict structures are computed: [`Dense] is the
+    literal O(n²) pairwise scan; [`Indexed] (the default everywhere)
+    answers the same queries through a {!Wa_sinr.Link_index} — per
+    length class, only links within the threshold radius are ever
+    tested, which is near-linear on MST link sets — and fans the
+    per-link work out over domains ({!Wa_util.Parallel}).  Both
+    engines produce identical results. *)
+
 val constant : ?gamma:float -> unit -> threshold
 (** Default [γ = 1]: the graph [G1] of Sec. 3.2. *)
 
@@ -49,17 +58,46 @@ val conflicting :
     sharing an endpoint always conflict ([d(i,j) = 0]). *)
 
 val graph :
+  ?engine:engine ->
+  ?index:Wa_sinr.Link_index.t ->
   Wa_sinr.Params.t -> threshold -> Wa_sinr.Linkset.t -> Wa_graph.Graph.t
-(** The conflict graph on link ids; O(n²) pair tests. *)
+(** The conflict graph on link ids.  [engine] defaults to [`Indexed];
+    [index] (only consulted by the indexed engine) reuses a prebuilt
+    {!Wa_sinr.Link_index} over the {e same} linkset instead of
+    building one per call.  Edge-for-edge identical across engines. *)
+
+val graph_dense :
+  Wa_sinr.Params.t -> threshold -> Wa_sinr.Linkset.t -> Wa_graph.Graph.t
+(** The reference O(n²) builder — the equivalence oracle for the
+    indexed engine. *)
+
+val graph_indexed :
+  ?index:Wa_sinr.Link_index.t ->
+  Wa_sinr.Params.t -> threshold -> Wa_sinr.Linkset.t -> Wa_graph.Graph.t
 
 val describe : threshold -> string
 
+val independence_of_candidates :
+  Wa_sinr.Params.t -> threshold -> Wa_sinr.Linkset.t -> int list -> int
+(** Exact maximum [f]-independent subset of a candidate list, by
+    branch and bound with an O(1) remaining-count pruning test.
+    Exponential worst case — meant for the small neighborhoods of
+    {!inductive_independence}. *)
+
+val greedy_independence :
+  Wa_sinr.Params.t -> threshold -> Wa_sinr.Linkset.t -> int list -> int
+(** Greedy (first-fit, list order) independent-set lower bound. *)
+
 val inductive_independence :
+  ?engine:engine ->
+  ?index:Wa_sinr.Link_index.t ->
   Wa_sinr.Params.t -> threshold -> Wa_sinr.Linkset.t -> int
 (** The measured inductive-independence number of [G_f(L)]: the
     maximum, over links [i], of the largest [f]-independent subset of
     [i]'s {e not-shorter} conflicting neighbors.  Appendix A shows
     this is a constant for the graphs used here, which is exactly why
     first-fit in non-increasing length order is a constant-factor
-    approximation.  Exact on neighborhoods up to 24 independent
-    candidates (branch and bound), greedy beyond. *)
+    approximation.  Exact on neighborhoods up to 24 candidates
+    (branch and bound), greedy beyond.  Both engines enumerate each
+    neighborhood in the same (descending-id) order, so their results
+    coincide even where the greedy fallback is order-sensitive. *)

@@ -16,9 +16,9 @@ let threshold_for ?gamma mode =
   | Oblivious_power tau -> Some (Conflict.power_law ?gamma ~tau ())
   | Fixed_scheme _ -> None
 
-let conflict_graph ?gamma p ls mode =
+let conflict_graph ?gamma ?engine p ls mode =
   match threshold_for ?gamma mode with
-  | Some th -> Conflict.graph p th ls
+  | Some th -> Conflict.graph ?engine p th ls
   | None ->
       let scheme =
         match mode with Fixed_scheme s -> s | _ -> assert false
@@ -26,23 +26,33 @@ let conflict_graph ?gamma p ls mode =
       (* Exact pairwise SINR conflicts under the fixed scheme.  A
          pairwise-compatible class need not be set-feasible; the repair
          pass covers the difference.  The power vector is hoisted out
-         of the O(n^2) pair loop. *)
+         of the O(n^2) pair loop; there is no geometric threshold to
+         index here, so the engine only picks sequential vs parallel
+         row generation (rows are pure reads; results identical). *)
       let n = Linkset.size ls in
       let vec = Power.vector p ls scheme in
       let pair_ok i j =
         Feasibility.sinr p ls ~power:vec ~concurrent:[ i; j ] i >= p.Params.beta
         && Feasibility.sinr p ls ~power:vec ~concurrent:[ i; j ] j >= p.Params.beta
       in
+      let conflicts_of i =
+        let acc = ref [] in
+        for j = n - 1 downto i + 1 do
+          if not (pair_ok i j) then acc := j :: !acc
+        done;
+        !acc
+      in
+      let rows =
+        match engine with
+        | Some `Dense -> Array.init n conflicts_of
+        | Some `Indexed | None -> Wa_util.Parallel.init n conflicts_of
+      in
       let g = Graph.create n in
-      for i = 0 to n - 1 do
-        for j = i + 1 to n - 1 do
-          if not (pair_ok i j) then Graph.add_edge g i j
-        done
-      done;
+      Array.iteri (fun i js -> List.iter (fun j -> Graph.add_edge g i j) js) rows;
       g
 
-let coloring ?gamma p ls mode =
-  let g = conflict_graph ?gamma p ls mode in
+let coloring ?gamma ?engine p ls mode =
+  let g = conflict_graph ?gamma ?engine p ls mode in
   Coloring.greedy ~order:(Linkset.by_decreasing_length ls) g
 
 let power_mode_of = function
@@ -50,6 +60,8 @@ let power_mode_of = function
   | Oblivious_power tau -> Schedule.Scheme (Power.Oblivious tau)
   | Fixed_scheme s -> Schedule.Scheme s
 
-let schedule ?gamma ?(repair = true) p ls mode =
-  let schedule = Schedule.of_coloring (coloring ?gamma p ls mode) (power_mode_of mode) in
+let schedule ?gamma ?engine ?(repair = true) p ls mode =
+  let schedule =
+    Schedule.of_coloring (coloring ?gamma ?engine p ls mode) (power_mode_of mode)
+  in
   if repair then Schedule.repair p ls schedule else (schedule, 0)

@@ -24,15 +24,22 @@ val threshold_for :
     of a geometric threshold). *)
 
 val conflict_graph :
-  ?gamma:float -> Wa_sinr.Params.t -> Wa_sinr.Linkset.t -> mode -> Wa_graph.Graph.t
+  ?gamma:float -> ?engine:Conflict.engine ->
+  Wa_sinr.Params.t -> Wa_sinr.Linkset.t -> mode -> Wa_graph.Graph.t
+(** [engine] (default [`Indexed]) selects the {!Conflict.graph}
+    construction for the thresholded modes; for [Fixed_scheme] (no
+    geometric threshold) it only toggles parallel row generation.
+    The resulting graph is engine-independent either way. *)
 
 val coloring :
-  ?gamma:float -> Wa_sinr.Params.t -> Wa_sinr.Linkset.t -> mode ->
+  ?gamma:float -> ?engine:Conflict.engine ->
+  Wa_sinr.Params.t -> Wa_sinr.Linkset.t -> mode ->
   Wa_graph.Coloring.t
 (** Greedy first-fit over links by non-increasing length. *)
 
 val schedule :
-  ?gamma:float -> ?repair:bool -> Wa_sinr.Params.t -> Wa_sinr.Linkset.t -> mode ->
+  ?gamma:float -> ?engine:Conflict.engine -> ?repair:bool ->
+  Wa_sinr.Params.t -> Wa_sinr.Linkset.t -> mode ->
   Schedule.t * int
 (** Full pipeline for a link set: conflict graph → greedy coloring →
     schedule; when [repair] (default true) every slot is verified

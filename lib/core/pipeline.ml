@@ -23,7 +23,8 @@ let mode_of = function
   | `Uniform -> Greedy_schedule.Fixed_scheme Power.Uniform
   | `Linear -> Greedy_schedule.Fixed_scheme Power.Linear
 
-let plan ?(params = Params.default) ?gamma ?(sink = 0) ?tree_edges power_mode ps =
+let plan ?(params = Params.default) ?gamma ?(engine = `Indexed) ?(sink = 0)
+    ?tree_edges power_mode ps =
   let agg =
     match tree_edges with
     | None -> Agg_tree.mst ~sink ps
@@ -31,7 +32,7 @@ let plan ?(params = Params.default) ?gamma ?(sink = 0) ?tree_edges power_mode ps
   in
   let mode = mode_of power_mode in
   let ls = agg.Agg_tree.links in
-  let coloring = Greedy_schedule.coloring ?gamma params ls mode in
+  let coloring = Greedy_schedule.coloring ?gamma ~engine params ls mode in
   let raw =
     Schedule.of_coloring coloring
       (match mode with

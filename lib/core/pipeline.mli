@@ -26,6 +26,7 @@ type plan = {
 val plan :
   ?params:Wa_sinr.Params.t ->
   ?gamma:float ->
+  ?engine:Conflict.engine ->
   ?sink:int ->
   ?tree_edges:(int * int) list ->
   power_mode ->
@@ -33,7 +34,10 @@ val plan :
   plan
 (** Defaults: {!Wa_sinr.Params.default}, mode-specific γ, sink 0, and
     the Euclidean MST ([tree_edges] overrides it with any spanning
-    tree). *)
+    tree).  [engine] (default [`Indexed]) selects the conflict-graph
+    construction — [`Indexed] runs the spatial length-class index with
+    multicore fan-out, [`Dense] the reference O(n²) scan; both yield
+    the same plan. *)
 
 val slots : plan -> int
 val rate : plan -> float

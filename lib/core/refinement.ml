@@ -39,23 +39,22 @@ let refine ?(kappa = 1.0) p ls =
 
 let bucket_count t = Array.length t.buckets
 
-let max_longer_pressure p ls =
-  let worst = ref 0.0 in
-  for i = 0 to Linkset.size ls - 1 do
-    worst := Float.max !worst (Affectance.mst_longer_pressure p ls i)
-  done;
-  !worst
+let max_longer_pressure ?index ?tol p ls =
+  Wa_util.Parallel.fold_float_max
+    (fun i -> Affectance.mst_longer_pressure ?index ?tol p ls i)
+    (Linkset.size ls) 0.0
 
 let buckets_g1_independent p ls t =
   let gamma = t.kappa ** (-1.0 /. p.Params.alpha) in
   let th = Conflict.Constant gamma in
-  Array.for_all
-    (fun bucket ->
-      let rec pairs = function
-        | [] -> true
-        | i :: rest ->
-            List.for_all (fun j -> not (Conflict.conflicting p th ls i j)) rest
-            && pairs rest
-      in
-      pairs bucket)
-    t.buckets
+  let bucket_independent bucket =
+    let rec pairs = function
+      | [] -> true
+      | i :: rest ->
+          List.for_all (fun j -> not (Conflict.conflicting p th ls i j)) rest
+          && pairs rest
+    in
+    pairs bucket
+  in
+  Array.for_all Fun.id
+    (Wa_util.Parallel.map_array ~threshold:4 bucket_independent t.buckets)

@@ -21,9 +21,14 @@ val refine : ?kappa:float -> Wa_sinr.Params.t -> Wa_sinr.Linkset.t -> t
 
 val bucket_count : t -> int
 
-val max_longer_pressure : Wa_sinr.Params.t -> Wa_sinr.Linkset.t -> float
+val max_longer_pressure :
+  ?index:Wa_sinr.Link_index.t ->
+  ?tol:float ->
+  Wa_sinr.Params.t -> Wa_sinr.Linkset.t -> float
 (** [max_i I(i, T⁺_i)] — the measured Lemma-1 constant of the link
-    set. *)
+    set.  The per-link sums fan out over domains; [index] / [tol] are
+    passed to {!Wa_sinr.Affectance.mst_longer_pressure} (indexed
+    class-skipping enumeration, optional [tol]-bounded truncation). *)
 
 val buckets_g1_independent : Wa_sinr.Params.t -> Wa_sinr.Linkset.t -> t -> bool
 (** Checks the Theorem-2 argument concretely: every bucket is an

@@ -54,10 +54,17 @@ let slot_feasible p ls mode slot =
       | Arbitrary -> Power_solver.feasible p ls slot)
 
 let infeasible_slots p ls t =
+  (* Slots are independent read-only checks: fan them out over domains
+     (sequential below the threshold or on single-core hosts).  The
+     per-slot work is far above the per-item fan-out cost, hence the
+     low threshold. *)
+  let ok =
+    Wa_util.Parallel.map_array ~threshold:4
+      (fun slot -> slot_feasible p ls t.power_mode slot)
+      t.slots
+  in
   let bad = ref [] in
-  Array.iteri
-    (fun k slot -> if not (slot_feasible p ls t.power_mode slot) then bad := k :: !bad)
-    t.slots;
+  Array.iteri (fun k good -> if not good then bad := k :: !bad) ok;
   List.rev !bad
 
 let is_valid p ls t = covers t ls && infeasible_slots p ls t = []
@@ -102,13 +109,26 @@ let rec split_slot ?(gamma = 2.0) p ls mode slot =
     let members = Array.of_list slot in
     let k = Array.length members in
     let th = Conflict.Constant gamma in
-    let graph = Wa_graph.Graph.create k in
-    for a = 0 to k - 1 do
-      for b = a + 1 to k - 1 do
-        if Conflict.conflicting p th ls members.(a) members.(b) then
-          Wa_graph.Graph.add_edge graph a b
-      done
-    done;
+    let graph =
+      (* The slot's conflict graph on local indices 0..k-1.  Large
+         slots go through the spatial index on a sub-linkset (local
+         ids follow [members] order, so the vertices line up); small
+         ones keep the direct scan, which is cheaper than building a
+         grid. *)
+      if k <= 128 then begin
+        let g = Wa_graph.Graph.create k in
+        for a = 0 to k - 1 do
+          for b = a + 1 to k - 1 do
+            if Conflict.conflicting p th ls members.(a) members.(b) then
+              Wa_graph.Graph.add_edge g a b
+          done
+        done;
+        g
+      end
+      else
+        Conflict.graph ~engine:`Indexed p th
+          (Wa_sinr.Linkset.of_array (Array.map (Linkset.link ls) members))
+    in
     let order = Array.init k Fun.id in
     Array.sort
       (fun a b ->

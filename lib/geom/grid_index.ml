@@ -26,18 +26,38 @@ let cell_size t = t.cell_size
 let bucket t key =
   match Hashtbl.find_opt t.cells key with Some b -> !b | None -> []
 
+(* Same ring budget as [nearest]: on wildly non-uniform instances
+   (doubly-exponential gaps) [ceil (r / cell_size)] can be astronomical
+   while almost every swept cell is empty; past the budget a linear
+   scan is cheaper and always correct. *)
+let max_ring_reach = 256
+
 let neighbors_within t p r =
   if r < 0.0 then invalid_arg "Grid_index.neighbors_within: negative radius";
-  let reach = int_of_float (Float.ceil (r /. t.cell_size)) in
-  let cx, cy = cell_of t p in
+  let n = Array.length t.points in
   let acc = ref [] in
-  for dx = -reach to reach do
-    for dy = -reach to reach do
-      List.iter
-        (fun i -> if Vec2.dist t.points.(i) p <= r then acc := i :: !acc)
-        (bucket t (cx + dx, cy + dy))
+  let consider i = if Vec2.dist t.points.(i) p <= r then acc := i :: !acc in
+  let reach_f = Float.ceil (r /. t.cell_size) in
+  let swept_cells = ((2.0 *. reach_f) +. 1.0) ** 2.0 in
+  if
+    Float.is_finite reach_f
+    && reach_f <= float_of_int max_ring_reach
+    && swept_cells <= Float.max 9.0 (float_of_int n)
+  then begin
+    let reach = int_of_float reach_f in
+    let cx, cy = cell_of t p in
+    for dx = -reach to reach do
+      for dy = -reach to reach do
+        List.iter consider (bucket t (cx + dx, cy + dy))
+      done
     done
-  done;
+  end
+  else
+    (* Brute-force fallback: fewer distance tests than empty-cell
+       probes once the sweep outgrows the point count. *)
+    for i = 0 to n - 1 do
+      consider i
+    done;
   !acc
 
 (* Expand square rings of cells outward until a candidate is found,

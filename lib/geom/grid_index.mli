@@ -15,8 +15,13 @@ val cell_size : t -> float
 
 val neighbors_within : t -> Vec2.t -> float -> int list
 (** [neighbors_within t p r] returns ids of all indexed points within
-    distance [r] of [p] (including a point equal to [p] itself).
-    Exact: candidates from covering cells are distance-filtered. *)
+    distance [r] of [p] (including a point equal to [p] itself), in
+    unspecified order.  Exact: candidates from covering cells are
+    distance-filtered, and when [r / cell_size] outgrows a fixed ring
+    budget (or the swept cell count outgrows the point count) the
+    sweep falls back to a brute-force scan — so the query stays
+    correct and at worst linear even on instances with
+    doubly-exponential coordinate spreads or an infinite radius. *)
 
 val nearest : t -> exclude:int -> Vec2.t -> int option
 (** [nearest t ~exclude p] is the id of the indexed point nearest to

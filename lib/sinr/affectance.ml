@@ -25,11 +25,53 @@ let relative_total p ls ~power s i =
     (fun acc j -> if j = i then acc else acc +. relative p ls ~power j i)
     0.0 s
 
-let mst_longer_pressure p ls i =
+let mst_longer_pressure ?index ?tol (p : Params.t) ls i =
   let li = Linkset.length ls i in
-  let total = ref 0.0 in
-  for j = 0 to Linkset.size ls - 1 do
-    if j <> i && Linkset.length ls j >= li then
-      total := !total +. additive p ls i j
-  done;
-  !total
+  match index with
+  | None ->
+      let total = ref 0.0 in
+      for j = 0 to Linkset.size ls - 1 do
+        if j <> i && Linkset.length ls j >= li then
+          total := !total +. additive p ls i j
+      done;
+      !total
+  | Some idx ->
+      (* Only classes at or above link [i]'s touch not-shorter links,
+         so shorter classes are skipped wholesale.  With [tol] set, a
+         class is range-queried out to the distance where any of its
+         members' terms drops below tol/n — a member j has length at
+         most the class maximum, so beyond class_max·(n/tol)^(1/α) its
+         term (lj/d)^α is under that floor; at most n terms are
+         dropped in total, so the result sits within [tol] of the
+         exact sum.  Class grids use the class maximum as cell size,
+         so the query always sweeps (2·scale+1)² cells per endpoint:
+         when that exceeds the class population the class is summed
+         exactly instead — never slower and never less accurate than
+         the truncated query. *)
+      let scale =
+        match tol with
+        | None -> infinity
+        | Some tol when tol > 0.0 && Float.is_finite tol ->
+            (float_of_int (Linkset.size ls) /. tol) ** (1.0 /. p.Params.alpha)
+        | Some _ ->
+            invalid_arg "Affectance.mst_longer_pressure: tol must be positive"
+      in
+      let total = ref 0.0 in
+      let accumulate j =
+        if j <> i && Linkset.length ls j >= li then
+          total := !total +. additive p ls i j
+      in
+      for c = Link_index.class_of_link idx i to Link_index.class_count idx - 1 do
+        let members = Link_index.class_members idx c in
+        let selective =
+          Float.is_finite scale
+          && ((2.0 *. Float.ceil scale) +. 1.0) ** 2.0
+             < float_of_int (Array.length members)
+        in
+        if selective then
+          let radius = Link_index.class_max_length idx c *. scale in
+          List.iter accumulate
+            (Link_index.candidates_within idx ~cls:c i ~radius)
+        else Array.iter accumulate members
+      done;
+      !total

@@ -37,7 +37,21 @@ val relative_total :
   Params.t -> Linkset.t -> power:float array -> int list -> int -> float
 (** Sum of {!relative} over a set (the receiving link excluded). *)
 
-val mst_longer_pressure : Params.t -> Linkset.t -> int -> float
+val mst_longer_pressure :
+  ?index:Link_index.t -> ?tol:float -> Params.t -> Linkset.t -> int -> float
 (** [I(i, T⁺_i)]: the pressure of link [i] on all strictly longer (or
     equal-length, other) links — the quantity Lemma 1 bounds by O(1)
-    on MSTs.  Measured, not assumed; experiment T2 reports it. *)
+    on MSTs.  Measured, not assumed; experiment T2 reports it.
+
+    With [index] (a {!Link_index} over the same linkset), shorter
+    length classes are skipped instead of scanned, and — when [tol]
+    is also given — a class may be range-queried only out to the
+    distance where every one of its members' terms falls below
+    [tol/n] (terms decay as [(l_j/d)^α] with [l_j] bounded by the
+    class maximum), guaranteeing the returned value is within [tol]
+    of the exact sum.  Classes where the query radius would sweep
+    more grid cells than the class has members are summed exactly
+    instead, so the truncated path is never slower than plain class
+    iteration.  Without [tol] the indexed path is exact.  [tol]
+    without [index] is ignored.  Raises [Invalid_argument] on
+    non-positive [tol]. *)

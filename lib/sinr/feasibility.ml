@@ -28,8 +28,34 @@ let check p ls ~power slot =
   in
   if violations = [] then Feasible else Infeasible violations
 
+(* Boolean fast path of [check]: interference terms are non-negative,
+   so once a partial sum already pushes a receiver's SINR below beta
+   the slot is infeasible and the remaining terms need not be summed.
+   Terms are accumulated in the same order as [check]'s fold, so when
+   the loop does run to completion the verdict compares the identical
+   floating-point sum — the two functions never disagree. *)
 let is_feasible p ls ~power slot =
-  match check p ls ~power slot with Feasible -> true | Infeasible _ -> false
+  let vec = Power.vector p ls power in
+  let alpha = p.Params.alpha and beta = p.Params.beta and noise = p.Params.noise in
+  List.for_all
+    (fun i ->
+      let signal = vec.(i) /. (Linkset.length ls i ** alpha) in
+      let rec feasible_from acc = function
+        | [] ->
+            let denom = acc +. noise in
+            if denom = 0.0 then true else signal /. denom >= beta
+        | j :: rest when j = i -> feasible_from acc rest
+        | j :: rest ->
+            let d = Linkset.sender_to_receiver ls j i in
+            let acc = acc +. (vec.(j) /. (d ** alpha)) in
+            let denom = acc +. noise in
+            (* Strict-violation early exit; NaN comparisons fall
+               through to the exhaustive sum, matching [check]. *)
+            if denom > 0.0 && signal /. denom < beta then false
+            else feasible_from acc rest
+      in
+      feasible_from 0.0 slot)
+    (List.sort_uniq Int.compare slot)
 
 let pair_feasible p ls ~power i j = is_feasible p ls ~power [ i; j ]
 

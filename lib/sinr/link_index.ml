@@ -1,0 +1,104 @@
+module Grid = Wa_geom.Grid_index
+module Vec2 = Wa_geom.Vec2
+
+type cls = {
+  dyadic : int;
+  members : int array;
+  min_len : float;
+  max_len : float;
+  grid : Grid.t;
+  owner : int array; (* grid point id -> link id (two entries per link) *)
+}
+
+type t = {
+  ls : Linkset.t;
+  classes : cls array;
+  class_of : int array; (* link id -> position in [classes] *)
+}
+
+let build ls =
+  let lc = Length_class.partition ls in
+  let non_empty =
+    List.sort
+      (fun (a, _) (b, _) -> Int.compare a b)
+      (Length_class.descending lc)
+  in
+  let class_of = Array.make (Linkset.size ls) 0 in
+  let classes =
+    List.mapi
+      (fun pos (dyadic, ids) ->
+        let members = Array.of_list ids in
+        Array.iter (fun i -> class_of.(i) <- pos) members;
+        let min_len = ref infinity and max_len = ref 0.0 in
+        Array.iter
+          (fun i ->
+            let l = Linkset.length ls i in
+            if l < !min_len then min_len := l;
+            if l > !max_len then max_len := l)
+          members;
+        (* Two grid entries per link, one per endpoint; [owner] maps a
+           grid point id back to its link.  Cell side = longest link of
+           the class: conflict-query radii are a small multiple of the
+           class length scale, so the ring sweep touches O(1) cells on
+           well-spread (e.g. MST) instances, and the grid's own ring
+           budget bounds the damage everywhere else. *)
+        let endpoints = Array.make (2 * Array.length members) Vec2.zero in
+        let owner = Array.make (2 * Array.length members) 0 in
+        Array.iteri
+          (fun k i ->
+            let link = Linkset.link ls i in
+            endpoints.(2 * k) <- link.Link.src;
+            endpoints.((2 * k) + 1) <- link.Link.dst;
+            owner.(2 * k) <- i;
+            owner.((2 * k) + 1) <- i)
+          members;
+        {
+          dyadic;
+          members;
+          min_len = !min_len;
+          max_len = !max_len;
+          grid = Grid.build ~cell_size:!max_len endpoints;
+          owner;
+        })
+      non_empty
+  in
+  { ls; classes = Array.of_list classes; class_of }
+
+let linkset t = t.ls
+let class_count t = Array.length t.classes
+let class_of_link t i = t.class_of.(i)
+
+let check_class t c =
+  if c < 0 || c >= class_count t then invalid_arg "Link_index: class out of range"
+
+let class_dyadic t c =
+  check_class t c;
+  t.classes.(c).dyadic
+
+let class_members t c =
+  check_class t c;
+  t.classes.(c).members
+
+let class_min_length t c =
+  check_class t c;
+  t.classes.(c).min_len
+
+let class_max_length t c =
+  check_class t c;
+  t.classes.(c).max_len
+
+(* d(i,j) <= r iff some endpoint of j lies within r of some endpoint
+   of i, so querying the class grid around both endpoints of i is an
+   exact candidate set.  Each hit is an endpoint entry; a link can be
+   hit up to four times, hence the sort_uniq. *)
+let candidates_within t ~cls i ~radius =
+  check_class t cls;
+  if radius < 0.0 then invalid_arg "Link_index.candidates_within: negative radius";
+  let c = t.classes.(cls) in
+  let link = Linkset.link t.ls i in
+  let hits_src = Grid.neighbors_within c.grid link.Link.src radius in
+  let hits_dst = Grid.neighbors_within c.grid link.Link.dst radius in
+  List.sort_uniq Int.compare
+    (List.rev_append
+       (List.rev_map (fun e -> c.owner.(e)) hits_src)
+       (List.map (fun e -> c.owner.(e)) hits_dst))

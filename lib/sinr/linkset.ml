@@ -4,13 +4,24 @@ module Tree = Wa_graph.Tree
 type t = {
   links : Link.t array;
   lengths : float array;
+  min_len : float;  (* cached at construction: length_class and the
+                       experiments query these in inner loops, and a
+                       fold over [lengths] per call is O(n) *)
+  max_len : float;
   tree_children : int array option; (* child vertex per link id, for of_tree *)
 }
 
 let of_array arr =
   if Array.length arr = 0 then invalid_arg "Linkset.of_array: empty";
   let links = Array.copy arr in
-  { links; lengths = Array.map Link.length links; tree_children = None }
+  let lengths = Array.map Link.length links in
+  {
+    links;
+    lengths;
+    min_len = Array.fold_left Float.min infinity lengths;
+    max_len = Array.fold_left Float.max 0.0 lengths;
+    tree_children = None;
+  }
 
 let of_links l = of_array (Array.of_list l)
 
@@ -31,8 +42,8 @@ let length t i = t.lengths.(i)
 let tree_child t i =
   match t.tree_children with None -> None | Some c -> Some c.(i)
 
-let min_length t = Array.fold_left Float.min infinity t.lengths
-let max_length t = Array.fold_left Float.max 0.0 t.lengths
+let min_length t = t.min_len
+let max_length t = t.max_len
 
 let diversity t = max_length t /. min_length t
 

@@ -24,10 +24,14 @@ val tree_child : t -> int -> int option
     this is; [None] otherwise. *)
 
 val min_length : t -> float
+(** Cached at construction; O(1). *)
+
 val max_length : t -> float
+(** Cached at construction; O(1). *)
 
 val diversity : t -> float
-(** Ratio of longest to shortest link length (the paper's Δ(L)). *)
+(** Ratio of longest to shortest link length (the paper's Δ(L));
+    O(1), from the cached extrema. *)
 
 val dist : t -> int -> int -> float
 (** [dist t i j] is the link-to-link distance [d(i,j)] (min endpoint

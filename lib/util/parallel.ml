@@ -1,0 +1,76 @@
+(* Chunked fork-join over OCaml 5 domains.
+
+   A fixed pool is deliberately avoided: every entry point spawns
+   short-lived domains for one batch and joins them before returning,
+   so there is no global state, no shutdown hook, and nested calls
+   merely degrade to sequential execution instead of deadlocking. *)
+
+let available_domains () = Domain.recommended_domain_count ()
+
+(* Below this many items the spawn/join overhead dominates any
+   conceivable per-item win; callers with expensive items can lower
+   it explicitly. *)
+let default_threshold = 32
+
+let worker_count ?domains n threshold =
+  let nd =
+    match domains with
+    | Some d -> if d < 1 then invalid_arg "Parallel: domains must be >= 1" else d
+    | None -> available_domains ()
+  in
+  if nd <= 1 || n < threshold then 1 else min nd n
+
+(* Split [0, n) into [count] contiguous chunks as (lo, hi) pairs. *)
+let chunk_bounds n count =
+  let size = (n + count - 1) / count in
+  List.init count (fun k ->
+      let lo = k * size in
+      (lo, min n (lo + size)))
+  |> List.filter (fun (lo, hi) -> lo < hi)
+
+let iter ?domains ?(threshold = default_threshold) n f =
+  if n < 0 then invalid_arg "Parallel.iter: negative count";
+  let nd = worker_count ?domains n threshold in
+  if nd <= 1 then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else begin
+    match chunk_bounds n nd with
+    | [] -> ()
+    | (lo0, hi0) :: rest ->
+        let spawned =
+          List.map
+            (fun (lo, hi) ->
+              Domain.spawn (fun () ->
+                  for i = lo to hi - 1 do
+                    f i
+                  done))
+            rest
+        in
+        for i = lo0 to hi0 - 1 do
+          f i
+        done;
+        List.iter Domain.join spawned
+  end
+
+let init ?domains ?(threshold = default_threshold) n f =
+  if n < 0 then invalid_arg "Parallel.init: negative count";
+  let nd = worker_count ?domains n threshold in
+  if nd <= 1 then Array.init n f
+  else begin
+    (* Seed the result array from index 0, then let each worker fill a
+       disjoint slice: disjoint writes to a preallocated array are
+       race-free, and the result is independent of the domain count. *)
+    let result = Array.make n (f 0) in
+    iter ?domains ~threshold:0 (n - 1) (fun k -> result.(k + 1) <- f (k + 1));
+    result
+  end
+
+let map_array ?domains ?threshold f arr =
+  init ?domains ?threshold (Array.length arr) (fun i -> f arr.(i))
+
+let fold_float_max ?domains ?threshold f n init_value =
+  if n = 0 then init_value
+  else
+    Array.fold_left Float.max init_value (init ?domains ?threshold n f)

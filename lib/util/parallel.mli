@@ -1,0 +1,34 @@
+(** Chunked fork-join parallelism over OCaml 5 domains.
+
+    Each entry point splits the index range [0, n) into contiguous
+    chunks, runs one chunk per domain ([Domain.spawn]), and joins all
+    workers before returning — no pool, no global state.  When the
+    runtime reports a single recommended domain, or when [n] falls
+    below [threshold], execution is plain sequential, so the functions
+    are safe to call unconditionally (and from inside other parallel
+    regions, where they simply run sequentially on the worker).
+
+    Supplied functions must be thread-safe: in practice they should
+    only read immutable (or no-longer-mutated) data and write at most
+    their own result slot.  Results never depend on the domain count —
+    chunk boundaries only affect {e where} an index is computed. *)
+
+val available_domains : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val iter : ?domains:int -> ?threshold:int -> int -> (int -> unit) -> unit
+(** [iter n f] runs [f i] for [i = 0 .. n-1], fanned out over domains.
+    [domains] caps the worker count (default: recommended count);
+    [threshold] (default 32) is the minimum [n] worth parallelizing. *)
+
+val init : ?domains:int -> ?threshold:int -> int -> (int -> 'a) -> 'a array
+(** Parallel [Array.init].  [f 0] is evaluated first (on the calling
+    domain) to seed the result array. *)
+
+val map_array : ?domains:int -> ?threshold:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map]. *)
+
+val fold_float_max :
+  ?domains:int -> ?threshold:int -> (int -> float) -> int -> float -> float
+(** [fold_float_max f n init] is [max(init, max_i f i)] over
+    [i = 0 .. n-1], computed with a parallel fan-out. *)
