@@ -14,7 +14,7 @@
      main.exe --no-tables     skip the experiment tables
      main.exe --no-scaling    skip the scaling benchmarks
      main.exe --json PATH     where to write the scaling timings
-                              (default BENCH_PR1.json) *)
+                              (default BENCH_PR2.json) *)
 
 open Bechamel
 
@@ -30,10 +30,59 @@ let deployment n seed =
    nanosecond ones, and the JSON is meant for cross-PR trajectory
    tracking, so simplicity beats OLS here. *)
 
-let timed f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+let timed f = Wa_obs.Trace.timed "bench.stage" f
+
+(* Disabled-path guard: with telemetry off every span costs one atomic
+   read plus a closure call.  Measure the no-op [with_span] against a
+   bare loop and fail the bench hard if the difference regresses past
+   the budget — the "near-zero overhead when disabled" contract that
+   lets the instrumentation stay compiled into the pipeline. *)
+let overhead_budget_ns = 500.0
+
+let span_overhead_ns () =
+  Wa_obs.disable ();
+  let iters = 200_000 in
+  let sink = ref 0 in
+  let loop traced =
+    snd
+      (Wa_obs.Trace.timed "overhead" (fun () ->
+           if traced then
+             for i = 1 to iters do
+               Wa_obs.Trace.with_span "noop" (fun () -> sink := !sink + i)
+             done
+           else
+             for i = 1 to iters do
+               sink := !sink + i
+             done))
+  in
+  let bare = loop false in
+  let traced = loop true in
+  ignore !sink;
+  Float.max 0.0 ((traced -. bare) *. 1e6 /. float_of_int iters)
+
+(* Whole-pipeline cost with telemetry off vs on (min of three runs
+   each).  The enabled run does strictly more work by design — it adds
+   the telemetry-only affectance stage — so it is reported for the
+   record, not gated. *)
+let plan_overhead ~quick =
+  let n = if quick then 300 else 1000 in
+  let ps = deployment n 11 in
+  let best f =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let ms = snd (timed f) in
+      if ms < !best then best := ms
+    done;
+    !best
+  in
+  Wa_obs.disable ();
+  let disabled_ms = best (fun () -> Wa_core.Pipeline.plan ~params:p `Global ps) in
+  Wa_obs.enable ();
+  Wa_obs.reset ();
+  let enabled_ms = best (fun () -> Wa_core.Pipeline.plan ~params:p `Global ps) in
+  Wa_obs.disable ();
+  Wa_obs.reset ();
+  (disabled_ms, enabled_ms)
 
 let sorted_edges g = List.sort compare (Wa_graph.Graph.edges g)
 
@@ -143,6 +192,12 @@ let run_scaling ~quick ~json_path =
   in
   List.iter (fun (_, r, _) -> Wa_util.Table.add_row table r) rows;
   Wa_util.Table.print table;
+  let overhead_ns = span_overhead_ns () in
+  let plan_disabled_ms, plan_enabled_ms = plan_overhead ~quick in
+  Printf.printf
+    "telemetry: %.0f ns/span disabled (budget %.0f); plan %.1f ms off, %.1f \
+     ms on\n%!"
+    overhead_ns overhead_budget_ns plan_disabled_ms plan_enabled_ms;
   let doc =
     Wa_io.Json.Obj
       [
@@ -153,6 +208,9 @@ let run_scaling ~quick ~json_path =
         ("quick", Bool quick);
         ( "domains",
           Int (Wa_util.Parallel.available_domains ()) );
+        ("span_overhead_ns", Float overhead_ns);
+        ("plan_ms_disabled", Float plan_disabled_ms);
+        ("plan_ms_enabled", Float plan_enabled_ms);
         ("rows", List (List.map (fun (j, _, _) -> j) rows));
       ]
   in
@@ -164,6 +222,13 @@ let run_scaling ~quick ~json_path =
   if List.exists (fun (_, _, mismatch) -> mismatch) rows then begin
     prerr_endline
       "FATAL: indexed conflict graph differs from the dense reference";
+    exit 1
+  end;
+  if overhead_ns > overhead_budget_ns then begin
+    Printf.eprintf
+      "FATAL: disabled-telemetry span overhead %.0f ns/call exceeds the %.0f \
+       ns budget\n"
+      overhead_ns overhead_budget_ns;
     exit 1
   end
 
@@ -306,7 +371,7 @@ let () =
   in
   let find_table args = find_value "--table" args in
   let json_path =
-    Option.value ~default:"BENCH_PR1.json" (find_value "--json" args)
+    Option.value ~default:"BENCH_PR2.json" (find_value "--json" args)
   in
   let t0 = Unix.gettimeofday () in
   (if not (has "--no-tables") then

@@ -55,6 +55,82 @@ let quick_arg =
   let doc = "Use reduced experiment sizes." in
   Arg.(value & flag & info [ "quick" ] ~doc)
 
+(* Telemetry ------------------------------------------------------------ *)
+
+type telemetry = {
+  verbosity : int;
+  trace_out : string option;
+  metrics_out : string option;
+}
+
+let telemetry_arg =
+  let verbose =
+    let doc =
+      "Log subsystem activity to stderr (repeat for debug) and print a \
+       telemetry summary after the run."
+    in
+    Arg.(value & flag_all & info [ "v"; "verbose" ] ~doc)
+  in
+  let trace_out =
+    let doc = "Write pipeline spans to this file as JSON lines." in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_out =
+    let doc = "Write the metrics registry to this file as JSON." in
+    Arg.(
+      value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+  in
+  let make v t m = { verbosity = List.length v; trace_out = t; metrics_out = m } in
+  Term.(const make $ verbose $ trace_out $ metrics_out)
+
+let write_telemetry tel =
+  let report = Wa_obs.Report.capture () in
+  let ( let* ) = Result.bind in
+  let* () =
+    match tel.trace_out with
+    | None -> Ok ()
+    | Some path -> (
+        Wa_obs.Export.write_trace path report;
+        (* Parse back what we just wrote: malformed telemetry should
+           fail the run, not the analysis three tools later. *)
+        match Wa_obs.Export.validate_trace_file path with
+        | Ok n ->
+            Printf.printf "wrote %d span(s) to %s\n" n path;
+            Ok ()
+        | Error m -> Error (`Msg ("trace self-check failed: " ^ m)))
+  in
+  let* () =
+    match tel.metrics_out with
+    | None -> Ok ()
+    | Some path -> (
+        Wa_obs.Export.write_metrics path report;
+        match Wa_obs.Export.validate_metrics_file path with
+        | Ok _ ->
+            Printf.printf "wrote metrics to %s\n" path;
+            Ok ()
+        | Error m -> Error (`Msg ("metrics self-check failed: " ^ m)))
+  in
+  if tel.verbosity > 0 then
+    Format.eprintf "%a@." Wa_obs.Report.pp report;
+  Ok ()
+
+(* Runs every subcommand body: installs the source-tagged reporter (so
+   degraded-path warnings are visible by default), and when any
+   telemetry output was requested enables the sink and exports after
+   the run. *)
+let with_telemetry tel f =
+  Wa_obs.Log.setup ?level:(Wa_obs.Log.level_of_verbosity tel.verbosity) ();
+  let wanted =
+    tel.trace_out <> None || tel.metrics_out <> None || tel.verbosity > 0
+  in
+  if wanted then begin
+    Wa_obs.enable ();
+    Wa_obs.reset ()
+  end;
+  match f () with
+  | Error _ as e -> e
+  | Ok () -> if wanted then write_telemetry tel else Ok ()
+
 let parse_power s =
   match String.lowercase_ascii s with
   | "global" -> Ok `Global
@@ -113,7 +189,8 @@ let obtain_deployment points_in deploy ~seed ~n ~side params =
   | Some path -> Wa_io.Pointset_io.read_file path |> Result.map_error (fun m -> `Msg m)
   | None -> make_deployment deploy ~seed ~n ~side params
 
-let run_plan seed n side deploy power alpha beta json dot points_in =
+let run_plan seed n side deploy power alpha beta json dot points_in tel =
+  with_telemetry tel @@ fun () ->
   let ( let* ) = Result.bind in
   let* params = build_params alpha beta in
   let* mode = parse_power power in
@@ -144,7 +221,8 @@ let plan_cmd =
   let term =
     Term.(
       const run_plan $ seed_arg $ nodes_arg $ side_arg $ deploy_arg $ power_arg
-      $ alpha_arg $ beta_arg $ json_arg $ dot_arg $ points_in_arg)
+      $ alpha_arg $ beta_arg $ json_arg $ dot_arg $ points_in_arg
+      $ telemetry_arg)
   in
   Cmd.v
     (Cmd.info "plan" ~doc:"Build and validate an aggregation schedule.")
@@ -180,7 +258,8 @@ let periods_arg =
   let doc = "Schedule periods to simulate." in
   Arg.(value & opt int 50 & info [ "periods" ] ~docv:"P" ~doc)
 
-let run_simulate seed n side deploy power alpha beta periods =
+let run_simulate seed n side deploy power alpha beta periods tel =
+  with_telemetry tel @@ fun () ->
   let ( let* ) = Result.bind in
   let* params = build_params alpha beta in
   let* mode = parse_power power in
@@ -203,7 +282,7 @@ let simulate_cmd =
   let term =
     Term.(
       const run_simulate $ seed_arg $ nodes_arg $ side_arg $ deploy_arg
-      $ power_arg $ alpha_arg $ beta_arg $ periods_arg)
+      $ power_arg $ alpha_arg $ beta_arg $ periods_arg $ telemetry_arg)
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run the convergecast simulator on a plan.")
@@ -215,7 +294,8 @@ let ids_arg =
   let doc = "Experiment ids (F1..F5, T1..T14); all when omitted." in
   Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
 
-let run_experiment quick ids =
+let run_experiment quick ids tel =
+  with_telemetry tel @@ fun () ->
   match ids with
   | [] ->
       Wa_experiments.Experiments.run_all ~quick ();
@@ -227,7 +307,7 @@ let run_experiment quick ids =
       with Failure m -> Error (`Msg m))
 
 let experiment_cmd =
-  let term = Term.(const run_experiment $ quick_arg $ ids_arg) in
+  let term = Term.(const run_experiment $ quick_arg $ ids_arg $ telemetry_arg) in
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate the paper's tables and figures (see DESIGN.md).")

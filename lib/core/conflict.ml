@@ -5,6 +5,13 @@ module Graph = Wa_graph.Graph
 module Growth = Wa_util.Growth
 module Parallel = Wa_util.Parallel
 
+(* Metric handles are resolved once at module init (registry lookups
+   are mutex-guarded; doing them here keeps the per-link closures that
+   run inside Parallel worker domains down to one atomic op). *)
+let m_edges = Wa_obs.Metrics.counter "conflict.edges"
+let m_builds = Wa_obs.Metrics.counter "conflict.builds"
+let m_link_degree = Wa_obs.Metrics.histogram "conflict.link_degree"
+
 type threshold =
   | Constant of float
   | Power_law of { gamma : float; delta : float }
@@ -80,6 +87,7 @@ let indexed_neighbors idx p th i c =
     (Link_index.candidates_within idx ~cls:c i ~radius)
 
 let graph_dense p th ls =
+  Wa_obs.Trace.with_span "conflict.build.dense" @@ fun () ->
   let n = Linkset.size ls in
   let g = Graph.create n in
   for i = 0 to n - 1 do
@@ -87,16 +95,21 @@ let graph_dense p th ls =
       if conflicting p th ls i j then Graph.add_edge g i j
     done
   done;
+  Wa_obs.Metrics.incr m_builds;
+  Wa_obs.Metrics.add m_edges (Graph.edge_count g);
   g
 
-let graph_indexed ?index p th ls =
+let graph_indexed ?index ?domains p th ls =
+  Wa_obs.Trace.with_span "conflict.build.indexed" @@ fun () ->
   let idx = match index with Some idx -> idx | None -> Link_index.build ls in
   let n = Linkset.size ls in
   let nc = Link_index.class_count idx in
   (* Each unordered pair is emitted exactly once, from its lower-class
      endpoint (lower id within the same class): a link in a strictly
      higher class is strictly longer, so its own sweep never revisits
-     the pair. *)
+     the pair.  The per-link metric updates run on whichever worker
+     domain computes the link — counters are atomic, so the totals are
+     independent of the fan-out. *)
   let edges_of i =
     let ci = Link_index.class_of_link idx i in
     let acc = ref [] in
@@ -105,17 +118,21 @@ let graph_indexed ?index p th ls =
         (fun j -> if c > ci || j > i then acc := j :: !acc)
         (indexed_neighbors idx p th i c)
     done;
-    !acc
+    let js = !acc in
+    Wa_obs.Metrics.add m_edges (List.length js);
+    Wa_obs.Metrics.observe m_link_degree (float_of_int (List.length js));
+    js
   in
-  let per_link = Parallel.init n edges_of in
+  let per_link = Parallel.init ?domains n edges_of in
   let g = Graph.create n in
   Array.iteri (fun i js -> List.iter (fun j -> Graph.add_edge g i j) js) per_link;
+  Wa_obs.Metrics.incr m_builds;
   g
 
-let graph ?(engine = `Indexed) ?index p th ls =
+let graph ?(engine = `Indexed) ?index ?domains p th ls =
   match engine with
   | `Dense -> graph_dense p th ls
-  | `Indexed -> graph_indexed ?index p th ls
+  | `Indexed -> graph_indexed ?index ?domains p th ls
 
 let describe = function
   | Constant gamma -> Printf.sprintf "G1 (f = %g)" gamma
@@ -193,6 +210,7 @@ let longer_neighbors_indexed idx p th i =
   List.sort (fun a b -> Int.compare b a) !acc
 
 let inductive_independence ?(engine = `Indexed) ?index p th ls =
+  Wa_obs.Trace.with_span "conflict.inductive_independence" @@ fun () ->
   let n = Linkset.size ls in
   let value_of =
     match engine with

@@ -60,11 +60,18 @@ val conflicting :
 val graph :
   ?engine:engine ->
   ?index:Wa_sinr.Link_index.t ->
+  ?domains:int ->
   Wa_sinr.Params.t -> threshold -> Wa_sinr.Linkset.t -> Wa_graph.Graph.t
 (** The conflict graph on link ids.  [engine] defaults to [`Indexed];
     [index] (only consulted by the indexed engine) reuses a prebuilt
     {!Wa_sinr.Link_index} over the {e same} linkset instead of
-    building one per call.  Edge-for-edge identical across engines. *)
+    building one per call; [domains] caps the indexed engine's
+    fan-out (see {!Wa_util.Parallel.iter} — mainly for tests that
+    compare telemetry across fan-out widths).  Edge-for-edge
+    identical across engines and domain counts.  Instrumented: spans
+    [conflict.build.dense]/[conflict.build.indexed], counters
+    [conflict.edges]/[conflict.builds], histogram
+    [conflict.link_degree]. *)
 
 val graph_dense :
   Wa_sinr.Params.t -> threshold -> Wa_sinr.Linkset.t -> Wa_graph.Graph.t
@@ -73,6 +80,7 @@ val graph_dense :
 
 val graph_indexed :
   ?index:Wa_sinr.Link_index.t ->
+  ?domains:int ->
   Wa_sinr.Params.t -> threshold -> Wa_sinr.Linkset.t -> Wa_graph.Graph.t
 
 val describe : threshold -> string

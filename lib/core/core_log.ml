@@ -1,0 +1,6 @@
+(* Logs source for the core scheduling layer (pipeline, schedule
+   repair, conflict graphs, simulator). *)
+
+let src = Logs.Src.create "wa.core" ~doc:"wireless_agg core scheduling layer"
+
+include (val Logs.src_log src : Logs.LOG)

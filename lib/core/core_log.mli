@@ -1,0 +1,7 @@
+(** Logs source ["wa.core"] for the core scheduling layer.
+    [include]s a [Logs.LOG], so use as
+    [Core_log.warn (fun m -> m ...)]. *)
+
+val src : Logs.src
+
+include Logs.LOG

@@ -16,9 +16,9 @@ let threshold_for ?gamma mode =
   | Oblivious_power tau -> Some (Conflict.power_law ?gamma ~tau ())
   | Fixed_scheme _ -> None
 
-let conflict_graph ?gamma ?engine p ls mode =
+let conflict_graph ?gamma ?engine ?index p ls mode =
   match threshold_for ?gamma mode with
-  | Some th -> Conflict.graph ?engine p th ls
+  | Some th -> Conflict.graph ?engine ?index p th ls
   | None ->
       let scheme =
         match mode with Fixed_scheme s -> s | _ -> assert false
@@ -29,6 +29,7 @@ let conflict_graph ?gamma ?engine p ls mode =
          of the O(n^2) pair loop; there is no geometric threshold to
          index here, so the engine only picks sequential vs parallel
          row generation (rows are pure reads; results identical). *)
+      Wa_obs.Trace.with_span "conflict.build.sinr_pairs" @@ fun () ->
       let n = Linkset.size ls in
       let vec = Power.vector p ls scheme in
       let pair_ok i j =
@@ -51,8 +52,9 @@ let conflict_graph ?gamma ?engine p ls mode =
       Array.iteri (fun i js -> List.iter (fun j -> Graph.add_edge g i j) js) rows;
       g
 
-let coloring ?gamma ?engine p ls mode =
-  let g = conflict_graph ?gamma ?engine p ls mode in
+let coloring ?gamma ?engine ?index p ls mode =
+  let g = conflict_graph ?gamma ?engine ?index p ls mode in
+  Wa_obs.Trace.with_span "schedule.color" @@ fun () ->
   Coloring.greedy ~order:(Linkset.by_decreasing_length ls) g
 
 let power_mode_of = function
@@ -60,8 +62,10 @@ let power_mode_of = function
   | Oblivious_power tau -> Schedule.Scheme (Power.Oblivious tau)
   | Fixed_scheme s -> Schedule.Scheme s
 
-let schedule ?gamma ?engine ?(repair = true) p ls mode =
+let schedule ?gamma ?engine ?index ?(repair = true) p ls mode =
   let schedule =
-    Schedule.of_coloring (coloring ?gamma ?engine p ls mode) (power_mode_of mode)
+    Schedule.of_coloring
+      (coloring ?gamma ?engine ?index p ls mode)
+      (power_mode_of mode)
   in
   if repair then Schedule.repair p ls schedule else (schedule, 0)

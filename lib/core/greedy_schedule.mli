@@ -25,20 +25,25 @@ val threshold_for :
 
 val conflict_graph :
   ?gamma:float -> ?engine:Conflict.engine ->
+  ?index:Wa_sinr.Link_index.t ->
   Wa_sinr.Params.t -> Wa_sinr.Linkset.t -> mode -> Wa_graph.Graph.t
 (** [engine] (default [`Indexed]) selects the {!Conflict.graph}
     construction for the thresholded modes; for [Fixed_scheme] (no
     geometric threshold) it only toggles parallel row generation.
-    The resulting graph is engine-independent either way. *)
+    [index] lets callers (e.g. {!Pipeline.plan}) reuse a prebuilt
+    {!Wa_sinr.Link_index}; ignored by [Fixed_scheme].  The resulting
+    graph is engine-independent either way. *)
 
 val coloring :
   ?gamma:float -> ?engine:Conflict.engine ->
+  ?index:Wa_sinr.Link_index.t ->
   Wa_sinr.Params.t -> Wa_sinr.Linkset.t -> mode ->
   Wa_graph.Coloring.t
 (** Greedy first-fit over links by non-increasing length. *)
 
 val schedule :
-  ?gamma:float -> ?engine:Conflict.engine -> ?repair:bool ->
+  ?gamma:float -> ?engine:Conflict.engine ->
+  ?index:Wa_sinr.Link_index.t -> ?repair:bool ->
   Wa_sinr.Params.t -> Wa_sinr.Linkset.t -> mode ->
   Schedule.t * int
 (** Full pipeline for a link set: conflict graph → greedy coloring →

@@ -23,16 +23,44 @@ let mode_of = function
   | `Uniform -> Greedy_schedule.Fixed_scheme Power.Uniform
   | `Linear -> Greedy_schedule.Fixed_scheme Power.Linear
 
+module Trace = Wa_obs.Trace
+module Metrics = Wa_obs.Metrics
+
+let m_slots_raw = Metrics.gauge "schedule.slots_raw"
+let m_slots_final = Metrics.gauge "schedule.slots_final"
+let m_links = Metrics.gauge "plan.links"
+let m_link_diversity = Metrics.gauge "plan.link_diversity"
+
 let plan ?(params = Params.default) ?gamma ?(engine = `Indexed) ?(sink = 0)
     ?tree_edges power_mode ps =
+  Trace.with_span "pipeline.plan" @@ fun () ->
   let agg =
+    Trace.with_span "plan.mst" @@ fun () ->
     match tree_edges with
     | None -> Agg_tree.mst ~sink ps
     | Some edges -> Agg_tree.of_edges ~sink ps edges
   in
   let mode = mode_of power_mode in
   let ls = agg.Agg_tree.links in
-  let coloring = Greedy_schedule.coloring ?gamma ~engine params ls mode in
+  (* Build the spatial index as its own stage and share it between the
+     conflict-graph build and the telemetry-only affectance stage
+     (previously Conflict.graph built it internally, invisible to any
+     timing).  Fixed schemes have no geometric threshold to index. *)
+  let index =
+    match (engine, Greedy_schedule.threshold_for ?gamma mode) with
+    | `Indexed, Some _ ->
+        Trace.with_span "plan.index" (fun () ->
+            Some (Wa_sinr.Link_index.build ls))
+    | _ -> None
+  in
+  let graph =
+    Trace.with_span "plan.conflict" @@ fun () ->
+    Greedy_schedule.conflict_graph ?gamma ~engine ?index params ls mode
+  in
+  let coloring =
+    Trace.with_span "plan.color" @@ fun () ->
+    Wa_graph.Coloring.greedy ~order:(Linkset.by_decreasing_length ls) graph
+  in
   let raw =
     Schedule.of_coloring coloring
       (match mode with
@@ -40,7 +68,23 @@ let plan ?(params = Params.default) ?gamma ?(engine = `Indexed) ?(sink = 0)
       | Greedy_schedule.Oblivious_power tau -> Schedule.Scheme (Power.Oblivious tau)
       | Greedy_schedule.Fixed_scheme s -> Schedule.Scheme s)
   in
-  let schedule, repair_added = Schedule.repair params ls raw in
+  let schedule, repair_added, valid =
+    Trace.with_span "plan.validate" @@ fun () ->
+    let schedule, repair_added = Schedule.repair params ls raw in
+    (schedule, repair_added, Schedule.is_valid params ls schedule)
+  in
+  Metrics.set m_slots_raw (float_of_int (Schedule.length raw));
+  Metrics.set m_slots_final (float_of_int (Schedule.length schedule));
+  Metrics.set m_links (float_of_int (Linkset.size ls));
+  let link_diversity = Linkset.diversity ls in
+  Metrics.set m_link_diversity link_diversity;
+  (* Lemma-1 pressure is not needed to build the plan, but it is the
+     paper's own tightness measure, so record it whenever telemetry is
+     on (reusing the stage index; skipped entirely when disabled). *)
+  if Wa_obs.enabled () then
+    ignore
+      (Trace.with_span "plan.affectance" (fun () ->
+           Refinement.max_longer_pressure ?index ~tol:1e-6 params ls));
   {
     agg;
     mode;
@@ -48,8 +92,8 @@ let plan ?(params = Params.default) ?gamma ?(engine = `Indexed) ?(sink = 0)
     raw_colors = Schedule.length raw;
     repair_added;
     point_diversity = Pointset.diversity ps;
-    link_diversity = Linkset.diversity ls;
-    valid = Schedule.is_valid params ls schedule;
+    link_diversity;
+    valid;
   }
 
 let slots p = Schedule.length p.schedule

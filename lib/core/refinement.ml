@@ -39,10 +39,17 @@ let refine ?(kappa = 1.0) p ls =
 
 let bucket_count t = Array.length t.buckets
 
+let m_max_pressure = Wa_obs.Metrics.gauge "affectance.max_pressure"
+
 let max_longer_pressure ?index ?tol p ls =
-  Wa_util.Parallel.fold_float_max
-    (fun i -> Affectance.mst_longer_pressure ?index ?tol p ls i)
-    (Linkset.size ls) 0.0
+  Wa_obs.Trace.with_span "affectance.pressure" @@ fun () ->
+  let v =
+    Wa_util.Parallel.fold_float_max
+      (fun i -> Affectance.mst_longer_pressure ?index ?tol p ls i)
+      (Linkset.size ls) 0.0
+  in
+  Wa_obs.Metrics.set m_max_pressure v;
+  v
 
 let buckets_g1_independent p ls t =
   let gamma = t.kappa ** (-1.0 /. p.Params.alpha) in

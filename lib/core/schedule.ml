@@ -67,7 +67,9 @@ let infeasible_slots p ls t =
   Array.iteri (fun k good -> if not good then bad := k :: !bad) ok;
   List.rev !bad
 
-let is_valid p ls t = covers t ls && infeasible_slots p ls t = []
+let is_valid p ls t =
+  Wa_obs.Trace.with_span "schedule.validate" @@ fun () ->
+  covers t ls && infeasible_slots p ls t = []
 
 (* First-fit the links of a broken slot into feasible sub-slots,
    longest first (mirroring the paper's greedy order).  Every
@@ -164,17 +166,38 @@ let merge_parts p ls mode parts =
       try_merge [] accepted)
     [] parts
 
+let m_repair_added = Wa_obs.Metrics.counter "schedule.repair_added"
+let m_repair_split = Wa_obs.Metrics.counter "schedule.repair_split_slots"
+
 let repair p ls t =
+  Wa_obs.Trace.with_span "schedule.repair" @@ fun () ->
   let before = length t in
+  let split_count = ref 0 in
   let slots =
     Array.to_list t.slots
     |> List.concat_map (fun slot ->
            if slot_feasible p ls t.power_mode slot then [ slot ]
-           else merge_parts p ls t.power_mode (split_slot p ls t.power_mode slot))
+           else begin
+             incr split_count;
+             merge_parts p ls t.power_mode (split_slot p ls t.power_mode slot)
+           end)
     |> List.filter (fun s -> s <> [])
   in
   let repaired = { t with slots = Array.of_list slots } in
-  (repaired, length repaired - before)
+  let added = length repaired - before in
+  if !split_count > 0 then begin
+    (* The greedy coloring promised feasible slots and the physical
+       model disagreed — worth surfacing, since the paper's constants
+       are supposed to make this rare. *)
+    Core_log.warn (fun m ->
+        m
+          "Schedule.repair: %d of %d slot(s) infeasible; split into \
+           sub-slots, adding %d slot(s) (%d -> %d)"
+          !split_count before added before (length repaired));
+    Wa_obs.Metrics.add m_repair_split !split_count
+  end;
+  Wa_obs.Metrics.add m_repair_added added;
+  (repaired, added)
 
 let reorder_for_latency tree ls t =
   let depth_of_link i =

@@ -143,9 +143,20 @@ let failing_attempts cfg ls fading_rng attempts =
       in
       List.filter (fun a -> faded_sinr a < p.Params.beta) attempts
 
+(* Telemetry series (handles resolved once at module init; every
+   update below is a no-op while telemetry is disabled). *)
+let m_delivered = Wa_obs.Metrics.counter "sim.frames_delivered"
+let m_violations = Wa_obs.Metrics.counter "sim.violations"
+let m_idle = Wa_obs.Metrics.counter "sim.idle_slots"
+let m_latency = Wa_obs.Metrics.histogram "sim.latency_slots"
+let m_period_deliveries = Wa_obs.Metrics.histogram "sim.period_deliveries"
+let m_period_buffer = Wa_obs.Metrics.histogram "sim.period_max_buffer"
+let m_max_buffer = Wa_obs.Metrics.gauge "sim.max_buffer"
+
 let run_slots agg ~slots cfg =
   if cfg.horizon <= 0 then invalid_arg "Simulator.run: horizon must be positive";
   if cfg.gen_period <= 0 then invalid_arg "Simulator.run: gen_period must be positive";
+  Wa_obs.Trace.with_span "simulate.run" @@ fun () ->
   let ls = agg.Agg_tree.links in
   let tree = agg.Agg_tree.tree in
   let n = Agg_tree.size agg in
@@ -178,6 +189,11 @@ let run_slots agg ~slots cfg =
   let idle = ref 0 in
   let max_buffer = ref 0 in
   let correct = ref true in
+  (* Per-period telemetry (deliveries and peak queue depth within each
+     schedule period) — only tracked while the sink is enabled. *)
+  let obs = Wa_obs.enabled () in
+  let period_start_delivered = ref 0 in
+  let period_buffer = ref 0 in
   let complete v f = f < n_frames && recv_count.(v).(f) = child_count.(v) in
   for t = 0 to cfg.horizon - 1 do
     let active_links = slots.(t mod period) in
@@ -246,13 +262,34 @@ let run_slots agg ~slots cfg =
     drain ();
     (* Buffer occupancy: generated-but-not-forwarded frames per node. *)
     let generated_so_far = min n_frames ((t / cfg.gen_period) + 1) in
+    let slot_buffer = ref 0 in
     for v = 0 to n - 1 do
       if v <> sink then
-        max_buffer := max !max_buffer (generated_so_far - next_send.(v))
-    done
+        slot_buffer := max !slot_buffer (generated_so_far - next_send.(v))
+    done;
+    max_buffer := max !max_buffer !slot_buffer;
+    if obs then begin
+      period_buffer := max !period_buffer !slot_buffer;
+      if (t + 1) mod period = 0 then begin
+        Wa_obs.Metrics.observe m_period_deliveries
+          (float_of_int (!delivered - !period_start_delivered));
+        Wa_obs.Metrics.observe m_period_buffer (float_of_int !period_buffer);
+        period_start_delivered := !delivered;
+        period_buffer := 0
+      end
+    end
   done;
   let deliveries = List.rev !deliveries in
   let latencies = Array.of_list (List.map (fun (_, l, _, _) -> l) deliveries) in
+  if obs then begin
+    Wa_obs.Metrics.add m_delivered !delivered;
+    Wa_obs.Metrics.add m_violations !violations;
+    Wa_obs.Metrics.add m_idle !idle;
+    Wa_obs.Metrics.set_max m_max_buffer (float_of_int !max_buffer);
+    Array.iter
+      (fun l -> Wa_obs.Metrics.observe m_latency (float_of_int l))
+      latencies
+  end;
   let steady_rate =
     match (deliveries, List.rev deliveries) with
     | (_, _, t_first, _) :: _, (_, _, t_last, _) :: _ when t_last > t_first ->

@@ -1,0 +1,5 @@
+(* Logs source for the geometry layer (grid index, triangulation). *)
+
+let src = Logs.Src.create "wa.geom" ~doc:"wireless_agg geometry layer"
+
+include (val Logs.src_log src : Logs.LOG)

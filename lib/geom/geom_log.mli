@@ -1,0 +1,6 @@
+(** Logs source ["wa.geom"] for the geometry layer.  [include]s a
+    [Logs.LOG], so use as [Geom_log.warn (fun m -> m ...)]. *)
+
+val src : Logs.src
+
+include Logs.LOG

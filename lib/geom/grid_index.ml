@@ -32,6 +32,20 @@ let bucket t key =
    scan is cheaper and always correct. *)
 let max_ring_reach = 256
 
+(* The budget fallback used to be silent; warn once per process so
+   degraded (O(n)-per-query) behavior is visible without flooding the
+   log from inside query loops. *)
+let budget_warned = Atomic.make false
+
+let warn_budget context =
+  if not (Atomic.exchange budget_warned true) then
+    Geom_log.warn (fun m ->
+        m
+          "%s: ring sweep exceeded the %d-ring budget; falling back to \
+           brute-force scans (degraded to O(n) per query; further \
+           occurrences not logged)"
+          context max_ring_reach)
+
 let neighbors_within t p r =
   if r < 0.0 then invalid_arg "Grid_index.neighbors_within: negative radius";
   let n = Array.length t.points in
@@ -39,11 +53,10 @@ let neighbors_within t p r =
   let consider i = if Vec2.dist t.points.(i) p <= r then acc := i :: !acc in
   let reach_f = Float.ceil (r /. t.cell_size) in
   let swept_cells = ((2.0 *. reach_f) +. 1.0) ** 2.0 in
-  if
-    Float.is_finite reach_f
-    && reach_f <= float_of_int max_ring_reach
-    && swept_cells <= Float.max 9.0 (float_of_int n)
-  then begin
+  let within_budget =
+    Float.is_finite reach_f && reach_f <= float_of_int max_ring_reach
+  in
+  if within_budget && swept_cells <= Float.max 9.0 (float_of_int n) then begin
     let reach = int_of_float reach_f in
     let cx, cy = cell_of t p in
     for dx = -reach to reach do
@@ -52,12 +65,17 @@ let neighbors_within t p r =
       done
     done
   end
-  else
+  else begin
     (* Brute-force fallback: fewer distance tests than empty-cell
-       probes once the sweep outgrows the point count. *)
+       probes once the sweep outgrows the point count.  Only the
+       budget overrun is a degraded path worth warning about — a
+       sweep merely outgrowing the point count is the cheaper
+       choice, not a failure. *)
+    if not within_budget then warn_budget "Grid_index.neighbors_within";
     for i = 0 to n - 1 do
       consider i
-    done;
+    done
+  end;
   !acc
 
 (* Expand square rings of cells outward until a candidate is found,
@@ -99,7 +117,10 @@ let nearest t ~exclude p =
       done
     in
     let rec go r =
-      if r > 256 then brute ()
+      if r > 256 then begin
+        warn_budget "Grid_index.nearest";
+        brute ()
+      end
       else begin
         scan_ring r;
         match !best with

@@ -1,82 +1,4 @@
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | String of string
-  | List of t list
-  | Obj of (string * t) list
-
-let escape_string s =
-  let buf = Buffer.create (String.length s + 2) in
-  Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"';
-  Buffer.contents buf
-
-let float_literal v =
-  if Float.is_nan v then "null"
-  else if v = infinity then "1e999"
-  else if v = neg_infinity then "-1e999"
-  else if Float.is_integer v && Float.abs v < 1e15 then
-    Printf.sprintf "%.1f" v
-  else Printf.sprintf "%.17g" v
-
-let to_string ?(pretty = true) t =
-  let buf = Buffer.create 256 in
-  let indent depth = if pretty then String.make (2 * depth) ' ' else "" in
-  let newline () = if pretty then Buffer.add_char buf '\n' in
-  let rec emit depth = function
-    | Null -> Buffer.add_string buf "null"
-    | Bool b -> Buffer.add_string buf (string_of_bool b)
-    | Int i -> Buffer.add_string buf (string_of_int i)
-    | Float v -> Buffer.add_string buf (float_literal v)
-    | String s -> Buffer.add_string buf (escape_string s)
-    | List [] -> Buffer.add_string buf "[]"
-    | List items ->
-        Buffer.add_char buf '[';
-        newline ();
-        List.iteri
-          (fun i item ->
-            if i > 0 then begin
-              Buffer.add_char buf ',';
-              newline ()
-            end;
-            Buffer.add_string buf (indent (depth + 1));
-            emit (depth + 1) item)
-          items;
-        newline ();
-        Buffer.add_string buf (indent depth);
-        Buffer.add_char buf ']'
-    | Obj [] -> Buffer.add_string buf "{}"
-    | Obj fields ->
-        Buffer.add_char buf '{';
-        newline ();
-        List.iteri
-          (fun i (key, value) ->
-            if i > 0 then begin
-              Buffer.add_char buf ',';
-              newline ()
-            end;
-            Buffer.add_string buf (indent (depth + 1));
-            Buffer.add_string buf (escape_string key);
-            Buffer.add_string buf (if pretty then ": " else ":");
-            emit (depth + 1) value)
-          fields;
-        newline ();
-        Buffer.add_string buf (indent depth);
-        Buffer.add_char buf '}'
-  in
-  emit 0 t;
-  Buffer.contents buf
+(* The JSON tree moved to [Wa_util.Json] so the observability layer
+   (below wa_core in the dependency order) can use it; this alias
+   keeps every existing [Wa_io.Json] call site working unchanged. *)
+include Wa_util.Json

@@ -1,20 +1,8 @@
-(** Minimal JSON emitter (no external dependencies).
+(** Re-export of {!Wa_util.Json} (the tree moved into [Wa_util] so
+    that [Wa_obs] can emit and parse JSON without depending on the
+    core layers).  Types and constructors are equal, so existing
+    pattern matches and constructions compile unchanged. *)
 
-    Only what the exporters need: construction and compact/pretty
-    printing.  Strings are escaped per RFC 8259; floats print with
-    round-trippable precision. *)
-
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | String of string
-  | List of t list
-  | Obj of (string * t) list
-
-val to_string : ?pretty:bool -> t -> string
-(** [pretty] (default true) indents with two spaces. *)
-
-val escape_string : string -> string
-(** The escaped, quoted form of a string literal. *)
+include module type of struct
+  include Wa_util.Json
+end

@@ -1,0 +1,59 @@
+module Json = Wa_util.Json
+
+let trace_lines report =
+  List.map
+    (fun s -> Json.to_string ~pretty:false (Report.span_to_json s))
+    report.Report.spans
+
+let metrics_string report =
+  Json.to_string (Report.metrics_to_json report)
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc contents;
+      if contents = "" || contents.[String.length contents - 1] <> '\n' then
+        output_char oc '\n')
+
+let write_trace path report =
+  write_file path (String.concat "\n" (trace_lines report))
+
+let write_metrics path report = write_file path (metrics_string report)
+
+(* Validation: parse back what a writer produced, so exporters fail
+   loudly instead of shipping malformed telemetry.  Used by the CLI
+   teardown and the obs-smoke alias. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let validate_trace_file path =
+  let contents = read_file path in
+  let lines =
+    String.split_on_char '\n' contents
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  let rec go n = function
+    | [] -> Ok n
+    | line :: rest -> (
+        match Json.of_string line with
+        | Ok (Json.Obj _) -> go (n + 1) rest
+        | Ok _ -> Error (Printf.sprintf "%s: line %d is not an object" path (n + 1))
+        | Error msg ->
+            Error (Printf.sprintf "%s: line %d: %s" path (n + 1) msg))
+  in
+  go 0 lines
+
+let validate_metrics_file path =
+  match Json.of_string (read_file path) with
+  | Ok (Json.Obj _ as doc) -> (
+      match Json.member "counters" doc with
+      | Some (Json.Obj _) -> Ok doc
+      | _ -> Error (path ^ ": missing \"counters\" object"))
+  | Ok _ -> Error (path ^ ": not a JSON object")
+  | Error msg -> Error (path ^ ": " ^ msg)

@@ -1,0 +1,20 @@
+(** Exporters: JSON lines for spans, one JSON document for metrics,
+    and parse-back validators so telemetry files fail loudly at write
+    time rather than at analysis time. *)
+
+val trace_lines : Report.t -> string list
+(** One compact JSON object per span. *)
+
+val metrics_string : Report.t -> string
+(** The pretty-printed metrics document. *)
+
+val write_trace : string -> Report.t -> unit
+(** Write spans as JSON lines (newline-terminated). *)
+
+val write_metrics : string -> Report.t -> unit
+
+val validate_trace_file : string -> (int, string) result
+(** Parse every non-empty line; [Ok n] is the number of span records. *)
+
+val validate_metrics_file : string -> (Wa_util.Json.t, string) result
+(** Parse the document and check the expected top-level shape. *)

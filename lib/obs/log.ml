@@ -1,0 +1,41 @@
+(* Wiring for the [logs] library: a source for the obs layer itself
+   and a Fmt-based reporter that tags every message with its source
+   ("wa.core", "wa.sinr", "wa.util", "wa.geom", ...) so subsystems can
+   be told apart and filtered. *)
+
+let src = Logs.Src.create "wa.obs" ~doc:"wireless_agg observability layer"
+
+module Self = (val Logs.src_log src : Logs.LOG)
+
+let reporter ?(ppf = Format.err_formatter) () =
+  let report src level ~over k msgf =
+    let k _ =
+      over ();
+      k ()
+    in
+    msgf @@ fun ?header ?tags:_ fmt ->
+    let label =
+      match header with
+      | Some h -> h
+      | None -> (
+          match level with
+          | Logs.App -> ""
+          | Logs.Error -> "ERROR"
+          | Logs.Warning -> "WARNING"
+          | Logs.Info -> "INFO"
+          | Logs.Debug -> "DEBUG")
+    in
+    Format.kfprintf k ppf
+      ("[%s] %s @[" ^^ fmt ^^ "@]@.")
+      (Logs.Src.name src) label
+  in
+  { Logs.report }
+
+let level_of_verbosity = function
+  | n when n <= 0 -> Some Logs.Warning
+  | 1 -> Some Logs.Info
+  | _ -> Some Logs.Debug
+
+let setup ?ppf ?(level = Logs.Warning) () =
+  Logs.set_reporter (reporter ?ppf ());
+  Logs.set_level ~all:true (Some level)

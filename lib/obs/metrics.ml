@@ -1,0 +1,201 @@
+(* Registry of named counters, gauges, and log-scale histograms.
+
+   Handles are created once (get-or-create under a mutex — do this
+   outside parallel regions, typically at module init or just before a
+   fan-out) and updated lock-free where possible: counters are
+   [Atomic], so concurrent updates from Parallel worker domains never
+   lose or double-count increments; gauges and the non-bucket
+   histogram moments (sum/min/max, which are floats and have no atomic
+   in OCaml) take a short per-metric mutex.  Updates are no-ops while
+   telemetry is disabled; [reset] zeroes values in place so handles
+   created at module init stay valid forever. *)
+
+type counter = { c_name : string; value : int Atomic.t }
+
+type gauge = { g_name : string; g_mutex : Mutex.t; mutable g_value : float }
+
+(* Buckets are powers of two: bucket [i] holds observations in
+   [2^(i-bias), 2^(i-bias+1)).  With bias 80 the range spans 2^-80 ..
+   2^80 — nanoseconds to days when observing milliseconds, single
+   links to astronomic counts when observing sizes — and out-of-range
+   observations clamp into the end buckets.  Reusing the dyadic
+   bucketing the paper's length classes use keeps histograms O(1) in
+   memory at any sample count. *)
+let bucket_bias = 80
+let bucket_count = 161
+
+type histogram = {
+  h_name : string;
+  buckets : int Atomic.t array;
+  h_mutex : Mutex.t;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  mutable nonpositive : int;
+}
+
+let bucket_of_value v =
+  let e = int_of_float (Float.floor (Float.log2 v)) in
+  Stdlib.min (bucket_count - 1) (Stdlib.max 0 (e + bucket_bias))
+
+let bucket_lo i = Float.pow 2.0 (float_of_int (i - bucket_bias))
+let bucket_hi i = Float.pow 2.0 (float_of_int (i - bucket_bias + 1))
+
+type metric = C of counter | G of gauge | H of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
+
+let get_or_create name make classify describe =
+  Mutex.protect registry_mutex (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> (
+          match classify m with
+          | Some v -> v
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Wa_obs.Metrics: %s already registered as a %s"
+                   name (describe m)))
+      | None ->
+          let v, m = make () in
+          Hashtbl.add registry name m;
+          v)
+
+let kind_name = function
+  | C _ -> "counter"
+  | G _ -> "gauge"
+  | H _ -> "histogram"
+
+let counter name =
+  get_or_create name
+    (fun () ->
+      let c = { c_name = name; value = Atomic.make 0 } in
+      (c, C c))
+    (function C c -> Some c | _ -> None)
+    kind_name
+
+let gauge name =
+  get_or_create name
+    (fun () ->
+      let g = { g_name = name; g_mutex = Mutex.create (); g_value = nan } in
+      (g, G g))
+    (function G g -> Some g | _ -> None)
+    kind_name
+
+let histogram name =
+  get_or_create name
+    (fun () ->
+      let h =
+        {
+          h_name = name;
+          buckets = Array.init bucket_count (fun _ -> Atomic.make 0);
+          h_mutex = Mutex.create ();
+          h_count = 0;
+          h_sum = 0.0;
+          h_min = infinity;
+          h_max = neg_infinity;
+          nonpositive = 0;
+        }
+      in
+      (h, H h))
+    (function H h -> Some h | _ -> None)
+    kind_name
+
+let add c n =
+  if Runtime.enabled () && n <> 0 then
+    ignore (Atomic.fetch_and_add c.value n)
+
+let incr c = add c 1
+
+let set g v =
+  if Runtime.enabled () then
+    Mutex.protect g.g_mutex (fun () -> g.g_value <- v)
+
+let set_max g v =
+  if Runtime.enabled () then
+    Mutex.protect g.g_mutex (fun () ->
+        if Float.is_nan g.g_value || v > g.g_value then g.g_value <- v)
+
+let observe h v =
+  if Runtime.enabled () then begin
+    if v > 0.0 then ignore (Atomic.fetch_and_add h.buckets.(bucket_of_value v) 1);
+    Mutex.protect h.h_mutex (fun () ->
+        if v <= 0.0 then h.nonpositive <- h.nonpositive + 1;
+        h.h_count <- h.h_count + 1;
+        h.h_sum <- h.h_sum +. v;
+        if v < h.h_min then h.h_min <- v;
+        if v > h.h_max then h.h_max <- v)
+  end
+
+(* Snapshots ---------------------------------------------------------- *)
+
+type hist_snapshot = {
+  count : int;
+  sum : float;
+  min : float;  (** [infinity] when empty. *)
+  max : float;  (** [neg_infinity] when empty. *)
+  nonpositive_count : int;
+  filled : (float * float * int) list;  (** (lo, hi, count), ascending. *)
+}
+
+let counter_value c = Atomic.get c.value
+
+let gauge_value g = Mutex.protect g.g_mutex (fun () -> g.g_value)
+
+let hist_snapshot h =
+  let filled = ref [] in
+  for i = bucket_count - 1 downto 0 do
+    let c = Atomic.get h.buckets.(i) in
+    if c > 0 then filled := (bucket_lo i, bucket_hi i, c) :: !filled
+  done;
+  Mutex.protect h.h_mutex (fun () ->
+      {
+        count = h.h_count;
+        sum = h.h_sum;
+        min = h.h_min;
+        max = h.h_max;
+        nonpositive_count = h.nonpositive;
+        filled = !filled;
+      })
+
+let hist_mean s = if s.count = 0 then nan else s.sum /. float_of_int s.count
+
+let by_name pairs = List.sort (fun (a, _) (b, _) -> String.compare a b) pairs
+
+let snapshot () =
+  Mutex.protect registry_mutex (fun () ->
+      Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [])
+  |> List.fold_left
+       (fun (cs, gs, hs) (name, m) ->
+         match m with
+         | C c -> ((name, counter_value c) :: cs, gs, hs)
+         | G g ->
+             let v = gauge_value g in
+             (* A gauge never set is not part of the run's story. *)
+             if Float.is_nan v then (cs, gs, hs)
+             else (cs, (name, v) :: gs, hs)
+         | H h -> (cs, gs, (name, hist_snapshot h) :: hs))
+       ([], [], [])
+  |> fun (cs, gs, hs) -> (by_name cs, by_name gs, by_name hs)
+
+let reset () =
+  Mutex.protect registry_mutex (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | C c -> Atomic.set c.value 0
+          | G g -> Mutex.protect g.g_mutex (fun () -> g.g_value <- nan)
+          | H h ->
+              Array.iter (fun b -> Atomic.set b 0) h.buckets;
+              Mutex.protect h.h_mutex (fun () ->
+                  h.h_count <- 0;
+                  h.h_sum <- 0.0;
+                  h.h_min <- infinity;
+                  h.h_max <- neg_infinity;
+                  h.nonpositive <- 0))
+        registry)
+
+let name_of_counter c = c.c_name
+let name_of_gauge g = g.g_name
+let name_of_histogram h = h.h_name

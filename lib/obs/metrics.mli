@@ -1,0 +1,66 @@
+(** Registry of named counters, gauges, and log-scale histograms.
+
+    Handles are get-or-create by name — create them at module init or
+    before a parallel region, then update freely from any domain:
+    counter updates are atomic (no lost or double-counted increments
+    across {!Wa_util.Parallel} fan-outs), gauge and histogram-moment
+    updates take a short per-metric mutex, and histogram buckets are
+    dyadic ([2^k, 2^{k+1})) so memory stays O(1) at any sample count.
+    Every update is a no-op (one atomic read) while telemetry is
+    disabled.  {!reset} zeroes values in place, so handles stay valid
+    across runs. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Get or create.  @raise Invalid_argument if the name is already
+    registered with a different kind. *)
+
+val gauge : string -> gauge
+val histogram : string -> histogram
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val set : gauge -> float -> unit
+(** Last write wins. *)
+
+val set_max : gauge -> float -> unit
+(** Keep the running maximum (first write always sticks). *)
+
+val observe : histogram -> float -> unit
+(** Record one sample.  Non-positive samples are counted and included
+    in sum/min/max but fall outside the dyadic buckets. *)
+
+type hist_snapshot = {
+  count : int;
+  sum : float;
+  min : float;  (** [infinity] when empty. *)
+  max : float;  (** [neg_infinity] when empty. *)
+  nonpositive_count : int;
+  filled : (float * float * int) list;
+      (** Non-empty buckets as [(lo, hi, count)], ascending [lo];
+          samples land in the bucket with [lo <= v < hi]. *)
+}
+
+val counter_value : counter -> int
+val gauge_value : gauge -> float
+(** [nan] when never set. *)
+
+val hist_snapshot : histogram -> hist_snapshot
+val hist_mean : hist_snapshot -> float
+
+val snapshot :
+  unit ->
+  (string * int) list * (string * float) list * (string * hist_snapshot) list
+(** All registered series, each list sorted by name: counters, gauges
+    (unset gauges omitted), histograms. *)
+
+val reset : unit -> unit
+(** Zero every registered metric in place (registrations survive). *)
+
+val name_of_counter : counter -> string
+val name_of_gauge : gauge -> string
+val name_of_histogram : histogram -> string

@@ -1,0 +1,18 @@
+(* Global on/off switch and the monotonic clock.
+
+   Everything in Wa_obs checks [enabled ()] first and returns
+   immediately when the sink is off, so instrumentation left in hot
+   paths costs one atomic read (plus the closure call the call site
+   already pays) — cheap enough to stay on permanently.  The flag is
+   an [Atomic] so worker domains spawned mid-run observe a coherent
+   value. *)
+
+let flag = Atomic.make false
+
+let enabled () = Atomic.get flag
+
+let set_enabled v = Atomic.set flag v
+
+(* CLOCK_MONOTONIC in nanoseconds, via the bechamel stubs already in
+   the dependency set (no new opam packages). *)
+let now_ns () = Monotonic_clock.now ()

@@ -1,0 +1,11 @@
+(** Global telemetry switch and monotonic clock (internal; use
+    {!Wa_obs.enable} / {!Wa_obs.disable} from outside the library). *)
+
+val enabled : unit -> bool
+(** One atomic read — the fast path every instrumentation point takes
+    first.  Defaults to [false]. *)
+
+val set_enabled : bool -> unit
+
+val now_ns : unit -> int64
+(** [CLOCK_MONOTONIC] in nanoseconds. *)

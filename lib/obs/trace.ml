@@ -1,0 +1,94 @@
+(* Lightweight span tracer.
+
+   Completed spans accumulate in a per-domain buffer (Domain.DLS) and
+   merge into one global list under a mutex.  A domain flushes its
+   buffer when a depth-0 span closes, when the buffer exceeds a fixed
+   size, and — for worker domains of Wa_util.Parallel fan-outs — at
+   the end of each chunk (the Parallel hook wraps every chunk in a
+   depth-0 "parallel.chunk" span, so the chunk's own close flushes
+   everything the chunk recorded before the domain terminates).  The
+   mutex is therefore touched once per flush, not once per span. *)
+
+type span = {
+  name : string;
+  start_ns : int64;
+  dur_ns : int64;
+  depth : int;  (* 0 = outermost on its domain *)
+  domain : int;  (* Domain.self of the recording domain *)
+}
+
+type domain_state = {
+  mutable stack_depth : int;
+  mutable buffer : span list;  (* newest first *)
+  mutable buffered : int;
+}
+
+let dls_key =
+  Domain.DLS.new_key (fun () ->
+      { stack_depth = 0; buffer = []; buffered = 0 })
+
+let completed : span list ref = ref []  (* newest first *)
+let completed_mutex = Mutex.create ()
+
+let max_buffered = 64
+
+let flush_local () =
+  let st = Domain.DLS.get dls_key in
+  if st.buffered > 0 then begin
+    let batch = st.buffer in
+    st.buffer <- [];
+    st.buffered <- 0;
+    Mutex.protect completed_mutex (fun () ->
+        completed := List.rev_append (List.rev batch) !completed)
+  end
+
+let record span =
+  let st = Domain.DLS.get dls_key in
+  st.buffer <- span :: st.buffer;
+  st.buffered <- st.buffered + 1;
+  if span.depth = 0 || st.buffered >= max_buffered then flush_local ()
+
+let with_span name f =
+  if not (Runtime.enabled ()) then f ()
+  else begin
+    let st = Domain.DLS.get dls_key in
+    let depth = st.stack_depth in
+    st.stack_depth <- depth + 1;
+    let start_ns = Runtime.now_ns () in
+    let finish () =
+      let dur_ns = Int64.sub (Runtime.now_ns ()) start_ns in
+      st.stack_depth <- depth;
+      record
+        { name; start_ns; dur_ns; depth; domain = (Domain.self () :> int) }
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+let timed name f =
+  let t0 = Runtime.now_ns () in
+  let v = with_span name f in
+  (v, Int64.to_float (Int64.sub (Runtime.now_ns ()) t0) /. 1e6)
+
+let spans () =
+  flush_local ();
+  let all = Mutex.protect completed_mutex (fun () -> !completed) in
+  List.sort
+    (fun a b ->
+      match Int64.compare a.start_ns b.start_ns with
+      | 0 -> Int.compare a.depth b.depth
+      | c -> c)
+    all
+
+let reset () =
+  let st = Domain.DLS.get dls_key in
+  st.buffer <- [];
+  st.buffered <- 0;
+  Mutex.protect completed_mutex (fun () -> completed := [])
+
+let ms_of span = Int64.to_float span.dur_ns /. 1e6

@@ -1,0 +1,44 @@
+(** Span tracer: monotonic-clock timing with nesting and per-domain
+    buffers.
+
+    [with_span "conflict.build" f] times [f ()] and records a span
+    when telemetry is enabled; when disabled it is a single atomic
+    read plus the call to [f].  Spans nest — [depth] counts enclosing
+    spans on the recording domain — and each domain buffers locally,
+    merging into the global list under a mutex on depth-0 closes,
+    buffer overflow, and {!Wa_util.Parallel} chunk boundaries (the
+    Parallel hook wraps chunks in a depth-0 span, so worker domains
+    always flush before terminating). *)
+
+type span = {
+  name : string;
+  start_ns : int64;  (** Monotonic clock at open. *)
+  dur_ns : int64;
+  depth : int;  (** 0 = outermost on its domain. *)
+  domain : int;  (** Id of the recording domain. *)
+}
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a named span.  Exceptions still close (and
+    record) the span before propagating. *)
+
+val timed : string -> (unit -> 'a) -> 'a * float
+(** [timed name f] is [(f (), elapsed milliseconds)], measured on the
+    monotonic clock whether or not telemetry is enabled; the span
+    itself is recorded only when enabled.  Drop-in replacement for
+    hand-rolled wall-clock timers. *)
+
+val spans : unit -> span list
+(** All recorded spans, flushing the calling domain's buffer first,
+    sorted by start time (ties broken outermost first).  Spans
+    recorded by Parallel worker domains are already merged by the time
+    the fan-out returns. *)
+
+val flush_local : unit -> unit
+(** Merge the calling domain's buffer into the global list. *)
+
+val reset : unit -> unit
+(** Drop all recorded spans (global list and this domain's buffer). *)
+
+val ms_of : span -> float
+(** Duration in milliseconds. *)

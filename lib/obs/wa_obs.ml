@@ -1,0 +1,42 @@
+(* Library interface module: re-exports the submodules and owns the
+   enable/disable lifecycle, including the Wa_util.Parallel chunk hook
+   that times fan-out chunks and flushes worker-domain trace buffers
+   before those domains terminate. *)
+
+module Trace = Trace
+module Metrics = Metrics
+module Report = Report
+module Export = Export
+module Log = Log
+
+let chunk_ms = Metrics.histogram "parallel.chunk_ms"
+let chunk_items = Metrics.histogram "parallel.chunk_items"
+
+let chunk_hook ~items body =
+  let (), ms = Trace.timed "parallel.chunk" body in
+  Metrics.observe chunk_ms ms;
+  Metrics.observe chunk_items (float_of_int items);
+  (* The chunk span is depth 0 on its domain, so Trace already flushed
+     the buffer when it closed; nothing else to do before the worker
+     domain terminates. *)
+  ()
+
+let hook_installed = Atomic.make false
+
+let enabled = Runtime.enabled
+
+let enable () =
+  if not (Atomic.exchange hook_installed true) then
+    Wa_util.Parallel.set_chunk_hook (Some chunk_hook);
+  Runtime.set_enabled true
+
+let disable () = Runtime.set_enabled false
+
+let reset () =
+  Trace.reset ();
+  Metrics.reset ()
+
+let with_enabled f =
+  let was = enabled () in
+  enable ();
+  Fun.protect ~finally:(fun () -> Runtime.set_enabled was) f

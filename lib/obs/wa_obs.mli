@@ -1,0 +1,40 @@
+(** Observability for the scheduling pipeline: span tracing
+    ({!Trace}), a metrics registry ({!Metrics}), snapshots and
+    exporters ({!Report}, {!Export}), and [logs] wiring ({!Log}).
+
+    Telemetry is globally off by default; every instrumentation point
+    costs one atomic read until {!enable} is called, so the
+    instrumentation in [Wa_core], [Wa_util.Parallel], and the
+    simulator stays compiled-in permanently (the bench harness guards
+    the disabled-path overhead).  Typical use:
+
+    {[
+      Wa_obs.enable ();
+      let plan = Pipeline.plan ~params `Global ps in
+      let report = Wa_obs.Report.capture () in
+      Wa_obs.Export.write_trace "t.jsonl" report;
+      Wa_obs.Export.write_metrics "m.json" report
+    ]} *)
+
+module Trace = Trace
+module Metrics = Metrics
+module Report = Report
+module Export = Export
+module Log = Log
+
+val enabled : unit -> bool
+
+val enable : unit -> unit
+(** Turn recording on.  The first call also installs the
+    {!Wa_util.Parallel} chunk hook, which records
+    [parallel.chunk_ms]/[parallel.chunk_items] and makes worker
+    domains flush their span buffers before terminating. *)
+
+val disable : unit -> unit
+(** Turn recording off (recorded data is kept; see {!reset}). *)
+
+val reset : unit -> unit
+(** Drop all recorded spans and zero all metrics. *)
+
+val with_enabled : (unit -> 'a) -> 'a
+(** Run a thunk with recording on, restoring the previous state. *)

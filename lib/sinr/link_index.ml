@@ -62,6 +62,9 @@ let build ls =
         })
       non_empty
   in
+  Sinr_log.debug (fun m ->
+      m "Link_index.build: %d links in %d length classes" (Linkset.size ls)
+        (List.length classes));
   { ls; classes = Array.of_list classes; class_of }
 
 let linkset t = t.ls

@@ -1,0 +1,5 @@
+(* Logs source for the SINR layer (links, spatial index, power). *)
+
+let src = Logs.Src.create "wa.sinr" ~doc:"wireless_agg SINR layer"
+
+include (val Logs.src_log src : Logs.LOG)

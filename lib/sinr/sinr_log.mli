@@ -1,0 +1,6 @@
+(** Logs source ["wa.sinr"] for the SINR layer.  [include]s a
+    [Logs.LOG], so use as [Sinr_log.warn (fun m -> m ...)]. *)
+
+val src : Logs.src
+
+include Logs.LOG

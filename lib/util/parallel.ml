@@ -12,6 +12,20 @@ let available_domains () = Domain.recommended_domain_count ()
    it explicitly. *)
 let default_threshold = 32
 
+(* Observability hook: when installed (by [Wa_obs], which sits above
+   this library in the dependency order), every chunk of a genuine
+   fan-out runs inside the wrapper, on the domain executing it.  The
+   wrapper times the chunk and flushes that domain's trace buffer
+   before the domain terminates, which is what makes per-domain span
+   buffers safe to merge.  [None] (the default) costs one ref read per
+   chunk and nothing per item. *)
+let chunk_hook : (items:int -> (unit -> unit) -> unit) option ref = ref None
+
+let set_chunk_hook h = chunk_hook := h
+
+let run_chunk ~items body =
+  match !chunk_hook with None -> body () | Some wrap -> wrap ~items body
+
 let worker_count ?domains n threshold =
   let nd =
     match domains with
@@ -39,18 +53,18 @@ let iter ?domains ?(threshold = default_threshold) n f =
     match chunk_bounds n nd with
     | [] -> ()
     | (lo0, hi0) :: rest ->
-        let spawned =
-          List.map
-            (fun (lo, hi) ->
-              Domain.spawn (fun () ->
-                  for i = lo to hi - 1 do
-                    f i
-                  done))
-            rest
+        let chunk lo hi () =
+          run_chunk ~items:(hi - lo) (fun () ->
+              for i = lo to hi - 1 do
+                f i
+              done)
         in
-        for i = lo0 to hi0 - 1 do
-          f i
-        done;
+        Util_log.debug (fun m ->
+            m "Parallel.iter: %d items over %d domains" n (List.length rest + 1));
+        let spawned =
+          List.map (fun (lo, hi) -> Domain.spawn (chunk lo hi)) rest
+        in
+        chunk lo0 hi0 ();
         List.iter Domain.join spawned
   end
 

@@ -16,6 +16,15 @@
 val available_domains : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
+val set_chunk_hook : (items:int -> (unit -> unit) -> unit) option -> unit
+(** Install (or clear) the chunk wrapper.  When a fan-out actually
+    spawns domains, each chunk — including the calling domain's own —
+    runs as [wrap ~items body] on the domain executing it; sequential
+    fallbacks bypass the hook.  The wrapper must call [body] exactly
+    once.  Used by the observability layer to time chunks and flush
+    per-domain trace buffers before worker domains terminate; not
+    meant to be installed concurrently with running fan-outs. *)
+
 val iter : ?domains:int -> ?threshold:int -> int -> (int -> unit) -> unit
 (** [iter n f] runs [f i] for [i = 0 .. n-1], fanned out over domains.
     [domains] caps the worker count (default: recommended count);

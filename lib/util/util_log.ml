@@ -1,0 +1,7 @@
+(* Logs source for the utility layer (parallel fan-out, numerics).
+   One source per sublibrary — "wa.util", "wa.geom", "wa.sinr",
+   "wa.core" — so reporters can tag and filter by subsystem. *)
+
+let src = Logs.Src.create "wa.util" ~doc:"wireless_agg utility layer"
+
+include (val Logs.src_log src : Logs.LOG)

@@ -1,0 +1,6 @@
+(** Logs source ["wa.util"] for the utility layer.  [include]s a
+    [Logs.LOG], so use as [Util_log.warn (fun m -> m ...)]. *)
+
+val src : Logs.src
+
+include Logs.LOG

@@ -1,0 +1,312 @@
+(* The observability layer: span nesting and timing, metric
+   correctness (atomic counters under domain fan-outs, dyadic
+   histograms against Wa_util.Stats), JSON export round-trips, the
+   disabled-sink contract, and the instrumented pipeline's stage spans
+   matching the plan record. *)
+
+module Obs = Wa_obs
+module Trace = Wa_obs.Trace
+module Metrics = Wa_obs.Metrics
+module Report = Wa_obs.Report
+module Export = Wa_obs.Export
+module Json = Wa_util.Json
+module Stats = Wa_util.Stats
+module Parallel = Wa_util.Parallel
+module Pipeline = Wa_core.Pipeline
+module Conflict = Wa_core.Conflict
+module Agg_tree = Wa_core.Agg_tree
+module Rng = Wa_util.Rng
+module Random_deploy = Wa_instances.Random_deploy
+
+let p = Wa_sinr.Params.default
+
+let deployment n seed =
+  Random_deploy.uniform_square (Rng.create seed) ~n ~side:1000.0
+
+(* Every test starts from a clean, enabled sink and leaves the sink
+   off so suites that run after this one see the default state. *)
+let with_fresh f () =
+  Obs.enable ();
+  Obs.reset ();
+  Fun.protect ~finally:(fun () -> Obs.disable (); Obs.reset ()) f
+
+(* Spans ---------------------------------------------------------------- *)
+
+let test_span_nesting () =
+  let v =
+    Trace.with_span "outer" (fun () ->
+        ignore (Trace.with_span "inner" (fun () -> 7));
+        ignore (Trace.with_span "inner" (fun () -> 8));
+        42)
+  in
+  Alcotest.(check int) "with_span returns the thunk's value" 42 v;
+  let r = Report.capture () in
+  let outer =
+    match Report.find_spans r "outer" with
+    | [ s ] -> s
+    | l -> Alcotest.failf "expected 1 outer span, got %d" (List.length l)
+  in
+  let inners = Report.find_spans r "inner" in
+  Alcotest.(check int) "two inner spans" 2 (List.length inners);
+  Alcotest.(check int) "outer is depth 0" 0 outer.Trace.depth;
+  List.iter
+    (fun (s : Trace.span) ->
+      Alcotest.(check int) "inner is depth 1" 1 s.depth;
+      Alcotest.(check bool) "inner starts after outer" true
+        (Int64.compare s.start_ns outer.start_ns >= 0);
+      Alcotest.(check bool) "inner fits inside outer" true
+        (Int64.compare s.dur_ns outer.dur_ns <= 0))
+    inners
+
+let test_span_timing_monotone () =
+  ignore (Trace.with_span "a" (fun () -> Sys.opaque_identity (ref 0)));
+  ignore (Trace.with_span "b" (fun () -> Sys.opaque_identity (ref 0)));
+  let r = Report.capture () in
+  List.iter
+    (fun (s : Trace.span) ->
+      Alcotest.(check bool) "durations are non-negative" true
+        (Int64.compare s.dur_ns 0L >= 0))
+    r.Report.spans;
+  let rec sorted = function
+    | (a : Trace.span) :: (b : Trace.span) :: rest ->
+        Int64.compare a.start_ns b.start_ns <= 0 && sorted (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "spans sorted by start time" true (sorted r.Report.spans);
+  let (), ms = Trace.timed "timed" (fun () -> ignore (Sys.opaque_identity 1)) in
+  Alcotest.(check bool) "timed measures non-negative ms" true (ms >= 0.0)
+
+let test_span_exception_closes () =
+  (try Trace.with_span "boom" (fun () -> failwith "boom") with Failure _ -> ());
+  let r = Report.capture () in
+  Alcotest.(check bool) "span recorded despite exception" true
+    (Report.has_span r "boom")
+
+(* Metrics -------------------------------------------------------------- *)
+
+let test_counter_gauge () =
+  let c = Metrics.counter "test.counter" in
+  Metrics.incr c;
+  Metrics.add c 41;
+  Alcotest.(check int) "counter accumulates" 42 (Metrics.counter_value c);
+  let g = Metrics.gauge "test.gauge" in
+  Metrics.set g 3.0;
+  Metrics.set g 2.0;
+  Alcotest.(check (float 0.0)) "gauge: last write wins" 2.0 (Metrics.gauge_value g);
+  Metrics.set_max g 9.0;
+  Metrics.set_max g 4.0;
+  Alcotest.(check (float 0.0)) "set_max keeps the max" 9.0 (Metrics.gauge_value g);
+  Alcotest.check_raises "kind clash rejected"
+    (Invalid_argument "Wa_obs.Metrics: test.counter already registered as a counter")
+    (fun () -> ignore (Metrics.gauge "test.counter"))
+
+let hist_vs_stats =
+  QCheck.Test.make ~count:60 ~name:"histogram moments match Wa_util.Stats"
+    QCheck.(list_of_size Gen.(1 -- 200) (float_bound_exclusive 1e6))
+    (fun samples ->
+      QCheck.assume (samples <> []);
+      Obs.enable ();
+      Obs.reset ();
+      let h = Metrics.histogram "test.hist" in
+      List.iter (fun v -> Metrics.observe h v) samples;
+      let s = Metrics.hist_snapshot h in
+      let ref_stats = Stats.summarize samples in
+      let positives = List.filter (fun v -> v > 0.0) samples in
+      let close a b = Float.abs (a -. b) <= 1e-9 *. (1.0 +. Float.abs b) in
+      s.Metrics.count = ref_stats.Stats.count
+      && close s.Metrics.sum
+           (List.fold_left ( +. ) 0.0 samples)
+      && close s.Metrics.min ref_stats.Stats.min
+      && close s.Metrics.max ref_stats.Stats.max
+      && s.Metrics.nonpositive_count = List.length samples - List.length positives
+      (* every bucket is dyadic and every positive sample has a bucket *)
+      && List.for_all
+           (fun (lo, hi, n) -> n > 0 && lo > 0.0 && close hi (2.0 *. lo))
+           s.Metrics.filled
+      && List.fold_left (fun acc (_, _, n) -> acc + n) 0 s.Metrics.filled
+         = List.length positives
+      && List.for_all
+           (fun v ->
+             List.exists (fun (lo, hi, _) -> lo <= v && v < hi) s.Metrics.filled)
+           positives)
+
+(* Disabled sink -------------------------------------------------------- *)
+
+let test_disabled_sink () =
+  Obs.enable ();
+  Obs.reset ();
+  Obs.disable ();
+  let c = Metrics.counter "test.disabled_counter" in
+  let h = Metrics.histogram "test.disabled_hist" in
+  ignore (Trace.with_span "invisible" (fun () -> Metrics.incr c));
+  Metrics.observe h 5.0;
+  let r = Report.capture () in
+  Alcotest.(check int) "no spans recorded" 0 (List.length r.Report.spans);
+  Alcotest.(check int) "counter untouched" 0 (Metrics.counter_value c);
+  Alcotest.(check int) "histogram untouched" 0 (Metrics.hist_snapshot h).Metrics.count;
+  (* timed still measures even when the sink is off *)
+  let (), ms = Trace.timed "still-timed" (fun () -> ()) in
+  Alcotest.(check bool) "timed works disabled" true (ms >= 0.0)
+
+(* Export --------------------------------------------------------------- *)
+
+let test_export_roundtrip () =
+  ignore (Trace.with_span "export.span" (fun () -> ()));
+  Metrics.incr (Metrics.counter "export.counter");
+  Metrics.set (Metrics.gauge "export.gauge") 1.5;
+  Metrics.observe (Metrics.histogram "export.hist") 3.0;
+  let r = Report.capture () in
+  List.iter
+    (fun line ->
+      match Json.of_string line with
+      | Ok (Json.Obj fields) ->
+          List.iter
+            (fun k ->
+              Alcotest.(check bool) ("span field " ^ k) true
+                (List.mem_assoc k fields))
+            [ "type"; "name"; "start_ns"; "dur_ns"; "depth"; "domain" ]
+      | Ok _ -> Alcotest.fail "span line is not an object"
+      | Error m -> Alcotest.fail ("span line does not parse: " ^ m))
+    (Export.trace_lines r);
+  (match Json.of_string (Export.metrics_string r) with
+  | Ok doc ->
+      let member k =
+        match Json.member k doc with Some v -> v | None -> Json.Null
+      in
+      Alcotest.(check bool) "counters object present" true
+        (match member "counters" with Json.Obj _ -> true | _ -> false);
+      Alcotest.(check (option int)) "counter round-trips" (Some 1)
+        (Json.to_int_opt
+           (Option.value ~default:Json.Null
+              (Json.member "export.counter" (member "counters"))))
+  | Error m -> Alcotest.fail ("metrics doc does not parse: " ^ m));
+  let tmp_trace = Filename.temp_file "wa_obs_trace" ".jsonl" in
+  let tmp_metrics = Filename.temp_file "wa_obs_metrics" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp_trace; Sys.remove tmp_metrics)
+    (fun () ->
+      Export.write_trace tmp_trace r;
+      Export.write_metrics tmp_metrics r;
+      (match Export.validate_trace_file tmp_trace with
+      | Ok n ->
+          Alcotest.(check int) "all spans written" (List.length r.Report.spans) n
+      | Error m -> Alcotest.fail ("trace file invalid: " ^ m));
+      match Export.validate_metrics_file tmp_metrics with
+      | Ok _ -> ()
+      | Error m -> Alcotest.fail ("metrics file invalid: " ^ m))
+
+(* Pipeline instrumentation --------------------------------------------- *)
+
+let test_pipeline_spans () =
+  let ps = deployment 150 3 in
+  let plan = Pipeline.plan ~params:p `Global ps in
+  let r = Report.capture () in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) ("span " ^ name ^ " present") true
+        (Report.has_span r name))
+    [
+      "pipeline.plan"; "plan.mst"; "plan.index"; "plan.conflict"; "plan.color";
+      "plan.validate"; "plan.affectance"; "schedule.repair";
+    ];
+  Alcotest.(check (option (float 0.0))) "slots_raw gauge matches plan"
+    (Some (float_of_int plan.Pipeline.raw_colors))
+    (Report.gauge_value r "schedule.slots_raw");
+  Alcotest.(check (option int)) "repair_added counter matches plan"
+    (Some plan.Pipeline.repair_added)
+    (Report.counter_value r "schedule.repair_added");
+  Alcotest.(check bool) "affectance.max_pressure recorded" true
+    (match Report.gauge_value r "affectance.max_pressure" with
+    | Some v -> v > 0.0
+    | None -> false);
+  (* stage spans nest under the pipeline span *)
+  let plan_span = List.hd (Report.find_spans r "pipeline.plan") in
+  let mst_span = List.hd (Report.find_spans r "plan.mst") in
+  Alcotest.(check bool) "mst nested in pipeline" true
+    (mst_span.Trace.depth > plan_span.Trace.depth)
+
+let test_simulator_metrics () =
+  let ps = deployment 60 5 in
+  let plan = Pipeline.plan ~params:p `Global ps in
+  let result = Pipeline.simulate ~horizon_periods:40 plan in
+  let r = Report.capture () in
+  Alcotest.(check (option int)) "delivered counter matches result"
+    (Some result.Wa_core.Simulator.frames_delivered)
+    (Report.counter_value r "sim.frames_delivered");
+  Alcotest.(check bool) "simulate.run span present" true
+    (Report.has_span r "simulate.run")
+
+(* Concurrency safety --------------------------------------------------- *)
+
+let test_parallel_counter_totals () =
+  let c = Metrics.counter "test.parallel_counter" in
+  let h = Metrics.histogram "test.parallel_hist" in
+  let n = 10_000 in
+  Parallel.iter ~domains:4 ~threshold:1 n (fun i ->
+      Metrics.incr c;
+      Metrics.observe h (float_of_int (i + 1)));
+  Alcotest.(check int) "no lost counter increments" n (Metrics.counter_value c);
+  let s = Metrics.hist_snapshot h in
+  Alcotest.(check int) "no lost histogram samples" n s.Metrics.count;
+  Alcotest.(check (float 1e-6)) "histogram sum exact"
+    (float_of_int (n * (n + 1) / 2)) s.Metrics.sum
+
+let conflict_edge_total ~domains ls th =
+  Obs.reset ();
+  let g = Conflict.graph ~engine:`Indexed ~domains p th ls in
+  let r = Report.capture () in
+  (Report.counter_value r "conflict.edges", Wa_graph.Graph.edge_count g)
+
+let test_parallel_conflict_metrics () =
+  let ls = (Agg_tree.mst (deployment 400 7)).Agg_tree.links in
+  let th = Conflict.log_power () in
+  let total1, edges1 = conflict_edge_total ~domains:1 ls th in
+  let total4, edges4 = conflict_edge_total ~domains:4 ls th in
+  Alcotest.(check int) "same graph across fan-outs" edges1 edges4;
+  Alcotest.(check (option int)) "single-domain total = edge count"
+    (Some edges1) total1;
+  Alcotest.(check (option int)) "multi-domain total = single-domain total"
+    total1 total4;
+  (* worker-domain spans were merged into the global list *)
+  let r = Report.capture () in
+  Alcotest.(check bool) "indexed build span survives fan-out" true
+    (Report.has_span r "conflict.build.indexed")
+
+let () =
+  Alcotest.run "wa_obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "nesting" `Quick (with_fresh test_span_nesting);
+          Alcotest.test_case "timing monotone" `Quick
+            (with_fresh test_span_timing_monotone);
+          Alcotest.test_case "exception closes span" `Quick
+            (with_fresh test_span_exception_closes);
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter and gauge" `Quick
+            (with_fresh test_counter_gauge);
+          QCheck_alcotest.to_alcotest hist_vs_stats;
+          Alcotest.test_case "disabled sink" `Quick test_disabled_sink;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "json round-trip" `Quick
+            (with_fresh test_export_roundtrip);
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "stage spans and plan metrics" `Quick
+            (with_fresh test_pipeline_spans);
+          Alcotest.test_case "simulator metrics" `Quick
+            (with_fresh test_simulator_metrics);
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "parallel counter totals" `Quick
+            (with_fresh test_parallel_counter_totals);
+          Alcotest.test_case "conflict metrics across fan-outs" `Quick
+            (with_fresh test_parallel_conflict_metrics);
+        ] );
+    ]
