@@ -14,7 +14,10 @@
      main.exe --no-tables     skip the experiment tables
      main.exe --no-scaling    skip the scaling benchmarks
      main.exe --json PATH     where to write the scaling timings
-                              (default BENCH_PR2.json) *)
+                              (default BENCH_PR2.json)
+     main.exe --audit-bench   also measure Pipeline.plan ~audit:true
+                              overhead (JSON to --audit-json, default
+                              BENCH_PR3.json) *)
 
 open Bechamel
 
@@ -232,6 +235,82 @@ let run_scaling ~quick ~json_path =
     exit 1
   end
 
+(* Audit-overhead benchmark: the same plan with and without the
+   Wa_analysis invariant auditor, plus the per-check cost read back
+   from the audit.* spans.  The auditor rebuilds both conflict-graph
+   engines (its dense oracle is O(n²)), so the interesting number is
+   the factor, not just the delta. *)
+let run_audit_bench ~quick ~json_path =
+  let n = if quick then 500 else 5000 in
+  let runs = if quick then 3 else 2 in
+  let ps = deployment n 42 in
+  print_endline "running audit-overhead benchmark...";
+  let best f =
+    let best = ref infinity in
+    let last = ref None in
+    for _ = 1 to runs do
+      let v, ms = timed f in
+      last := Some v;
+      if ms < !best then best := ms
+    done;
+    (Option.get !last, !best)
+  in
+  Wa_obs.enable ();
+  Wa_obs.reset ();
+  let _, plan_ms = best (fun () -> Wa_core.Pipeline.plan ~params:p `Global ps) in
+  let audited, plan_audit_ms =
+    best (fun () -> Wa_core.Pipeline.plan ~params:p ~audit:true `Global ps)
+  in
+  let report = Wa_obs.Report.capture () in
+  Wa_obs.disable ();
+  Wa_obs.reset ();
+  let audit =
+    match audited.Wa_core.Pipeline.audit with
+    | Some a -> a
+    | None -> failwith "audit bench: plan ~audit:true returned no report"
+  in
+  let check_ms name =
+    Option.value ~default:0.0 (Wa_obs.Report.span_ms report ("audit." ^ name))
+  in
+  let checks = audit.Wa_analysis.Audit.checks in
+  let violations = List.length audit.Wa_analysis.Audit.violations in
+  Printf.printf
+    "audit overhead (n=%d, global power): plan %.1f ms, plan+audit %.1f ms \
+     (x%.2f); %d check(s), %d violation(s)\n%!"
+    n plan_ms plan_audit_ms
+    (plan_audit_ms /. plan_ms)
+    (List.length checks) violations;
+  let doc =
+    Wa_io.Json.Obj
+      [
+        ("benchmark", String "pipeline audit overhead");
+        ("deployment", String "uniform square, side 1000, seed 42, MST links");
+        ("power_mode", String "global");
+        ("quick", Bool quick);
+        ("n", Int n);
+        ("runs", Int runs);
+        ("plan_ms", Float plan_ms);
+        ("plan_audit_ms", Float plan_audit_ms);
+        ("audit_overhead_ms", Float (plan_audit_ms -. plan_ms));
+        ("audit_overhead_factor", Float (plan_audit_ms /. plan_ms));
+        ("violations", Int violations);
+        ( "checks_ms",
+          Obj
+            ((* Total spans across both runs; divide by the run count
+                for a per-run figure. *)
+             List.map (fun c -> (c, Wa_io.Json.Float (check_ms c))) checks) );
+      ]
+  in
+  let oc = open_out json_path in
+  output_string oc (Wa_io.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" json_path;
+  if violations > 0 then begin
+    prerr_endline "FATAL: the audited benchmark plan violates its invariants";
+    exit 1
+  end
+
 (* Micro-benchmarks of the pipeline stages. *)
 let stage_tests () =
   let ps = deployment 200 1 in
@@ -379,6 +458,10 @@ let () =
      | Some id -> Wa_experiments.Experiments.run_all ~quick ~ids:[ id ] ()
      | None -> Wa_experiments.Experiments.run_all ~quick ());
   if not (has "--no-scaling") then run_scaling ~quick ~json_path;
+  if has "--audit-bench" then
+    run_audit_bench ~quick
+      ~json_path:
+        (Option.value ~default:"BENCH_PR3.json" (find_value "--audit-json" args));
   if not (has "--no-bench") then begin
     print_endline "running bechamel micro-benchmarks...";
     (* The per-table timings rerun every experiment; in quick mode the

@@ -189,13 +189,22 @@ let obtain_deployment points_in deploy ~seed ~n ~side params =
   | Some path -> Wa_io.Pointset_io.read_file path |> Result.map_error (fun m -> `Msg m)
   | None -> make_deployment deploy ~seed ~n ~side params
 
-let run_plan seed n side deploy power alpha beta json dot points_in tel =
+let audit_arg =
+  let doc =
+    "Re-verify the finished plan with the runtime invariant auditor \
+     (slot partition, per-slot SINR, tree rootedness, conflict-graph \
+     engine agreement, telemetry consistency).  Exits non-zero on any \
+     violation."
+  in
+  Arg.(value & flag & info [ "audit" ] ~doc)
+
+let run_plan seed n side deploy power alpha beta json dot points_in audit tel =
   with_telemetry tel @@ fun () ->
   let ( let* ) = Result.bind in
   let* params = build_params alpha beta in
   let* mode = parse_power power in
   let* ps = obtain_deployment points_in deploy ~seed ~n ~side params in
-  let plan = Pipeline.plan ~params mode ps in
+  let plan = Pipeline.plan ~params ~audit mode ps in
   Printf.printf "deployment: %s (n=%d, seed=%d)\n"
     (match points_in with Some f -> f | None -> deploy)
     (Wa_geom.Pointset.size ps) seed;
@@ -215,13 +224,18 @@ let run_plan seed n side deploy power alpha beta json dot points_in tel =
       Wa_io.Export.write_string path (Wa_io.Export.plan_to_dot plan);
       Printf.printf "wrote DOT to %s (render: neato -n2 -Tsvg)\n" path)
     dot;
-  Ok ()
+  match plan.Pipeline.audit with
+  | None -> Ok ()
+  | Some report ->
+      Format.printf "%a@." Wa_analysis.Audit.pp_report report;
+      if Wa_analysis.Audit.ok report then Ok ()
+      else Error (`Msg "audit failed: plan violates its invariants")
 
 let plan_cmd =
   let term =
     Term.(
       const run_plan $ seed_arg $ nodes_arg $ side_arg $ deploy_arg $ power_arg
-      $ alpha_arg $ beta_arg $ json_arg $ dot_arg $ points_in_arg
+      $ alpha_arg $ beta_arg $ json_arg $ dot_arg $ points_in_arg $ audit_arg
       $ telemetry_arg)
   in
   Cmd.v
@@ -329,7 +343,7 @@ let run_median seed n side deploy power alpha beta =
       plan.Pipeline.schedule
   in
   let sorted = Array.copy values in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   Printf.printf "plan: %s\n" (Pipeline.describe plan);
   Printf.printf "true median: %d\n" sorted.(((Array.length sorted + 1) / 2) - 1);
   Printf.printf "network-computed median: %d\n" r.Wa_core.Functions.value;

@@ -135,9 +135,9 @@ let graph ?(engine = `Indexed) ?index ?domains p th ls =
   | `Indexed -> graph_indexed ?index ?domains p th ls
 
 let describe = function
-  | Constant gamma -> Printf.sprintf "G1 (f = %g)" gamma
-  | Power_law { gamma; delta } -> Printf.sprintf "Gobl (f = %g * x^%g)" gamma delta
-  | Log_power gamma -> Printf.sprintf "Garb (f = %g * log^{2/(a-2)} x)" gamma
+  | Constant gamma -> Format.asprintf "G1 (f = %g)" gamma
+  | Power_law { gamma; delta } -> Format.asprintf "Gobl (f = %g * x^%g)" gamma delta
+  | Log_power gamma -> Format.asprintf "Garb (f = %g * log^{2/(a-2)} x)" gamma
 
 (* Maximum independent set of the conflict graph restricted to a small
    candidate list, by branch and bound: at each step branch on the

@@ -38,7 +38,7 @@ let color_class rng g colors class_links =
     in
     (2 * (constrained + class_degree)) + 2
   in
-  while !pending <> [] do
+  while not (List.is_empty !pending) do
     incr rounds;
     if !rounds > 100_000 then failwith "Distributed.color_class: no progress";
     let picks =

@@ -61,7 +61,11 @@ let build ?(base_factor = 1.0) ~sink points =
           assert false
     end
   done;
-  let edges = List.sort_uniq compare !edges in
+  let cmp_edge (a, b) (c, d) =
+    let k = Int.compare a c in
+    if k <> 0 then k else Int.compare b d
+  in
+  let edges = List.sort_uniq cmp_edge !edges in
   let agg = Agg_tree.of_edges ~sink points edges in
   { levels; edges; agg }
 

@@ -7,7 +7,7 @@ type t = {
 }
 
 let make slots power_mode =
-  if slots = [] then invalid_arg "Periodic.make: empty period";
+  if List.is_empty slots then invalid_arg "Periodic.make: empty period";
   List.iter
     (fun slot ->
       let sorted = List.sort Int.compare slot in
@@ -36,7 +36,7 @@ let rate t ls =
   for i = 0 to Linkset.size ls - 1 do
     worst := Float.min !worst (link_rate t i)
   done;
-  if !worst = infinity then 0.0 else !worst
+  if Float.equal !worst infinity then 0.0 else !worst
 
 let covers t ls =
   let n = Linkset.size ls in
@@ -59,7 +59,7 @@ let infeasible_slots p ls t =
     t.slots;
   List.rev !bad
 
-let is_valid p ls t = covers t ls && infeasible_slots p ls t = []
+let is_valid p ls t = covers t ls && List.is_empty (infeasible_slots p ls t)
 
 (* The 5-cycle worked example.  Edges 1..5 around the cycle; edges
    conflict iff they share an endpoint, i.e. are cyclically adjacent.

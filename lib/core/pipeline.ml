@@ -15,6 +15,7 @@ type plan = {
   point_diversity : float;
   link_diversity : float;
   valid : bool;
+  audit : Wa_analysis.Audit.report option;
 }
 
 let mode_of = function
@@ -31,8 +32,47 @@ let m_slots_final = Metrics.gauge "schedule.slots_final"
 let m_links = Metrics.gauge "plan.links"
 let m_link_diversity = Metrics.gauge "plan.link_diversity"
 
+module Audit = Wa_analysis.Audit
+
+(* Independent re-derivation of the plan's invariants (see
+   Wa_analysis.Audit).  The SINR witness mirrors the schedule's power
+   mode: a fixed scheme is its own witness; in the arbitrary-power
+   regime each slot's witness is a freshly solved Custom vector. *)
+let audit_plan ?gamma ~params ~mode agg (schedule : Schedule.t) =
+  let ls = agg.Agg_tree.links in
+  let power_of_slot =
+    match schedule.Schedule.power_mode with
+    | Schedule.Scheme s -> fun _ -> Some s
+    | Schedule.Arbitrary ->
+        fun slot ->
+          Option.map
+            (fun v -> Power.Custom v)
+            (Wa_sinr.Power_solver.solve params ls slot)
+              .Wa_sinr.Power_solver.power
+  in
+  let engine_checks =
+    match Greedy_schedule.threshold_for ?gamma mode with
+    | None -> []
+    | Some th ->
+        [
+          Audit.graph_symmetry_check
+            ~reference:(fun () -> Conflict.graph_dense params th ls)
+            ~candidate:(fun () -> Conflict.graph_indexed params th ls);
+        ]
+  in
+  Audit.run_checks
+    ([
+       Audit.partition_check ~n_links:(Linkset.size ls)
+         ~slots:schedule.Schedule.slots;
+       Audit.sinr_check params ls ~power_of_slot
+         ~slots:schedule.Schedule.slots;
+       Audit.tree_check agg.Agg_tree.tree;
+     ]
+    @ engine_checks
+    @ [ Audit.report_consistency_check (fun () -> Wa_obs.Report.capture ()) ])
+
 let plan ?(params = Params.default) ?gamma ?(engine = `Indexed) ?(sink = 0)
-    ?tree_edges power_mode ps =
+    ?tree_edges ?(audit = false) power_mode ps =
   Trace.with_span "pipeline.plan" @@ fun () ->
   let agg =
     Trace.with_span "plan.mst" @@ fun () ->
@@ -85,6 +125,13 @@ let plan ?(params = Params.default) ?gamma ?(engine = `Indexed) ?(sink = 0)
     ignore
       (Trace.with_span "plan.affectance" (fun () ->
            Refinement.max_longer_pressure ?index ~tol:1e-6 params ls));
+  let audit =
+    if audit then
+      Some
+        (Trace.with_span "plan.audit" (fun () ->
+             audit_plan ?gamma ~params ~mode agg schedule))
+    else None
+  in
   {
     agg;
     mode;
@@ -94,6 +141,7 @@ let plan ?(params = Params.default) ?gamma ?(engine = `Indexed) ?(sink = 0)
     point_diversity = Pointset.diversity ps;
     link_diversity;
     valid;
+    audit;
   }
 
 let slots p = Schedule.length p.schedule

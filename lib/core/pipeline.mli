@@ -21,6 +21,8 @@ type plan = {
   point_diversity : float;  (** Δ of the pointset. *)
   link_diversity : float;  (** Δ(L) of the MST links. *)
   valid : bool;  (** Result of the final ground-truth validation. *)
+  audit : Wa_analysis.Audit.report option;
+      (** Present iff [plan] ran with [~audit:true]. *)
 }
 
 val plan :
@@ -29,6 +31,7 @@ val plan :
   ?engine:Conflict.engine ->
   ?sink:int ->
   ?tree_edges:(int * int) list ->
+  ?audit:bool ->
   power_mode ->
   Wa_geom.Pointset.t ->
   plan
@@ -37,7 +40,14 @@ val plan :
     tree).  [engine] (default [`Indexed]) selects the conflict-graph
     construction — [`Indexed] runs the spatial length-class index with
     multicore fan-out, [`Dense] the reference O(n²) scan; both yield
-    the same plan. *)
+    the same plan.
+
+    [audit] (default [false]) runs the {!Wa_analysis.Audit} invariant
+    auditor over the finished plan (span ["plan.audit"]): slot
+    partition, per-slot SINR re-verification with a mode-appropriate
+    power witness, tree rootedness, dense-vs-indexed conflict-graph
+    agreement (thresholded modes only — this rebuilds both graphs, so
+    expect O(n²) audit cost), and telemetry-report consistency. *)
 
 val slots : plan -> int
 val rate : plan -> float

@@ -17,7 +17,7 @@ let of_coloring coloring power_mode =
   { slots = Coloring.classes coloring; power_mode }
 
 let of_slots slots power_mode =
-  if slots = [] then invalid_arg "Schedule.of_slots: empty";
+  if List.is_empty slots then invalid_arg "Schedule.of_slots: empty";
   { slots = Array.of_list (List.map (List.sort Int.compare) slots); power_mode }
 
 let length t = Array.length t.slots
@@ -69,7 +69,7 @@ let infeasible_slots p ls t =
 
 let is_valid p ls t =
   Wa_obs.Trace.with_span "schedule.validate" @@ fun () ->
-  covers t ls && infeasible_slots p ls t = []
+  covers t ls && List.is_empty (infeasible_slots p ls t)
 
 (* First-fit the links of a broken slot into feasible sub-slots,
    longest first (mirroring the paper's greedy order).  Every
@@ -181,7 +181,7 @@ let repair p ls t =
              incr split_count;
              merge_parts p ls t.power_mode (split_slot p ls t.power_mode slot)
            end)
-    |> List.filter (fun s -> s <> [])
+    |> List.filter (fun s -> not (List.is_empty s))
   in
   let repaired = { t with slots = Array.of_list slots } in
   let added = length repaired - before in
@@ -219,7 +219,7 @@ let reorder_for_latency tree ls t =
 let witness_power p ls t =
   match t.power_mode with
   | Scheme scheme ->
-      if infeasible_slots p ls t = [] then Some scheme else None
+      if List.is_empty (infeasible_slots p ls t) then Some scheme else None
   | Arbitrary -> Power_solver.power_scheme p ls (Array.to_list t.slots)
 
 let pp fmt t =

@@ -139,7 +139,7 @@ let failing_attempts cfg ls fading_rng attempts =
             0.0 attempts
         in
         let denom = interference +. p.Params.noise in
-        if denom = 0.0 then infinity else signal /. denom
+        if Float.equal denom 0.0 then infinity else signal /. denom
       in
       List.filter (fun a -> faded_sinr a < p.Params.beta) attempts
 

@@ -81,7 +81,7 @@ let run ?(seed = 42) ?(claim_probability = 0.5) ?(announce_rounds = 6)
       in
       let pending = ref (List.filter (fun i -> final.(i) = -1) class_links) in
       let phase_rounds = ref 0 in
-      while !pending <> [] && !phase_rounds < cap do
+      while (not (List.is_empty !pending)) && !phase_rounds < cap do
         (* ---- CLAIM round ------------------------------------------ *)
         let claims = Hashtbl.create 8 (* sender node -> (link, color) *) in
         List.iter
@@ -154,7 +154,7 @@ let run ?(seed = 42) ?(claim_probability = 0.5) ?(announce_rounds = 6)
           ack_receptions;
         pending := List.filter (fun i -> final.(i) = -1) !pending;
         (* ---- ANNOUNCE rounds --------------------------------------- *)
-        if !finalized_now <> [] then
+        if not (List.is_empty !finalized_now) then
           for _ = 1 to announce_rounds do
             let speak =
               List.filter (fun _ -> Rng.float rng 1.0 < 0.5) !finalized_now

@@ -53,7 +53,7 @@ let round t behaviour =
                 if p > t.params.Params.noise then Some (s, power, p) else None)
               transmitters
           in
-          if audible = [] then Silence
+          if List.is_empty audible then Silence
           else begin
             let total =
               List.fold_left (fun acc (_, _, p) -> acc +. p) 0.0 audible

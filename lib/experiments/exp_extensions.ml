@@ -340,7 +340,7 @@ let t14_median ~quick =
       let values = Array.init n (fun _ -> Rng.int rng 10_000) in
       let readings node = values.(node) in
       let sorted = Array.copy values in
-      Array.sort compare sorted;
+      Array.sort Int.compare sorted;
       let true_median = sorted.((n + 1) / 2 - 1) in
       let r =
         Functions.median ~range:(0, 10_000) ~readings plan.Pipeline.agg

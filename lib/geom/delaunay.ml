@@ -12,6 +12,17 @@ type triangle = {
   r2 : float;
 }
 
+let cmp_pair (a, b) (c, d) =
+  let k = Int.compare a c in
+  if k <> 0 then k else Int.compare b d
+
+let cmp_triple (a, b, c) (d, e, f) =
+  let k = Int.compare a d in
+  if k <> 0 then k
+  else
+    let k = Int.compare b e in
+    if k <> 0 then k else Int.compare c f
+
 let orient2d (ax, ay) (bx, by) (cx, cy) =
   ((bx -. ax) *. (cy -. ay)) -. ((by -. ay) *. (cx -. ax))
 
@@ -99,7 +110,7 @@ let triangles_impl ps =
           match sorted with [ a; b; c ] -> Some (a, b, c) | _ -> None
         end)
       !current
-    |> List.sort_uniq compare
+    |> List.sort_uniq cmp_triple
   end
 
 let triangles ps = triangles_impl ps
@@ -110,7 +121,7 @@ let edges ps =
   else
     triangles_impl ps
     |> List.concat_map (fun (a, b, c) -> [ (a, b); (b, c); (a, c) ])
-    |> List.sort_uniq compare
+    |> List.sort_uniq cmp_pair
 
 (* A tiny local union-find: wa_graph depends on wa_geom, so the graph
    library's one is out of reach here. *)

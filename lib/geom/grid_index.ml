@@ -34,11 +34,23 @@ let max_ring_reach = 256
 
 (* The budget fallback used to be silent; warn once per process so
    degraded (O(n)-per-query) behavior is visible without flooding the
-   log from inside query loops. *)
-let budget_warned = Atomic.make false
+   log from inside query loops.  Guarded by a mutex rather than an
+   atomic: lock-free primitives stay confined to lib/obs and
+   Wa_util.Parallel (the wa-lint atomic-scope rule), and this path is
+   already degraded, so a lock is free by comparison. *)
+let budget_warned = ref false
+let budget_warned_mutex = Mutex.create ()
+
+let first_budget_overrun () =
+  Mutex.protect budget_warned_mutex (fun () ->
+      if !budget_warned then false
+      else begin
+        budget_warned := true;
+        true
+      end)
 
 let warn_budget context =
-  if not (Atomic.exchange budget_warned true) then
+  if first_budget_overrun () then
     Geom_log.warn (fun m ->
         m
           "%s: ring sweep exceeded the %d-ring budget; falling back to \

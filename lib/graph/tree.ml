@@ -57,4 +57,4 @@ let directed_edges t =
 
 let bottom_up_order t = t.order
 
-let is_leaf t v = t.children.(v) = []
+let is_leaf t v = List.is_empty t.children.(v)

@@ -64,7 +64,9 @@ let build ?(c = 2.0) ?(max_nodes = 5000) p ~level =
       for _s = 1 to k do
         (* Scale the copy so its longest link equals the prefix diameter
            (the first copy keeps unit scale: the prefix is empty). *)
-        let factor = if !right = 0.0 then 1.0 else !right /. base_max_link in
+        let factor =
+          if Float.equal !right 0.0 then 1.0 else !right /. base_max_link
+        in
         let offset = !right in
         for i = 1 to Array.length positions - 1 do
           buf := (offset +. (factor *. rel i)) :: !buf

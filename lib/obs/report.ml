@@ -15,7 +15,7 @@ let empty = { spans = []; counters = []; gauges = []; histograms = [] }
 
 let find_spans t name = List.filter (fun s -> s.Trace.name = name) t.spans
 
-let has_span t name = find_spans t name <> []
+let has_span t name = not (List.is_empty (find_spans t name))
 
 let span_names t =
   List.sort_uniq String.compare (List.map (fun s -> s.Trace.name) t.spans)
@@ -91,7 +91,7 @@ let pp fmt t =
                       gauges, %d histograms@,"
     (List.length t.spans) (List.length t.counters) (List.length t.gauges)
     (List.length t.histograms);
-  if t.spans <> [] then begin
+  if not (List.is_empty t.spans) then begin
     (* Total time per span name, widest first. *)
     let totals = Hashtbl.create 16 in
     List.iter
@@ -111,17 +111,17 @@ let pp fmt t =
         Format.fprintf fmt "  %-28s %10.3f | %d@," name ms n)
       rows
   end;
-  if t.counters <> [] then begin
+  if not (List.is_empty t.counters) then begin
     Format.fprintf fmt "counters:@,";
     List.iter
       (fun (n, v) -> Format.fprintf fmt "  %-28s %d@," n v)
       t.counters
   end;
-  if t.gauges <> [] then begin
+  if not (List.is_empty t.gauges) then begin
     Format.fprintf fmt "gauges:@,";
     List.iter (fun (n, v) -> Format.fprintf fmt "  %-28s %g@," n v) t.gauges
   end;
-  if t.histograms <> [] then begin
+  if not (List.is_empty t.histograms) then begin
     Format.fprintf fmt "histograms (count / mean / min / max):@,";
     List.iter
       (fun (n, (h : Metrics.hist_snapshot)) ->

@@ -23,17 +23,21 @@ type domain_state = {
   mutable buffered : int;
 }
 
-let dls_key =
-  Domain.DLS.new_key (fun () ->
-      { stack_depth = 0; buffer = []; buffered = 0 })
+let make_state () = { stack_depth = 0; buffer = []; buffered = 0 }
+
+let dls_key = Domain.DLS.new_key make_state
 
 let completed : span list ref = ref []  (* newest first *)
 let completed_mutex = Mutex.create ()
 
 let max_buffered = 64
 
-let flush_local () =
-  let st = Domain.DLS.get dls_key in
+(* The buffer/merge machinery is parameterized over an explicit
+   [domain_state] so that the interleaving checker (Wa_analysis) can
+   drive several simulated domains from one scheduler domain; the
+   DLS-backed wrappers below are the production path. *)
+
+let flush_state st =
   if st.buffered > 0 then begin
     let batch = st.buffer in
     st.buffer <- [];
@@ -42,11 +46,14 @@ let flush_local () =
         completed := List.rev_append (List.rev batch) !completed)
   end
 
-let record span =
-  let st = Domain.DLS.get dls_key in
+let record_state st span =
   st.buffer <- span :: st.buffer;
   st.buffered <- st.buffered + 1;
-  if span.depth = 0 || st.buffered >= max_buffered then flush_local ()
+  if span.depth = 0 || st.buffered >= max_buffered then flush_state st
+
+let flush_local () = flush_state (Domain.DLS.get dls_key)
+
+let record span = record_state (Domain.DLS.get dls_key) span
 
 let with_span name f =
   if not (Runtime.enabled ()) then f ()
@@ -92,3 +99,12 @@ let reset () =
   Mutex.protect completed_mutex (fun () -> completed := [])
 
 let ms_of span = Int64.to_float span.dur_ns /. 1e6
+
+module Model = struct
+  type state = domain_state
+
+  let create () = make_state ()
+  let record = record_state
+  let flush = flush_state
+  let buffered st = st.buffered
+end

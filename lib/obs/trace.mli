@@ -42,3 +42,27 @@ val reset : unit -> unit
 
 val ms_of : span -> float
 (** Duration in milliseconds. *)
+
+(** Explicit-state view of the per-domain buffer machinery, for the
+    systematic interleaving checker: each [state] behaves exactly like
+    one domain's DLS buffer (including the auto-flush on depth-0
+    records and on overflow), but several can be driven from a single
+    scheduler domain.  Flushes merge into the same global span list
+    that {!spans} reads. *)
+module Model : sig
+  type state
+
+  val create : unit -> state
+  (** A fresh simulated domain buffer. *)
+
+  val record : state -> span -> unit
+  (** Buffer a span; auto-flushes when [span.depth = 0] or the buffer
+      reaches its size cap — the same policy as the production
+      {!with_span} path. *)
+
+  val flush : state -> unit
+  (** Merge this buffer into the global list (mutex-protected). *)
+
+  val buffered : state -> int
+  (** Spans currently buffered (not yet merged). *)
+end

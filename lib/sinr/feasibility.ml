@@ -14,7 +14,7 @@ let sinr (p : Params.t) ls ~power ~concurrent i =
       0.0 concurrent
   in
   let denom = interference +. p.Params.noise in
-  if denom = 0.0 then infinity else signal /. denom
+  if Float.equal denom 0.0 then infinity else signal /. denom
 
 let check p ls ~power slot =
   let vec = Power.vector p ls power in
@@ -26,7 +26,7 @@ let check p ls ~power slot =
         else Some { link = i; sinr = s; required = p.Params.beta })
       (List.sort_uniq Int.compare slot)
   in
-  if violations = [] then Feasible else Infeasible violations
+  if List.is_empty violations then Feasible else Infeasible violations
 
 (* Boolean fast path of [check]: interference terms are non-negative,
    so once a partial sum already pushes a receiver's SINR below beta
@@ -43,7 +43,7 @@ let is_feasible p ls ~power slot =
       let rec feasible_from acc = function
         | [] ->
             let denom = acc +. noise in
-            if denom = 0.0 then true else signal /. denom >= beta
+            if Float.equal denom 0.0 then true else signal /. denom >= beta
         | j :: rest when j = i -> feasible_from acc rest
         | j :: rest ->
             let d = Linkset.sender_to_receiver ls j i in

@@ -19,6 +19,17 @@ let shares_endpoint i j =
   Vec2.equal i.src j.src || Vec2.equal i.src j.dst || Vec2.equal i.dst j.src
   || Vec2.equal i.dst j.dst
 
+(* NaN-safe structural comparisons: coordinates go through
+   Float.equal/Float.compare (Vec2), so a link compares equal to
+   itself even if a degenerate pipeline produced NaN coordinates,
+   where polymorphic (=) would deny it.  The wa-lint float-eq rule
+   points poly-compare call sites here. *)
+let equal i j = Vec2.equal i.src j.src && Vec2.equal i.dst j.dst
+
+let compare i j =
+  let c = Vec2.compare i.src j.src in
+  if c <> 0 then c else Vec2.compare i.dst j.dst
+
 let reverse t = { src = t.dst; dst = t.src }
 
 let pp fmt t = Format.fprintf fmt "%a->%a" Vec2.pp t.src Vec2.pp t.dst

@@ -24,6 +24,15 @@ val min_distance : t -> t -> float
 
 val shares_endpoint : t -> t -> bool
 
+val equal : t -> t -> bool
+(** Endpoint-wise {!Wa_geom.Vec2.equal}: NaN-safe (a link equals
+    itself even with NaN coordinates) and the comparator the wa-lint
+    [float-eq] rule demands instead of polymorphic [=] on links. *)
+
+val compare : t -> t -> int
+(** Lexicographic on (src, dst) via {!Wa_geom.Vec2.compare}
+    (NaN-safe total order). *)
+
 val reverse : t -> t
 
 val pp : Format.formatter -> t -> unit

@@ -27,7 +27,8 @@ let of_links l = of_array (Array.of_list l)
 
 let of_tree ps tree =
   let edges = Tree.directed_edges tree in
-  if edges = [] then invalid_arg "Linkset.of_tree: single-vertex tree has no links";
+  if List.is_empty edges then
+    invalid_arg "Linkset.of_tree: single-vertex tree has no links";
   let links =
     List.map (fun (c, p) -> Link.make (Pointset.get ps c) (Pointset.get ps p)) edges
   in

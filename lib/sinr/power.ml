@@ -53,7 +53,7 @@ let vector p ls scheme =
 let describe = function
   | Uniform -> "uniform (P0)"
   | Linear -> "linear (P1)"
-  | Oblivious t -> Printf.sprintf "oblivious P_tau (tau=%g)" t
+  | Oblivious t -> Format.asprintf "oblivious P_tau (tau=%g)" t
   | Custom _ -> "custom (global power control)"
 
 let pp fmt s = Format.pp_print_string fmt (describe s)

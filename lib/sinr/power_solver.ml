@@ -52,7 +52,7 @@ let estimate_rho ?(iterations = rho_iterations) m =
        for _ = 1 to iterations do
          let y = mat_vec m !x in
          let n = inf_norm y in
-         if n = 0.0 then begin
+         if Float.equal n 0.0 then begin
            rho := 0.0;
            raise Exit
          end;
@@ -101,7 +101,7 @@ let solve_linear m c =
        end;
        for r = col + 1 to k - 1 do
          let f = a.(r).(col) /. a.(col).(col) in
-         if f <> 0.0 then
+         if not (Float.equal f 0.0) then
            for j = col to k do
              a.(r).(j) <- a.(r).(j) -. (f *. a.(col).(j))
            done
@@ -183,7 +183,7 @@ let power_scheme p ls slots =
         | Some witness ->
             List.iter (fun i -> full.(i) <- witness.(i)) slot;
             true
-        | None -> slot = [])
+        | None -> List.is_empty slot)
       slots
   in
   if ok then Some (Power.Custom full) else None

@@ -27,8 +27,8 @@ let escape_string s =
 
 let float_literal v =
   if Float.is_nan v then "null"
-  else if v = infinity then "1e999"
-  else if v = neg_infinity then "-1e999"
+  else if Float.equal v infinity then "1e999"
+  else if Float.equal v neg_infinity then "-1e999"
   else if Float.is_integer v && Float.abs v < 1e15 then
     Printf.sprintf "%.1f" v
   else Printf.sprintf "%.17g" v

@@ -14,7 +14,7 @@ let to_float t = exp t
 
 let log_value t = t
 
-let is_zero t = t = neg_infinity
+let is_zero t = Float.equal t neg_infinity
 
 (* log(e^a + e^b) computed against the larger exponent. *)
 let add a b =
@@ -37,7 +37,8 @@ let div a b =
   else if is_zero a then zero
   else a -. b
 
-let pow a x = if is_zero a then (if x = 0.0 then one else zero) else a *. x
+let pow a x =
+  if is_zero a then (if Float.equal x 0.0 then one else zero) else a *. x
 
 let compare = Float.compare
 let equal a b = Float.equal a b

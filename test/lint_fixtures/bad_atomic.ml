@@ -1,0 +1,3 @@
+(* Fixture: exactly one [atomic-scope] violation (when the test config
+   empties the allow-list). *)
+let flag = Atomic.make false

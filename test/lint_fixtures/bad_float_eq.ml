@@ -1,0 +1,2 @@
+(* Fixture: exactly one [float-eq] violation. *)
+let near_zero x = x = 0.0

@@ -1,0 +1,2 @@
+(* Fixture: exactly one [list-eq] violation. *)
+let is_empty l = l = []

@@ -1,0 +1,2 @@
+(* Fixture: exactly one [obj-magic] violation. *)
+let cast x = Obj.magic x

@@ -1,0 +1,2 @@
+(* Fixture: exactly one [poly-compare] violation. *)
+let sort l = List.sort compare l

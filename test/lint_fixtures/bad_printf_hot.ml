@@ -1,0 +1,3 @@
+(* Fixture: exactly one [printf-hot] violation (the test config lists
+   this file as a hot path). *)
+let hot x = Printf.printf "%d\n" x

@@ -1,0 +1,4 @@
+(* Fixture: a library-like module with no sibling .mli — exactly one
+   [missing-mli] violation when scanned with this directory configured
+   as an mli-required root. *)
+let answer = 42

@@ -1,0 +1,180 @@
+(* The runtime invariant auditor: clean plans audit clean in every
+   power mode, and deliberately corrupted inputs — duplicated links,
+   broken trees, graphs with a dropped edge, inconsistent telemetry —
+   each produce a violation naming the right check. *)
+
+module Audit = Wa_analysis.Audit
+module Pipeline = Wa_core.Pipeline
+module Schedule = Wa_core.Schedule
+module Graph = Wa_graph.Graph
+module Tree = Wa_graph.Tree
+module Rng = Wa_util.Rng
+module Json = Wa_util.Json
+module Random_deploy = Wa_instances.Random_deploy
+
+let params = Wa_sinr.Params.default
+
+let deployment n seed =
+  Random_deploy.uniform_square (Rng.create seed) ~n ~side:1000.0
+
+let checks_of r = r.Audit.checks
+let rules_fired r =
+  List.sort_uniq String.compare
+    (List.map (fun v -> v.Audit.check) r.Audit.violations)
+
+(* Clean plans ---------------------------------------------------------- *)
+
+let test_clean_plan mode expected_checks () =
+  let plan = Pipeline.plan ~params ~audit:true mode (deployment 60 11) in
+  match plan.Pipeline.audit with
+  | None -> Alcotest.fail "plan ~audit:true returned no audit report"
+  | Some r ->
+      Alcotest.(check bool)
+        (Format.asprintf "no violations: %a" Audit.pp_report r)
+        true (Audit.ok r);
+      Alcotest.(check int)
+        "expected number of checks ran" expected_checks
+        (List.length (checks_of r));
+      Alcotest.(check bool)
+        "audit cost was measured" true (r.Audit.elapsed_ms >= 0.0)
+
+let test_unaudited_plan () =
+  let plan = Pipeline.plan ~params `Uniform (deployment 40 3) in
+  Alcotest.(check bool)
+    "no audit unless requested" true
+    (Option.is_none plan.Pipeline.audit)
+
+(* Broken inputs -------------------------------------------------------- *)
+
+let test_partition_violations () =
+  (* Link 1 scheduled twice, link 2 never, link 99 out of range. *)
+  let slots = [| [ 0; 1 ]; [ 1; 99 ] |] in
+  let r = Audit.run_checks [ Audit.partition_check ~n_links:3 ~slots ] in
+  Alcotest.(check (list string)) "partition check fired" [ "schedule.partition" ]
+    (rules_fired r);
+  Alcotest.(check int) "three defects found" 3 (List.length r.Audit.violations)
+
+let test_sinr_violation () =
+  (* A slot whose power witness is declared missing must be flagged
+     even though the links themselves are schedulable one by one. *)
+  let plan = Pipeline.plan ~params `Uniform (deployment 30 5) in
+  let slots = plan.Pipeline.schedule.Schedule.slots in
+  let ls = plan.Pipeline.agg.Wa_core.Agg_tree.links in
+  let r =
+    Audit.run_checks
+      [ Audit.sinr_check params ls ~power_of_slot:(fun _ -> None) ~slots ]
+  in
+  Alcotest.(check (list string)) "sinr check fired" [ "schedule.sinr" ]
+    (rules_fired r);
+  (* Cramming every link into one slot must fail the physical model. *)
+  let all_links = List.init (Wa_sinr.Linkset.size ls) Fun.id in
+  let r2 =
+    Audit.run_checks
+      [
+        Audit.sinr_check params ls
+          ~power_of_slot:(fun _ -> Some Wa_sinr.Power.Uniform)
+          ~slots:[| all_links |];
+      ]
+  in
+  Alcotest.(check bool) "overfull slot is infeasible" false (Audit.ok r2)
+
+let test_tree_violation () =
+  let good = Tree.root ~n:5 ~sink:0 [ (0, 1); (1, 2); (2, 3); (3, 4) ] in
+  let r = Audit.run_checks [ Audit.tree_check good ] in
+  Alcotest.(check bool) "path tree is clean" true (Audit.ok r)
+
+let test_graph_symmetry_violation () =
+  let reference () = Graph.of_edges 4 [ (0, 1); (1, 2); (2, 3) ] in
+  let candidate () = Graph.of_edges 4 [ (0, 1); (1, 2); (0, 3) ] in
+  let r =
+    Audit.run_checks [ Audit.graph_symmetry_check ~reference ~candidate ]
+  in
+  Alcotest.(check (list string)) "engine disagreement flagged"
+    [ "conflict.engines_agree" ] (rules_fired r);
+  Alcotest.(check int) "one line each way" 2 (List.length r.Audit.violations);
+  let same =
+    Audit.run_checks
+      [ Audit.graph_symmetry_check ~reference ~candidate:reference ]
+  in
+  Alcotest.(check bool) "identical graphs agree" true (Audit.ok same)
+
+let test_report_consistency_violation () =
+  (* Hand-build an impossible telemetry snapshot: a histogram whose
+     count disagrees with its buckets, and a negative counter. *)
+  let bad : Wa_obs.Report.t =
+    {
+      Wa_obs.Report.empty with
+      counters = [ ("broken.counter", -4) ];
+      histograms =
+        [
+          ( "broken.hist",
+            {
+              Wa_obs.Metrics.count = 5;
+              sum = 10.0;
+              min = 9.0;
+              max = 1.0;
+              nonpositive_count = 0;
+              filled = [ (1.0, 2.0, 3) ];
+            } );
+        ];
+    }
+  in
+  let r =
+    Audit.run_checks [ Audit.report_consistency_check (fun () -> bad) ]
+  in
+  Alcotest.(check (list string)) "consistency check fired"
+    [ "metrics.consistency" ] (rules_fired r);
+  Alcotest.(check int) "three defects" 3 (List.length r.Audit.violations)
+
+let test_exception_becomes_violation () =
+  let r =
+    Audit.run_checks [ Audit.make_check "boom" (fun () -> failwith "nope") ]
+  in
+  Alcotest.(check (list string)) "raised check reports itself" [ "boom" ]
+    (rules_fired r)
+
+let test_report_json () =
+  let slots = [| [ 0; 0 ] |] in
+  let r = Audit.run_checks [ Audit.partition_check ~n_links:1 ~slots ] in
+  let j = Audit.report_to_json r in
+  match Json.of_string (Json.to_string j) with
+  | Error m -> Alcotest.failf "report JSON does not reparse: %s" m
+  | Ok j' ->
+      let n =
+        match Json.member "violations" j' with
+        | Some (Json.List l) -> List.length l
+        | _ -> -1
+      in
+      Alcotest.(check int) "violations survive the round-trip"
+        (List.length r.Audit.violations) n
+
+let () =
+  Alcotest.run "wa_analysis_audit"
+    [
+      ( "clean",
+        [
+          (* Thresholded modes run the 5-check battery (incl. the
+             dense-vs-indexed graph diff); fixed schemes skip it. *)
+          Alcotest.test_case "global power" `Quick
+            (test_clean_plan `Global 5);
+          Alcotest.test_case "oblivious power" `Quick
+            (test_clean_plan (`Oblivious 0.5) 5);
+          Alcotest.test_case "uniform power" `Quick
+            (test_clean_plan `Uniform 4);
+          Alcotest.test_case "audit is opt-in" `Quick test_unaudited_plan;
+        ] );
+      ( "broken",
+        [
+          Alcotest.test_case "partition defects" `Quick
+            test_partition_violations;
+          Alcotest.test_case "sinr defects" `Quick test_sinr_violation;
+          Alcotest.test_case "tree check" `Quick test_tree_violation;
+          Alcotest.test_case "graph diff" `Quick
+            test_graph_symmetry_violation;
+          Alcotest.test_case "telemetry consistency" `Quick
+            test_report_consistency_violation;
+          Alcotest.test_case "exceptions surface" `Quick
+            test_exception_becomes_violation;
+          Alcotest.test_case "report JSON" `Quick test_report_json;
+        ] );
+    ]

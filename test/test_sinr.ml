@@ -60,6 +60,23 @@ let test_link_rejects_degenerate () =
   Alcotest.check_raises "zero length" (Invalid_argument "Link.make: zero-length link")
     (fun () -> ignore (Link.make (v 1.0 1.0) (v 1.0 1.0)))
 
+let test_link_equal_compare () =
+  let l1 = Link.make (v 0.0 0.0) (v 2.0 0.0) in
+  let l1' = Link.make (v 0.0 0.0) (v 2.0 0.0) in
+  let l2 = Link.make (v 0.0 0.0) (v 2.0 1.0) in
+  Alcotest.(check bool) "equal to twin" true (Link.equal l1 l1');
+  Alcotest.(check bool) "not equal to other" false (Link.equal l1 l2);
+  Alcotest.(check int) "compare twin" 0 (Link.compare l1 l1');
+  Alcotest.(check bool) "compare antisymmetric" true
+    (Link.compare l1 l2 = -Link.compare l2 l1);
+  (* NaN-safe: a NaN coordinate still yields a total order (unlike
+     polymorphic compare, Float.compare puts nan below all reals, and
+     a nan endpoint equals itself). *)
+  let ln = { l1 with Link.dst = v Float.nan 0.0 } in
+  Alcotest.(check bool) "nan link equals itself" true (Link.equal ln ln);
+  Alcotest.(check int) "nan link compares 0 with itself" 0 (Link.compare ln ln);
+  Alcotest.(check bool) "nan link ordered vs real" true (Link.compare ln l1 <> 0)
+
 (* -------------------------------------------------------------- Linkset *)
 
 let chain_linkset () =
@@ -450,6 +467,7 @@ let () =
           Alcotest.test_case "geometry" `Quick test_link_geometry;
           Alcotest.test_case "reverse" `Quick test_link_reverse;
           Alcotest.test_case "degenerate rejected" `Quick test_link_rejects_degenerate;
+          Alcotest.test_case "equal/compare" `Quick test_link_equal_compare;
         ] );
       ( "linkset",
         [

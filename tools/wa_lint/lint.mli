@@ -1,0 +1,70 @@
+(** Source-level static analysis for the project tree.
+
+    Parses [.ml] files with compiler-libs and enforces the project's
+    correctness rules on the Parsetree (no type information; each rule
+    is a decidable syntactic shape plus path-based configuration):
+
+    - [list-eq] — polymorphic [=]/[<>] against a list literal;
+    - [float-eq] — polymorphic [=]/[<>] with a syntactically
+      float-valued operand (literal, [nan]/[infinity]/…, float
+      arithmetic, or a call into a float-bearing module);
+    - [poly-compare] — bare [compare]/[Stdlib.compare];
+    - [atomic-scope] — [Atomic.*] outside the concurrency core;
+    - [obj-magic] — [Obj.magic];
+    - [printf-hot] — [Printf.*] inside a configured hot path;
+    - [missing-mli] — a library [.ml] with no sibling [.mli];
+    - [parse-error] — the file does not parse.
+
+    Suppress with [[@wa.lint.allow "rule …"]] on the offending
+    expression or a floating [[@@@wa.lint.allow "rule …"]] for the
+    whole file. *)
+
+val all_rules : string list
+
+module Config : sig
+  type t = {
+    hot_paths : string list;
+        (** Path prefixes where [printf-hot] applies. *)
+    atomic_allowed : string list;
+        (** Path prefixes where [Atomic.*] is permitted. *)
+    float_modules : string list;
+        (** Modules whose applications count as float-bearing operands
+            ([Link], [Vec2], [Float] by default). *)
+    mli_required_roots : string list;
+        (** Path prefixes under which every [.ml] needs a [.mli]. *)
+  }
+
+  val default : t
+  (** The project rules: hot paths [lib/sinr/] + [lib/core/conflict.ml],
+      atomics confined to [lib/obs/] + [lib/util/parallel.ml], [.mli]
+      required under [lib/]. *)
+end
+
+type violation = {
+  file : string;  (** Normalized ('/'-separated) path as scanned. *)
+  line : int;  (** 1-based. *)
+  col : int;  (** 0-based byte column. *)
+  rule : string;
+  message : string;
+}
+
+val equal_violation : violation -> violation -> bool
+val compare_violation : violation -> violation -> int
+val pp_violation : Format.formatter -> violation -> unit
+
+val violation_to_json : violation -> Wa_util.Json.t
+val violation_of_json : Wa_util.Json.t -> (violation, string) result
+
+type report = { files_scanned : int; violations : violation list }
+
+val report_to_json : report -> Wa_util.Json.t
+val report_of_json : Wa_util.Json.t -> (report, string) result
+
+val lint_file : ?config:Config.t -> string -> violation list
+(** Lint one file; violations sorted by position.  A file that does
+    not parse yields a single [parse-error] violation. *)
+
+val lint_paths : ?config:Config.t -> string list -> report
+(** Recursively lint every [.ml] under the given files/directories
+    (skipping [_build] and dotfiles), including the [missing-mli]
+    check.  Deterministic: files and violations are sorted. *)

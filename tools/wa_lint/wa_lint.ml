@@ -1,0 +1,49 @@
+(* Command-line front end: wa_lint [--json FILE] [--quiet] PATH...
+
+   Exit status: 0 clean, 1 violations found, 2 usage/setup error. *)
+
+module Lint = Wa_lint_core.Lint
+
+let usage = "wa_lint [--json FILE] [--quiet] PATH..."
+
+let () =
+  let json_out = ref None in
+  let quiet = ref false in
+  let paths = ref [] in
+  let spec =
+    [
+      ( "--json",
+        Arg.String (fun f -> json_out := Some f),
+        "FILE Write the machine-readable report to FILE" );
+      ("--quiet", Arg.Set quiet, " Print nothing but the verdict line");
+    ]
+  in
+  (try Arg.parse spec (fun p -> paths := p :: !paths) usage
+   with _ -> exit 2);
+  let paths = List.rev !paths in
+  if List.is_empty paths then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  List.iter
+    (fun p ->
+      if not (Sys.file_exists p) then begin
+        Printf.eprintf "wa_lint: no such path: %s\n" p;
+        exit 2
+      end)
+    paths;
+  let report = Lint.lint_paths paths in
+  if not !quiet then
+    List.iter
+      (fun v -> Format.printf "%a@." Lint.pp_violation v)
+      report.Lint.violations;
+  Option.iter
+    (fun file ->
+      let oc = open_out file in
+      output_string oc (Wa_util.Json.to_string (Lint.report_to_json report));
+      output_char oc '\n';
+      close_out oc)
+    !json_out;
+  let n = List.length report.Lint.violations in
+  Printf.printf "wa_lint: %d file(s), %d violation(s)\n" report.Lint.files_scanned n;
+  if n > 0 then exit 1
