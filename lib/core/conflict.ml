@@ -42,7 +42,14 @@ let eval (p : Params.t) th x =
   | Constant gamma -> gamma
   | Power_law { gamma; delta } -> gamma *. (x ** delta)
   | Log_power gamma ->
-      gamma *. Float.max 1.0 (Growth.log2 x ** (2.0 /. (p.Params.alpha -. 2.0)))
+      (* [Params.make] rejects alpha <= 2, so the exponent denominator
+         is strictly positive — an invariant the intraprocedural
+         checker cannot see across the smart constructor. *)
+      gamma
+      *. Float.max 1.0
+           (Growth.log2 x
+           ** (2.0 /. (p.Params.alpha -. 2.0)
+              [@wa.check.allow "float-unguarded"]))
 
 let conflicting p th ls i j =
   if i = j then false
@@ -68,9 +75,13 @@ let conflicting p th ls i j =
 let radius_slack = 1.0 +. 1e-9
 
 let class_radius p th ~li ~cmin ~cmax =
-  Float.min li cmax
-  *. eval p th (Float.max li cmax /. Float.min li cmin)
-  *. radius_slack
+  (* [li], [cmin] arrive from [Linkset.length] / class bounds, both
+     positive by construction ([Link.make] rejects zero-length links);
+     the checker cannot track that through these function parameters. *)
+  (Float.min li cmax
+   *. eval p th (Float.max li cmax /. Float.min li cmin)
+   *. radius_slack)
+  [@wa.check.allow "float-unguarded"]
 
 (* Conflicting neighbors of [i] in class position [c] of the index,
    found by an exact-radius-bounded grid query.  Ascending ids. *)

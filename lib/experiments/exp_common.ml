@@ -17,12 +17,4 @@ let plan_slots ?gamma mode ps =
     failwith "experiment produced an unverified schedule";
   Pipeline.slots plan
 
-let mean_slots ~quick ~n mode =
-  let values =
-    List.map
-      (fun seed -> float_of_int (plan_slots mode (square ~seed ~n)))
-      (seeds ~quick)
-  in
-  (Wa_util.Stats.mean values, Wa_util.Stats.maximum values)
-
 let fmt_g v = Printf.sprintf "%g" v

@@ -19,10 +19,5 @@ val plan_slots :
     fails validation (experiments must never report unverified
     numbers). *)
 
-val mean_slots :
-  quick:bool -> n:int -> Wa_core.Pipeline.power_mode -> float * float
-(** Mean and max slots over the seed set for uniform-square
-    deployments of size [n]. *)
-
 val fmt_g : float -> string
 (** Compact [%g] formatting. *)

@@ -10,7 +10,11 @@ let sinr (p : Params.t) ls ~power ~concurrent i =
         if j = i then acc
         else
           let d = Linkset.sender_to_receiver ls j i in
-          acc +. (power.(j) /. (d ** p.Params.alpha)))
+          (* Links may share a node, putting a sender on top of this
+             receiver (d = 0): the interference term diverges, so
+             saturate explicitly rather than divide by zero. *)
+          if d > 0.0 then acc +. (power.(j) /. (d ** p.Params.alpha))
+          else infinity)
       0.0 concurrent
   in
   let denom = interference +. p.Params.noise in
@@ -47,7 +51,12 @@ let is_feasible p ls ~power slot =
         | j :: rest when j = i -> feasible_from acc rest
         | j :: rest ->
             let d = Linkset.sender_to_receiver ls j i in
-            let acc = acc +. (vec.(j) /. (d ** alpha)) in
+            (* Same zero-distance saturation as [sinr] above, keeping
+               the two accumulations bit-identical. *)
+            let acc =
+              if d > 0.0 then acc +. (vec.(j) /. (d ** alpha))
+              else infinity
+            in
             let denom = acc +. noise in
             (* Strict-violation early exit; NaN comparisons fall
                through to the exhaustive sum, matching [check]. *)

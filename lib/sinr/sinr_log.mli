@@ -1,6 +1,8 @@
 (** Logs source ["wa.sinr"] for the SINR layer.  [include]s a
     [Logs.LOG], so use as [Sinr_log.warn (fun m -> m ...)]. *)
 
-val src : Logs.src
+(* Exported so embedders can tune this source's level via
+   [Logs.Src.set_level]; nothing in-tree needs to. *)
+val src : Logs.src [@@wa.lint.allow "unused-export"]
 
 include Logs.LOG

@@ -1,0 +1,22 @@
+(* Every violation here is silenced: expression-level
+   [@wa.check.allow] for domain-capture / exn-escape / unit-mix, and
+   the floating file-level form for nan-compare.  The checker must
+   report nothing for this module. *)
+
+[@@@wa.check.allow "nan-compare"]
+
+let racy_but_allowed n =
+  let hits = ref 0 in
+  (Wa_util.Parallel.iter n (fun _ -> incr hits)
+  [@wa.check.allow "domain-capture"]);
+  !hits
+
+let risky_but_allowed n =
+  (Wa_util.Parallel.iter n (fun i -> if i < 0 then failwith "boom")
+  [@wa.check.allow "exn-escape"])
+
+let mixed_but_allowed ls i =
+  (Wa_sinr.Linkset.length ls i +. Float.log 2.0 [@wa.check.allow "unit-mix"])
+
+let sorted_by_inverse xs =
+  List.sort (fun a b -> Float.compare (1.0 /. a) b) xs

@@ -1,0 +1,6 @@
+(* Known-bad [domain-capture]: the chunk closure increments a captured
+   ref, racing across worker domains. *)
+let racy n =
+  let hits = ref 0 in
+  Wa_util.Parallel.iter n (fun _ -> incr hits);
+  !hits

@@ -1,0 +1,3 @@
+(* Known-bad [float-unguarded]: division by an arbitrary parameter on
+   a hot path (the test config marks this file hot). *)
+let inv x = 1.0 /. x

@@ -1,0 +1,4 @@
+(* Known-bad [exn-escape]: the raise has no handler inside the
+   closure, so it would cross the Parallel chunk boundary. *)
+let risky n =
+  Wa_util.Parallel.iter n (fun i -> if i < 0 then failwith "negative index")

@@ -1,0 +1,4 @@
+(* Known-bad [nan-compare]: a sort comparator divides by its raw
+   argument — a zero key makes the comparison NaN and silently
+   corrupts the order. *)
+let by_inverse xs = List.sort (fun a b -> Float.compare (1.0 /. a) b) xs

@@ -1,0 +1,3 @@
+(* Known-bad [unit-mix]: adds a linear-domain distance to a log-domain
+   value — the sum has no physical meaning. *)
+let skewed ls i x = Wa_sinr.Linkset.length ls i +. Float.log x

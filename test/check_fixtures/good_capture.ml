@@ -1,0 +1,8 @@
+(* Known-good twin of bad_capture: the shared counter is an Atomic.t,
+   and per-index results land in disjoint slots of an init array. *)
+let counted n =
+  let hits = Atomic.make 0 in
+  Wa_util.Parallel.iter n (fun _ -> Atomic.incr hits);
+  Atomic.get hits
+
+let squares n = Wa_util.Parallel.init n (fun i -> i * i)

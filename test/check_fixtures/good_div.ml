@@ -1,0 +1,6 @@
+(* Known-good twin of bad_div (also marked hot by the test config):
+   the denominator is either guarded by an explicit test or a nonzero
+   constant. *)
+let safe_inv x = if x > 0.0 then 1.0 /. x else 0.0
+let halve x = x /. 2.0
+let safe_log x = if x > 0.0 then Float.log x else neg_infinity

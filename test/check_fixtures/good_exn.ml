@@ -1,0 +1,5 @@
+(* Known-good twin of bad_exn: the raise is handled locally, inside
+   the chunk closure. *)
+let safe n =
+  Wa_util.Parallel.iter n (fun i ->
+      try if i < 0 then failwith "negative index" with Failure _ -> ())

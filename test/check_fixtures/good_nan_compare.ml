@@ -1,0 +1,9 @@
+(* Known-good twin of bad_nan_compare: the comparator guards its
+   divisions, so the keys are always ordered. *)
+let by_inverse xs =
+  List.sort
+    (fun a b ->
+      let ka = if a > 0.0 then 1.0 /. a else infinity in
+      let kb = if b > 0.0 then 1.0 /. b else infinity in
+      Float.compare ka kb)
+    xs

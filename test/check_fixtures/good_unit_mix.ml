@@ -1,0 +1,9 @@
+(* Known-good twin of bad_unit_mix: like domains add, log-domain
+   values stay in the log domain, and the Logfloat boundary is crossed
+   with the conversion that matches the representation. *)
+let perimeterish ls i j =
+  Wa_sinr.Linkset.length ls i +. Wa_sinr.Linkset.dist ls i j
+
+let shifted_log x = Float.log x +. Float.log 2.0
+let via_logfloat x = Wa_util.Logfloat.to_float (Wa_util.Logfloat.of_float x)
+let from_log x = Wa_util.Logfloat.of_log (Float.log x)

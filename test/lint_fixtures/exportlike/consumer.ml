@@ -1,0 +1,5 @@
+(* Reference file for the unused-export fixtures: keeps
+   [Exports.used_fn] alive by name and [Opened_mod] alive wholesale. *)
+open Opened_mod
+
+let use = Exports.used_fn 41

@@ -1,0 +1,7 @@
+(* Implementation side of the unused-export fixture.  [dead_fn] keeps
+   a self-reference alive below — proving that uses inside the owning
+   module do not count. *)
+let used_fn x = x + 1
+let dead_fn x = x - 1
+let allowed_fn x = x * 2
+let _self = dead_fn 0

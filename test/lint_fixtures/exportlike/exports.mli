@@ -1,0 +1,6 @@
+val used_fn : int -> int
+
+(* Referenced only from the owning module — the planted violation. *)
+val dead_fn : int -> int
+
+val allowed_fn : int -> int [@@wa.lint.allow "unused-export"]

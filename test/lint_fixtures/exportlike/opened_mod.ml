@@ -1,0 +1,3 @@
+(* Wholesale-used module: the consumer opens it, so its exports are
+   exempt from unused-export tracking. *)
+let unreferenced_by_name x = x

@@ -1,0 +1,1 @@
+val unreferenced_by_name : 'a -> 'a

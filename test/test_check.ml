@@ -1,0 +1,172 @@
+(* The wa-check typed-AST analyzer: every bad_* fixture under
+   check_fixtures/ triggers its rule exactly once (from the .cmt files
+   dune produced while building the fixture library), the good_* twins
+   and the suppressed spellings stay silent, and reports round-trip
+   through the check_report.json schema (qcheck). *)
+
+module Check = Wa_check_core.Check
+module Json = Wa_util.Json
+
+(* The test runner's cwd is _build/default/test; the fixture library's
+   .cmt files live in its hidden .objs directory, with dune's wrapped
+   unit names. *)
+let cmt name =
+  "check_fixtures/.check_fixtures.objs/byte/check_fixtures__" ^ name ^ ".cmt"
+
+(* Only the division fixtures are hot: the unit-mix fixtures use bare
+   [Float.log] and must not pick up float-unguarded noise. *)
+let config =
+  {
+    Check.Config.default with
+    Check.Config.hot_paths =
+      [ "test/check_fixtures/bad_div.ml"; "test/check_fixtures/good_div.ml" ];
+    capture_allowed = [];
+  }
+
+let rules_of violations = List.map (fun v -> v.Check.rule) violations
+
+let check_fixture unit_name expected () =
+  let fr = Check.analyze_cmt ~config (cmt unit_name) in
+  Alcotest.(check bool) (unit_name ^ " was analyzed") true fr.Check.analyzed;
+  Alcotest.(check (list string))
+    (unit_name ^ " rules") expected
+    (rules_of fr.Check.file_violations);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        "positions are 1-based lines" true (v.Check.line >= 1))
+    fr.Check.file_violations
+
+let test_stats () =
+  let fr = Check.analyze_cmt ~config (cmt "Bad_capture") in
+  Alcotest.(check int) "one chunk closure analyzed" 1 fr.Check.file_closures;
+  Alcotest.(check bool)
+    "unit pass visited expressions" true
+    (fr.Check.file_expressions > 0)
+
+let test_cmt_error () =
+  let fr = Check.analyze_cmt ~config "check_fixtures/no_such.cmt" in
+  Alcotest.(check bool) "not analyzed" false fr.Check.analyzed;
+  Alcotest.(check (list string))
+    "unreadable file reports cmt-error" [ "cmt-error" ]
+    (rules_of fr.Check.file_violations)
+
+let test_tree_totals () =
+  let report = Check.analyze_paths ~config [ "check_fixtures" ] in
+  Alcotest.(check int)
+    "analyzed all eleven fixtures (alias module skipped)" 11
+    report.Check.files_scanned;
+  let expected =
+    [
+      "domain-capture"; "exn-escape"; "float-unguarded"; "nan-compare";
+      "unit-mix";
+    ]
+  in
+  Alcotest.(check (list string))
+    "exactly the five planted violations" expected
+    (List.sort_uniq String.compare (rules_of report.Check.violations));
+  Alcotest.(check int)
+    "no rule fires twice" (List.length expected)
+    (List.length report.Check.violations)
+
+(* JSON round-trips ----------------------------------------------------- *)
+
+let violation_gen =
+  QCheck.Gen.(
+    let str = string_size ~gen:(char_range 'a' 'z') (int_range 0 12) in
+    let* file = str in
+    let* line = int_range 1 10_000 in
+    let* col = int_range 0 500 in
+    let* rule = oneofl Check.all_rules in
+    let* message = str in
+    return { Check.file; line; col; rule; message })
+
+let violation_arb =
+  QCheck.make
+    ~print:(fun v -> Format.asprintf "%a" Check.pp_violation v)
+    violation_gen
+
+let report_arb =
+  QCheck.make
+    ~print:(fun r -> Json.to_string (Check.report_to_json r))
+    QCheck.Gen.(
+      let* files_scanned = int_range 0 1_000 in
+      let* closures_analyzed = int_range 0 1_000 in
+      let* expressions_analyzed = int_range 0 1_000_000 in
+      let* violations = list_size (int_range 0 8) violation_gen in
+      return
+        {
+          Check.files_scanned;
+          closures_analyzed;
+          expressions_analyzed;
+          violations;
+        })
+
+let test_violation_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"violation JSON round-trip" violation_arb
+    (fun v ->
+      match Json.of_string (Json.to_string (Check.violation_to_json v)) with
+      | Error m -> QCheck.Test.fail_reportf "reparse failed: %s" m
+      | Ok j -> (
+          match Check.violation_of_json j with
+          | Error m -> QCheck.Test.fail_reportf "decode failed: %s" m
+          | Ok v' -> Check.equal_violation v v'))
+
+let test_report_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"report JSON round-trip" report_arb
+    (fun r ->
+      match Json.of_string (Json.to_string (Check.report_to_json r)) with
+      | Error m -> QCheck.Test.fail_reportf "reparse failed: %s" m
+      | Ok j -> (
+          match Check.report_of_json j with
+          | Error m -> QCheck.Test.fail_reportf "decode failed: %s" m
+          | Ok r' ->
+              r.Check.files_scanned = r'.Check.files_scanned
+              && r.Check.closures_analyzed = r'.Check.closures_analyzed
+              && r.Check.expressions_analyzed = r'.Check.expressions_analyzed
+              && List.equal Check.equal_violation r.Check.violations
+                   r'.Check.violations))
+
+let () =
+  Alcotest.run "wa_check"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "domain-capture" `Quick
+            (check_fixture "Bad_capture" [ "domain-capture" ]);
+          Alcotest.test_case "unit-mix" `Quick
+            (check_fixture "Bad_unit_mix" [ "unit-mix" ]);
+          Alcotest.test_case "float-unguarded" `Quick
+            (check_fixture "Bad_div" [ "float-unguarded" ]);
+          Alcotest.test_case "nan-compare" `Quick
+            (check_fixture "Bad_nan_compare" [ "nan-compare" ]);
+          Alcotest.test_case "exn-escape" `Quick
+            (check_fixture "Bad_exn" [ "exn-escape" ]);
+          Alcotest.test_case "cmt-error" `Quick test_cmt_error;
+        ] );
+      ( "clean",
+        [
+          Alcotest.test_case "atomic counter" `Quick
+            (check_fixture "Good_capture" []);
+          Alcotest.test_case "consistent units" `Quick
+            (check_fixture "Good_unit_mix" []);
+          Alcotest.test_case "guarded division" `Quick
+            (check_fixture "Good_div" []);
+          Alcotest.test_case "guarded comparator" `Quick
+            (check_fixture "Good_nan_compare" []);
+          Alcotest.test_case "local handler" `Quick
+            (check_fixture "Good_exn" []);
+          Alcotest.test_case "suppressions" `Quick
+            (check_fixture "Allowed_check" []);
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "closure/expression stats" `Quick test_stats;
+          Alcotest.test_case "whole-tree scan" `Quick test_tree_totals;
+        ] );
+      ( "json",
+        [
+          QCheck_alcotest.to_alcotest test_violation_roundtrip;
+          QCheck_alcotest.to_alcotest test_report_roundtrip;
+        ] );
+    ]

@@ -15,6 +15,7 @@ let config =
     atomic_allowed = [];
     float_modules = [ "Link"; "Vec2"; "Float" ];
     mli_required_roots = [ "lint_fixtures/liblike" ];
+    export_roots = [ "lint_fixtures/exportlike" ];
   }
 
 let rules_of violations = List.map (fun v -> v.Lint.rule) violations
@@ -45,6 +46,39 @@ let test_missing_mli () =
   Alcotest.(check (list string))
     "orphan.ml reports exactly one missing-mli" [ "missing-mli" ]
     (rules_of report.Lint.violations)
+
+let test_unused_export () =
+  (* ref_paths activates the rule; the empty list adds no extra
+     reference roots beyond the scanned tree itself. *)
+  let report =
+    Lint.lint_paths ~config ~ref_paths:[] [ "lint_fixtures/exportlike" ]
+  in
+  Alcotest.(check (list string))
+    "only dead_fn is flagged" [ "unused-export" ]
+    (rules_of report.Lint.violations);
+  List.iter
+    (fun v ->
+      Alcotest.(check string)
+        "flagged in the interface" "lint_fixtures/exportlike/exports.mli"
+        v.Lint.file)
+    report.Lint.violations
+
+let test_unused_export_inactive () =
+  let report = Lint.lint_paths ~config [ "lint_fixtures/exportlike" ] in
+  Alcotest.(check (list string))
+    "without ref_paths the rule stays off" []
+    (rules_of report.Lint.violations)
+
+let test_dedupe () =
+  let once = Lint.lint_paths ~config [ "lint_fixtures" ] in
+  let twice = Lint.lint_paths ~config [ "lint_fixtures"; "lint_fixtures" ] in
+  Alcotest.(check int)
+    "overlapping paths scan each file once" once.Lint.files_scanned
+    twice.Lint.files_scanned;
+  Alcotest.(check bool)
+    "overlapping paths report each violation once" true
+    (List.equal Lint.equal_violation once.Lint.violations
+       twice.Lint.violations)
 
 let test_paths_totals () =
   let report = Lint.lint_paths ~config [ "lint_fixtures" ] in
@@ -139,8 +173,12 @@ let () =
           Alcotest.test_case "printf-hot" `Quick
             (check_single_rule "bad_printf_hot.ml" "printf-hot");
           Alcotest.test_case "missing-mli" `Quick test_missing_mli;
+          Alcotest.test_case "unused-export" `Quick test_unused_export;
+          Alcotest.test_case "unused-export off by default" `Quick
+            test_unused_export_inactive;
           Alcotest.test_case "clean file" `Quick test_good;
           Alcotest.test_case "suppressions" `Quick test_allowed;
+          Alcotest.test_case "dedupe" `Quick test_dedupe;
           Alcotest.test_case "whole-tree scan" `Quick test_paths_totals;
         ] );
       ( "json",

@@ -1,0 +1,1215 @@
+(* Typed-AST semantic analysis for the wireless_agg tree.
+
+   Where wa_lint is deliberately syntactic (Parsetree, no types), this
+   analyzer loads the .cmt files dune already produces and walks the
+   Typedtree, so every rule below sees resolved paths and inferred
+   types.  Four passes:
+
+   - [domain-capture]: for every closure reaching
+     [Wa_util.Parallel.{iter,init,map_array,fold_float_max}], compute
+     the capture set from the Typedtree and reject writes to captured
+     refs ([:=], [incr], [decr]), mutable record fields ([<-]),
+     arrays ([Array.set], [a.(i) <- v]) and mutating container calls
+     ([Hashtbl.replace], [Buffer.add_*], ...) on free variables of
+     the closure — unsynchronized mutable state shared across worker
+     domains.  [Atomic.t] state is exempt, as are whitelisted sites
+     ([lib/obs/], [lib/util/parallel.ml] by default, where the
+     disjoint-write and per-domain-buffer invariants are documented).
+   - [unit-mix]: a small abstract interpretation over the lattice
+     {power, distance, distance^alpha, gain, log-domain,
+     dimensionless, unknown} seeded from declared sources
+     ([Power.value], [Linkset.length], [Logfloat.log_value], [log],
+     [Params] fields, ...).  Flags additions/subtractions and
+     comparisons that mix the log domain with a linear quantity,
+     additions of distinct linear quantities (power + distance),
+     log-domain floats passed to a linear [~power:] argument, and
+     misuse of the [Logfloat.of_log]/[of_float] boundary.
+   - [float-unguarded]: on configured hot paths, a division / [log] /
+     [sqrt] whose denominator/argument is not provably nonzero —
+     positive-by-construction sources ([Linkset.length]: zero-length
+     links are rejected at [Link.make]; validated [Params] fields),
+     nonzero literals, products/powers of those, or operands whose
+     identifiers are tested by an enclosing [if]/[when] guard (or by a
+     preceding [if ... then raise]-style check in the same sequence).
+   - [nan-compare]: the same unguarded NaN-producing shapes appearing
+     inside a comparator closure passed to [List.sort] /
+     [Array.sort] / [sort_uniq] — NaN keys silently corrupt order.
+   - [exn-escape]: a syntactic raise ([raise], [failwith],
+     [invalid_arg], [assert]) inside a [Parallel] chunk closure with
+     no enclosing [try] inside that closure: the exception crosses the
+     chunk boundary and kills the fan-out on a worker domain.
+
+   The analysis is intraprocedural: closure bodies are analyzed as
+   written; calls into other functions are not followed.  Suppress
+   with [[@wa.check.allow "rule ..."]] on the offending expression (or
+   any enclosing one), or a floating [[@@@wa.check.allow "rule ..."]]
+   for the whole file. *)
+
+module Json = Wa_util.Json
+
+(* Rules ------------------------------------------------------------- *)
+
+let rule_domain_capture = "domain-capture"
+let rule_unit_mix = "unit-mix"
+let rule_float_unguarded = "float-unguarded"
+let rule_nan_compare = "nan-compare"
+let rule_exn_escape = "exn-escape"
+let rule_cmt_error = "cmt-error"
+
+let all_rules =
+  [
+    rule_domain_capture;
+    rule_unit_mix;
+    rule_float_unguarded;
+    rule_nan_compare;
+    rule_exn_escape;
+    rule_cmt_error;
+  ]
+
+(* Configuration ------------------------------------------------------ *)
+
+module Config = struct
+  type t = {
+    hot_paths : string list;
+    capture_allowed : string list;
+    positive_sources : (string * string) list;
+  }
+
+  let default =
+    {
+      hot_paths = [ "lib/sinr/"; "lib/core/conflict.ml" ];
+      capture_allowed = [ "lib/obs/"; "lib/util/parallel.ml" ];
+      positive_sources =
+        [
+          (* Link.make rejects zero-length links, so every length
+             derived from a linkset is strictly positive. *)
+          ("Linkset", "length");
+          ("Linkset", "min_length");
+          ("Linkset", "max_length");
+          ("Linkset", "diversity");
+          ("Link", "length");
+          ("Link_index", "class_min_length");
+          ("Link_index", "class_max_length");
+          (* Power.value / Power.vector validate positivity (custom
+             vectors via check_custom, oblivious schemes by
+             construction). *)
+          ("Power", "value");
+          ("Power", "vector");
+          ("Power", "oblivious_constant");
+        ];
+    }
+end
+
+(* Violations and reports (same schema as wa_lint, plus coverage) ----- *)
+
+type violation = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  message : string;
+}
+
+let equal_violation a b =
+  String.equal a.file b.file && a.line = b.line && a.col = b.col
+  && String.equal a.rule b.rule
+  && String.equal a.message b.message
+
+let compare_violation a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.message b.message
+
+let pp_violation fmt v =
+  Format.fprintf fmt "%s:%d:%d: [%s] %s" v.file v.line v.col v.rule v.message
+
+let violation_to_json v =
+  Json.Obj
+    [
+      ("file", Json.String v.file);
+      ("line", Json.Int v.line);
+      ("col", Json.Int v.col);
+      ("rule", Json.String v.rule);
+      ("message", Json.String v.message);
+    ]
+
+let violation_of_json j =
+  let str k = Option.bind (Json.member k j) Json.to_string_opt in
+  let int k = Option.bind (Json.member k j) Json.to_int_opt in
+  match (str "file", int "line", int "col", str "rule", str "message") with
+  | Some file, Some line, Some col, Some rule, Some message ->
+      Ok { file; line; col; rule; message }
+  | _ -> Error "violation_of_json: missing or ill-typed field"
+
+type report = {
+  files_scanned : int;
+  closures_analyzed : int;
+  expressions_analyzed : int;
+  violations : violation list;
+}
+
+let report_to_json r =
+  Json.Obj
+    [
+      ("tool", Json.String "wa_check");
+      ("version", Json.Int 1);
+      ("files_scanned", Json.Int r.files_scanned);
+      ("closures_analyzed", Json.Int r.closures_analyzed);
+      ("expressions_analyzed", Json.Int r.expressions_analyzed);
+      ("violation_count", Json.Int (List.length r.violations));
+      ("violations", Json.List (List.map violation_to_json r.violations));
+    ]
+
+let report_of_json j =
+  let int k = Option.bind (Json.member k j) Json.to_int_opt in
+  match
+    ( int "files_scanned",
+      int "closures_analyzed",
+      int "expressions_analyzed",
+      Json.member "violations" j )
+  with
+  | Some files_scanned, Some closures_analyzed, Some expressions_analyzed,
+    Some (Json.List vs) ->
+      let rec collect acc = function
+        | [] -> Ok (List.rev acc)
+        | v :: rest -> (
+            match violation_of_json v with
+            | Ok v -> collect (v :: acc) rest
+            | Error _ as e -> e)
+      in
+      Result.map
+        (fun violations ->
+          { files_scanned; closures_analyzed; expressions_analyzed; violations })
+        (collect [] vs)
+  | _ -> Error "report_of_json: missing files_scanned/stats/violations"
+
+(* Path helpers ------------------------------------------------------- *)
+
+let normalize_path p =
+  let p = String.map (fun c -> if c = '\\' then '/' else c) p in
+  if String.length p > 2 && String.sub p 0 2 = "./" then
+    String.sub p 2 (String.length p - 2)
+  else p
+
+let path_matches ~prefixes path =
+  let path = normalize_path path in
+  List.exists
+    (fun prefix ->
+      let prefix = normalize_path prefix in
+      String.length path >= String.length prefix
+      && String.sub path 0 (String.length prefix) = prefix)
+    prefixes
+
+(* Resolved-path helpers ---------------------------------------------- *)
+
+(* Split a compilation-unit name mangled by dune's module wrapping:
+   "Wa_util__Parallel" -> ["Wa_util"; "Parallel"]. *)
+let split_wrapped s =
+  let n = String.length s in
+  let rec go acc start i =
+    if i + 1 >= n then List.rev (String.sub s start (n - start) :: acc)
+    else if s.[i] = '_' && s.[i + 1] = '_' then
+      go (String.sub s start (i - start) :: acc) (i + 2) (i + 2)
+    else go acc start (i + 1)
+  in
+  go [] 0 0 |> List.filter (fun x -> x <> "")
+
+let rec path_parts = function
+  | Path.Pident id -> split_wrapped (Ident.name id)
+  | Path.Pdot (p, s) -> path_parts p @ [ s ]
+  | Path.Papply (p, _) -> path_parts p
+  | Path.Pextra_ty (p, _) -> path_parts p
+
+(* (enclosing module, name): ["Wa_sinr"; "Linkset"; "length"] gives
+   (Some "Linkset", "length"); a bare "log" gives (None, "log") with
+   "Stdlib" qualifiers stripped. *)
+let last2 parts =
+  match List.rev parts with
+  | [] -> (None, "")
+  | [ v ] -> (None, v)
+  | v :: "Stdlib" :: _ -> (None, v)
+  | v :: m :: _ -> (Some m, v)
+
+open Typedtree
+
+let fn_path e =
+  match e.exp_desc with Texp_ident (p, _, _) -> Some p | _ -> None
+
+let fn_last2 e = Option.map (fun p -> last2 (path_parts p)) (fn_path e)
+
+let matches_table table e =
+  match fn_last2 e with
+  | Some (Some m, v) -> List.mem (m, v) table
+  | _ -> false
+
+let is_stdlib_fn names e =
+  match fn_last2 e with
+  | Some (None, v) -> List.mem v names
+  | Some (Some "Float", v) -> List.mem v names
+  | _ -> false
+
+(* Type-head inspection ----------------------------------------------- *)
+
+let type_last2 ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) -> Some (last2 (path_parts p))
+  | _ -> None
+
+let is_atomic_type ty =
+  match type_last2 ty with Some (Some "Atomic", "t") -> true | _ -> false
+
+let is_arrow_type ty =
+  match Types.get_desc ty with Types.Tarrow _ -> true | _ -> false
+
+let is_float_type ty =
+  match type_last2 ty with Some (None, "float") -> true | _ -> false
+
+(* Suppressions ------------------------------------------------------- *)
+
+let allows_of_payload = function
+  | Parsetree.PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ( {
+                  pexp_desc =
+                    Pexp_constant (Parsetree.Pconst_string (s, _, _));
+                  _;
+                },
+                _ );
+          _;
+        };
+      ] ->
+      String.split_on_char ' ' s |> List.filter (fun x -> x <> "")
+  | _ -> []
+
+let allows_of_attrs attrs =
+  List.concat_map
+    (fun (a : Parsetree.attribute) ->
+      if String.equal a.attr_name.txt "wa.check.allow" then
+        allows_of_payload a.attr_payload
+      else [])
+    attrs
+
+(* Analysis context --------------------------------------------------- *)
+
+type ctx = {
+  cfg : Config.t;
+  src : string;
+  self_module : string;
+      (* Module defined by [src]: self-references to positive sources
+         carry no module qualifier inside their own module. *)
+  hot : bool;
+  capture_ok : bool;
+  file_allows : string list;
+  mutable allow_stack : string list;
+  mutable found : violation list;
+  mutable closures : int;
+  mutable exprs : int;
+}
+
+let flag ctx loc rule message =
+  if
+    (not (List.mem rule ctx.file_allows))
+    && not (List.mem rule ctx.allow_stack)
+  then
+    let pos = loc.Location.loc_start in
+    ctx.found <-
+      {
+        file = ctx.src;
+        line = pos.Lexing.pos_lnum;
+        col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+        rule;
+        message;
+      }
+      :: ctx.found
+
+(* Run [f] with the allow-list of [attrs] pushed: suppressions on an
+   enclosing expression cover everything beneath it. *)
+let with_allows ctx attrs f =
+  match allows_of_attrs attrs with
+  | [] -> f ()
+  | allows ->
+      let saved = ctx.allow_stack in
+      ctx.allow_stack <- allows @ saved;
+      Fun.protect ~finally:(fun () -> ctx.allow_stack <- saved) f
+
+(* Generic child traversal: applies [f] to every direct subexpression
+   of [e] (descending through cases, bindings, etc. exactly once). *)
+let iter_children f e =
+  let open Tast_iterator in
+  let it = { default_iterator with expr = (fun _ e -> f e) } in
+  default_iterator.expr it e
+
+(* Local (Pident) identifier occurrences anywhere inside [e0]. *)
+let idents_in e0 =
+  let acc = ref [] in
+  let rec go e =
+    (match e.exp_desc with
+    | Texp_ident (Path.Pident id, _, _) -> acc := Ident.unique_name id :: !acc
+    | _ -> ());
+    iter_children go e
+  in
+  go e0;
+  !acc
+
+(* Pass 1 + 4: domain-capture and exn-escape -------------------------- *)
+
+let parallel_entries = [ "iter"; "init"; "map_array"; "fold_float_max"; "map" ]
+
+let is_parallel_entry e =
+  match fn_last2 e with
+  | Some (Some "Parallel", v) -> List.mem v parallel_entries
+  | _ -> false
+
+let raise_like = [ "raise"; "raise_notrace"; "failwith"; "invalid_arg" ]
+
+let array_set_fns =
+  [
+    ("Array", "set"); ("Array", "unsafe_set"); ("Bytes", "set");
+    ("Bytes", "unsafe_set");
+  ]
+
+let container_mut_fns =
+  [
+    ("Hashtbl", "add"); ("Hashtbl", "replace"); ("Hashtbl", "remove");
+    ("Hashtbl", "reset"); ("Hashtbl", "clear");
+    ("Buffer", "add_char"); ("Buffer", "add_string"); ("Buffer", "add_bytes");
+    ("Buffer", "add_buffer"); ("Buffer", "clear"); ("Buffer", "reset");
+    ("Queue", "add"); ("Queue", "push"); ("Queue", "pop"); ("Queue", "take");
+    ("Queue", "clear"); ("Queue", "transfer");
+    ("Stack", "push"); ("Stack", "pop"); ("Stack", "clear");
+  ]
+
+(* Idents bound anywhere inside [e0] (params, lets, match cases, for
+   indices): everything else referenced from inside is captured. *)
+let bound_idents e0 =
+  let tbl = Hashtbl.create 32 in
+  let add id = Hashtbl.replace tbl (Ident.unique_name id) () in
+  let add_pat p = List.iter add (pat_bound_idents p) in
+  let rec go e =
+    (match e.exp_desc with
+    | Texp_let (_, vbs, _) -> List.iter (fun vb -> add_pat vb.vb_pat) vbs
+    | Texp_function { param; cases; _ } ->
+        add param;
+        List.iter (fun c -> add_pat c.c_lhs) cases
+    | Texp_match (_, cases, _) -> List.iter (fun c -> add_pat c.c_lhs) cases
+    | Texp_try (_, cases) -> List.iter (fun c -> add_pat c.c_lhs) cases
+    | Texp_for (id, _, _, _, _, _) -> add id
+    | _ -> ());
+    iter_children go e
+  in
+  go e0;
+  tbl
+
+(* The variable ultimately written through an lvalue-ish expression:
+   [x], [x.contents], [x.(i)], [!x] chains. *)
+let rec head_ident e =
+  match e.exp_desc with
+  | Texp_ident (Path.Pident id, _, _) -> Some (e, id)
+  | Texp_field (inner, _, _) -> head_ident inner
+  | Texp_apply (f, args) when matches_table [ ("Array", "get") ] f
+                              || is_stdlib_fn [ "!" ] f -> (
+      match args with
+      | (_, Some first) :: _ -> head_ident first
+      | _ -> None)
+  | _ -> None
+
+let describe_write = function
+  | `Ref -> "assignment to captured ref"
+  | `Field -> "mutation of a field of captured state"
+  | `Array -> "write into captured array"
+  | `Container -> "mutating call on captured container"
+
+(* Analyze one closure that runs as a Parallel chunk: writes to free
+   mutable state and raises that can cross the chunk boundary. *)
+let analyze_chunk_closure ctx closure =
+  ctx.closures <- ctx.closures + 1;
+  let bound = bound_idents closure in
+  let free id = not (Hashtbl.mem bound (Ident.unique_name id)) in
+  let check_write kind target loc =
+    match head_ident target with
+    | Some (root, id) when free id && not (is_atomic_type root.exp_type) ->
+        flag ctx loc rule_domain_capture
+          (Printf.sprintf
+             "%s '%s' inside a Parallel chunk closure: unsynchronized \
+              mutable state shared across worker domains (use Atomic.t, \
+              preallocate disjoint slices, or merge per-domain results \
+              after the join)"
+             (describe_write kind) (Ident.name id))
+    | _ -> ()
+  in
+  let rec go ~try_depth e =
+    with_allows ctx e.exp_attributes @@ fun () ->
+    (match e.exp_desc with
+    | Texp_setfield (obj, _, _, _) -> check_write `Field obj e.exp_loc
+    | Texp_apply (f, args) -> (
+        let positional =
+          List.filter_map
+            (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
+            args
+        in
+        match (fn_last2 f, positional) with
+        | Some (None, ":="), lhs :: _ -> check_write `Ref lhs e.exp_loc
+        | Some (None, ("incr" | "decr")), r :: _ -> check_write `Ref r e.exp_loc
+        | Some (Some m, v), first :: _ when List.mem (m, v) array_set_fns ->
+            check_write `Array first e.exp_loc
+        | Some (Some m, v), first :: _ when List.mem (m, v) container_mut_fns
+          ->
+            check_write `Container first e.exp_loc
+        | Some (None, v), _ when List.mem v raise_like && try_depth = 0 ->
+            flag ctx e.exp_loc rule_exn_escape
+              (Printf.sprintf
+                 "'%s' can cross the Parallel chunk boundary: no enclosing \
+                  try inside the closure (handle it locally or return an \
+                  error value)"
+                 v)
+        | _ -> ())
+    | Texp_assert _ when try_depth = 0 ->
+        flag ctx e.exp_loc rule_exn_escape
+          "assert failure would cross the Parallel chunk boundary: no \
+           enclosing try inside the closure"
+    | _ -> ());
+    match e.exp_desc with
+    | Texp_try (body, cases) ->
+        go ~try_depth:(try_depth + 1) body;
+        List.iter
+          (fun c ->
+            Option.iter (go ~try_depth) c.c_guard;
+            go ~try_depth c.c_rhs)
+          cases
+    | _ -> iter_children (go ~try_depth) e
+  in
+  go ~try_depth:0 closure
+
+(* Find Parallel fan-out applications and analyze their function
+   arguments, resolving let-bound closures by identifier. *)
+let scan_parallel ctx fns e0 =
+  let resolve a =
+    match a.exp_desc with
+    | Texp_function _ -> Some a
+    | Texp_ident (Path.Pident id, _, _) -> (
+        match Hashtbl.find_opt fns (Ident.unique_name id) with
+        | Some body -> Some body
+        | None -> None)
+    | _ -> None
+  in
+  let rec go e =
+    with_allows ctx e.exp_attributes @@ fun () ->
+    (match e.exp_desc with
+    | Texp_apply (f, args) when is_parallel_entry f ->
+        List.iter
+          (fun (_, a) ->
+            match a with
+            | Some a when is_arrow_type a.exp_type -> (
+                match resolve a with
+                | Some closure -> analyze_chunk_closure ctx closure
+                | None -> ())
+            | _ -> ())
+          args
+    | _ -> ());
+    iter_children go e
+  in
+  go e0
+
+(* Collect every let-bound function body of the structure, keyed by
+   the binder's unique name, so [Parallel.init n edges_of] resolves. *)
+let collect_fn_bindings str =
+  let tbl = Hashtbl.create 32 in
+  let record vb =
+    (* Any arrow-typed binding counts: [let value_of = match engine
+       with ... -> fun i -> ...] still carries the chunk closures in
+       its branches, and the write/raise scan is purely syntactic. *)
+    match vb.vb_pat.pat_desc with
+    | Tpat_var (id, _) when is_arrow_type vb.vb_expr.exp_type ->
+        Hashtbl.replace tbl (Ident.unique_name id) vb.vb_expr
+    | _ -> ()
+  in
+  let open Tast_iterator in
+  let it =
+    {
+      default_iterator with
+      value_binding =
+        (fun it vb ->
+          record vb;
+          default_iterator.value_binding it vb);
+    }
+  in
+  it.structure it str;
+  tbl
+
+(* Pass 2: unit / log-domain abstract interpretation ------------------ *)
+
+type dom = Power | Distance | DistPow | Gain | LogDom | Dimless | Unknown
+
+let dom_name = function
+  | Power -> "power"
+  | Distance -> "distance"
+  | DistPow -> "distance^alpha"
+  | Gain -> "gain"
+  | LogDom -> "log-domain"
+  | Dimless -> "dimensionless"
+  | Unknown -> "unknown"
+
+let dom_equal (a : dom) (b : dom) = a = b
+
+let is_linear_quantity = function
+  | Power | Distance | DistPow | Gain -> true
+  | LogDom | Dimless | Unknown -> false
+
+(* Incompatible under + / - / comparison: log vs linear, or two
+   distinct linear quantities.  Dimensionless mixes with anything
+   (thresholds, accumulator seeds, log-domain shifts). *)
+let mixes a b =
+  match (a, b) with
+  | LogDom, x | x, LogDom -> is_linear_quantity x
+  | _ ->
+      is_linear_quantity a && is_linear_quantity b && not (dom_equal a b)
+
+let join a b = if dom_equal a b then a else Unknown
+
+let distance_sources =
+  [
+    ("Linkset", "length"); ("Linkset", "dist");
+    ("Linkset", "sender_to_receiver"); ("Linkset", "min_length");
+    ("Linkset", "max_length"); ("Link", "length"); ("Link", "min_distance");
+    ("Link", "sender_to_receiver"); ("Vec2", "dist"); ("Vec2", "norm");
+    ("Link_index", "class_min_length"); ("Link_index", "class_max_length");
+  ]
+
+let power_sources = [ ("Power", "value"); ("Power", "oblivious_constant") ]
+let power_array_sources = [ ("Power", "vector") ]
+
+let dimless_sources =
+  [
+    ("Affectance", "additive"); ("Affectance", "additive_on_set");
+    ("Affectance", "additive_from_set"); ("Affectance", "relative");
+    ("Affectance", "relative_total"); ("Affectance", "mst_longer_pressure");
+    ("Feasibility", "sinr"); ("Feasibility", "margin");
+    ("Linkset", "diversity");
+  ]
+
+let logdom_sources =
+  [ ("Logfloat", "log_value"); ("Growth", "log2"); ("Float", "log");
+    ("Float", "log10"); ("Float", "log2") ]
+
+let params_field_dom lbl_name =
+  match lbl_name with
+  | "noise" -> Some Power
+  | "alpha" | "beta" | "epsilon" -> Some Dimless
+  | _ -> None
+
+let is_params_record ty =
+  match type_last2 ty with
+  | Some (Some "Params", "t") | Some (None, "t") -> true
+  | _ -> false
+
+let mix_message op a b =
+  Printf.sprintf
+    "%s mixes %s and %s operands: linear and log-domain (or distinct \
+     physical) quantities never meet under %s — convert explicitly \
+     (exp/log, Logfloat.to_float) or normalize the units first"
+    op (dom_name a) (dom_name b) op
+
+let rec infer ctx env e : dom =
+  ctx.exprs <- ctx.exprs + 1;
+  with_allows ctx e.exp_attributes @@ fun () ->
+  let bind_pat pat d =
+    match pat.pat_desc with
+    | Tpat_var (id, _) -> Hashtbl.replace env (Ident.unique_name id) d
+    | _ -> ()
+  in
+  match e.exp_desc with
+  | Texp_constant (Asttypes.Const_float _) -> Dimless
+  | Texp_constant _ -> Unknown
+  | Texp_ident (Path.Pident id, _, _) -> (
+      match Hashtbl.find_opt env (Ident.unique_name id) with
+      | Some d -> d
+      | None -> Unknown)
+  | Texp_ident _ -> Unknown
+  | Texp_let (_, vbs, body) ->
+      List.iter
+        (fun vb ->
+          with_allows ctx vb.vb_attributes @@ fun () ->
+          bind_pat vb.vb_pat (infer ctx env vb.vb_expr))
+        vbs;
+      infer ctx env body
+  | Texp_function { arg_label; param; cases; _ } ->
+      let param_dom =
+        match arg_label with
+        | Asttypes.Labelled "power" | Asttypes.Optional "power" -> Some Power
+        | _ -> if String.equal (Ident.name param) "power" then Some Power
+               else None
+      in
+      Option.iter
+        (fun d -> Hashtbl.replace env (Ident.unique_name param) d)
+        param_dom;
+      List.iter
+        (fun c ->
+          (match (c.c_lhs.pat_desc, param_dom) with
+          | Tpat_var (id, _), Some d ->
+              Hashtbl.replace env (Ident.unique_name id) d
+          | Tpat_var (id, _), None when String.equal (Ident.name id) "power"
+            ->
+              Hashtbl.replace env (Ident.unique_name id) Power
+          | _ -> ());
+          Option.iter (fun g -> ignore (infer ctx env g)) c.c_guard;
+          ignore (infer ctx env c.c_rhs))
+        cases;
+      Unknown
+  | Texp_ifthenelse (c, a, b) -> (
+      ignore (infer ctx env c);
+      let da = infer ctx env a in
+      match b with
+      | Some b -> join da (infer ctx env b)
+      | None -> Unknown)
+  | Texp_sequence (a, b) ->
+      ignore (infer ctx env a);
+      infer ctx env b
+  | Texp_match (s, cases, _) ->
+      ignore (infer ctx env s);
+      List.fold_left
+        (fun acc c ->
+          Option.iter (fun g -> ignore (infer ctx env g)) c.c_guard;
+          join acc (infer ctx env c.c_rhs))
+        Unknown cases
+  | Texp_field (r, _, lbl) ->
+      ignore (infer ctx env r);
+      if is_params_record lbl.Types.lbl_res then
+        Option.value ~default:Unknown (params_field_dom lbl.Types.lbl_name)
+      else Unknown
+  | Texp_array es ->
+      List.fold_left
+        (fun acc el ->
+          let d = infer ctx env el in
+          match acc with None -> Some d | Some a -> Some (join a d))
+        None es
+      |> Option.value ~default:Unknown
+  | Texp_open (_, body) -> infer ctx env body
+  | Texp_apply (f, args) -> infer_apply ctx env e f args
+  | _ ->
+      iter_children (fun c -> ignore (infer ctx env c)) e;
+      Unknown
+
+and infer_apply ctx env e f args =
+  let positional =
+    List.filter_map
+      (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
+      args
+  in
+  (* Labelled ~power: arguments expect a linear-domain value. *)
+  List.iter
+    (fun (lbl, a) ->
+      match (lbl, a) with
+      | Asttypes.Labelled "power", Some a when is_float_type a.exp_type ->
+          if dom_equal (infer ctx env a) LogDom then
+            flag ctx a.exp_loc rule_unit_mix
+              "log-domain float passed to a linear-domain ~power: argument \
+               (convert with Logfloat.to_float / exp first)"
+      | _ -> ())
+    args;
+  let infer_rest skip =
+    List.iter
+      (fun (_, a) ->
+        match a with
+        | Some a when not (List.memq a skip) -> ignore (infer ctx env a)
+        | _ -> ())
+      args
+  in
+  let binary k =
+    match positional with
+    | [ a; b ] ->
+        let da = infer ctx env a and db = infer ctx env b in
+        infer_rest [ a; b ];
+        k a b da db
+    | _ ->
+        infer_rest [];
+        Unknown
+  in
+  let flag_mix op a b da db =
+    if mixes da db then
+      flag ctx e.exp_loc rule_unit_mix (mix_message op da db);
+    ignore a;
+    ignore b
+  in
+  match fn_last2 f with
+  | Some (None, (("+." | "-.") as op)) ->
+      binary (fun a b da db ->
+          flag_mix op a b da db;
+          match (da, db) with
+          | d, Dimless | Dimless, d -> d
+          | da, db -> join da db)
+  | Some (None, "*.") ->
+      binary (fun _ _ da db ->
+          match (da, db) with
+          | d, Dimless | Dimless, d -> d
+          | Power, Gain | Gain, Power -> Power
+          | DistPow, Gain | Gain, DistPow -> Dimless
+          | _ -> Unknown)
+  | Some (None, "/.") ->
+      binary (fun _ _ da db ->
+          match (da, db) with
+          | da, db when dom_equal da db && not (dom_equal da Unknown) ->
+              Dimless
+          | Power, DistPow -> Power
+          | Dimless, DistPow -> Gain
+          | d, Dimless -> d
+          | LogDom, _ | _, LogDom -> Unknown
+          | _ -> Unknown)
+  | Some (None, "**") ->
+      binary (fun _ _ da _ ->
+          match da with
+          | Distance -> DistPow
+          | Dimless -> Dimless
+          | _ -> Unknown)
+  | Some (None, "~-.") -> (
+      match positional with
+      | [ a ] -> infer ctx env a
+      | _ ->
+          infer_rest [];
+          Unknown)
+  | Some (None, (("<" | "<=" | ">" | ">=" | "=" | "<>") as op))
+    when List.length positional = 2
+         && List.for_all (fun a -> is_float_type a.exp_type) positional ->
+      binary (fun a b da db ->
+          flag_mix (Printf.sprintf "comparison (%s)" op) a b da db;
+          Unknown)
+  | Some (Some "Float", (("compare" | "equal" | "min" | "max") as op)) ->
+      binary (fun a b da db ->
+          flag_mix ("Float." ^ op) a b da db;
+          match op with "min" | "max" -> join da db | _ -> Unknown)
+  | Some (Some "Logfloat", "of_float") ->
+      (match positional with
+      | [ a ] ->
+          if dom_equal (infer ctx env a) LogDom then
+            flag ctx e.exp_loc rule_unit_mix
+              "log-domain float passed to Logfloat.of_float (double log): \
+               use Logfloat.of_log for values that are already logarithms"
+      | _ -> infer_rest []);
+      Unknown
+  | Some (Some "Logfloat", "of_log") ->
+      (match positional with
+      | [ a ] ->
+          let da = infer ctx env a in
+          if is_linear_quantity da then
+            flag ctx e.exp_loc rule_unit_mix
+              (Printf.sprintf
+                 "linear-domain %s passed to Logfloat.of_log, which expects \
+                  a logarithm: use Logfloat.of_float"
+                 (dom_name da))
+      | _ -> infer_rest []);
+      Unknown
+  | Some (None, ("log" | "log10" | "log1p")) ->
+      infer_rest [];
+      LogDom
+  | Some (None, "exp") | Some (Some "Float", "exp") ->
+      infer_rest [];
+      Unknown
+  | Some (None, "float_of_int") | Some (Some "Float", "of_int") ->
+      infer_rest [];
+      Dimless
+  | Some (Some "Float", "abs") -> (
+      match positional with
+      | [ a ] -> infer ctx env a
+      | _ ->
+          infer_rest [];
+          Unknown)
+  | Some (Some ("Array" | "Linkset"), ("get" | "unsafe_get")) -> (
+      match positional with
+      | arr :: rest ->
+          List.iter (fun a -> ignore (infer ctx env a)) rest;
+          infer ctx env arr
+      | [] -> Unknown)
+  | Some key when List.mem key (List.map (fun (m, v) -> (Some m, v))
+                                  distance_sources) ->
+      infer_rest [];
+      Distance
+  | Some key when List.mem key (List.map (fun (m, v) -> (Some m, v))
+                                  (power_sources @ power_array_sources)) ->
+      infer_rest [];
+      Power
+  | Some key when List.mem key (List.map (fun (m, v) -> (Some m, v))
+                                  dimless_sources) ->
+      infer_rest [];
+      Dimless
+  | Some key when List.mem key (List.map (fun (m, v) -> (Some m, v))
+                                  logdom_sources) ->
+      infer_rest [];
+      LogDom
+  | _ ->
+      ignore (infer ctx env f);
+      infer_rest [];
+      Unknown
+
+(* Pass 3: float-safety dataflow -------------------------------------- *)
+
+module SSet = Set.Make (String)
+
+let float_const_nonzero s =
+  match float_of_string_opt s with
+  | Some v -> Float.is_finite v && not (Float.equal v 0.0)
+  | None -> false
+
+let rec always_raises e =
+  match e.exp_desc with
+  | Texp_apply (f, _) -> (
+      match fn_last2 f with
+      | Some (None, v) -> List.mem v raise_like
+      | _ -> false)
+  | Texp_sequence (_, b) -> always_raises b
+  | Texp_let (_, _, b) -> always_raises b
+  | Texp_ifthenelse (_, a, Some b) -> always_raises a && always_raises b
+  | _ -> false
+
+(* [nonzero ctx guards pos e]: the heuristic "provably nonzero on this
+   path" judgment described in the module header. *)
+let rec nonzero ctx guards pos e =
+  let self = nonzero ctx guards pos in
+  match e.exp_desc with
+  | Texp_constant (Asttypes.Const_float s) -> float_const_nonzero s
+  | Texp_ident (Path.Pident id, _, _) ->
+      let n = Ident.unique_name id in
+      SSet.mem n guards || SSet.mem n pos
+  | Texp_field (_, _, lbl)
+    when is_params_record lbl.Types.lbl_res
+         && List.mem lbl.Types.lbl_name [ "alpha"; "beta"; "epsilon" ] ->
+      (* Params.make validates alpha > 2, beta > 0, epsilon > 0. *)
+      true
+  | Texp_open (_, b) -> self b
+  | Texp_apply (f, args) -> (
+      let positional =
+        List.filter_map
+          (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
+          args
+      in
+      match (fn_last2 f, positional) with
+      | Some (Some m, v), _ when List.mem (m, v) ctx.cfg.Config.positive_sources
+        ->
+          true
+      | Some (None, v), _
+        when List.mem (ctx.self_module, v) ctx.cfg.Config.positive_sources ->
+          true
+      | Some (None, "exp"), _ | Some (Some "Float", "exp"), _ -> true
+      | Some (None, ("log" | "log10")), [ arg ] -> (
+          (* log of a constant other than 1 is a nonzero constant. *)
+          match arg.exp_desc with
+          | Texp_constant (Asttypes.Const_float s) -> (
+              match float_of_string_opt s with
+              | Some v -> v > 0.0 && not (Float.equal v 1.0)
+              | None -> false)
+          | _ -> false)
+      | Some (None, "**"), [ base; _ ] -> self base
+      | Some (None, ("*." | "/." | "+.")), [ a; b ] -> self a && self b
+      | Some (None, "~-."), [ a ] -> self a
+      | Some (Some "Float", "abs"), [ a ] -> self a
+      | Some (Some "Float", "min"), [ a; b ] -> self a && self b
+      | Some (Some "Float", "max"), [ a; b ] ->
+          self a || self b
+          || List.exists
+               (fun x ->
+                 match x.exp_desc with
+                 | Texp_constant (Asttypes.Const_float s) ->
+                     float_const_nonzero s
+                 | _ -> false)
+               [ a; b ]
+      | Some (Some "Array", ("get" | "unsafe_get")), arr :: _ -> self arr
+      | _ -> false)
+  | _ ->
+      (* Fallback: any identifier inside the operand is covered by an
+         enclosing guard. *)
+      List.exists (fun n -> SSet.mem n guards) (idents_in e)
+
+let guard_idents e = SSet.of_list (idents_in e)
+
+let sort_fns =
+  [
+    ("List", "sort"); ("List", "stable_sort"); ("List", "fast_sort");
+    ("List", "sort_uniq"); ("Array", "sort"); ("Array", "stable_sort");
+    ("Array", "fast_sort");
+  ]
+
+let float_walk ctx e0 =
+  let check_nonzero guards pos ~in_sort what den loc =
+    if not (nonzero ctx guards pos den) then
+      if in_sort then
+        flag ctx loc rule_nan_compare
+          (Printf.sprintf
+             "%s with an operand not provably nonzero inside a sort \
+              comparator: a NaN key silently corrupts the order — guard \
+              the operand or precompute a safe key"
+             what)
+      else if ctx.hot then
+        flag ctx loc rule_float_unguarded
+          (Printf.sprintf
+             "unguarded %s on a hot path: the operand is not provably \
+              nonzero (guard with an explicit test, or derive it from a \
+              positive source such as Linkset.length)"
+             what)
+  in
+  let rec go guards pos ~in_sort e =
+    with_allows ctx e.exp_attributes @@ fun () ->
+    let self = go guards pos ~in_sort in
+    match e.exp_desc with
+    | Texp_let (_, vbs, body) ->
+        List.iter (fun vb -> self vb.vb_expr) vbs;
+        let pos =
+          List.fold_left
+            (fun pos vb ->
+              match vb.vb_pat.pat_desc with
+              | Tpat_var (id, _) when nonzero ctx guards pos vb.vb_expr ->
+                  SSet.add (Ident.unique_name id) pos
+              | _ -> pos)
+            pos vbs
+        in
+        go guards pos ~in_sort body
+    | Texp_function { arg_label; param; cases; _ } ->
+        let pos =
+          let powerish =
+            match arg_label with
+            | Asttypes.Labelled "power" | Asttypes.Optional "power" -> true
+            | _ -> String.equal (Ident.name param) "power"
+          in
+          if powerish then SSet.add (Ident.unique_name param) pos else pos
+        in
+        List.iter
+          (fun c ->
+            let pos =
+              match c.c_lhs.pat_desc with
+              | Tpat_var (id, _) when String.equal (Ident.name id) "power" ->
+                  SSet.add (Ident.unique_name id) pos
+              | _ -> pos
+            in
+            match c.c_guard with
+            | Some g ->
+                go guards pos ~in_sort g;
+                go (SSet.union guards (guard_idents g)) pos ~in_sort c.c_rhs
+            | None -> go guards pos ~in_sort c.c_rhs)
+          cases
+    | Texp_ifthenelse (c, a, b) ->
+        self c;
+        let guards = SSet.union guards (guard_idents c) in
+        go guards pos ~in_sort a;
+        Option.iter (go guards pos ~in_sort) b
+    | Texp_match (s, cases, _) ->
+        self s;
+        List.iter
+          (fun c ->
+            match c.c_guard with
+            | Some g ->
+                self g;
+                go (SSet.union guards (guard_idents g)) pos ~in_sort c.c_rhs
+            | None -> self c.c_rhs)
+          cases
+    | Texp_sequence (a, b) ->
+        self a;
+        let guards =
+          match a.exp_desc with
+          | Texp_ifthenelse (c, th, None) when always_raises th ->
+              SSet.union guards (guard_idents c)
+          | Texp_ifthenelse (c, th, Some el)
+            when always_raises th || always_raises el ->
+              SSet.union guards (guard_idents c)
+          | Texp_assert (c, _) -> SSet.union guards (guard_idents c)
+          | _ -> guards
+        in
+        go guards pos ~in_sort b
+    | Texp_apply (f, args) -> (
+        let positional =
+          List.filter_map
+            (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
+            args
+        in
+        (match (fn_last2 f, positional) with
+        | Some (None, "/."), [ _; den ] ->
+            check_nonzero guards pos ~in_sort "division (/.)" den e.exp_loc
+        | Some (None, (("log" | "log10" | "sqrt") as fn)), [ arg ]
+        | Some (Some "Float", (("log" | "log10" | "sqrt") as fn)), [ arg ] ->
+            check_nonzero guards pos ~in_sort (fn ^ " application") arg
+              e.exp_loc
+        | _ -> ());
+        match (fn_last2 f, positional) with
+        | Some (Some m, v), cmp :: rest when List.mem (m, v) sort_fns ->
+            go guards pos ~in_sort:true cmp;
+            List.iter self rest
+        | Some (None, ("&&" | "||")), [ a; b ] ->
+            (* Short-circuit: the right conjunct only evaluates under
+               the left one's test. *)
+            self a;
+            go (SSet.union guards (guard_idents a)) pos ~in_sort b
+        | _ ->
+            self f;
+            List.iter (fun (_, a) -> Option.iter self a) args)
+    | Texp_try (body, cases) ->
+        self body;
+        List.iter
+          (fun c ->
+            Option.iter self c.c_guard;
+            self c.c_rhs)
+          cases
+    | _ -> iter_children self e
+  in
+  go SSet.empty SSet.empty ~in_sort:false e0
+
+(* Per-structure driver ----------------------------------------------- *)
+
+let file_allows_of_structure str =
+  List.concat_map
+    (fun item ->
+      match item.str_desc with
+      | Tstr_attribute a when String.equal a.attr_name.txt "wa.check.allow"
+        ->
+          allows_of_payload a.attr_payload
+      | _ -> [])
+    str.str_items
+
+let analyze_structure ctx str =
+  let fns = collect_fn_bindings str in
+  let env = Hashtbl.create 64 in
+  let rec do_items items =
+    List.iter
+      (fun item ->
+        match item.str_desc with
+        | Tstr_value (_, vbs) ->
+            List.iter
+              (fun vb ->
+                with_allows ctx vb.vb_attributes @@ fun () ->
+                if not ctx.capture_ok then scan_parallel ctx fns vb.vb_expr;
+                float_walk ctx vb.vb_expr;
+                let d = infer ctx env vb.vb_expr in
+                match vb.vb_pat.pat_desc with
+                | Tpat_var (id, _) ->
+                    Hashtbl.replace env (Ident.unique_name id) d
+                | _ -> ())
+              vbs
+        | Tstr_eval (e, attrs) ->
+            with_allows ctx attrs @@ fun () ->
+            if not ctx.capture_ok then scan_parallel ctx fns e;
+            float_walk ctx e;
+            ignore (infer ctx env e)
+        | Tstr_module mb -> do_module_expr mb.mb_expr
+        | Tstr_recmodule mbs ->
+            List.iter (fun mb -> do_module_expr mb.mb_expr) mbs
+        | Tstr_include incl -> do_module_expr incl.incl_mod
+        | _ -> ())
+      items
+  and do_module_expr me =
+    match me.mod_desc with
+    | Tmod_structure s -> do_items s.str_items
+    | Tmod_constraint (me, _, _, _) -> do_module_expr me
+    | Tmod_functor (_, me) -> do_module_expr me
+    | _ -> ()
+  in
+  do_items str.str_items
+
+(* Cmt driver --------------------------------------------------------- *)
+
+type file_report = {
+  source : string option;
+  analyzed : bool;
+  file_violations : violation list;
+  file_closures : int;
+  file_expressions : int;
+}
+
+let skipped =
+  {
+    source = None;
+    analyzed = false;
+    file_violations = [];
+    file_closures = 0;
+    file_expressions = 0;
+  }
+
+let is_generated src =
+  Filename.check_suffix src "-gen" || Filename.check_suffix src ".ml-gen"
+
+let analyze_cmt ?(config = Config.default) path =
+  match Cmt_format.read_cmt path with
+  | exception exn ->
+      {
+        skipped with
+        source = Some (normalize_path path);
+        file_violations =
+          [
+            {
+              file = normalize_path path;
+              line = 1;
+              col = 0;
+              rule = rule_cmt_error;
+              message =
+                Printf.sprintf "cannot read cmt: %s" (Printexc.to_string exn);
+            };
+          ];
+      }
+  | infos -> (
+      match (infos.Cmt_format.cmt_annots, infos.Cmt_format.cmt_sourcefile)
+      with
+      | Cmt_format.Implementation str, Some src when not (is_generated src)
+        ->
+          let src = normalize_path src in
+          let ctx =
+            {
+              cfg = config;
+              src;
+              self_module =
+                String.capitalize_ascii
+                  (Filename.remove_extension (Filename.basename src));
+              hot = path_matches ~prefixes:config.Config.hot_paths src;
+              capture_ok =
+                path_matches ~prefixes:config.Config.capture_allowed src;
+              file_allows = file_allows_of_structure str;
+              allow_stack = [];
+              found = [];
+              closures = 0;
+              exprs = 0;
+            }
+          in
+          analyze_structure ctx str;
+          {
+            source = Some src;
+            analyzed = true;
+            file_violations = List.sort compare_violation ctx.found;
+            file_closures = ctx.closures;
+            file_expressions = ctx.exprs;
+          }
+      | _ -> skipped)
+
+(* Directory driver: collect .cmt files, descending into dune's hidden
+   .objs directories (unlike source scanners, dotted dirs are the
+   point here). *)
+let rec collect_cmt acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry ->
+           if entry = ".git" || entry = "node_modules" then acc
+           else collect_cmt acc (Filename.concat path entry))
+         acc
+  else if Filename.check_suffix path ".cmt" then path :: acc
+  else acc
+
+let analyze_paths ?(config = Config.default) paths =
+  let files =
+    List.fold_left collect_cmt [] paths |> List.sort_uniq String.compare
+  in
+  let reports = List.map (analyze_cmt ~config) files in
+  let analyzed = List.filter (fun r -> r.analyzed) reports in
+  {
+    files_scanned = List.length analyzed;
+    closures_analyzed =
+      List.fold_left (fun a r -> a + r.file_closures) 0 analyzed;
+    expressions_analyzed =
+      List.fold_left (fun a r -> a + r.file_expressions) 0 analyzed;
+    violations =
+      List.concat_map (fun r -> r.file_violations) reports
+      |> List.sort_uniq compare_violation;
+  }

@@ -1,0 +1,97 @@
+(** Typed-AST semantic analysis over the [.cmt] files dune produces.
+
+    Complements the syntactic [Wa_lint_core.Lint]: the passes here see
+    resolved paths and inferred types, so they check the {e meaning}
+    of the code —
+
+    - [domain-capture] — a closure reaching
+      [Wa_util.Parallel.{iter,init,map_array,fold_float_max}] writes a
+      captured ref / mutable field / array / container: unsynchronized
+      shared state across worker domains ([Atomic.t] exempt,
+      whitelisted sites skipped);
+    - [unit-mix] — abstract interpretation over
+      {power, distance, distance{^α}, gain, log-domain, dimensionless}:
+      additions/comparisons mixing log- and linear-domain quantities,
+      distinct linear quantities added, log-domain floats passed to a
+      [~power:] argument, [Logfloat.of_log]/[of_float] boundary misuse;
+    - [float-unguarded] — on hot paths, division / [log] / [sqrt]
+      whose denominator/argument is not provably nonzero (positive
+      sources, nonzero literals, products/powers of those, or
+      enclosing guards);
+    - [nan-compare] — the same unguarded shapes inside a comparator
+      passed to a sort;
+    - [exn-escape] — a raise inside a [Parallel] chunk closure with no
+      enclosing [try] in the closure;
+    - [cmt-error] — the [.cmt] file cannot be read.
+
+    The analysis is intraprocedural (calls are not followed).
+    Suppress with [[@wa.check.allow "rule …"]] on the offending
+    expression or any enclosing one, or a floating
+    [[@@@wa.check.allow "rule …"]] for the whole file. *)
+
+val all_rules : string list
+
+module Config : sig
+  type t = {
+    hot_paths : string list;
+        (** Path prefixes where [float-unguarded] applies. *)
+    capture_allowed : string list;
+        (** Path prefixes exempt from [domain-capture]/[exn-escape]
+            (the audited concurrency core). *)
+    positive_sources : (string * string) list;
+        (** [(Module, fn)] pairs whose results are positive by
+            construction (validated at the source), trusted as nonzero
+            denominators. *)
+  }
+
+  val default : t
+  (** Hot paths [lib/sinr/] + [lib/core/conflict.ml]; capture
+      whitelist [lib/obs/] + [lib/util/parallel.ml]; positive sources
+      [Linkset.length] and friends (zero-length links are rejected at
+      [Link.make]) and [Power.value]/[vector] (validated positive). *)
+end
+
+type violation = {
+  file : string;  (** Source path as recorded in the [.cmt]. *)
+  line : int;  (** 1-based. *)
+  col : int;  (** 0-based byte column. *)
+  rule : string;
+  message : string;
+}
+
+val equal_violation : violation -> violation -> bool
+val compare_violation : violation -> violation -> int
+val pp_violation : Format.formatter -> violation -> unit
+
+val violation_to_json : violation -> Wa_util.Json.t
+val violation_of_json : Wa_util.Json.t -> (violation, string) result
+
+type report = {
+  files_scanned : int;  (** Implementations actually analyzed. *)
+  closures_analyzed : int;  (** Parallel chunk closures inspected. *)
+  expressions_analyzed : int;
+      (** Expressions visited by the unit pass — the coverage number
+          surfaced by [--stats]. *)
+  violations : violation list;
+}
+
+val report_to_json : report -> Wa_util.Json.t
+val report_of_json : Wa_util.Json.t -> (report, string) result
+
+type file_report = {
+  source : string option;
+  analyzed : bool;  (** False for interfaces, packs, generated alias
+                        modules, unreadable files. *)
+  file_violations : violation list;
+  file_closures : int;
+  file_expressions : int;
+}
+
+val analyze_cmt : ?config:Config.t -> string -> file_report
+(** Analyze one [.cmt] file; violations sorted by position. *)
+
+val analyze_paths : ?config:Config.t -> string list -> report
+(** Recursively analyze every [.cmt] under the given files/directories
+    (descending into dune's hidden [.objs] directories).
+    Deterministic: files and violations are sorted, duplicates
+    removed. *)

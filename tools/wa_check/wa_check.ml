@@ -1,0 +1,67 @@
+(* Command-line front end:
+   wa_check [--json FILE] [--quiet] [--stats] [--list-rules] PATH...
+
+   PATHs are .cmt files or directories searched recursively (including
+   dune's hidden .objs directories).  Exit status: 0 clean, 1
+   violations found, 2 usage/setup error. *)
+
+module Check = Wa_check_core.Check
+
+let usage = "wa_check [--json FILE] [--quiet] [--stats] [--list-rules] PATH..."
+
+let () =
+  let json_out = ref None in
+  let quiet = ref false in
+  let stats = ref false in
+  let list_rules = ref false in
+  let paths = ref [] in
+  let spec =
+    [
+      ( "--json",
+        Arg.String (fun f -> json_out := Some f),
+        "FILE Write the machine-readable report to FILE" );
+      ("--quiet", Arg.Set quiet, " Print nothing but the verdict line");
+      ( "--stats",
+        Arg.Set stats,
+        " Print analyzed closure/expression counts (coverage)" );
+      ("--list-rules", Arg.Set list_rules, " Print the rule names and exit");
+    ]
+  in
+  (try Arg.parse spec (fun p -> paths := p :: !paths) usage
+   with _ -> exit 2);
+  if !list_rules then begin
+    List.iter print_endline Check.all_rules;
+    exit 0
+  end;
+  let paths = List.rev !paths in
+  if List.is_empty paths then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  List.iter
+    (fun p ->
+      if not (Sys.file_exists p) then begin
+        Printf.eprintf "wa_check: no such path: %s\n" p;
+        exit 2
+      end)
+    paths;
+  let report = Check.analyze_paths paths in
+  if not !quiet then
+    List.iter
+      (fun v -> Format.printf "%a@." Check.pp_violation v)
+      report.Check.violations;
+  Option.iter
+    (fun file ->
+      let oc = open_out file in
+      output_string oc (Wa_util.Json.to_string (Check.report_to_json report));
+      output_char oc '\n';
+      close_out oc)
+    !json_out;
+  if !stats then
+    Printf.printf
+      "wa_check stats: %d closure(s) analyzed, %d expression(s) visited\n"
+      report.Check.closures_analyzed report.Check.expressions_analyzed;
+  let n = List.length report.Check.violations in
+  Printf.printf "wa_check: %d file(s), %d violation(s)\n"
+    report.Check.files_scanned n;
+  if n > 0 then exit 1

@@ -30,6 +30,11 @@
      machinery into otherwise-pure numeric code.
    - [missing-mli]: a [.ml] under a configured root (default [lib/])
      with no sibling [.mli].
+   - [unused-export]: a value exported by a [.mli] under a configured
+     root but never referenced outside its own module.  Only active
+     when the caller supplies the reference scan set ([ref_paths]):
+     deciding "never referenced" requires seeing every consumer, so
+     partial scans (the smoke subset) skip the rule rather than lie.
 
    Suppressions: [[@wa.lint.allow "rule ..."]] on the offending
    expression, or a floating [[@@@wa.lint.allow "rule ..."]] to waive
@@ -47,6 +52,7 @@ let rule_atomic_scope = "atomic-scope"
 let rule_obj_magic = "obj-magic"
 let rule_printf_hot = "printf-hot"
 let rule_missing_mli = "missing-mli"
+let rule_unused_export = "unused-export"
 let rule_parse_error = "parse-error"
 
 let all_rules =
@@ -58,6 +64,7 @@ let all_rules =
     rule_obj_magic;
     rule_printf_hot;
     rule_missing_mli;
+    rule_unused_export;
     rule_parse_error;
   ]
 
@@ -69,6 +76,7 @@ module Config = struct
     atomic_allowed : string list;
     float_modules : string list;
     mli_required_roots : string list;
+    export_roots : string list;
   }
 
   let default =
@@ -77,6 +85,7 @@ module Config = struct
       atomic_allowed = [ "lib/obs/"; "lib/util/parallel.ml" ];
       float_modules = [ "Link"; "Vec2"; "Float" ];
       mli_required_roots = [ "lib/" ];
+      export_roots = [ "lib/" ];
     }
 end
 
@@ -443,13 +452,179 @@ let missing_mli_check ~(config : Config.t) files =
       else None)
     files
 
-let lint_paths ?(config = Config.default) paths =
-  let files = List.fold_left collect_ml [] paths |> List.sort String.compare in
+(* unused-export ------------------------------------------------------ *)
+
+let parse_interface path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Lexing.set_filename lexbuf path;
+      Parse.interface lexbuf)
+
+let signature_allows signature =
+  List.concat_map
+    (fun item ->
+      match item.psig_desc with
+      | Psig_attribute a when String.equal a.attr_name.txt "wa.lint.allow" ->
+          allows_of_payload a.attr_payload
+      | _ -> [])
+    signature
+
+(* Exported value names of [mli] with their locations, minus
+   suppressed ones.  An unparseable interface exports nothing — the
+   compiler will complain louder than we can. *)
+let exports_of_mli mli =
+  match parse_interface mli with
+  | exception _ -> []
+  | signature ->
+      if List.mem rule_unused_export (signature_allows signature) then []
+      else
+        List.filter_map
+          (fun item ->
+            match item.psig_desc with
+            | Psig_value vd
+              when not
+                     (List.mem rule_unused_export
+                        (allows_of_attrs vd.pval_attributes)) ->
+                Some (vd.pval_name.Location.txt, vd.pval_loc)
+            | _ -> None)
+          signature
+
+let is_value_name v =
+  v <> "" && not (v.[0] >= 'A' && v.[0] <= 'Z')
+
+(* Qualified references of one parsed file: [M.v] (or [Lib.M.v]) marks
+   [(M, v)] used; a module appearing as an open / include / alias
+   right-hand side / functor argument / packed module is marked
+   wholesale-used — its exports are no longer individually trackable,
+   so the rule stays silent about them (conservative, no false
+   positives through aliases). *)
+let references_of_structure structure =
+  let used = Hashtbl.create 64 in
+  let wholesale = Hashtbl.create 16 in
+  let value_ref l =
+    match Longident.flatten l with
+    | exception _ -> ()
+    | parts -> (
+        match List.rev (strip_stdlib parts) with
+        | v :: m :: _ when is_value_name v && not (is_value_name m) ->
+            Hashtbl.replace used (m, v) ()
+        | _ -> ())
+  in
+  let module_ref l =
+    match Longident.flatten l with
+    | exception _ -> ()
+    | parts -> List.iter (fun m -> Hashtbl.replace wholesale m ()) parts
+  in
+  let open Ast_iterator in
+  let it =
+    {
+      default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } -> value_ref txt
+          | _ -> ());
+          default_iterator.expr it e);
+      module_expr =
+        (fun it me ->
+          (match me.pmod_desc with
+          | Pmod_ident { txt; _ } -> module_ref txt
+          | _ -> ());
+          default_iterator.module_expr it me);
+    }
+  in
+  it.structure it structure;
+  (used, wholesale)
+
+(* One checked module: its implementation path, sibling interface, and
+   the module name consumers write ([Linkset] — dune's library
+   wrapping prefixes never appear in source references). *)
+let export_candidates ~(config : Config.t) files =
+  List.filter_map
+    (fun ml ->
+      if path_matches ~prefixes:config.Config.export_roots ml then
+        let mli = Filename.remove_extension ml ^ ".mli" in
+        if Sys.file_exists mli then
+          Some
+            ( ml,
+              normalize_path mli,
+              String.capitalize_ascii
+                (Filename.remove_extension (Filename.basename ml)) )
+        else None
+      else None)
+    files
+
+let unused_export_check ~(config : Config.t) ~files ~ref_files =
+  let candidates = export_candidates ~config files in
+  if List.is_empty candidates then []
+  else
+    (* Parse every reference file once; a file that does not parse
+       contributes no references (its own lint pass reports the
+       parse-error). *)
+    let refs =
+      List.sort_uniq String.compare (files @ ref_files)
+      |> List.filter_map (fun path ->
+             match parse_implementation path with
+             | exception _ -> None
+             | s -> Some (path, references_of_structure s))
+    in
+    List.concat_map
+      (fun (ml, mli, base) ->
+        (* "Outside its module": the module's own implementation does
+           not keep its exports alive. *)
+        let elsewhere = List.filter (fun (p, _) -> p <> ml) refs in
+        if
+          List.exists
+            (fun (_, (_, wholesale)) -> Hashtbl.mem wholesale base)
+            elsewhere
+        then []
+        else
+          exports_of_mli mli
+          |> List.filter_map (fun (name, loc) ->
+                 if
+                   List.exists
+                     (fun (_, (used, _)) -> Hashtbl.mem used (base, name))
+                     elsewhere
+                 then None
+                 else
+                   let pos = loc.Location.loc_start in
+                   Some
+                     {
+                       file = mli;
+                       line = pos.Lexing.pos_lnum;
+                       col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+                       rule = rule_unused_export;
+                       message =
+                         Printf.sprintf
+                           "value %s is exported by %s but never referenced \
+                            outside its module; drop it from the interface \
+                            (or mark the val [@@wa.lint.allow \
+                            \"unused-export\"])"
+                           name base;
+                     }))
+      candidates
+
+let lint_paths ?(config = Config.default) ?ref_paths paths =
+  let files =
+    List.fold_left collect_ml [] paths |> List.sort_uniq String.compare
+  in
   let violations =
     missing_mli_check ~config files
     @ List.concat_map (lint_file ~config) files
+    @
+    match ref_paths with
+    | None -> []
+    | Some extra ->
+        let ref_files =
+          List.fold_left collect_ml [] extra
+          |> List.sort_uniq String.compare
+        in
+        unused_export_check ~config ~files ~ref_files
   in
   {
     files_scanned = List.length files;
-    violations = List.sort compare_violation violations;
+    violations = List.sort_uniq compare_violation violations;
   }

@@ -13,6 +13,8 @@
     - [obj-magic] — [Obj.magic];
     - [printf-hot] — [Printf.*] inside a configured hot path;
     - [missing-mli] — a library [.ml] with no sibling [.mli];
+    - [unused-export] — a value exported by a library [.mli] but never
+      referenced outside its own module (only with [?ref_paths]);
     - [parse-error] — the file does not parse.
 
     Suppress with [[@wa.lint.allow "rule …"]] on the offending
@@ -32,12 +34,15 @@ module Config : sig
             ([Link], [Vec2], [Float] by default). *)
     mli_required_roots : string list;
         (** Path prefixes under which every [.ml] needs a [.mli]. *)
+    export_roots : string list;
+        (** Path prefixes whose [.mli] exports [unused-export]
+            audits. *)
   }
 
   val default : t
   (** The project rules: hot paths [lib/sinr/] + [lib/core/conflict.ml],
       atomics confined to [lib/obs/] + [lib/util/parallel.ml], [.mli]
-      required under [lib/]. *)
+      required (and exports audited) under [lib/]. *)
 end
 
 type violation = {
@@ -64,7 +69,17 @@ val lint_file : ?config:Config.t -> string -> violation list
 (** Lint one file; violations sorted by position.  A file that does
     not parse yields a single [parse-error] violation. *)
 
-val lint_paths : ?config:Config.t -> string list -> report
+val lint_paths : ?config:Config.t -> ?ref_paths:string list -> string list -> report
 (** Recursively lint every [.ml] under the given files/directories
     (skipping [_build] and dotfiles), including the [missing-mli]
-    check.  Deterministic: files and violations are sorted. *)
+    check.  Deterministic: files and violations are sorted with
+    duplicates removed, so overlapping path arguments (or overlapping
+    alias invocations) never double-report.
+
+    Passing [?ref_paths] activates [unused-export]: the [.mli]s under
+    [Config.export_roots] are audited for values never referenced
+    from any other scanned file, where the reference set is the
+    scanned files plus everything under [ref_paths] (reference-only:
+    those files are parsed but not linted or counted).  Without
+    [?ref_paths] the rule stays off — a partial scan cannot decide
+    "never referenced". *)

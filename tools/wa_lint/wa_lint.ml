@@ -1,14 +1,20 @@
-(* Command-line front end: wa_lint [--json FILE] [--quiet] PATH...
+(* Command-line front end:
+   wa_lint [--json FILE] [--quiet] [--list-rules] [--refs PATH] PATH...
 
+   --refs names reference-only scan roots (parsed for cross-module
+   references, not linted) and activates the unused-export rule.
    Exit status: 0 clean, 1 violations found, 2 usage/setup error. *)
 
 module Lint = Wa_lint_core.Lint
 
-let usage = "wa_lint [--json FILE] [--quiet] PATH..."
+let usage =
+  "wa_lint [--json FILE] [--quiet] [--list-rules] [--refs PATH] PATH..."
 
 let () =
   let json_out = ref None in
   let quiet = ref false in
+  let list_rules = ref false in
+  let refs = ref [] in
   let paths = ref [] in
   let spec =
     [
@@ -16,10 +22,19 @@ let () =
         Arg.String (fun f -> json_out := Some f),
         "FILE Write the machine-readable report to FILE" );
       ("--quiet", Arg.Set quiet, " Print nothing but the verdict line");
+      ("--list-rules", Arg.Set list_rules, " Print the rule names and exit");
+      ( "--refs",
+        Arg.String (fun p -> refs := p :: !refs),
+        "PATH Reference-only scan root (repeatable); activates \
+         unused-export" );
     ]
   in
   (try Arg.parse spec (fun p -> paths := p :: !paths) usage
    with _ -> exit 2);
+  if !list_rules then begin
+    List.iter print_endline Lint.all_rules;
+    exit 0
+  end;
   let paths = List.rev !paths in
   if List.is_empty paths then begin
     prerr_endline usage;
@@ -31,8 +46,11 @@ let () =
         Printf.eprintf "wa_lint: no such path: %s\n" p;
         exit 2
       end)
-    paths;
-  let report = Lint.lint_paths paths in
+    (paths @ !refs);
+  let ref_paths =
+    match !refs with [] -> None | rs -> Some (List.rev rs)
+  in
+  let report = Lint.lint_paths ?ref_paths paths in
   if not !quiet then
     List.iter
       (fun v -> Format.printf "%a@." Lint.pp_violation v)
