@@ -1,0 +1,440 @@
+(* Load generator for the wa_service plan server (PR 5).
+
+   Boots the server in-process on an ephemeral loopback port, drives
+   it over real TCP sockets, and measures:
+
+     - cold vs cached plan latency at a given n (the content-addressed
+       cache is the headline: a cache hit must not pay for scheduling);
+     - closed-loop request latency (p50/p99) on cached plans;
+     - pipelined throughput over several connections with a bounded
+       per-connection window;
+     - in-flight concurrency: >= 64 requests simultaneously queued or
+       executing, with zero dropped and zero overloaded responses;
+     - protocol robustness (malformed line -> error envelope, churn
+       session lifecycle) and graceful shutdown (the server drains and
+       joins cleanly).
+
+   Usage: load.exe [--smoke] [--json PATH] [--n N]
+
+   --smoke runs reduced sizes with hard assertions and is wired into
+   the @service-smoke alias; the full run writes BENCH_PR5.json. *)
+
+module Server = Wa_service.Server
+module Client = Wa_service.Client
+module P = Wa_service.Protocol
+module Json = Wa_util.Json
+
+let now = Unix.gettimeofday
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan
+  else sorted.(min (n - 1) (int_of_float (p /. 100.0 *. float_of_int (n - 1) +. 0.5)))
+
+let sorted_of list =
+  let a = Array.of_list list in
+  Array.sort Float.compare a;
+  a
+
+let failures = ref 0
+
+let check name cond =
+  if cond then Printf.printf "  ok   %s\n%!" name
+  else begin
+    incr failures;
+    Printf.printf "  FAIL %s\n%!" name
+  end
+
+let die msg =
+  Printf.eprintf "load: %s\n" msg;
+  exit 1
+
+let connect port =
+  match Client.connect ~port () with
+  | Ok c -> c
+  | Error m -> die ("connect: " ^ m)
+
+let call ?deadline_ms c body =
+  match Client.call ?deadline_ms c body with
+  | Ok r -> r
+  | Error m -> die ("call: " ^ m)
+
+let gen_spec ?(no_cache = false) ~n ~seed () =
+  {
+    P.deploy = P.Generate { kind = "uniform"; n; seed; side = 1000.0 };
+    power = `Global;
+    alpha = 3.0;
+    beta = 1.0;
+    gamma = None;
+    engine = `Indexed;
+    no_cache;
+  }
+
+let is_ok (r : P.response) =
+  match r.P.body with P.Error _ -> false | _ -> true
+
+let is_overloaded (r : P.response) =
+  match r.P.body with
+  | P.Error { code = P.Overloaded; _ } -> true
+  | _ -> false
+
+(* Phase 1: cold vs cached ---------------------------------------------- *)
+
+let cold_vs_cached c ~n ~cached_reqs =
+  Printf.printf "cold vs cached (n=%d):\n%!" n;
+  let spec_cold = gen_spec ~no_cache:true ~n ~seed:11 () in
+  let t0 = now () in
+  let r = call c (P.Plan spec_cold) in
+  let cold_ms = (now () -. t0) *. 1000.0 in
+  check "cold plan ok" (is_ok r);
+  (* First cacheable request computes and stores ... *)
+  let spec = gen_spec ~n ~seed:11 () in
+  let r = call c (P.Plan spec) in
+  check "store plan ok" (is_ok r);
+  (* ... every later one must be a hit. *)
+  let lats = ref [] in
+  let all_cached = ref true in
+  for _ = 1 to cached_reqs do
+    let t0 = now () in
+    let r = call c (P.Plan spec) in
+    lats := ((now () -. t0) *. 1000.0) :: !lats;
+    (match r.P.body with
+    | P.Plan_r p -> if not p.P.cached then all_cached := false
+    | _ -> all_cached := false)
+  done;
+  check "all repeat requests served from cache" !all_cached;
+  let sorted = sorted_of !lats in
+  let cached_ms = percentile sorted 50.0 in
+  let speedup = cold_ms /. cached_ms in
+  Printf.printf "  cold %.1f ms, cached p50 %.3f ms, speedup %.0fx\n%!" cold_ms
+    cached_ms speedup;
+  ( speedup,
+    Json.Obj
+      [
+        ("n", Int n);
+        ("cold_ms", Float cold_ms);
+        ("cached_requests", Int cached_reqs);
+        ("cached_p50_ms", Float cached_ms);
+        ("cached_p99_ms", Float (percentile sorted 99.0));
+        ("speedup", Float speedup);
+      ] )
+
+(* Phase 2: closed-loop latency ------------------------------------------ *)
+
+let latency c ~n ~reqs =
+  Printf.printf "closed-loop latency (%d cached plan requests):\n%!" reqs;
+  let spec = gen_spec ~n ~seed:11 () in
+  let lats = ref [] in
+  for _ = 1 to reqs do
+    let t0 = now () in
+    let r = call c (P.Plan spec) in
+    lats := ((now () -. t0) *. 1000.0) :: !lats;
+    if not (is_ok r) then incr failures
+  done;
+  let sorted = sorted_of !lats in
+  let p50 = percentile sorted 50.0 and p99 = percentile sorted 99.0 in
+  let mean =
+    Array.fold_left ( +. ) 0.0 sorted /. float_of_int (Array.length sorted)
+  in
+  Printf.printf "  p50 %.3f ms, p99 %.3f ms, mean %.3f ms\n%!" p50 p99 mean;
+  Json.Obj
+    [
+      ("requests", Int reqs);
+      ("p50_ms", Float p50);
+      ("p99_ms", Float p99);
+      ("mean_ms", Float mean);
+    ]
+
+(* Phase 3: pipelined throughput ----------------------------------------- *)
+
+(* Windowed pipelining on each connection: keep up to [window] requests
+   outstanding, then lock-step send/recv.  Responses are counted, not
+   matched: the protocol allows out-of-order completion. *)
+let throughput port ~n_conns ~reqs_per_conn ~window ~warm_n =
+  Printf.printf "throughput (%d conns x %d pipelined requests):\n%!" n_conns
+    reqs_per_conn;
+  let specs =
+    Array.init 4 (fun i -> gen_spec ~n:warm_n ~seed:(20 + i) ())
+  in
+  let warm = connect port in
+  Array.iter (fun s -> ignore (call warm (P.Plan s))) specs;
+  Client.close warm;
+  let conns = Array.init n_conns (fun _ -> connect port) in
+  let ok = ref 0 and bad = ref 0 and overloaded = ref 0 in
+  let t0 = now () in
+  Array.iteri
+    (fun ci c ->
+      let outstanding = ref 0 in
+      let recv_one () =
+        match Client.recv c with
+        | Ok r ->
+            decr outstanding;
+            if is_overloaded r then incr overloaded
+            else if is_ok r then incr ok
+            else incr bad
+        | Error m -> die ("recv: " ^ m)
+      in
+      for i = 1 to reqs_per_conn do
+        let spec = specs.((ci + i) mod Array.length specs) in
+        (match Client.send c (Client.request c (P.Plan spec)) with
+        | Ok () -> incr outstanding
+        | Error m -> die ("send: " ^ m));
+        if !outstanding >= window then recv_one ()
+      done;
+      while !outstanding > 0 do
+        recv_one ()
+      done)
+    conns;
+  let elapsed = now () -. t0 in
+  Array.iter Client.close conns;
+  let total = n_conns * reqs_per_conn in
+  let rps = float_of_int total /. elapsed in
+  Printf.printf "  %d requests in %.2f s = %.0f req/s (overloaded %d)\n%!"
+    total elapsed rps !overloaded;
+  check "throughput: every request answered" (!ok + !bad + !overloaded = total);
+  check "throughput: no failed responses" (!bad = 0);
+  Json.Obj
+    [
+      ("conns", Int n_conns);
+      ("requests", Int total);
+      ("window", Int window);
+      ("elapsed_s", Float elapsed);
+      ("rps", Float rps);
+      ("overloaded", Int !overloaded);
+    ]
+
+(* Phase 4: in-flight concurrency ---------------------------------------- *)
+
+(* Fire [total] uncacheable (hence slow) plan requests across a few
+   connections before reading any reply.  The event loop ingests them
+   far faster than the pool retires them, so queued + executing must
+   peak at >= 64; with the default queue capacity of 128 none may be
+   answered [overloaded] and every single one must get a reply. *)
+let inflight port ~n_conns ~total ~cold_n =
+  Printf.printf "in-flight burst (%d cold requests over %d conns):\n%!" total
+    n_conns;
+  let conns = Array.init n_conns (fun _ -> connect port) in
+  let sent = ref 0 in
+  while !sent < total do
+    let c = conns.(!sent mod n_conns) in
+    let spec = gen_spec ~no_cache:true ~n:cold_n ~seed:(1000 + !sent) () in
+    (match Client.send c (Client.request c (P.Plan spec)) with
+    | Ok () -> ()
+    | Error m -> die ("send: " ^ m));
+    incr sent
+  done;
+  let answered = ref 0 and overloaded = ref 0 and bad = ref 0 in
+  Array.iteri
+    (fun ci c ->
+      let mine = (total / n_conns) + if ci < total mod n_conns then 1 else 0 in
+      for _ = 1 to mine do
+        match Client.recv c with
+        | Ok r ->
+            incr answered;
+            if is_overloaded r then incr overloaded
+            else if not (is_ok r) then incr bad
+        | Error m -> die ("recv: " ^ m)
+      done;
+      Client.close c)
+    conns;
+  let stats_conn = connect port in
+  let peak =
+    match (call stats_conn P.Stats).P.body with
+    | P.Stats_r j ->
+        Option.value ~default:0
+          (Option.bind (Json.member "inflight_peak" j) Json.to_int_opt)
+    | _ -> 0
+  in
+  Client.close stats_conn;
+  let dropped = total - !answered in
+  Printf.printf
+    "  answered %d/%d, overloaded %d, failed %d, in-flight peak %d\n%!"
+    !answered total !overloaded !bad peak;
+  check "burst: zero dropped responses" (dropped = 0);
+  check "burst: zero overloaded responses" (!overloaded = 0);
+  check "burst: zero failed responses" (!bad = 0);
+  check
+    (Printf.sprintf "burst: in-flight peak %d >= 64" peak)
+    (peak >= 64);
+  Json.Obj
+    [
+      ("requests", Int total);
+      ("conns", Int n_conns);
+      ("answered", Int !answered);
+      ("dropped", Int dropped);
+      ("overloaded", Int !overloaded);
+      ("inflight_peak", Int peak);
+    ]
+
+(* Phase 5: protocol robustness + churn sessions ------------------------- *)
+
+let raw_roundtrip port line =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let greeting = input_line ic in
+  output_string oc line;
+  output_char oc '\n';
+  flush oc;
+  let reply = input_line ic in
+  close_out_noerr oc;
+  (greeting, reply)
+
+let robustness port =
+  Printf.printf "protocol robustness:\n%!";
+  let greeting, reply = raw_roundtrip port "this is not json" in
+  check "greeting line verifies" (Result.is_ok (P.check_greeting greeting));
+  (match P.response_of_line reply with
+  | Ok { P.body = P.Error { code = P.Bad_request; _ }; _ } ->
+      check "malformed line -> bad_request envelope" true
+  | _ -> check "malformed line -> bad_request envelope" false);
+  let _, reply = raw_roundtrip port {|{"v":99,"id":5,"op":"ping"}|} in
+  (match P.response_of_line reply with
+  | Ok { P.rid = 5; body = P.Error { code = P.Bad_version; _ } } ->
+      check "future version -> bad_version envelope" true
+  | _ -> check "future version -> bad_version envelope" false);
+  let c = connect port in
+  (match (call c (P.Churn_remove { session = 424242; node = 0 })).P.body with
+  | P.Error { code = P.No_such_session; _ } ->
+      check "unknown session -> no_such_session" true
+  | _ -> check "unknown session -> no_such_session" false);
+  Client.close c
+
+let churn port ~adds =
+  Printf.printf "churn session (%d arrivals):\n%!" adds;
+  let c = connect port in
+  let sid =
+    match
+      (call c
+         (P.Churn_create
+            {
+              sink = Wa_geom.Vec2.make 500.0 500.0;
+              power = `Global;
+              alpha = 3.0;
+              beta = 1.0;
+              gamma = None;
+            }))
+        .P.body
+    with
+    | P.Churn_created sid -> sid
+    | _ -> die "churn_create refused"
+  in
+  let rng = Wa_util.Rng.create 7 in
+  let first_node = ref None in
+  let adds_ok = ref true in
+  for i = 1 to adds do
+    let point =
+      Wa_geom.Vec2.make
+        (Wa_util.Rng.float rng 1000.0)
+        (Wa_util.Rng.float rng 1000.0)
+    in
+    match (call c (P.Churn_add { session = sid; point })).P.body with
+    | P.Churn_r { node = Some n; _ } -> if i = 1 then first_node := Some n
+    | _ -> adds_ok := false
+  done;
+  check "all arrivals scheduled" !adds_ok;
+  (match (call c (P.Churn_info { session = sid })).P.body with
+  | P.Session_r { size; info_valid; _ } ->
+      check "session info: size = sink + arrivals" (size = adds + 1);
+      check "session schedule stays verified" info_valid
+  | _ -> check "session info" false);
+  (match !first_node with
+  | Some node -> (
+      match (call c (P.Churn_remove { session = sid; node })).P.body with
+      | P.Churn_r _ -> check "departure repaired" true
+      | _ -> check "departure repaired" false)
+  | None -> check "departure repaired" false);
+  (match (call c (P.Churn_close { session = sid })).P.body with
+  | P.Churn_closed _ -> check "session closed" true
+  | _ -> check "session closed" false);
+  Client.close c
+
+(* Shutdown --------------------------------------------------------------- *)
+
+let shutdown port server_domain srv =
+  Printf.printf "graceful shutdown:\n%!";
+  let c = connect port in
+  let r = call c P.Shutdown in
+  check "shutdown acknowledged"
+    (match r.P.body with P.Shutdown_ok -> true | _ -> false);
+  Client.close c;
+  Domain.join server_domain;
+  check "server drained and joined" true;
+  Printf.printf "  %s\n%!" (Server.summary srv)
+
+(* Main ------------------------------------------------------------------- *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let has f = List.mem f args in
+  let rec find_value f = function
+    | a :: b :: _ when a = f -> Some b
+    | _ :: rest -> find_value f rest
+    | [] -> None
+  in
+  let smoke = has "--smoke" in
+  let json_path = find_value "--json" args in
+  let n =
+    match Option.map int_of_string_opt (find_value "--n" args) with
+    | Some (Some n) -> n
+    | Some None -> die "--n expects an integer"
+    | None -> if smoke then 300 else 2000
+  in
+  let srv =
+    Server.create { Server.default_config with port = 0; queue_capacity = 128 }
+  in
+  let port = Server.port srv in
+  let server_domain = Domain.spawn (fun () -> Server.run srv) in
+  Printf.printf "wa_service load bench: port %d, smoke %b, n %d\n%!" port smoke
+    n;
+  let c = connect port in
+  check "ping" (match (call c P.Ping).P.body with
+    | P.Pong -> true
+    | _ -> false);
+  let speedup, cold_json =
+    cold_vs_cached c ~n ~cached_reqs:(if smoke then 30 else 100)
+  in
+  check
+    (Printf.sprintf "cached path %.0fx faster than cold (>= %d required)"
+       speedup
+       (if smoke then 2 else 10))
+    (speedup >= if smoke then 2.0 else 10.0);
+  let lat_json = latency c ~n ~reqs:(if smoke then 30 else 200) in
+  Client.close c;
+  let thr_json =
+    if smoke then
+      throughput port ~n_conns:2 ~reqs_per_conn:50 ~window:8 ~warm_n:120
+    else throughput port ~n_conns:4 ~reqs_per_conn:250 ~window:16 ~warm_n:400
+  in
+  let burst_json =
+    if smoke then inflight port ~n_conns:4 ~total:68 ~cold_n:120
+    else inflight port ~n_conns:4 ~total:80 ~cold_n:250
+  in
+  robustness port;
+  churn port ~adds:(if smoke then 3 else 8);
+  shutdown port server_domain srv;
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      let doc =
+        Json.Obj
+          [
+            ("benchmark", String "wa_service load");
+            ("quick", Bool smoke);
+            ("queue_capacity", Int 128);
+            ("cold_vs_cached", cold_json);
+            ("latency", lat_json);
+            ("throughput", thr_json);
+            ("inflight", burst_json);
+          ]
+      in
+      let oc = open_out path in
+      Json.to_channel oc doc;
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n%!" path);
+  if !failures > 0 then begin
+    Printf.eprintf "load: %d check(s) failed\n" !failures;
+    exit 1
+  end

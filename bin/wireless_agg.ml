@@ -6,6 +6,8 @@
      median      order-statistics queries over counting convergecasts
      kconnect    k-edge-connected structures (Remark 2)
      experiment  regenerate one or all of the paper's tables/figures
+     serve       run the resident plan server (JSON-lines over TCP)
+     client      send one operation to a running plan server
      list        list available experiments *)
 
 module Pipeline = Wa_core.Pipeline
@@ -401,6 +403,218 @@ let kconnect_cmd =
        ~doc:"Build and schedule a k-edge-connected structure (Remark 2).")
     (Term.term_result term)
 
+(* serve ------------------------------------------------------------------ *)
+
+let host_arg =
+  let doc = "Host/interface to bind or connect to." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+
+let port_arg =
+  let doc = "TCP port (0 binds an ephemeral port when serving)." in
+  Arg.(value & opt int 7461 & info [ "port" ] ~docv:"PORT" ~doc)
+
+let run_serve host port workers queue_capacity cache_entries cache_mb
+    max_sessions tel =
+  with_telemetry tel @@ fun () ->
+  let config =
+    {
+      Wa_service.Server.default_config with
+      host;
+      port;
+      workers;
+      queue_capacity;
+      cache_entries;
+      cache_bytes = cache_mb * 1024 * 1024;
+      max_sessions;
+    }
+  in
+  match Wa_service.Server.create config with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error
+        (`Msg
+          (Printf.sprintf "cannot listen on %s:%d: %s" host port
+             (Unix.error_message e)))
+  | srv ->
+      let stop _ = Wa_service.Server.stop srv in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+      Printf.printf "wa_service listening on %s:%d\n%!" host
+        (Wa_service.Server.port srv);
+      Wa_service.Server.run srv;
+      Printf.printf "%s\n" (Wa_service.Server.summary srv);
+      Ok ()
+
+let serve_cmd =
+  let workers =
+    let doc = "Worker domains (default: available domains - 1)." in
+    Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"W" ~doc)
+  in
+  let queue_capacity =
+    let doc = "Bounded request-queue capacity; beyond it requests are \
+               answered with an overloaded error." in
+    Arg.(value & opt int 128 & info [ "queue-capacity" ] ~docv:"Q" ~doc)
+  in
+  let cache_entries =
+    let doc = "Maximum plan-cache entries (LRU beyond this)." in
+    Arg.(value & opt int 128 & info [ "cache-entries" ] ~docv:"E" ~doc)
+  in
+  let cache_mb =
+    let doc = "Plan-cache budget in MiB." in
+    Arg.(value & opt int 256 & info [ "cache-mb" ] ~docv:"MB" ~doc)
+  in
+  let max_sessions =
+    let doc = "Maximum concurrent churn sessions." in
+    Arg.(value & opt int 64 & info [ "max-sessions" ] ~docv:"S" ~doc)
+  in
+  let term =
+    Term.(
+      const run_serve $ host_arg $ port_arg $ workers $ queue_capacity
+      $ cache_entries $ cache_mb $ max_sessions $ telemetry_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the plan server: a JSON-lines TCP service with a \
+          content-addressed plan cache and stateful churn sessions \
+          (DESIGN.md, section 11).  SIGINT/SIGTERM drain gracefully.")
+    (Term.term_result term)
+
+(* client ----------------------------------------------------------------- *)
+
+let run_client host port deadline_ms op seed n side deploy power alpha beta
+    gamma engine no_cache periods =
+  let module C = Wa_service.Client in
+  let module P = Wa_service.Protocol in
+  let ( let* ) = Result.bind in
+  let err m = `Msg m in
+  let* mode = parse_power power in
+  let* engine = P.engine_of_string engine |> Result.map_error err in
+  let spec =
+    {
+      P.deploy = P.Generate { kind = deploy; n; seed; side };
+      power = mode;
+      alpha;
+      beta;
+      gamma;
+      engine;
+      no_cache;
+    }
+  in
+  let* c = C.connect ~host ~port () |> Result.map_error err in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  (* Each response is printed as its raw wire line: the client doubles
+     as a protocol inspector for scripting and the docs. *)
+  let step body =
+    let* r = C.call ?deadline_ms c body |> Result.map_error err in
+    print_endline (P.response_to_line r);
+    Ok r
+  in
+  match op with
+  | "ping" ->
+      let* _ = step P.Ping in
+      Ok ()
+  | "plan" ->
+      let* _ = step (P.Plan spec) in
+      Ok ()
+  | "describe" ->
+      let* _ = step (P.Describe spec) in
+      Ok ()
+  | "simulate" ->
+      let* _ = step (P.Simulate { spec; periods }) in
+      Ok ()
+  | "stats" ->
+      let* _ = step P.Stats in
+      Ok ()
+  | "shutdown" ->
+      let* _ = step P.Shutdown in
+      Ok ()
+  | "churn-demo" -> (
+      (* Scripted session: create a network around a central sink,
+         stream a few arrivals, query it, remove one node, close. *)
+      let* r =
+        step
+          (P.Churn_create
+             {
+               sink = Wa_geom.Vec2.make (side /. 2.0) (side /. 2.0);
+               power = mode;
+               alpha;
+               beta;
+               gamma;
+             })
+      in
+      match r.P.body with
+      | P.Churn_created session ->
+          let rng = Rng.create seed in
+          let point () =
+            Wa_geom.Vec2.make (Rng.float rng side) (Rng.float rng side)
+          in
+          let* first = step (P.Churn_add { session; point = point () }) in
+          let* _ = step (P.Churn_add { session; point = point () }) in
+          let* _ = step (P.Churn_add { session; point = point () }) in
+          let* _ = step (P.Churn_info { session }) in
+          let* () =
+            match first.P.body with
+            | P.Churn_r { node = Some node; _ } ->
+                let* _ = step (P.Churn_remove { session; node }) in
+                Ok ()
+            | _ -> Ok ()
+          in
+          let* _ = step (P.Churn_close { session }) in
+          Ok ()
+      | _ -> Error (`Msg "churn-demo: session creation was refused"))
+  | op ->
+      Error
+        (`Msg
+          (Printf.sprintf
+             "unknown op %S (expected ping | plan | describe | simulate | \
+              stats | churn-demo | shutdown)"
+             op))
+
+let client_cmd =
+  let op_arg =
+    let doc =
+      "Operation: ping | plan | describe | simulate | stats | churn-demo | \
+       shutdown."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OP" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Per-request deadline in milliseconds (server-side)." in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let gamma_arg =
+    let doc = "Interference-safety margin gamma (mode default if omitted)." in
+    Arg.(value & opt (some float) None & info [ "gamma" ] ~docv:"G" ~doc)
+  in
+  let engine_arg =
+    let doc = "Conflict-graph engine: dense | indexed." in
+    Arg.(value & opt string "indexed" & info [ "engine" ] ~docv:"ENGINE" ~doc)
+  in
+  let no_cache_arg =
+    (* Named --cold rather than --no-cache so that --n stays an
+       unambiguous prefix of --nodes. *)
+    let doc =
+      "Bypass the server's plan cache — force a cold computation (the \
+       protocol's no_cache flag)."
+    in
+    Arg.(value & flag & info [ "cold" ] ~doc)
+  in
+  let term =
+    Term.(
+      const run_client $ host_arg $ port_arg $ deadline_arg $ op_arg $ seed_arg
+      $ nodes_arg $ side_arg $ deploy_arg $ power_arg $ alpha_arg $ beta_arg
+      $ gamma_arg $ engine_arg $ no_cache_arg $ periods_arg)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send one operation (or the scripted churn-demo session) to a \
+          running plan server and print the raw response lines.")
+    (Term.term_result term)
+
 (* list ------------------------------------------------------------------ *)
 
 let run_list () =
@@ -425,4 +639,4 @@ let () =
   exit
     (Cmd.eval (Cmd.group info
        [ plan_cmd; generate_cmd; simulate_cmd; median_cmd; kconnect_cmd;
-         experiment_cmd; list_cmd ]))
+         experiment_cmd; serve_cmd; client_cmd; list_cmd ]))

@@ -8,19 +8,26 @@ let trace_lines report =
 let metrics_string report =
   Json.to_string (Report.metrics_to_json report)
 
-let write_file path contents =
+(* The writers stream each value with [Json.to_channel] rather than
+   building the whole file as a string first: a long run's trace can
+   hold tens of thousands of spans. *)
+
+let with_out path f =
   let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc contents;
-      if contents = "" || contents.[String.length contents - 1] <> '\n' then
-        output_char oc '\n')
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
 
 let write_trace path report =
-  write_file path (String.concat "\n" (trace_lines report))
+  with_out path (fun oc ->
+      List.iter
+        (fun s ->
+          Json.to_channel ~pretty:false oc (Report.span_to_json s);
+          output_char oc '\n')
+        report.Report.spans)
 
-let write_metrics path report = write_file path (metrics_string report)
+let write_metrics path report =
+  with_out path (fun oc ->
+      Json.to_channel oc (Report.metrics_to_json report);
+      output_char oc '\n')
 
 (* Validation: parse back what a writer produced, so exporters fail
    loudly instead of shipping malformed telemetry.  Used by the CLI

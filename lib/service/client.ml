@@ -1,0 +1,71 @@
+module P = Protocol
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable next_id : int;
+}
+
+let ( let* ) = Result.bind
+
+let connect ?(host = "127.0.0.1") ~port () =
+  match
+    let addr = Unix.inet_addr_of_string host in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+     with e ->
+       Unix.close fd;
+       raise e);
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    (fd, ic, oc)
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "connect %s:%d: %s" host port (Unix.error_message e))
+  | fd, ic, oc -> (
+      (* The server leads with its greeting; check we speak the same
+         protocol version before anything else. *)
+      match input_line ic with
+      | exception End_of_file ->
+          Unix.close fd;
+          Error "connection closed before greeting"
+      | greeting -> (
+          match P.check_greeting greeting with
+          | Ok () -> Ok { fd; ic; oc; next_id = 1 }
+          | Error msg ->
+              Unix.close fd;
+              Error msg))
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let send t (r : P.request) =
+  try
+    Wa_util.Json.to_channel ~pretty:false t.oc (P.encode_request r);
+    output_char t.oc '\n';
+    flush t.oc;
+    Ok ()
+  with Sys_error m -> Error ("send: " ^ m)
+
+let recv t =
+  match input_line t.ic with
+  | exception End_of_file -> Error "connection closed by server"
+  | exception Sys_error m -> Error ("recv: " ^ m)
+  | line -> P.response_of_line line
+
+let call ?deadline_ms t body =
+  let r = { P.id = fresh_id t; deadline_ms; body } in
+  let* () = send t r in
+  let* resp = recv t in
+  if resp.P.rid = r.P.id then Ok resp
+  else
+    Error
+      (Printf.sprintf "response id %d does not match request id %d" resp.P.rid
+         r.P.id)
+
+let request ?deadline_ms t body = { P.id = fresh_id t; deadline_ms; body }
+
+let close t = close_out_noerr t.oc

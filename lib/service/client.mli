@@ -1,0 +1,29 @@
+(** Blocking client for the plan server.
+
+    {!call} is the simple path: one request, wait for its reply.  For
+    pipelining — the load generator keeps dozens of requests in
+    flight per connection — build requests with {!request}, {!send}
+    them back to back, then {!recv} the replies and match them by
+    [rid] (the server may complete them out of order). *)
+
+type t
+
+val connect : ?host:string -> port:int -> unit -> (t, string) result
+(** TCP connect, then read and verify the server greeting. *)
+
+val request : ?deadline_ms:float -> t -> Protocol.request_body -> Protocol.request
+(** Stamp a body with this connection's next correlation id. *)
+
+val send : t -> Protocol.request -> (unit, string) result
+val recv : t -> (Protocol.response, string) result
+(** Read one response line (blocking). *)
+
+val call :
+  ?deadline_ms:float ->
+  t ->
+  Protocol.request_body ->
+  (Protocol.response, string) result
+(** [send] then [recv], checking the correlation id.  Only sound on a
+    connection with no other requests in flight. *)
+
+val close : t -> unit

@@ -1,0 +1,45 @@
+(** Request execution: the bridge from protocol bodies to the
+    pipeline, the plan cache and the churn sessions.
+
+    One engine is shared by every worker of a server; all state it
+    holds (cache, session registry) is thread-safe, so {!handle} may
+    be called concurrently from any number of pool workers — which is
+    exactly what the server does.  [Stats] and [Shutdown] are the two
+    ops answered by the server itself (they need pool and lifecycle
+    state); {!handle} answers them with a [bad_request] envelope. *)
+
+type t
+
+val create :
+  ?cache_entries:int ->
+  ?cache_bytes:int ->
+  ?max_sessions:int ->
+  unit ->
+  t
+
+val handle : t -> Protocol.request_body -> Protocol.response_body
+(** Never raises: pipeline [Invalid_argument]/[Failure] map to
+    [bad_request], unknown churn ids to [no_such_session] or
+    [bad_request], anything else to [internal]. *)
+
+val spec_key : Protocol.plan_spec -> string
+(** The content-addressed cache key of a plan spec:
+    {!Cache.content_key} of {!Protocol.spec_canonical_json}. *)
+
+val pointset_of_spec : Protocol.plan_spec -> Wa_geom.Pointset.t
+(** Resolve the deployment (inline points or generated family).
+    Raises [Invalid_argument] on unknown kinds or bad pointsets. *)
+
+val plan_bytes : Wa_core.Pipeline.plan -> int
+(** The cache's resident-size estimate for one plan. *)
+
+val obtain_plan : t -> Protocol.plan_spec -> Wa_core.Pipeline.plan * bool * float
+(** [(plan, cached, compute_ms)] — the caching path behind [plan],
+    [describe] and [simulate]; exposed for the cache-equality tests.
+    May raise (unlike {!handle}, which wraps it). *)
+
+val sessions : t -> Session.t
+val cache_stats : t -> Cache.stats
+
+val stats_fields : t -> (string * Wa_util.Json.t) list
+(** Engine-level fields of the [stats] response (cache + sessions). *)

@@ -1,0 +1,680 @@
+module Json = Wa_util.Json
+module Vec2 = Wa_geom.Vec2
+
+let version = 1
+
+(* Types ---------------------------------------------------------------- *)
+
+type deploy_spec =
+  | Points of Vec2.t array
+  | Generate of { kind : string; n : int; seed : int; side : float }
+
+type plan_spec = {
+  deploy : deploy_spec;
+  power : Wa_core.Pipeline.power_mode;
+  alpha : float;
+  beta : float;
+  gamma : float option;
+  engine : Wa_core.Conflict.engine;
+  no_cache : bool;
+}
+
+type request_body =
+  | Ping
+  | Plan of plan_spec
+  | Describe of plan_spec
+  | Simulate of { spec : plan_spec; periods : int }
+  | Churn_create of {
+      sink : Vec2.t;
+      power : Wa_core.Pipeline.power_mode;
+      alpha : float;
+      beta : float;
+      gamma : float option;
+    }
+  | Churn_add of { session : int; point : Vec2.t }
+  | Churn_remove of { session : int; node : int }
+  | Churn_info of { session : int }
+  | Churn_close of { session : int }
+  | Stats
+  | Shutdown
+
+type request = { id : int; deadline_ms : float option; body : request_body }
+
+type plan_summary = {
+  nodes : int;
+  links : int;
+  slots : int;
+  rate : float;
+  raw_colors : int;
+  repair_added : int;
+  plan_valid : bool;
+  point_diversity : float;
+  link_diversity : float;
+  description : string;
+  cached : bool;
+  compute_ms : float;
+}
+
+type sim_summary = {
+  sim_slots : int;
+  frames_generated : int;
+  frames_delivered : int;
+  achieved_rate : float;
+  steady_rate : float;
+  mean_latency : float;
+  max_latency : int;
+  max_buffer : int;
+  aggregates_correct : bool;
+  violations : int;
+  idle_slots : int;
+  plan_cached : bool;
+}
+
+type churn_summary = {
+  session : int;
+  node : int option;  (** Id allocated by an [add]. *)
+  links_total : int;
+  links_kept : int;
+  links_recolored : int;
+  churn_slots : int;
+  recompute_slots : int;
+}
+
+type session_info = {
+  info_session : int;
+  size : int;
+  info_slots : int;
+  info_valid : bool;
+}
+
+type error_code =
+  | Bad_request
+  | Bad_version
+  | Overloaded
+  | Deadline_exceeded
+  | No_such_session
+  | Shutting_down
+  | Internal
+
+type response_body =
+  | Pong
+  | Plan_r of plan_summary
+  | Describe_r of string
+  | Sim_r of sim_summary
+  | Churn_created of int
+  | Churn_r of churn_summary
+  | Session_r of session_info
+  | Churn_closed of int
+  | Stats_r of Json.t
+  | Shutdown_ok
+  | Error of { code : error_code; message : string }
+
+type response = { rid : int; body : response_body }
+
+let error ~id code message = { rid = id; body = Error { code; message } }
+
+(* Scalar codecs -------------------------------------------------------- *)
+
+let power_to_string = function
+  | `Global -> "global"
+  | `Uniform -> "uniform"
+  | `Linear -> "linear"
+  | `Oblivious tau -> Printf.sprintf "oblivious:%.17g" tau
+
+let power_of_string s =
+  match String.lowercase_ascii s with
+  | "global" -> Ok `Global
+  | "uniform" -> Ok `Uniform
+  | "linear" -> Ok `Linear
+  | s when String.length s > 10 && String.sub s 0 10 = "oblivious:" -> (
+      match float_of_string_opt (String.sub s 10 (String.length s - 10)) with
+      | Some tau when tau > 0.0 && tau < 1.0 -> Ok (`Oblivious tau)
+      | _ -> Error "oblivious tau must lie strictly in (0,1)")
+  | _ -> Error ("unknown power mode: " ^ s)
+
+let engine_to_string = function `Indexed -> "indexed" | `Dense -> "dense"
+
+let engine_of_string = function
+  | "indexed" -> Ok `Indexed
+  | "dense" -> Ok `Dense
+  | s -> Error ("unknown engine: " ^ s)
+
+let error_code_to_string = function
+  | Bad_request -> "bad_request"
+  | Bad_version -> "bad_version"
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | No_such_session -> "no_such_session"
+  | Shutting_down -> "shutting_down"
+  | Internal -> "internal"
+
+let error_code_of_string = function
+  | "bad_request" -> Ok Bad_request
+  | "bad_version" -> Ok Bad_version
+  | "overloaded" -> Ok Overloaded
+  | "deadline_exceeded" -> Ok Deadline_exceeded
+  | "no_such_session" -> Ok No_such_session
+  | "shutting_down" -> Ok Shutting_down
+  | "internal" -> Ok Internal
+  | s -> Error ("unknown error code: " ^ s)
+
+(* Encoding ------------------------------------------------------------- *)
+
+let vec2_json (v : Vec2.t) = Json.List [ Float v.Vec2.x; Float v.Vec2.y ]
+
+let deploy_json = function
+  | Points pts ->
+      Json.Obj [ ("points", Json.List (Array.to_list (Array.map vec2_json pts))) ]
+  | Generate { kind; n; seed; side } ->
+      Json.Obj
+        [
+          ("kind", String kind);
+          ("n", Int n);
+          ("seed", Int seed);
+          ("side", Float side);
+        ]
+
+(* The canonical form hashed into the cache key: every parameter that
+   influences the resulting plan, in a fixed field order, with [gamma]
+   explicit even when defaulted.  [no_cache] is deliberately absent —
+   it steers the cache, it does not change the plan. *)
+let spec_canonical_json spec =
+  Json.Obj
+    [
+      ("deploy", deploy_json spec.deploy);
+      ("power", String (power_to_string spec.power));
+      ("alpha", Float spec.alpha);
+      ("beta", Float spec.beta);
+      ("gamma", match spec.gamma with None -> Json.Null | Some g -> Float g);
+      ("engine", String (engine_to_string spec.engine));
+    ]
+
+let opt_field name v fields =
+  match v with None -> fields | Some j -> (name, j) :: fields
+
+let spec_fields spec =
+  [
+    ("deploy", deploy_json spec.deploy);
+    ("power", Json.String (power_to_string spec.power));
+    ("alpha", Json.Float spec.alpha);
+    ("beta", Json.Float spec.beta);
+  ]
+  @ (match spec.gamma with None -> [] | Some g -> [ ("gamma", Json.Float g) ])
+  @ [ ("engine", Json.String (engine_to_string spec.engine)) ]
+  @ (if spec.no_cache then [ ("no_cache", Json.Bool true) ] else [])
+
+let encode_request { id; deadline_ms; body } =
+  let op name fields =
+    Json.Obj
+      (( [ ("v", Json.Int version); ("id", Json.Int id) ]
+       |> opt_field "deadline_ms" (Option.map (fun d -> Json.Float d) deadline_ms)
+       )
+      @ (("op", Json.String name) :: fields))
+  in
+  match body with
+  | Ping -> op "ping" []
+  | Plan spec -> op "plan" (spec_fields spec)
+  | Describe spec -> op "describe" (spec_fields spec)
+  | Simulate { spec; periods } ->
+      op "simulate" (spec_fields spec @ [ ("periods", Json.Int periods) ])
+  | Churn_create { sink; power; alpha; beta; gamma } ->
+      op "churn_create"
+        ([
+           ("sink", vec2_json sink);
+           ("power", Json.String (power_to_string power));
+           ("alpha", Json.Float alpha);
+           ("beta", Json.Float beta);
+         ]
+        @ (match gamma with None -> [] | Some g -> [ ("gamma", Json.Float g) ]))
+  | Churn_add { session; point } ->
+      op "churn_add" [ ("session", Json.Int session); ("point", vec2_json point) ]
+  | Churn_remove { session; node } ->
+      op "churn_remove" [ ("session", Json.Int session); ("node", Json.Int node) ]
+  | Churn_info { session } -> op "churn_info" [ ("session", Json.Int session) ]
+  | Churn_close { session } -> op "churn_close" [ ("session", Json.Int session) ]
+  | Stats -> op "stats" []
+  | Shutdown -> op "shutdown" []
+
+let plan_summary_json (p : plan_summary) =
+  Json.Obj
+    [
+      ("nodes", Int p.nodes);
+      ("links", Int p.links);
+      ("slots", Int p.slots);
+      ("rate", Float p.rate);
+      ("raw_colors", Int p.raw_colors);
+      ("repair_added", Int p.repair_added);
+      ("valid", Bool p.plan_valid);
+      ("point_diversity", Float p.point_diversity);
+      ("link_diversity", Float p.link_diversity);
+      ("description", String p.description);
+      ("cached", Bool p.cached);
+      ("compute_ms", Float p.compute_ms);
+    ]
+
+let sim_summary_json (s : sim_summary) =
+  Json.Obj
+    [
+      ("slots", Int s.sim_slots);
+      ("frames_generated", Int s.frames_generated);
+      ("frames_delivered", Int s.frames_delivered);
+      ("achieved_rate", Float s.achieved_rate);
+      ("steady_rate", Float s.steady_rate);
+      ("mean_latency", Float s.mean_latency);
+      ("max_latency", Int s.max_latency);
+      ("max_buffer", Int s.max_buffer);
+      ("aggregates_correct", Bool s.aggregates_correct);
+      ("violations", Int s.violations);
+      ("idle_slots", Int s.idle_slots);
+      ("plan_cached", Bool s.plan_cached);
+    ]
+
+let churn_summary_json (c : churn_summary) =
+  Json.Obj
+    ([ ("session", Json.Int c.session) ]
+    @ (match c.node with None -> [] | Some n -> [ ("node", Json.Int n) ])
+    @ [
+        ("links_total", Json.Int c.links_total);
+        ("links_kept", Json.Int c.links_kept);
+        ("links_recolored", Json.Int c.links_recolored);
+        ("slots", Json.Int c.churn_slots);
+        ("recompute_slots", Json.Int c.recompute_slots);
+      ])
+
+let encode_response { rid; body } =
+  let ok op result =
+    Json.Obj
+      [
+        ("v", Json.Int version);
+        ("id", Json.Int rid);
+        ("ok", Json.Bool true);
+        ("op", Json.String op);
+        ("result", result);
+      ]
+  in
+  match body with
+  | Pong -> ok "ping" Json.Null
+  | Plan_r p -> ok "plan" (plan_summary_json p)
+  | Describe_r d -> ok "describe" (Json.String d)
+  | Sim_r s -> ok "simulate" (sim_summary_json s)
+  | Churn_created session ->
+      ok "churn_create" (Json.Obj [ ("session", Int session) ])
+  | Churn_r c -> ok "churn" (churn_summary_json c)
+  | Session_r i ->
+      ok "churn_info"
+        (Json.Obj
+           [
+             ("session", Int i.info_session);
+             ("size", Int i.size);
+             ("slots", Int i.info_slots);
+             ("valid", Bool i.info_valid);
+           ])
+  | Churn_closed session ->
+      ok "churn_close" (Json.Obj [ ("session", Int session) ])
+  | Stats_r j -> ok "stats" j
+  | Shutdown_ok -> ok "shutdown" Json.Null
+  | Error { code; message } ->
+      Json.Obj
+        [
+          ("v", Json.Int version);
+          ("id", Json.Int rid);
+          ("ok", Json.Bool false);
+          ( "error",
+            Json.Obj
+              [
+                ("code", String (error_code_to_string code));
+                ("message", String message);
+              ] );
+        ]
+
+(* Decoding ------------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let field name json =
+  match Json.member name json with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let int_field name json =
+  let* v = field name json in
+  match Json.to_int_opt v with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "field %S must be an integer" name)
+
+let float_field name json =
+  let* v = field name json in
+  match Json.to_float_opt v with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "field %S must be a number" name)
+
+let string_field name json =
+  let* v = field name json in
+  match Json.to_string_opt v with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "field %S must be a string" name)
+
+let opt_float_field name json =
+  match Json.member name json with
+  | None -> Ok None
+  | Some v -> (
+      match Json.to_float_opt v with
+      | Some f -> Ok (Some f)
+      | None -> Error (Printf.sprintf "field %S must be a number" name))
+
+let default_float name ~default json =
+  let* v = opt_float_field name json in
+  Ok (Option.value ~default v)
+
+let bool_field_default name ~default json =
+  match Json.member name json with
+  | None -> Ok default
+  | Some (Json.Bool b) -> Ok b
+  | Some _ -> Error (Printf.sprintf "field %S must be a boolean" name)
+
+let vec2_of_json = function
+  | Json.List [ x; y ] -> (
+      match (Json.to_float_opt x, Json.to_float_opt y) with
+      | Some x, Some y -> Ok (Vec2.make x y)
+      | _ -> Error "point coordinates must be numbers")
+  | _ -> Error "a point is a two-element array [x, y]"
+
+let decode_deploy json =
+  let* d = field "deploy" json in
+  match Json.member "points" d with
+  | Some (Json.List []) -> Error "deploy.points must be non-empty"
+  | Some (Json.List pts) ->
+        let rec go acc = function
+          | [] -> Ok (Points (Array.of_list (List.rev acc)))
+          | p :: rest ->
+              let* v = vec2_of_json p in
+              go (v :: acc) rest
+        in
+        go [] pts
+  | Some _ -> Error "deploy.points must be an array"
+  | None ->
+      let* kind = string_field "kind" d in
+      let* n = int_field "n" d in
+      let* seed = int_field "seed" d in
+      let* side = default_float "side" ~default:1000.0 d in
+      if n < 1 then Error "deploy.n must be positive"
+      else Ok (Generate { kind; n; seed; side })
+
+let default_params = Wa_sinr.Params.default
+
+let decode_power json =
+  let* s = string_field "power" json in
+  power_of_string s
+
+let decode_spec json =
+  let* deploy = decode_deploy json in
+  let* power = decode_power json in
+  let* alpha = default_float "alpha" ~default:default_params.Wa_sinr.Params.alpha json in
+  let* beta = default_float "beta" ~default:default_params.Wa_sinr.Params.beta json in
+  let* gamma = opt_float_field "gamma" json in
+  let* engine =
+    match Json.member "engine" json with
+    | None -> Ok `Indexed
+    | Some (Json.String s) -> engine_of_string s
+    | Some _ -> Error "field \"engine\" must be a string"
+  in
+  let* no_cache = bool_field_default "no_cache" ~default:false json in
+  Ok { deploy; power; alpha; beta; gamma; engine; no_cache }
+
+let decode_version json =
+  match Json.member "v" json with
+  | None -> Ok ()
+  | Some v -> (
+      match Json.to_int_opt v with
+      | Some n when n = version -> Ok ()
+      | Some n -> Error (Printf.sprintf "unsupported protocol version %d" n)
+      | None -> Error "field \"v\" must be an integer")
+
+let decode_request json =
+  match json with
+  | Json.Obj _ ->
+      let* () = decode_version json in
+      let* id = int_field "id" json in
+      let* deadline_ms = opt_float_field "deadline_ms" json in
+      let* op = string_field "op" json in
+      let* body =
+        match op with
+        | "ping" -> Ok Ping
+        | "plan" ->
+            let* spec = decode_spec json in
+            Ok (Plan spec)
+        | "describe" ->
+            let* spec = decode_spec json in
+            Ok (Describe spec)
+        | "simulate" ->
+            let* spec = decode_spec json in
+            let* periods =
+              match Json.member "periods" json with
+              | None -> Ok 50
+              | Some v -> (
+                  match Json.to_int_opt v with
+                  | Some p when p > 0 -> Ok p
+                  | Some _ -> Error "field \"periods\" must be positive"
+                  | None -> Error "field \"periods\" must be an integer")
+            in
+            Ok (Simulate { spec; periods })
+        | "churn_create" ->
+            let* sink =
+              let* s = field "sink" json in
+              vec2_of_json s
+            in
+            let* power = decode_power json in
+            let* alpha =
+              default_float "alpha" ~default:default_params.Wa_sinr.Params.alpha json
+            in
+            let* beta =
+              default_float "beta" ~default:default_params.Wa_sinr.Params.beta json
+            in
+            let* gamma = opt_float_field "gamma" json in
+            Ok (Churn_create { sink; power; alpha; beta; gamma })
+        | "churn_add" ->
+            let* session = int_field "session" json in
+            let* point =
+              let* p = field "point" json in
+              vec2_of_json p
+            in
+            Ok (Churn_add { session; point })
+        | "churn_remove" ->
+            let* session = int_field "session" json in
+            let* node = int_field "node" json in
+            Ok (Churn_remove { session; node })
+        | "churn_info" ->
+            let* session = int_field "session" json in
+            Ok (Churn_info { session })
+        | "churn_close" ->
+            let* session = int_field "session" json in
+            Ok (Churn_close { session })
+        | "stats" -> Ok Stats
+        | "shutdown" -> Ok Shutdown
+        | op -> Error ("unknown op: " ^ op)
+      in
+      Ok { id; deadline_ms; body }
+  | _ -> Error "a request is a JSON object"
+
+let decode_plan_summary j =
+  let* nodes = int_field "nodes" j in
+  let* links = int_field "links" j in
+  let* slots = int_field "slots" j in
+  let* rate = float_field "rate" j in
+  let* raw_colors = int_field "raw_colors" j in
+  let* repair_added = int_field "repair_added" j in
+  let* plan_valid = bool_field_default "valid" ~default:false j in
+  let* point_diversity = float_field "point_diversity" j in
+  let* link_diversity = float_field "link_diversity" j in
+  let* description = string_field "description" j in
+  let* cached = bool_field_default "cached" ~default:false j in
+  let* compute_ms = float_field "compute_ms" j in
+  Ok
+    {
+      nodes;
+      links;
+      slots;
+      rate;
+      raw_colors;
+      repair_added;
+      plan_valid;
+      point_diversity;
+      link_diversity;
+      description;
+      cached;
+      compute_ms;
+    }
+
+(* Simulator statistics may legitimately be NaN (e.g. mean latency
+   over zero delivered frames); the emitter prints NaN as [null], so
+   accept it back here. *)
+let stat_float_field name j =
+  match Json.member name j with
+  | Some Json.Null -> Ok Float.nan
+  | _ -> float_field name j
+
+let decode_sim_summary j =
+  let* sim_slots = int_field "slots" j in
+  let* frames_generated = int_field "frames_generated" j in
+  let* frames_delivered = int_field "frames_delivered" j in
+  let* achieved_rate = stat_float_field "achieved_rate" j in
+  let* steady_rate = stat_float_field "steady_rate" j in
+  let* mean_latency = stat_float_field "mean_latency" j in
+  let* max_latency = int_field "max_latency" j in
+  let* max_buffer = int_field "max_buffer" j in
+  let* aggregates_correct = bool_field_default "aggregates_correct" ~default:false j in
+  let* violations = int_field "violations" j in
+  let* idle_slots = int_field "idle_slots" j in
+  let* plan_cached = bool_field_default "plan_cached" ~default:false j in
+  Ok
+    {
+      sim_slots;
+      frames_generated;
+      frames_delivered;
+      achieved_rate;
+      steady_rate;
+      mean_latency;
+      max_latency;
+      max_buffer;
+      aggregates_correct;
+      violations;
+      idle_slots;
+      plan_cached;
+    }
+
+let decode_churn_summary j =
+  let* session = int_field "session" j in
+  let* node =
+    match Json.member "node" j with
+    | None -> Ok None
+    | Some v -> (
+        match Json.to_int_opt v with
+        | Some n -> Ok (Some n)
+        | None -> Error "field \"node\" must be an integer")
+  in
+  let* links_total = int_field "links_total" j in
+  let* links_kept = int_field "links_kept" j in
+  let* links_recolored = int_field "links_recolored" j in
+  let* churn_slots = int_field "slots" j in
+  let* recompute_slots = int_field "recompute_slots" j in
+  Ok
+    {
+      session;
+      node;
+      links_total;
+      links_kept;
+      links_recolored;
+      churn_slots;
+      recompute_slots;
+    }
+
+let decode_response json =
+  match json with
+  | Json.Obj _ -> (
+      let* () = decode_version json in
+      let* id = int_field "id" json in
+      let* ok = bool_field_default "ok" ~default:false json in
+      if not ok then
+        let* e = field "error" json in
+        let* code_s = string_field "code" e in
+        let* code = error_code_of_string code_s in
+        let* message = string_field "message" e in
+        Ok { rid = id; body = Error { code; message } }
+      else
+        let* op = string_field "op" json in
+        let* result = field "result" json in
+        let* body =
+          match op with
+          | "ping" -> Ok Pong
+          | "plan" ->
+              let* p = decode_plan_summary result in
+              Ok (Plan_r p)
+          | "describe" -> (
+              match Json.to_string_opt result with
+              | Some d -> Ok (Describe_r d)
+              | None -> Error "describe result must be a string")
+          | "simulate" ->
+              let* s = decode_sim_summary result in
+              Ok (Sim_r s)
+          | "churn_create" ->
+              let* session = int_field "session" result in
+              Ok (Churn_created session)
+          | "churn" ->
+              let* c = decode_churn_summary result in
+              Ok (Churn_r c)
+          | "churn_info" ->
+              let* info_session = int_field "session" result in
+              let* size = int_field "size" result in
+              let* info_slots = int_field "slots" result in
+              let* info_valid = bool_field_default "valid" ~default:false result in
+              Ok (Session_r { info_session; size; info_slots; info_valid })
+          | "churn_close" ->
+              let* session = int_field "session" result in
+              Ok (Churn_closed session)
+          | "stats" -> Ok (Stats_r result)
+          | "shutdown" -> Ok Shutdown_ok
+          | op -> Error ("unknown response op: " ^ op)
+        in
+        Ok { rid = id; body })
+  | _ -> Error "a response is a JSON object"
+
+(* Line framing --------------------------------------------------------- *)
+
+let request_to_line r = Json.to_string ~pretty:false (encode_request r)
+let response_to_line r = Json.to_string ~pretty:false (encode_response r)
+
+let request_of_line line =
+  let* json = Json.of_string line in
+  decode_request json
+
+let response_of_line line =
+  let* json = Json.of_string line in
+  decode_response json
+
+(* Best-effort id extraction from a line that failed full decoding, so
+   the error envelope still correlates with the client's request. *)
+let id_of_line line =
+  match Json.of_string line with
+  | Ok json -> (
+      match Option.bind (Json.member "id" json) Json.to_int_opt with
+      | Some id -> id
+      | None -> 0)
+  | Error _ -> 0
+
+(* Greeting ------------------------------------------------------------- *)
+
+let greeting =
+  Json.Obj [ ("service", String "wa_service"); ("version", Int version) ]
+
+let greeting_line = Json.to_string ~pretty:false greeting
+
+let check_greeting line =
+  let* json = Json.of_string line in
+  match
+    ( Option.bind (Json.member "service" json) Json.to_string_opt,
+      Option.bind (Json.member "version" json) Json.to_int_opt )
+  with
+  | Some "wa_service", Some v when v = version -> Ok ()
+  | Some "wa_service", Some v ->
+      Error (Printf.sprintf "server speaks protocol version %d, client %d" v version)
+  | _ -> Error "not a wa_service endpoint"

@@ -1,0 +1,172 @@
+(** Versioned JSON-lines wire protocol of the plan server.
+
+    One request per line, one response per line; responses carry the
+    request's [id] so a client may pipeline many requests over one
+    connection and match replies out of order.  Every message carries
+    the protocol [version] in ["v"] (omitted ["v"] means version 1);
+    the server additionally sends {!greeting_line} on connect.
+
+    Encoders and decoders are exact inverses over well-formed values:
+    [decode (encode m) = Ok m] up to JSON field order (the qcheck
+    round-trip suite in [test/test_service.ml] enforces this), and
+    malformed input decodes to [Error] rather than raising. *)
+
+val version : int
+
+(* Requests ------------------------------------------------------------- *)
+
+type deploy_spec =
+  | Points of Wa_geom.Vec2.t array  (** Inline coordinates. *)
+  | Generate of { kind : string; n : int; seed : int; side : float }
+      (** Server-side deployment: [kind] is one of the CLI families
+          (uniform, disk, grid, clusters, line). *)
+
+type plan_spec = {
+  deploy : deploy_spec;
+  power : Wa_core.Pipeline.power_mode;
+  alpha : float;
+  beta : float;
+  gamma : float option;  (** [None]: the mode-specific default. *)
+  engine : Wa_core.Conflict.engine;
+  no_cache : bool;
+      (** Bypass the plan cache entirely (no lookup, no store); used
+          to force cold computations, e.g. by the load benchmark. *)
+}
+
+type request_body =
+  | Ping
+  | Plan of plan_spec
+  | Describe of plan_spec
+  | Simulate of { spec : plan_spec; periods : int }
+  | Churn_create of {
+      sink : Wa_geom.Vec2.t;
+      power : Wa_core.Pipeline.power_mode;
+      alpha : float;
+      beta : float;
+      gamma : float option;
+    }
+  | Churn_add of { session : int; point : Wa_geom.Vec2.t }
+  | Churn_remove of { session : int; node : int }
+  | Churn_info of { session : int }
+  | Churn_close of { session : int }
+  | Stats
+  | Shutdown
+
+type request = {
+  id : int;  (** Client correlation id, echoed in the response. *)
+  deadline_ms : float option;
+      (** Per-request budget from arrival at the server; a request
+          still queued when it expires is answered
+          [deadline_exceeded] instead of being run. *)
+  body : request_body;
+}
+
+(* Responses ------------------------------------------------------------ *)
+
+type plan_summary = {
+  nodes : int;
+  links : int;
+  slots : int;
+  rate : float;
+  raw_colors : int;
+  repair_added : int;
+  plan_valid : bool;
+  point_diversity : float;
+  link_diversity : float;
+  description : string;
+  cached : bool;  (** Served from the plan cache. *)
+  compute_ms : float;  (** Compute time; ~0 on cache hits. *)
+}
+
+type sim_summary = {
+  sim_slots : int;
+  frames_generated : int;
+  frames_delivered : int;
+  achieved_rate : float;
+  steady_rate : float;
+  mean_latency : float;
+  max_latency : int;
+  max_buffer : int;
+  aggregates_correct : bool;
+  violations : int;
+  idle_slots : int;
+  plan_cached : bool;
+}
+
+type churn_summary = {
+  session : int;
+  node : int option;  (** Id allocated by an [add]. *)
+  links_total : int;
+  links_kept : int;
+  links_recolored : int;
+  churn_slots : int;
+  recompute_slots : int;
+}
+
+type session_info = {
+  info_session : int;
+  size : int;
+  info_slots : int;
+  info_valid : bool;
+}
+
+type error_code =
+  | Bad_request
+  | Bad_version
+  | Overloaded  (** Bounded request queue at capacity; retry later. *)
+  | Deadline_exceeded
+  | No_such_session
+  | Shutting_down
+  | Internal
+
+type response_body =
+  | Pong
+  | Plan_r of plan_summary
+  | Describe_r of string
+  | Sim_r of sim_summary
+  | Churn_created of int
+  | Churn_r of churn_summary
+  | Session_r of session_info
+  | Churn_closed of int
+  | Stats_r of Wa_util.Json.t
+  | Shutdown_ok
+  | Error of { code : error_code; message : string }
+
+type response = { rid : int; body : response_body }
+
+val error : id:int -> error_code -> string -> response
+
+(* Codecs --------------------------------------------------------------- *)
+
+val power_to_string : Wa_core.Pipeline.power_mode -> string
+val power_of_string : string -> (Wa_core.Pipeline.power_mode, string) result
+val engine_to_string : Wa_core.Conflict.engine -> string
+val engine_of_string : string -> (Wa_core.Conflict.engine, string) result
+val error_code_to_string : error_code -> string
+
+val spec_canonical_json : plan_spec -> Wa_util.Json.t
+(** The canonical form whose content hash is the plan-cache key:
+    deployment, power mode, alpha, beta, gamma (explicit null when
+    defaulted) and engine, in fixed field order.  [no_cache] is
+    excluded — it steers the cache, it does not change the plan. *)
+
+val encode_request : request -> Wa_util.Json.t
+val decode_request : Wa_util.Json.t -> (request, string) result
+val encode_response : response -> Wa_util.Json.t
+val decode_response : Wa_util.Json.t -> (response, string) result
+
+val request_to_line : request -> string
+(** Compact JSON, no trailing newline. *)
+
+val request_of_line : string -> (request, string) result
+val response_to_line : response -> string
+val response_of_line : string -> (response, string) result
+
+val id_of_line : string -> int
+(** Best-effort ["id"] extraction from a malformed request line, so
+    the error envelope still correlates; [0] when unrecoverable. *)
+
+val greeting_line : string
+(** Sent by the server on connect: service name + protocol version. *)
+
+val check_greeting : string -> (unit, string) result

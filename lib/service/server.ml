@@ -1,0 +1,366 @@
+module Json = Wa_util.Json
+module Pool = Wa_util.Parallel.Pool
+module Metrics = Wa_obs.Metrics
+module P = Protocol
+
+type config = {
+  host : string;
+  port : int;  (** [0] binds an ephemeral port; see {!port}. *)
+  workers : int option;
+  queue_capacity : int;
+  cache_entries : int;
+  cache_bytes : int;
+  max_sessions : int;
+  max_line : int;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7461;
+    workers = None;
+    queue_capacity = 128;
+    cache_entries = 128;
+    cache_bytes = 256 * 1024 * 1024;
+    max_sessions = 64;
+    max_line = 8 * 1024 * 1024;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  oc : out_channel;
+  wlock : Mutex.t;  (** Serializes whole response lines on [oc]. *)
+  rbuf : Buffer.t;
+  mutable pending : int;  (** Accepted requests not yet replied to. *)
+  mutable eof : bool;  (** Client closed its write side. *)
+  mutable alive : bool;  (** Our write side still works. *)
+  mutable fd_closed : bool;
+}
+
+type t = {
+  config : config;
+  listen_fd : Unix.file_descr;
+  engine : Engine.t;
+  pool : Pool.t;
+  state_mu : Mutex.t;
+  mutable conns : conn list;
+  mutable draining : bool;
+  mutable stop_requested : bool;
+  mutable shutdown_reply : (conn * int) option;
+  mutable n_requests : int;
+  mutable n_responses : int;
+  mutable n_overloaded : int;
+  mutable n_deadline_misses : int;
+  mutable inflight_peak : int;
+  c_requests : Metrics.counter;
+  c_responses : Metrics.counter;
+  c_overloaded : Metrics.counter;
+  c_deadline_misses : Metrics.counter;
+  g_queue_depth : Metrics.gauge;
+  g_inflight_peak : Metrics.gauge;
+  h_request_ms : Metrics.histogram;
+}
+
+let locked mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let create config =
+  (* A dead peer must surface as a write error on its connection, not
+     kill the whole server. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let addr = Unix.inet_addr_of_string config.host in
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  (try Unix.bind listen_fd (Unix.ADDR_INET (addr, config.port))
+   with e ->
+     Unix.close listen_fd;
+     raise e);
+  Unix.listen listen_fd 64;
+  {
+    config;
+    listen_fd;
+    engine =
+      Engine.create ~cache_entries:config.cache_entries
+        ~cache_bytes:config.cache_bytes ~max_sessions:config.max_sessions ();
+    pool =
+      Pool.create ?workers:config.workers
+        ~queue_capacity:config.queue_capacity ();
+    state_mu = Mutex.create ();
+    conns = [];
+    draining = false;
+    stop_requested = false;
+    shutdown_reply = None;
+    n_requests = 0;
+    n_responses = 0;
+    n_overloaded = 0;
+    n_deadline_misses = 0;
+    inflight_peak = 0;
+    c_requests = Metrics.counter "service.requests";
+    c_responses = Metrics.counter "service.responses";
+    c_overloaded = Metrics.counter "service.overloaded";
+    c_deadline_misses = Metrics.counter "service.deadline_misses";
+    g_queue_depth = Metrics.gauge "service.queue_depth";
+    g_inflight_peak = Metrics.gauge "service.inflight_peak";
+    h_request_ms = Metrics.histogram "service.request_ms";
+  }
+
+let port t =
+  match Unix.getsockname t.listen_fd with
+  | Unix.ADDR_INET (_, p) -> p
+  | _ -> t.config.port
+
+let engine t = t.engine
+
+let stop t = locked t.state_mu (fun () -> t.stop_requested <- true)
+
+(* Response writing: workers and the event loop both call this, so one
+   whole line is written and flushed under the connection's lock.
+   [Json.to_channel] streams — a large response never exists as one
+   string. *)
+let send t conn resp =
+  Mutex.lock conn.wlock;
+  (if conn.alive then
+     try
+       Json.to_channel ~pretty:false conn.oc (P.encode_response resp);
+       output_char conn.oc '\n';
+       flush conn.oc
+     with Sys_error _ | Unix.Unix_error _ -> conn.alive <- false);
+  Mutex.unlock conn.wlock;
+  locked t.state_mu (fun () -> t.n_responses <- t.n_responses + 1);
+  Metrics.incr t.c_responses
+
+let request_done t conn =
+  locked t.state_mu (fun () -> conn.pending <- conn.pending - 1)
+
+(* The pool job for one accepted request. *)
+let job t conn (r : P.request) ~arrival () =
+  Fun.protect
+    ~finally:(fun () -> request_done t conn)
+    (fun () ->
+      Wa_obs.Trace.with_span "service.request" (fun () ->
+          let overdue =
+            match r.P.deadline_ms with
+            | None -> false
+            | Some budget ->
+                (Unix.gettimeofday () -. arrival) *. 1000.0 > budget
+          in
+          let resp =
+            if overdue then begin
+              locked t.state_mu (fun () ->
+                  t.n_deadline_misses <- t.n_deadline_misses + 1);
+              Metrics.incr t.c_deadline_misses;
+              P.error ~id:r.P.id P.Deadline_exceeded
+                "deadline expired before the request left the queue"
+            end
+            else { P.rid = r.P.id; body = Engine.handle t.engine r.P.body }
+          in
+          send t conn resp;
+          Metrics.observe t.h_request_ms
+            ((Unix.gettimeofday () -. arrival) *. 1000.0)))
+
+let stats_response t ~id =
+  let pool_fields =
+    [
+      ("workers", Json.Int (Pool.workers t.pool));
+      ("queue_depth", Json.Int (Pool.queue_depth t.pool));
+      ("in_flight", Json.Int (Pool.in_flight t.pool));
+      ("queue_capacity", Json.Int t.config.queue_capacity);
+    ]
+  in
+  let counters =
+    locked t.state_mu (fun () ->
+        [
+          ("requests", Json.Int t.n_requests);
+          ("responses", Json.Int t.n_responses);
+          ("overloaded", Json.Int t.n_overloaded);
+          ("deadline_misses", Json.Int t.n_deadline_misses);
+          ("inflight_peak", Json.Int t.inflight_peak);
+          ("draining", Json.Bool t.draining);
+        ])
+  in
+  {
+    P.rid = id;
+    body = P.Stats_r (Json.Obj (counters @ pool_fields @ Engine.stats_fields t.engine));
+  }
+
+(* One complete request line. *)
+let handle_line t conn line =
+  if String.trim line <> "" then begin
+    locked t.state_mu (fun () -> t.n_requests <- t.n_requests + 1);
+    Metrics.incr t.c_requests;
+    match P.request_of_line line with
+    | Error msg ->
+        let code =
+          if
+            String.length msg >= 20
+            && String.sub msg 0 20 = "unsupported protocol"
+          then P.Bad_version
+          else P.Bad_request
+        in
+        send t conn (P.error ~id:(P.id_of_line line) code msg)
+    | Ok r -> (
+        let draining = locked t.state_mu (fun () -> t.draining) in
+        match r.P.body with
+        | _ when draining ->
+            send t conn
+              (P.error ~id:r.P.id P.Shutting_down "server is draining")
+        | P.Stats -> send t conn (stats_response t ~id:r.P.id)
+        | P.Shutdown ->
+            locked t.state_mu (fun () ->
+                t.draining <- true;
+                t.shutdown_reply <- Some (conn, r.P.id))
+        | _ -> (
+            let arrival = Unix.gettimeofday () in
+            locked t.state_mu (fun () -> conn.pending <- conn.pending + 1);
+            match Pool.submit t.pool (job t conn r ~arrival) with
+            | `Queued ->
+                let inflight = Pool.in_flight t.pool in
+                locked t.state_mu (fun () ->
+                    if inflight > t.inflight_peak then
+                      t.inflight_peak <- inflight);
+                Metrics.set_max t.g_inflight_peak (float_of_int inflight)
+            | `Rejected ->
+                request_done t conn;
+                locked t.state_mu (fun () ->
+                    t.n_overloaded <- t.n_overloaded + 1);
+                Metrics.incr t.c_overloaded;
+                send t conn
+                  (P.error ~id:r.P.id P.Overloaded
+                     "request queue at capacity, retry later")
+            | `Stopping ->
+                request_done t conn;
+                send t conn
+                  (P.error ~id:r.P.id P.Shutting_down "server is draining")))
+  end
+
+(* Split the connection buffer into complete lines and process them. *)
+let drain_lines t conn =
+  let s = Buffer.contents conn.rbuf in
+  let n = String.length s in
+  let start = ref 0 in
+  (try
+     while !start < n do
+       match String.index_from s !start '\n' with
+       | nl ->
+           let line = String.sub s !start (nl - !start) in
+           start := nl + 1;
+           handle_line t conn line
+       | exception Not_found -> raise Exit
+     done
+   with Exit -> ());
+  Buffer.clear conn.rbuf;
+  if !start < n then Buffer.add_substring conn.rbuf s !start (n - !start);
+  if Buffer.length conn.rbuf > t.config.max_line then begin
+    send t conn
+      (P.error ~id:0 P.Bad_request
+         (Printf.sprintf "request line exceeds %d bytes" t.config.max_line));
+    conn.eof <- true;
+    conn.alive <- false
+  end
+
+let handle_readable t conn =
+  let read_chunk = Bytes.create 65536 in
+  match Unix.read conn.fd read_chunk 0 (Bytes.length read_chunk) with
+  | 0 -> conn.eof <- true
+  | n ->
+      Buffer.add_subbytes conn.rbuf read_chunk 0 n;
+      drain_lines t conn
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      conn.eof <- true;
+      conn.alive <- false
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+      ()
+
+let accept_conn t =
+  match Unix.accept t.listen_fd with
+  | fd, _ ->
+      let conn =
+        {
+          fd;
+          oc = Unix.out_channel_of_descr fd;
+          wlock = Mutex.create ();
+          rbuf = Buffer.create 1024;
+          pending = 0;
+          eof = false;
+          alive = true;
+          fd_closed = false;
+        }
+      in
+      (try
+         output_string conn.oc P.greeting_line;
+         output_char conn.oc '\n';
+         flush conn.oc
+       with Sys_error _ -> conn.alive <- false);
+      t.conns <- conn :: t.conns
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+      ()
+
+let close_conn conn =
+  if not conn.fd_closed then begin
+    conn.fd_closed <- true;
+    (* [oc] wraps the same descriptor, so closing it closes the fd. *)
+    close_out_noerr conn.oc
+  end
+
+(* Reap connections that are gone and have no replies outstanding. *)
+let reap t =
+  let gone, live =
+    List.partition
+      (fun c -> (c.eof || not c.alive) && locked t.state_mu (fun () -> c.pending = 0))
+      t.conns
+  in
+  List.iter close_conn gone;
+  t.conns <- live
+
+let finish t =
+  (* Stop reading, let every accepted request run to completion and
+     its reply reach the wire, then answer the shutdown request
+     itself, close everything and join the workers. *)
+  Wa_obs.Trace.with_span "service.drain" (fun () -> Pool.drain t.pool);
+  (match locked t.state_mu (fun () -> t.shutdown_reply) with
+  | Some (conn, id) -> send t conn { P.rid = id; body = P.Shutdown_ok }
+  | None -> ());
+  Session.close_all (Engine.sessions t.engine);
+  List.iter close_conn t.conns;
+  t.conns <- [];
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  Pool.shutdown t.pool
+
+let run t =
+  let finished = ref false in
+  while not !finished do
+    let stop_now =
+      locked t.state_mu (fun () -> t.stop_requested || t.draining)
+    in
+    if stop_now then finished := true
+    else begin
+      reap t;
+      let read_fds =
+        t.listen_fd :: List.filter_map (fun c -> if c.eof then None else Some c.fd) t.conns
+      in
+      (match Unix.select read_fds [] [] 0.1 with
+      | readable, _, _ ->
+          List.iter
+            (fun fd ->
+              if fd = t.listen_fd then accept_conn t
+              else
+                match List.find_opt (fun c -> c.fd = fd) t.conns with
+                | Some conn -> handle_readable t conn
+                | None -> ())
+            readable
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      Metrics.set t.g_queue_depth (float_of_int (Pool.queue_depth t.pool))
+    end
+  done;
+  finish t
+
+let summary t =
+  locked t.state_mu (fun () ->
+      Printf.sprintf
+        "served %d request(s): %d response(s), %d overloaded, %d deadline \
+         miss(es), peak in-flight %d"
+        t.n_requests t.n_responses t.n_overloaded t.n_deadline_misses
+        t.inflight_peak)

@@ -1,0 +1,64 @@
+(** The plan server: a TCP endpoint speaking the JSON-lines
+    {!Protocol} and fanning requests out across a persistent
+    {!Wa_util.Parallel.Pool} of worker domains.
+
+    Life cycle: {!create} binds and listens (and spawns the pool);
+    {!run} is the blocking accept/read/dispatch loop — call it on the
+    current domain or inside [Domain.spawn] for in-process use.  The
+    loop exits through the graceful path in exactly two ways: a
+    [shutdown] request from a client, or {!stop} from another domain
+    (the CLI wires SIGINT/SIGTERM to it).  Either way the server
+    first stops reading, lets every already-accepted request run to
+    completion and flush its reply, answers the shutdown request
+    itself, and only then closes connections and joins the workers —
+    accepted work is never dropped.
+
+    Backpressure is explicit: when the bounded queue is full a
+    request is answered with an [overloaded] error envelope
+    immediately instead of queueing without bound.  Requests whose
+    [deadline_ms] expires while queued are answered
+    [deadline_exceeded] without being run.
+
+    Telemetry: every request runs in a ["service.request"] span;
+    counters [service.requests]/[service.responses]/
+    [service.overloaded]/[service.deadline_misses], gauges
+    [service.queue_depth]/[service.inflight_peak]/[service.sessions],
+    cache series [service.cache_*], histogram [service.request_ms]. *)
+
+type config = {
+  host : string;
+  port : int;  (** [0] binds an ephemeral port; see {!port}. *)
+  workers : int option;  (** [None]: pool default (domains - 1). *)
+  queue_capacity : int;
+  cache_entries : int;
+  cache_bytes : int;
+  max_sessions : int;
+  max_line : int;  (** Reject request lines beyond this many bytes. *)
+}
+
+val default_config : config
+(** 127.0.0.1:7461, queue 128, cache 128 entries / 256 MiB,
+    64 sessions, 8 MiB lines. *)
+
+type t
+
+val create : config -> t
+(** Bind, listen, spawn the worker pool.  Raises [Unix.Unix_error]
+    when the address is unavailable.  Also ignores SIGPIPE: a dead
+    peer must surface as a per-connection error. *)
+
+val port : t -> int
+(** The actually-bound port (useful with [port = 0]). *)
+
+val engine : t -> Engine.t
+
+val run : t -> unit
+(** Serve until [shutdown] or {!stop}; returns after the graceful
+    drain completed and the pool is joined. *)
+
+val stop : t -> unit
+(** Request the graceful drain from any domain; picked up within one
+    event-loop tick (≤ 0.1 s). *)
+
+val summary : t -> string
+(** One line of served/overloaded/deadline/peak counters. *)

@@ -1,0 +1,6 @@
+module Protocol = Protocol
+module Cache = Cache
+module Session = Session
+module Engine = Engine
+module Server = Server
+module Client = Client

@@ -1,0 +1,19 @@
+(** The serving layer: a resident plan server over the one-shot
+    pipeline (DESIGN.md §11).
+
+    - {!Protocol}: versioned JSON-lines request/response types with
+      exact-inverse encoders and decoders;
+    - {!Cache}: content-addressed plan cache with LRU eviction, byte
+      accounting and request batching;
+    - {!Session}: stateful churn sessions over {!Wa_core.Dynamic};
+    - {!Engine}: request execution against cache + sessions;
+    - {!Server}: the TCP endpoint — bounded queue, per-request
+      deadlines, explicit [overloaded] backpressure, graceful drain;
+    - {!Client}: blocking (and pipelining-capable) client. *)
+
+module Protocol = Protocol
+module Cache = Cache
+module Session = Session
+module Engine = Engine
+module Server = Server
+module Client = Client

@@ -33,53 +33,63 @@ let float_literal v =
     Printf.sprintf "%.1f" v
   else Printf.sprintf "%.17g" v
 
-let to_string ?(pretty = true) t =
-  let buf = Buffer.create 256 in
+(* One emitter behind two sinks: [to_string] accumulates into a
+   buffer, [to_channel] streams straight to the channel so a large
+   document never exists as one in-memory string. *)
+let emit_to ~pretty ~add_string ~add_char t =
   let indent depth = if pretty then String.make (2 * depth) ' ' else "" in
-  let newline () = if pretty then Buffer.add_char buf '\n' in
+  let newline () = if pretty then add_char '\n' in
   let rec emit depth = function
-    | Null -> Buffer.add_string buf "null"
-    | Bool b -> Buffer.add_string buf (string_of_bool b)
-    | Int i -> Buffer.add_string buf (string_of_int i)
-    | Float v -> Buffer.add_string buf (float_literal v)
-    | String s -> Buffer.add_string buf (escape_string s)
-    | List [] -> Buffer.add_string buf "[]"
+    | Null -> add_string "null"
+    | Bool b -> add_string (string_of_bool b)
+    | Int i -> add_string (string_of_int i)
+    | Float v -> add_string (float_literal v)
+    | String s -> add_string (escape_string s)
+    | List [] -> add_string "[]"
     | List items ->
-        Buffer.add_char buf '[';
+        add_char '[';
         newline ();
         List.iteri
           (fun i item ->
             if i > 0 then begin
-              Buffer.add_char buf ',';
+              add_char ',';
               newline ()
             end;
-            Buffer.add_string buf (indent (depth + 1));
+            add_string (indent (depth + 1));
             emit (depth + 1) item)
           items;
         newline ();
-        Buffer.add_string buf (indent depth);
-        Buffer.add_char buf ']'
-    | Obj [] -> Buffer.add_string buf "{}"
+        add_string (indent depth);
+        add_char ']'
+    | Obj [] -> add_string "{}"
     | Obj fields ->
-        Buffer.add_char buf '{';
+        add_char '{';
         newline ();
         List.iteri
           (fun i (key, value) ->
             if i > 0 then begin
-              Buffer.add_char buf ',';
+              add_char ',';
               newline ()
             end;
-            Buffer.add_string buf (indent (depth + 1));
-            Buffer.add_string buf (escape_string key);
-            Buffer.add_string buf (if pretty then ": " else ":");
+            add_string (indent (depth + 1));
+            add_string (escape_string key);
+            add_string (if pretty then ": " else ":");
             emit (depth + 1) value)
           fields;
         newline ();
-        Buffer.add_string buf (indent depth);
-        Buffer.add_char buf '}'
+        add_string (indent depth);
+        add_char '}'
   in
-  emit 0 t;
+  emit 0 t
+
+let to_string ?(pretty = true) t =
+  let buf = Buffer.create 256 in
+  emit_to ~pretty ~add_string:(Buffer.add_string buf)
+    ~add_char:(Buffer.add_char buf) t;
   Buffer.contents buf
+
+let to_channel ?(pretty = true) oc t =
+  emit_to ~pretty ~add_string:(output_string oc) ~add_char:(output_char oc) t
 
 (* Parsing: recursive descent over the string.  Everything the emitter
    can produce parses back (including the out-of-range literals

@@ -22,6 +22,11 @@ type t =
 val to_string : ?pretty:bool -> t -> string
 (** [pretty] (default true) indents with two spaces. *)
 
+val to_channel : ?pretty:bool -> out_channel -> t -> unit
+(** Stream the value straight to the channel — byte-identical to
+    {!to_string} but never materializes the whole document in memory.
+    No trailing newline; the caller frames (JSON lines, etc.). *)
+
 val escape_string : string -> string
 (** The escaped, quoted form of a string literal. *)
 

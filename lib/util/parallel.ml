@@ -88,3 +88,112 @@ let fold_float_max ?domains ?threshold f n init_value =
   if n = 0 then init_value
   else
     Array.fold_left Float.max init_value (init ?domains ?threshold n f)
+
+(* Persistent pool: long-lived worker domains pulling thunks off one
+   bounded queue.  Unlike the fork-join entry points above this *is*
+   global mutable state, so it is explicitly created and shut down by
+   its owner (the serving layer).  All state lives under one mutex;
+   jobs run outside it. *)
+module Pool = struct
+  type t = {
+    mutex : Mutex.t;
+    not_empty : Condition.t;
+    settled : Condition.t;  (** Signalled whenever a job finishes. *)
+    queue : (unit -> unit) Queue.t;
+    capacity : int;
+    mutable running : int;  (** Jobs currently executing. *)
+    mutable stopping : bool;
+    mutable domains : unit Domain.t list;
+  }
+
+  let worker pool () =
+    let rec loop () =
+      Mutex.lock pool.mutex;
+      while Queue.is_empty pool.queue && not pool.stopping do
+        Condition.wait pool.not_empty pool.mutex
+      done;
+      if Queue.is_empty pool.queue then Mutex.unlock pool.mutex
+      else begin
+        let job = Queue.pop pool.queue in
+        pool.running <- pool.running + 1;
+        Mutex.unlock pool.mutex;
+        (try job () with _ -> ());
+        Mutex.lock pool.mutex;
+        pool.running <- pool.running - 1;
+        Condition.broadcast pool.settled;
+        Mutex.unlock pool.mutex;
+        loop ()
+      end
+    in
+    loop ()
+
+  let create ?workers ~queue_capacity () =
+    if queue_capacity < 1 then
+      invalid_arg "Parallel.Pool.create: queue_capacity must be >= 1";
+    let workers =
+      match workers with
+      | Some w ->
+          if w < 1 then invalid_arg "Parallel.Pool.create: workers must be >= 1"
+          else w
+      | None -> max 1 (available_domains () - 1)
+    in
+    let pool =
+      {
+        mutex = Mutex.create ();
+        not_empty = Condition.create ();
+        settled = Condition.create ();
+        queue = Queue.create ();
+        capacity = queue_capacity;
+        running = 0;
+        stopping = false;
+        domains = [];
+      }
+    in
+    pool.domains <- List.init workers (fun _ -> Domain.spawn (worker pool));
+    pool
+
+  let workers pool = List.length pool.domains
+
+  let submit pool job =
+    Mutex.lock pool.mutex;
+    let verdict =
+      if pool.stopping then `Stopping
+      else if Queue.length pool.queue >= pool.capacity then `Rejected
+      else begin
+        Queue.push job pool.queue;
+        Condition.signal pool.not_empty;
+        `Queued
+      end
+    in
+    Mutex.unlock pool.mutex;
+    verdict
+
+  let queue_depth pool =
+    Mutex.lock pool.mutex;
+    let d = Queue.length pool.queue in
+    Mutex.unlock pool.mutex;
+    d
+
+  let in_flight pool =
+    Mutex.lock pool.mutex;
+    let d = Queue.length pool.queue + pool.running in
+    Mutex.unlock pool.mutex;
+    d
+
+  let drain pool =
+    Mutex.lock pool.mutex;
+    while not (Queue.is_empty pool.queue && pool.running = 0) do
+      Condition.wait pool.settled pool.mutex
+    done;
+    Mutex.unlock pool.mutex
+
+  let shutdown pool =
+    Mutex.lock pool.mutex;
+    pool.stopping <- true;
+    (* Workers drain whatever is queued before exiting; [drain] below
+       would miss the wakeup if they were all asleep. *)
+    Condition.broadcast pool.not_empty;
+    Mutex.unlock pool.mutex;
+    List.iter Domain.join pool.domains;
+    pool.domains <- []
+end

@@ -41,3 +41,41 @@ val fold_float_max :
   ?domains:int -> ?threshold:int -> (int -> float) -> int -> float -> float
 (** [fold_float_max f n init] is [max(init, max_i f i)] over
     [i = 0 .. n-1], computed with a parallel fan-out. *)
+
+(** Persistent worker pool: long-lived domains pulling jobs off one
+    bounded queue.
+
+    This is the complement of the fork-join entry points above for
+    request-serving workloads: jobs arrive one at a time, the queue
+    bound gives callers explicit backpressure ([`Rejected] instead of
+    unbounded buffering), and shutdown drains queued work before the
+    domains exit.  Jobs must not raise for control flow — escaped
+    exceptions are swallowed (the worker survives), so report errors
+    through the job's own channel. *)
+module Pool : sig
+  type t
+
+  val create : ?workers:int -> queue_capacity:int -> unit -> t
+  (** [workers] defaults to [max 1 (available_domains () - 1)],
+      leaving one domain for the caller.  Raises [Invalid_argument]
+      on a non-positive worker count or capacity. *)
+
+  val submit : t -> (unit -> unit) -> [ `Queued | `Rejected | `Stopping ]
+  (** Enqueue a job: [`Rejected] when the queue is at capacity,
+      [`Stopping] after {!shutdown} began.  Never blocks. *)
+
+  val workers : t -> int
+
+  val queue_depth : t -> int
+  (** Jobs queued and not yet started. *)
+
+  val in_flight : t -> int
+  (** Jobs queued plus jobs currently executing. *)
+
+  val drain : t -> unit
+  (** Block until the queue is empty and every worker is idle. *)
+
+  val shutdown : t -> unit
+  (** Stop accepting work, let the workers finish everything already
+      queued, and join them.  Idempotent once the domains are gone. *)
+end

@@ -1,0 +1,474 @@
+(* The serving layer: protocol round-trips (qcheck), malformed-input
+   rejection, cache semantics (including structural equality of a
+   cached plan against a freshly computed one), and the worker pool's
+   backpressure and drain behavior. *)
+
+module P = Wa_service.Protocol
+module Cache = Wa_service.Cache
+module Engine = Wa_service.Engine
+module Pool = Wa_util.Parallel.Pool
+module Json = Wa_util.Json
+module Vec2 = Wa_geom.Vec2
+module Pipeline = Wa_core.Pipeline
+
+(* Generators ----------------------------------------------------------- *)
+
+let gen_finite lo hi = QCheck.Gen.float_range lo hi
+
+let gen_vec2 =
+  QCheck.Gen.map
+    (fun (x, y) -> Vec2.make x y)
+    (QCheck.Gen.pair (gen_finite (-2000.0) 2000.0) (gen_finite (-2000.0) 2000.0))
+
+let gen_power =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.return `Global;
+      QCheck.Gen.return `Uniform;
+      QCheck.Gen.return `Linear;
+      QCheck.Gen.map (fun tau -> `Oblivious tau) (gen_finite 0.05 0.95);
+    ]
+
+let gen_deploy =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.map
+        (fun pts -> P.Points (Array.of_list pts))
+        QCheck.Gen.(list_size (int_range 1 8) gen_vec2);
+      QCheck.Gen.map
+        (fun (kind, n, seed, side) -> P.Generate { kind; n; seed; side })
+        QCheck.Gen.(
+          quad
+            (oneofl [ "uniform"; "disk"; "grid"; "clusters"; "line" ])
+            (int_range 1 500) (int_range 0 9999) (gen_finite 10.0 5000.0));
+    ]
+
+let gen_spec =
+  QCheck.Gen.map
+    (fun ((deploy, power, engine), (alpha, beta, gamma, no_cache)) ->
+      { P.deploy; power; alpha; beta; gamma; engine; no_cache })
+    QCheck.Gen.(
+      pair
+        (triple gen_deploy gen_power (oneofl [ `Dense; `Indexed ]))
+        (quad (gen_finite 2.1 6.0) (gen_finite 0.2 3.0)
+           (opt (gen_finite 0.1 0.9))
+           bool))
+
+let gen_request_body =
+  QCheck.Gen.frequency
+    [
+      (1, QCheck.Gen.return P.Ping);
+      (1, QCheck.Gen.return P.Stats);
+      (1, QCheck.Gen.return P.Shutdown);
+      (4, QCheck.Gen.map (fun s -> P.Plan s) gen_spec);
+      (2, QCheck.Gen.map (fun s -> P.Describe s) gen_spec);
+      ( 2,
+        QCheck.Gen.map
+          (fun (spec, periods) -> P.Simulate { spec; periods })
+          QCheck.Gen.(pair gen_spec (int_range 1 200)) );
+      ( 2,
+        QCheck.Gen.map
+          (fun (sink, power, (alpha, beta, gamma)) ->
+            P.Churn_create { sink; power; alpha; beta; gamma })
+          QCheck.Gen.(
+            triple gen_vec2 gen_power
+              (triple (gen_finite 2.1 6.0) (gen_finite 0.2 3.0)
+                 (opt (gen_finite 0.1 0.9)))) );
+      ( 2,
+        QCheck.Gen.map
+          (fun (session, point) -> P.Churn_add { session; point })
+          QCheck.Gen.(pair (int_range 1 1000) gen_vec2) );
+      ( 2,
+        QCheck.Gen.map
+          (fun (session, node) -> P.Churn_remove { session; node })
+          QCheck.Gen.(pair (int_range 1 1000) (int_range 0 1000)) );
+      ( 1,
+        QCheck.Gen.map
+          (fun session -> P.Churn_info { session })
+          QCheck.Gen.(int_range 1 1000) );
+      ( 1,
+        QCheck.Gen.map
+          (fun session -> P.Churn_close { session })
+          QCheck.Gen.(int_range 1 1000) );
+    ]
+
+let gen_request =
+  QCheck.Gen.map
+    (fun (id, deadline_ms, body) -> { P.id; deadline_ms; body })
+    QCheck.Gen.(
+      triple (int_range 0 1_000_000)
+        (opt (gen_finite 0.1 60_000.0))
+        gen_request_body)
+
+let gen_plan_summary =
+  QCheck.Gen.map
+    (fun ((nodes, links, slots, rate), (raw_colors, repair_added, plan_valid),
+          (point_diversity, link_diversity, description),
+          (cached, compute_ms)) ->
+      {
+        P.nodes;
+        links;
+        slots;
+        rate;
+        raw_colors;
+        repair_added;
+        plan_valid;
+        point_diversity;
+        link_diversity;
+        description;
+        cached;
+        compute_ms;
+      })
+    QCheck.Gen.(
+      quad
+        (quad (int_range 1 10_000) (int_range 0 10_000) (int_range 1 500)
+           (gen_finite 0.001 1.0))
+        (triple (int_range 0 500) (int_range 0 100) bool)
+        (triple (gen_finite 0.0 1e6) (gen_finite 0.0 1e6) string_printable)
+        (pair bool (gen_finite 0.0 1e5)))
+
+let gen_response_body =
+  QCheck.Gen.frequency
+    [
+      (1, QCheck.Gen.return P.Pong);
+      (1, QCheck.Gen.return P.Shutdown_ok);
+      (3, QCheck.Gen.map (fun p -> P.Plan_r p) gen_plan_summary);
+      (1, QCheck.Gen.map (fun d -> P.Describe_r d) QCheck.Gen.string_printable);
+      ( 1,
+        QCheck.Gen.map
+          (fun s -> P.Churn_created s)
+          QCheck.Gen.(int_range 1 1000) );
+      ( 2,
+        QCheck.Gen.map
+          (fun ((session, node), (a, b, c, d)) ->
+            P.Churn_r
+              {
+                session;
+                node;
+                links_total = a;
+                links_kept = b;
+                links_recolored = c;
+                churn_slots = d;
+                recompute_slots = a + d;
+              })
+          QCheck.Gen.(
+            pair
+              (pair (int_range 1 1000) (opt (int_range 0 1000)))
+              (quad (int_range 0 100) (int_range 0 100) (int_range 0 100)
+                 (int_range 0 100))) );
+      ( 1,
+        QCheck.Gen.map
+          (fun (info_session, size, info_slots, info_valid) ->
+            P.Session_r { info_session; size; info_slots; info_valid })
+          QCheck.Gen.(
+            quad (int_range 1 1000) (int_range 0 5000) (int_range 0 500) bool)
+      );
+      ( 1,
+        QCheck.Gen.map
+          (fun s -> P.Churn_closed s)
+          QCheck.Gen.(int_range 1 1000) );
+      ( 1,
+        QCheck.Gen.map
+          (fun n -> P.Stats_r (Json.Obj [ ("requests", Json.Int n) ]))
+          QCheck.Gen.(int_range 0 100_000) );
+      ( 2,
+        QCheck.Gen.map
+          (fun (code, message) -> P.Error { code; message })
+          QCheck.Gen.(
+            pair
+              (oneofl
+                 [
+                   P.Bad_request;
+                   P.Bad_version;
+                   P.Overloaded;
+                   P.Deadline_exceeded;
+                   P.No_such_session;
+                   P.Shutting_down;
+                   P.Internal;
+                 ])
+              string_printable) );
+    ]
+
+let gen_response =
+  QCheck.Gen.map
+    (fun (rid, body) -> { P.rid; body })
+    QCheck.Gen.(pair (int_range 0 1_000_000) gen_response_body)
+
+(* Round-trip properties ------------------------------------------------- *)
+
+(* Equality via the canonical wire line: exact for every payload the
+   encoder can produce, and insensitive to float re-parsing because
+   the emitter's literals are read back verbatim. *)
+let prop_request_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"decode (encode request) = request"
+    (QCheck.make ~print:(fun r -> P.request_to_line r) gen_request)
+    (fun r ->
+      match P.request_of_line (P.request_to_line r) with
+      | Error m -> QCheck.Test.fail_reportf "decode failed: %s" m
+      | Ok r' -> String.equal (P.request_to_line r) (P.request_to_line r'))
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"decode (encode response) = response"
+    (QCheck.make ~print:(fun r -> P.response_to_line r) gen_response)
+    (fun r ->
+      match P.response_of_line (P.response_to_line r) with
+      | Error m -> QCheck.Test.fail_reportf "decode failed: %s" m
+      | Ok r' -> String.equal (P.response_to_line r) (P.response_to_line r'))
+
+(* Malformed input ------------------------------------------------------- *)
+
+let bad_requests =
+  [
+    ("not json", "this is not json");
+    ("empty object", "{}");
+    ("array", "[1,2,3]");
+    ("missing op", {|{"v":1,"id":1}|});
+    ("unknown op", {|{"v":1,"id":1,"op":"frobnicate"}|});
+    ("future version", {|{"v":99,"id":1,"op":"ping"}|});
+    ("string id", {|{"v":1,"id":"seven","op":"ping"}|});
+    ("plan without deploy", {|{"v":1,"id":1,"op":"plan"}|});
+    ( "plan with bad power",
+      {|{"v":1,"id":1,"op":"plan","deploy":{"points":[[0,0],[1,1]]},"power":"loud"}|}
+    );
+    ( "plan with malformed point",
+      {|{"v":1,"id":1,"op":"plan","deploy":{"points":[[0,0],[1]]}}|} );
+    ( "plan with string alpha",
+      {|{"v":1,"id":1,"op":"plan","deploy":{"points":[[0,0],[1,1]]},"alpha":"three"}|}
+    );
+    ( "plan with empty points",
+      {|{"v":1,"id":1,"op":"plan","deploy":{"points":[]}}|} );
+    ( "plan with bad engine",
+      {|{"v":1,"id":1,"op":"plan","deploy":{"points":[[0,0],[1,1]]},"engine":"quantum"}|}
+    );
+    ( "oblivious tau out of range",
+      {|{"v":1,"id":1,"op":"plan","deploy":{"points":[[0,0],[1,1]]},"power":"oblivious:1.5"}|}
+    );
+    ("churn_add without session", {|{"v":1,"id":1,"op":"churn_add","point":[1,2]}|});
+    ( "simulate with string periods",
+      {|{"v":1,"id":1,"op":"simulate","deploy":{"points":[[0,0],[1,1]]},"periods":"many"}|}
+    );
+  ]
+
+let test_malformed_requests () =
+  List.iter
+    (fun (name, line) ->
+      Alcotest.(check bool)
+        (name ^ " rejected") true
+        (Result.is_error (P.request_of_line line)))
+    bad_requests
+
+let bad_responses =
+  [
+    ("not json", "][");
+    ("missing ok+error", {|{"v":1,"id":1}|});
+    ("unknown op", {|{"v":1,"id":1,"ok":true,"op":"mystery","result":null}|});
+    ("error without code", {|{"v":1,"id":1,"ok":false,"error":{"message":"m"}}|});
+    ( "error with unknown code",
+      {|{"v":1,"id":1,"ok":false,"error":{"code":"doom","message":"m"}}|} );
+    ("ok without result", {|{"v":1,"id":1,"ok":true,"op":"ping"}|});
+  ]
+
+let test_malformed_responses () =
+  List.iter
+    (fun (name, line) ->
+      Alcotest.(check bool)
+        (name ^ " rejected") true
+        (Result.is_error (P.response_of_line line)))
+    bad_responses
+
+let test_id_recovery () =
+  Alcotest.(check int)
+    "id recovered from malformed request" 42
+    (P.id_of_line {|{"v":1,"id":42,"op":"frobnicate"}|});
+  Alcotest.(check int) "unrecoverable id is 0" 0 (P.id_of_line "garbage")
+
+(* Content addressing ---------------------------------------------------- *)
+
+let spec_gen n seed =
+  {
+    P.deploy = P.Generate { kind = "uniform"; n; seed; side = 500.0 };
+    power = `Global;
+    alpha = 3.0;
+    beta = 1.0;
+    gamma = None;
+    engine = `Indexed;
+    no_cache = false;
+  }
+
+let test_content_key () =
+  let s = spec_gen 40 5 in
+  Alcotest.(check string)
+    "key is deterministic" (Engine.spec_key s) (Engine.spec_key s);
+  Alcotest.(check bool)
+    "different seed, different key" false
+    (String.equal (Engine.spec_key s) (Engine.spec_key (spec_gen 40 6)));
+  (* no_cache steers the cache, it must not change the address. *)
+  Alcotest.(check string)
+    "no_cache not part of the key"
+    (Engine.spec_key s)
+    (Engine.spec_key { s with P.no_cache = true })
+
+(* The tentpole correctness property of the cache: a plan served from
+   the cache is structurally identical to one computed fresh by the
+   pipeline for the same spec. *)
+let test_cached_plan_equals_fresh () =
+  let engine = Engine.create () in
+  let spec = spec_gen 40 5 in
+  let p1, cached1, _ = Engine.obtain_plan engine spec in
+  let p2, cached2, _ = Engine.obtain_plan engine spec in
+  Alcotest.(check bool) "first computes" false cached1;
+  Alcotest.(check bool) "second is a hit" true cached2;
+  let fresh =
+    let params = Wa_sinr.Params.make ~alpha:3.0 ~beta:1.0 () in
+    Pipeline.plan ~params ~engine:`Indexed `Global
+      (Engine.pointset_of_spec spec)
+  in
+  let shape p = Json.to_string ~pretty:false (Wa_io.Export.plan_to_json p) in
+  Alcotest.(check string) "cached = computed" (shape p1) (shape p2);
+  Alcotest.(check string) "cached = fresh pipeline plan" (shape p2)
+    (shape fresh)
+
+(* Cache unit behavior --------------------------------------------------- *)
+
+let test_cache_lru () =
+  let c = Cache.create ~max_entries:2 ~metrics_prefix:"test.cache_lru" () in
+  Cache.store c "a" ~bytes:10 1;
+  Cache.store c "b" ~bytes:10 2;
+  Alcotest.(check (option int)) "a present" (Some 1) (Cache.find c "a");
+  (* [b] is now least recently used; the third insert evicts it. *)
+  Cache.store c "c" ~bytes:10 3;
+  Alcotest.(check (option int)) "b evicted" None (Cache.find c "b");
+  Alcotest.(check (option int)) "a survives" (Some 1) (Cache.find c "a");
+  Alcotest.(check (option int)) "c present" (Some 3) (Cache.find c "c");
+  let s = Cache.stats c in
+  Alcotest.(check int) "two entries" 2 s.Cache.entries;
+  Alcotest.(check int) "one eviction" 1 s.Cache.evictions;
+  Cache.clear c;
+  Alcotest.(check int) "cleared" 0 (Cache.stats c).Cache.entries
+
+let test_cache_byte_bound () =
+  let c =
+    Cache.create ~max_entries:100 ~max_bytes:25
+      ~metrics_prefix:"test.cache_bytes" ()
+  in
+  Cache.store c "a" ~bytes:10 1;
+  Cache.store c "b" ~bytes:10 2;
+  Cache.store c "c" ~bytes:10 3;
+  let s = Cache.stats c in
+  Alcotest.(check bool) "byte bound holds" true (s.Cache.total_bytes <= 25)
+
+let test_cache_find_or_compute () =
+  let c = Cache.create ~metrics_prefix:"test.cache_foc" () in
+  let runs = ref 0 in
+  let compute () =
+    incr runs;
+    99
+  in
+  (match Cache.find_or_compute c "k" ~bytes_of:(fun _ -> 8) compute with
+  | `Computed v -> Alcotest.(check int) "computed value" 99 v
+  | _ -> Alcotest.fail "first call must compute");
+  (match Cache.find_or_compute c "k" ~bytes_of:(fun _ -> 8) compute with
+  | `Hit v -> Alcotest.(check int) "hit value" 99 v
+  | _ -> Alcotest.fail "second call must hit");
+  Alcotest.(check int) "compute ran once" 1 !runs;
+  (* A failing compute leaves no entry behind. *)
+  (try
+     ignore
+       (Cache.find_or_compute c "boom" ~bytes_of:(fun _ -> 8) (fun () ->
+            failwith "no"))
+   with Failure _ -> ());
+  Alcotest.(check (option int)) "failed compute not stored" None
+    (Cache.find c "boom")
+
+(* Worker pool ----------------------------------------------------------- *)
+
+let test_pool_runs_jobs () =
+  let pool = Pool.create ~workers:1 ~queue_capacity:16 () in
+  let mu = Mutex.create () in
+  let hits = ref 0 in
+  let bump () =
+    Mutex.lock mu;
+    incr hits;
+    Mutex.unlock mu
+  in
+  for _ = 1 to 10 do
+    match Pool.submit pool bump with
+    | `Queued -> ()
+    | `Rejected | `Stopping -> Alcotest.fail "submit refused below capacity"
+  done;
+  Pool.drain pool;
+  Alcotest.(check int) "all jobs ran" 10 !hits;
+  Pool.shutdown pool;
+  Alcotest.(check bool)
+    "submit after shutdown is stopping" true
+    (match Pool.submit pool (fun () -> ()) with
+    | `Stopping -> true
+    | `Queued | `Rejected -> false)
+
+let test_pool_backpressure () =
+  let pool = Pool.create ~workers:1 ~queue_capacity:2 () in
+  let gate = Mutex.create () in
+  let cond = Condition.create () in
+  let release = ref false in
+  let blocker () =
+    Mutex.lock gate;
+    while not !release do
+      Condition.wait cond gate
+    done;
+    Mutex.unlock gate
+  in
+  (* First job occupies the worker; the queue then fills to capacity
+     and the next submit must be rejected, not block or queue. *)
+  Alcotest.(check bool)
+    "blocker queued" true
+    (Pool.submit pool blocker = `Queued);
+  (* Wait for the worker to pick the blocker up so queue slots free. *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Pool.queue_depth pool > 0 && Unix.gettimeofday () < deadline do
+    Domain.cpu_relax ()
+  done;
+  Alcotest.(check bool) "fill 1" true (Pool.submit pool (fun () -> ()) = `Queued);
+  Alcotest.(check bool) "fill 2" true (Pool.submit pool (fun () -> ()) = `Queued);
+  Alcotest.(check bool)
+    "over capacity is rejected" true
+    (Pool.submit pool (fun () -> ()) = `Rejected);
+  Alcotest.(check bool) "in flight counts" true (Pool.in_flight pool >= 3);
+  Mutex.lock gate;
+  release := true;
+  Condition.broadcast cond;
+  Mutex.unlock gate;
+  Pool.drain pool;
+  Alcotest.(check int) "drained" 0 (Pool.in_flight pool);
+  Pool.shutdown pool
+
+(* Runner ----------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "wa_service"
+    [
+      ( "protocol",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_request_roundtrip; prop_response_roundtrip ]
+        @ [
+            Alcotest.test_case "malformed requests rejected" `Quick
+              test_malformed_requests;
+            Alcotest.test_case "malformed responses rejected" `Quick
+              test_malformed_responses;
+            Alcotest.test_case "id recovery" `Quick test_id_recovery;
+          ] );
+      ( "cache",
+        [
+          Alcotest.test_case "content key" `Quick test_content_key;
+          Alcotest.test_case "cached plan = fresh plan" `Quick
+            test_cached_plan_equals_fresh;
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru;
+          Alcotest.test_case "byte bound" `Quick test_cache_byte_bound;
+          Alcotest.test_case "find_or_compute" `Quick
+            test_cache_find_or_compute;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "runs jobs" `Quick test_pool_runs_jobs;
+          Alcotest.test_case "backpressure" `Quick test_pool_backpressure;
+        ] );
+    ]
