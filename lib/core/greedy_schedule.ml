@@ -10,9 +10,20 @@ type mode =
   | Oblivious_power of float
   | Fixed_scheme of Power.scheme
 
+(* Default Garb constant for the arbitrary-power regime.  At γ = 1
+   the greedy coloring leaves one large raw color that fails SINR
+   validation on typical uniform deployments, so every cold plan pays
+   the split-and-merge repair; γ = 1.25 produces colorings that
+   validate as-is with equal or fewer final slots across the sizes and
+   seeds measured (DESIGN §12), making repair the safety net it was
+   meant to be instead of a fixed cost. *)
+let global_gamma = 1.25
+
 let threshold_for ?gamma mode =
   match mode with
-  | Global_power -> Some (Conflict.log_power ?gamma ())
+  | Global_power ->
+      let gamma = Option.value ~default:global_gamma gamma in
+      Some (Conflict.log_power ~gamma ())
   | Oblivious_power tau -> Some (Conflict.power_law ?gamma ~tau ())
   | Fixed_scheme _ -> None
 

@@ -14,6 +14,7 @@ type plan = {
   repair_added : int;
   point_diversity : float;
   link_diversity : float;
+  pressure : Refinement.pressure_report option;
   valid : bool;
   audit : Wa_analysis.Audit.report option;
 }
@@ -38,7 +39,7 @@ module Audit = Wa_analysis.Audit
    Wa_analysis.Audit).  The SINR witness mirrors the schedule's power
    mode: a fixed scheme is its own witness; in the arbitrary-power
    regime each slot's witness is a freshly solved Custom vector. *)
-let audit_plan ?gamma ~params ~mode agg (schedule : Schedule.t) =
+let audit_plan ?gamma ?pressure_report ~params ~mode agg (schedule : Schedule.t) =
   let ls = agg.Agg_tree.links in
   let power_of_slot =
     match schedule.Schedule.power_mode with
@@ -60,6 +61,17 @@ let audit_plan ?gamma ~params ~mode agg (schedule : Schedule.t) =
             ~candidate:(fun () -> Conflict.graph_indexed params th ls);
         ]
   in
+  let pressure_checks =
+    match pressure_report with
+    | Some
+        {
+          Refinement.pressure_mode = `Approx tol;
+          max_pressure;
+          error_bound;
+        } ->
+        [ Audit.pressure_check params ls ~tol ~max_pressure ~error_bound ]
+    | Some { Refinement.pressure_mode = `Exact; _ } | None -> []
+  in
   Audit.run_checks
     ([
        Audit.partition_check ~n_links:(Linkset.size ls)
@@ -68,11 +80,11 @@ let audit_plan ?gamma ~params ~mode agg (schedule : Schedule.t) =
          ~slots:schedule.Schedule.slots;
        Audit.tree_check agg.Agg_tree.tree;
      ]
-    @ engine_checks
+    @ engine_checks @ pressure_checks
     @ [ Audit.report_consistency_check (fun () -> Wa_obs.Report.capture ()) ])
 
 let plan ?(params = Params.default) ?gamma ?(engine = `Indexed) ?(sink = 0)
-    ?tree_edges ?(audit = false) power_mode ps =
+    ?tree_edges ?(audit = false) ?pressure power_mode ps =
   Trace.with_span "pipeline.plan" @@ fun () ->
   let agg =
     Trace.with_span "plan.mst" @@ fun () ->
@@ -110,8 +122,10 @@ let plan ?(params = Params.default) ?gamma ?(engine = `Indexed) ?(sink = 0)
   in
   let schedule, repair_added, valid =
     Trace.with_span "plan.validate" @@ fun () ->
-    let schedule, repair_added = Schedule.repair params ls raw in
-    (schedule, repair_added, Schedule.is_valid params ls schedule)
+    (* Fused repair + validation: one solver pass per slot (see
+       [Schedule.repair_validated]) instead of repair followed by a
+       full [is_valid] re-sweep. *)
+    Schedule.repair_validated params ls raw
   in
   Metrics.set m_slots_raw (float_of_int (Schedule.length raw));
   Metrics.set m_slots_final (float_of_int (Schedule.length schedule));
@@ -119,17 +133,36 @@ let plan ?(params = Params.default) ?gamma ?(engine = `Indexed) ?(sink = 0)
   let link_diversity = Linkset.diversity ls in
   Metrics.set m_link_diversity link_diversity;
   (* Lemma-1 pressure is not needed to build the plan, but it is the
-     paper's own tightness measure, so record it whenever telemetry is
-     on (reusing the stage index; skipped entirely when disabled). *)
-  if Wa_obs.enabled () then
-    ignore
-      (Trace.with_span "plan.affectance" (fun () ->
-           Refinement.max_longer_pressure ?index ~tol:1e-6 params ls));
+     paper's own tightness measure, so evaluate it whenever telemetry
+     is on or a mode was requested explicitly.  [`Exact] runs the flat
+     struct-of-arrays kernel; [`Approx tol] the certified far-field
+     evaluator (the only tractable option at very large n). *)
+  let pressure_report =
+    if Option.is_some pressure || Wa_obs.enabled () then
+      let mode = Option.value ~default:`Exact pressure in
+      Some
+        (Trace.with_span "plan.affectance" (fun () ->
+             Refinement.longer_pressure ~mode params ls))
+    else None
+  in
+  let point_diversity =
+    Trace.with_span "plan.diversity" @@ fun () ->
+    match tree_edges with
+    | None ->
+        (* The links are a Euclidean MST, and every MST's minimum edge
+           weight equals the closest-pair distance (exchange argument),
+           computed by the same [Vec2.dist] — so Δ comes from the hull
+           diameter over the cached minimum link length, skipping the
+           grid-based closest-pair search.  Bit-identical to
+           [Pointset.diversity]. *)
+        Pointset.max_pairwise_distance ps /. Linkset.min_length ls
+    | Some _ -> Pointset.diversity ps
+  in
   let audit =
     if audit then
       Some
         (Trace.with_span "plan.audit" (fun () ->
-             audit_plan ?gamma ~params ~mode agg schedule))
+             audit_plan ?gamma ?pressure_report ~params ~mode agg schedule))
     else None
   in
   {
@@ -138,8 +171,9 @@ let plan ?(params = Params.default) ?gamma ?(engine = `Indexed) ?(sink = 0)
     schedule;
     raw_colors = Schedule.length raw;
     repair_added;
-    point_diversity = Pointset.diversity ps;
+    point_diversity;
     link_diversity;
+    pressure = pressure_report;
     valid;
     audit;
   }

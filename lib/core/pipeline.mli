@@ -20,6 +20,10 @@ type plan = {
   repair_added : int;  (** Slots added by the repair pass. *)
   point_diversity : float;  (** Δ of the pointset. *)
   link_diversity : float;  (** Δ(L) of the MST links. *)
+  pressure : Refinement.pressure_report option;
+      (** Measured Lemma-1 pressure (with its certified error bound in
+          approximate mode).  Present when telemetry was enabled or a
+          [~pressure] mode was requested. *)
   valid : bool;  (** Result of the final ground-truth validation. *)
   audit : Wa_analysis.Audit.report option;
       (** Present iff [plan] ran with [~audit:true]. *)
@@ -32,6 +36,7 @@ val plan :
   ?sink:int ->
   ?tree_edges:(int * int) list ->
   ?audit:bool ->
+  ?pressure:Refinement.pressure_mode ->
   power_mode ->
   Wa_geom.Pointset.t ->
   plan
@@ -47,7 +52,14 @@ val plan :
     partition, per-slot SINR re-verification with a mode-appropriate
     power witness, tree rootedness, dense-vs-indexed conflict-graph
     agreement (thresholded modes only — this rebuilds both graphs, so
-    expect O(n²) audit cost), and telemetry-report consistency. *)
+    expect O(n²) audit cost), and telemetry-report consistency.
+
+    [pressure] selects how the Lemma-1 pressure telemetry is
+    evaluated: [`Exact] (the default when telemetry is on) or
+    [`Approx tol] for the certified far-field evaluator.  Passing it
+    forces the evaluation even with telemetry off; when combined with
+    [~audit:true], an approximate report is certified against the
+    exact kernel on a sample of links (check ["pressure.approx"]). *)
 
 val slots : plan -> int
 val rate : plan -> float

@@ -39,7 +39,7 @@ let slot_of_link t i =
   Array.iteri (fun k slot -> if !found = -1 && List.mem i slot then found := k) t.slots;
   if !found = -1 then raise Not_found else !found
 
-let slot_feasible p ls mode slot =
+let slot_feasible ?quick p ls mode slot =
   match slot with
   | [] -> true
   | [ i ] -> (
@@ -51,7 +51,13 @@ let slot_feasible p ls mode slot =
   | _ -> (
       match mode with
       | Scheme scheme -> Feasibility.is_feasible p ls ~power:scheme slot
-      | Arbitrary -> Power_solver.feasible p ls slot)
+      | Arbitrary ->
+          (* Row-sum screen first: one O(k²) accumulation with early
+             bail certifies well-separated slots (rho <= max row sum)
+             without building the gain matrix or iterating, and on
+             typical colorings most slots pass it. *)
+          Power_solver.row_sum_feasible p ls slot
+          || Power_solver.feasible ?quick p ls slot)
 
 let infeasible_slots p ls t =
   (* Slots are independent read-only checks: fan them out over domains
@@ -87,7 +93,7 @@ let first_fit_split p ls mode slot =
       let rec place acc = function
         | [] -> List.rev ([ i ] :: acc)
         | s :: rest ->
-            if slot_feasible p ls mode (i :: s) then
+            if slot_feasible ~quick:true p ls mode (i :: s) then
               List.rev_append acc ((i :: s) :: rest)
             else place (s :: acc) rest
       in
@@ -104,7 +110,7 @@ let exact_split_limit = 80
    recurse into each class; fall back to exact first-fit when the
    geometric split stops making progress. *)
 let rec split_slot ?(gamma = 2.0) p ls mode slot =
-  if slot_feasible p ls mode slot then [ slot ]
+  if slot_feasible ~quick:true p ls mode slot then [ slot ]
   else if List.length slot <= exact_split_limit || gamma > 64.0 then
     first_fit_split p ls mode slot
   else begin
@@ -150,8 +156,11 @@ let rec split_slot ?(gamma = 2.0) p ls mode slot =
   end
 
 (* Greedily merge the parts a split produced: the geometric pre-split
-   can be coarser than necessary, and a single feasibility check per
-   candidate merge wins those slots back. *)
+   can be coarser than necessary, and a cheap feasibility certificate
+   per candidate merge wins those slots back.  [slot_feasible]'s
+   row-sum screen does the heavy lifting here: most merge attempts
+   fail its O(k) early bail-out, and a stalled full-size solver run
+   per failure is what used to dominate repair. *)
 let merge_parts p ls mode parts =
   List.fold_left
     (fun accepted part ->
@@ -159,7 +168,7 @@ let merge_parts p ls mode parts =
         | [] -> List.rev (part :: acc)
         | s :: rest ->
             let candidate = List.merge Int.compare s part in
-            if slot_feasible p ls mode candidate then
+            if slot_feasible ~quick:true p ls mode candidate then
               List.rev_append acc (candidate :: rest)
             else try_merge (s :: acc) rest
       in
@@ -169,17 +178,41 @@ let merge_parts p ls mode parts =
 let m_repair_added = Wa_obs.Metrics.counter "schedule.repair_added"
 let m_repair_split = Wa_obs.Metrics.counter "schedule.repair_split_slots"
 
-let repair p ls t =
+(* Single-pass repair-with-verification: every slot that survives
+   untouched was just checked feasible, and every slot produced by a
+   split is re-checked individually (splits are rare and their parts
+   small), so the validity verdict falls out of the same pass instead
+   of a second full [is_valid] sweep that re-solves every slot.  The
+   only way [valid] can be false is a link that is infeasible even
+   alone (noise floor above its own SINR). *)
+let repair_validated p ls t =
   Wa_obs.Trace.with_span "schedule.repair" @@ fun () ->
   let before = length t in
   let split_count = ref 0 in
+  let all_feasible = ref true in
   let slots =
     Array.to_list t.slots
     |> List.concat_map (fun slot ->
-           if slot_feasible p ls t.power_mode slot then [ slot ]
+           (* The whole repair path runs the conservative [quick]
+              decision: a slot the Collatz–Wielandt bounds cannot
+              certify gets split rather than eliminated exactly, and
+              everything accepted carries a CW certificate, so the
+              fused verdict below implies [is_valid]'s exact one. *)
+           if slot_feasible ~quick:true p ls t.power_mode slot then [ slot ]
            else begin
              incr split_count;
-             merge_parts p ls t.power_mode (split_slot p ls t.power_mode slot)
+             let parts =
+               Wa_obs.Trace.with_span "schedule.split" @@ fun () ->
+               let pieces = split_slot p ls t.power_mode slot in
+               Wa_obs.Trace.with_span "schedule.merge" @@ fun () ->
+               merge_parts p ls t.power_mode pieces
+             in
+             List.iter
+               (fun part ->
+                 if not (slot_feasible ~quick:true p ls t.power_mode part) then
+                   all_feasible := false)
+               parts;
+             parts
            end)
     |> List.filter (fun s -> not (List.is_empty s))
   in
@@ -197,6 +230,10 @@ let repair p ls t =
     Wa_obs.Metrics.add m_repair_split !split_count
   end;
   Wa_obs.Metrics.add m_repair_added added;
+  (repaired, added, !all_feasible && covers repaired ls)
+
+let repair p ls t =
+  let repaired, added, _ = repair_validated p ls t in
   (repaired, added)
 
 let reorder_for_latency tree ls t =

@@ -53,6 +53,17 @@ val repair : Wa_sinr.Params.t -> Wa_sinr.Linkset.t -> t -> t * int
     interference-limited regime).  Returns the repaired schedule and
     the number of slots added.  Feasible slots are left untouched. *)
 
+val repair_validated :
+  Wa_sinr.Params.t -> Wa_sinr.Linkset.t -> t -> t * int * bool
+(** [repair] fused with validation: the boolean is the {!is_valid}
+    verdict on the repaired schedule, derived from the same per-slot
+    feasibility checks repair already runs (untouched slots were just
+    checked; split parts are re-checked individually) plus a [covers]
+    sweep — a single solver pass per slot instead of the two that
+    [repair] followed by [is_valid] costs.  The verdict can only be
+    [false] when some link is infeasible even in a singleton slot
+    (noise floor) or the input partition was malformed. *)
+
 val reorder_for_latency : Wa_graph.Tree.t -> Wa_sinr.Linkset.t -> t -> t
 (** Permutes the slots (feasibility and rate are order-invariant) so
     that slots carrying deeper links come earlier in the period: a

@@ -28,3 +28,9 @@ val spanning_edges : Pointset.t -> (int * int * float) list
 val is_delaunay : Pointset.t -> (int * int * int) list -> bool
 (** Checks the empty-circumcircle property of every triangle against
     every point (O(T·n); for tests). *)
+
+val scan_count : int ref
+(** Diagnostic: locate-walk fallback scans performed (cumulative). *)
+
+val step_count : int ref
+(** Diagnostic: locate-walk steps performed (cumulative). *)

@@ -22,16 +22,76 @@ let dist t i j = Vec2.dist t.pts.(i) t.pts.(j)
 
 let bbox t = Bbox.of_points t.pts
 
+(* Andrew's monotone chain over a sorted copy: O(n log n), hull
+   vertices in order, strictly convex turns only (collinear points
+   dropped). *)
+let convex_hull pts =
+  let pts = Array.copy pts in
+  Array.sort Vec2.compare pts;
+  let n = Array.length pts in
+  if n <= 2 then pts
+  else begin
+    let cross (o : Vec2.t) (a : Vec2.t) (b : Vec2.t) =
+      ((a.Vec2.x -. o.Vec2.x) *. (b.Vec2.y -. o.Vec2.y))
+      -. ((a.Vec2.y -. o.Vec2.y) *. (b.Vec2.x -. o.Vec2.x))
+    in
+    let hull = Array.make (2 * n) pts.(0) in
+    let k = ref 0 in
+    (* Lower chain. *)
+    for i = 0 to n - 1 do
+      while
+        !k >= 2 && cross hull.(!k - 2) hull.(!k - 1) pts.(i) <= 0.0
+      do
+        decr k
+      done;
+      hull.(!k) <- pts.(i);
+      incr k
+    done;
+    (* Upper chain. *)
+    let lower = !k + 1 in
+    for i = n - 2 downto 0 do
+      while
+        !k >= lower && cross hull.(!k - 2) hull.(!k - 1) pts.(i) <= 0.0
+      do
+        decr k
+      done;
+      hull.(!k) <- pts.(i);
+      incr k
+    done;
+    (* Last point repeats the first. *)
+    Array.sub hull 0 (!k - 1)
+  end
+
 let max_pairwise_distance t =
   let n = size t in
-  let best = ref 0.0 in
-  for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      let d = dist t i j in
-      if d > !best then best := d
-    done
-  done;
-  !best
+  if n <= 64 then begin
+    let best = ref 0.0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let d = dist t i j in
+        if d > !best then best := d
+      done
+    done;
+    !best
+  end
+  else begin
+    (* The farthest pair are both extreme points, so only hull
+       vertices need comparing — h is tiny for the deployments the
+       pipeline sees (O(log n) expected on uniform instances), making
+       this O(n log n + h²) instead of O(n²).  Distances go through
+       the same [Vec2.dist], so the result is bit-identical to the
+       dense scan's. *)
+    let hull = convex_hull t.pts in
+    let h = Array.length hull in
+    let best = ref 0.0 in
+    for i = 0 to h - 1 do
+      for j = i + 1 to h - 1 do
+        let d = Vec2.dist hull.(i) hull.(j) in
+        if d > !best then best := d
+      done
+    done;
+    !best
+  end
 
 let min_pairwise_distance t =
   let n = size t in

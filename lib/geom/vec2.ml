@@ -15,9 +15,16 @@ let norm a = sqrt (norm2 a)
 
 let dist2 a b = norm2 (sub a b)
 
-(* hypot avoids overflow when coordinates approach sqrt(max_float) —
-   the doubly-exponential instances live there. *)
-let dist a b = Float.hypot (a.x -. b.x) (a.y -. b.y)
+(* Distance via a plain sqrt of the squared form, which the hot pair
+   loops can afford, with Float.hypot kept as the fallback whenever
+   the squared form overflows or loses precision to subnormals — the
+   doubly-exponential instances put coordinates near sqrt(max_float),
+   where dx*dx is infinite while hypot is still exact. *)
+let dist_xy dx dy =
+  let s = (dx *. dx) +. (dy *. dy) in
+  if s < 1e-300 || not (Float.is_finite s) then Float.hypot dx dy else sqrt s
+
+let dist a b = dist_xy (a.x -. b.x) (a.y -. b.y)
 
 let midpoint a b = scale 0.5 (add a b)
 

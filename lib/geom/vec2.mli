@@ -20,7 +20,15 @@ val norm2 : t -> float
 (** Squared norm; avoids the square root for comparisons. *)
 
 val dist : t -> t -> float
-(** Euclidean distance. *)
+(** Euclidean distance.  Computed as [sqrt (dx² + dy²)] with a
+    [Float.hypot] fallback when the squared form overflows or
+    underflows, so extreme (doubly-exponential) coordinates stay
+    exact. *)
+
+val dist_xy : float -> float -> float
+(** [dist_xy dx dy] is the distance for an already-formed coordinate
+    difference — the primitive the flat (struct-of-arrays) kernels
+    share with {!dist} so both paths round identically. *)
 
 val dist2 : t -> t -> float
 (** Squared Euclidean distance. *)

@@ -1,9 +1,14 @@
+(* All affectance terms go through [Params.alpha_pow] so that every
+   evaluator — these record-based oracles and the flat kernels in
+   [Flat_kernels] — computes the identical floating-point value for
+   the same pair. *)
+
 let additive (p : Params.t) ls j i =
   if j = i then 0.0
   else
     let d = Linkset.dist ls i j in
     if d <= 0.0 then 1.0
-    else Float.min 1.0 ((Linkset.length ls j /. d) ** p.Params.alpha)
+    else Float.min 1.0 (Params.alpha_pow p (Linkset.length ls j /. d))
 
 let additive_on_set p ls s i =
   List.fold_left (fun acc j -> acc +. additive p ls i j) 0.0 s
@@ -17,13 +22,132 @@ let relative (p : Params.t) ls ~power j i =
     let d_ji = Linkset.sender_to_receiver ls j i in
     if d_ji <= 0.0 then infinity
     else
-      power.(j) *. (Linkset.length ls i ** p.Params.alpha)
-      /. (power.(i) *. (d_ji ** p.Params.alpha))
+      let pow = Params.alpha_pow p in
+      power.(j) *. pow (Linkset.length ls i)
+      /. (power.(i) *. pow d_ji)
 
 let relative_total p ls ~power s i =
   List.fold_left
     (fun acc j -> if j = i then acc else acc +. relative p ls ~power j i)
     0.0 s
+
+(* Flat twin of the dense arm of [mst_longer_pressure] below: the same
+   terms ([additive p ls i j] inlined), the same [Linkset.dist]
+   argument order, the same ascending-j accumulation — with the
+   alpha-power resolved once and lengths read from the flat array, so
+   the result is bit-identical to the record-based oracle while the
+   loop stays allocation-free. *)
+let mst_longer_pressure_flat (p : Params.t) ls i =
+  let pow = Params.alpha_pow p in
+  let lengths = Linkset.lengths ls in
+  let sx = Linkset.sender_xs ls and sy = Linkset.sender_ys ls in
+  let rx = Linkset.receiver_xs ls and ry = Linkset.receiver_ys ls in
+  let li = lengths.(i) in
+  let sxi = sx.(i) and syi = sy.(i) and rxi = rx.(i) and ryi = ry.(i) in
+  let n = Array.length lengths in
+  let total = ref 0.0 in
+  for j = 0 to n - 1 do
+    if j <> i && lengths.(j) >= li then begin
+      (* [additive p ls i j] computes [Linkset.dist ls j i] and
+         min(1, (l_i/d)^alpha).  The distance is [Linkset.dist]'s fast
+         path inlined — same squared forms, same min tree, same guard,
+         so the same bits — with the degenerate cases delegated back
+         to the one copy of the slow-path logic. *)
+      let dx1 = sx.(j) -. sxi and dy1 = sy.(j) -. syi in
+      let dx2 = sx.(j) -. rxi and dy2 = sy.(j) -. ryi in
+      let dx3 = rx.(j) -. sxi and dy3 = ry.(j) -. syi in
+      let dx4 = rx.(j) -. rxi and dy4 = ry.(j) -. ryi in
+      let ss = (dx1 *. dx1) +. (dy1 *. dy1) in
+      let sr = (dx2 *. dx2) +. (dy2 *. dy2) in
+      let rs = (dx3 *. dx3) +. (dy3 *. dy3) in
+      let rr = (dx4 *. dx4) +. (dy4 *. dy4) in
+      let m = Float.min (Float.min ss sr) (Float.min rs rr) in
+      let d =
+        if m >= 1e-300 && m < 1e300 then sqrt m else Linkset.dist ls j i
+      in
+      let term = if d <= 0.0 then 1.0 else Float.min 1.0 (pow (li /. d)) in
+      total := !total +. term
+    end
+  done;
+  !total
+
+(* Batch exact pressure for every link at once.  Links are visited in
+   descending-length order, so the set {j : l_j >= l_i} is exactly a
+   prefix of the order (ties grouped; [group_end] marks the end of each
+   tie run) and the all-links sweep does n²/2 pair evaluations instead
+   of the n² of n independent [mst_longer_pressure_flat] calls.  Each
+   term is the same inlined fast-path kernel, and each link's sum runs
+   over the prefix in rank order — the qcheck oracle re-derives the
+   identical float sum from the record API in the same order. *)
+let mst_longer_pressure_all (p : Params.t) ls =
+  let pow = Params.alpha_pow p in
+  let lengths = Linkset.lengths ls in
+  let sx = Linkset.sender_xs ls and sy = Linkset.sender_ys ls in
+  let rx = Linkset.receiver_xs ls and ry = Linkset.receiver_ys ls in
+  let n = Array.length lengths in
+  let order = Linkset.by_decreasing_length ls in
+  (* group_end.(r): one past the last rank tied with rank r's length. *)
+  let group_end = Array.make n n in
+  for r = n - 2 downto 0 do
+    if lengths.(order.(r + 1)) < lengths.(order.(r)) then
+      group_end.(r) <- r + 1
+    else group_end.(r) <- group_end.(r + 1)
+  done;
+  (* Rank-permuted coordinate copies: the inner loop walks them
+     sequentially (no per-pair gather through [order]) and the
+     self-pair test collapses to a rank compare. *)
+  let sxo = Array.make n 0.0 and syo = Array.make n 0.0 in
+  let rxo = Array.make n 0.0 and ryo = Array.make n 0.0 in
+  for q = 0 to n - 1 do
+    let j = order.(q) in
+    sxo.(q) <- sx.(j);
+    syo.(q) <- sy.(j);
+    rxo.(q) <- rx.(j);
+    ryo.(q) <- ry.(j)
+  done;
+  (* The default alpha = 3 resolves [Params.alpha_pow] to
+     [fun x -> x *. x *. x]; inlining that cube drops an indirect call
+     from the innermost loop while producing the same bits.  The
+     squared-form minimum uses plain compares: every operand is a
+     finite non-negative square sum, where [Float.min] and [<=] pick
+     the same value. *)
+  let cubed = Float.equal p.Params.alpha 3.0 in
+  let out = Array.make n 0.0 in
+  for r = 0 to n - 1 do
+    let i = order.(r) in
+    let li = lengths.(i) in
+    let sxi = sx.(i) and syi = sy.(i) and rxi = rx.(i) and ryi = ry.(i) in
+    let total = ref 0.0 in
+    for q = 0 to group_end.(r) - 1 do
+      if q <> r then begin
+        let dx1 = sxo.(q) -. sxi and dy1 = syo.(q) -. syi in
+        let dx2 = sxo.(q) -. rxi and dy2 = syo.(q) -. ryi in
+        let dx3 = rxo.(q) -. sxi and dy3 = ryo.(q) -. syi in
+        let dx4 = rxo.(q) -. rxi and dy4 = ryo.(q) -. ryi in
+        let ss = (dx1 *. dx1) +. (dy1 *. dy1) in
+        let sr = (dx2 *. dx2) +. (dy2 *. dy2) in
+        let rs = (dx3 *. dx3) +. (dy3 *. dy3) in
+        let rr = (dx4 *. dx4) +. (dy4 *. dy4) in
+        let m1 = if ss <= sr then ss else sr in
+        let m2 = if rs <= rr then rs else rr in
+        let m = if m1 <= m2 then m1 else m2 in
+        let d =
+          if m >= 1e-300 && m < 1e300 then sqrt m
+          else Linkset.dist ls order.(q) i
+        in
+        let term =
+          if d <= 0.0 then 1.0
+          else if cubed then
+            let x = li /. d in
+            Float.min 1.0 (x *. x *. x)
+          else Float.min 1.0 (pow (li /. d))
+        in
+        total := !total +. term
+      end
+    done;
+    out.(i) <- !total
+  done;
+  out
 
 let mst_longer_pressure ?index ?tol (p : Params.t) ls i =
   let li = Linkset.length ls i in

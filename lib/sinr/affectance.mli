@@ -37,6 +37,23 @@ val relative_total :
   Params.t -> Linkset.t -> power:float array -> int list -> int -> float
 (** Sum of {!relative} over a set (the receiving link excluded). *)
 
+val mst_longer_pressure_flat : Params.t -> Linkset.t -> int -> float
+(** Flat struct-of-arrays evaluation of the dense arm of
+    {!mst_longer_pressure} (no index, no truncation): the same terms
+    accumulated in the same order through {!Params.alpha_pow} and
+    {!Linkset.dist}, hence bit-identical to the record-based oracle —
+    the property the flat-vs-record qcheck suite pins down — while
+    running allocation-free. *)
+
+val mst_longer_pressure_all : Params.t -> Linkset.t -> float array
+(** Exact Lemma-1 pressure of every link at once, indexed by link id.
+    Visits links in {!Linkset.by_decreasing_length} order so each
+    link's longer-set is a prefix of the order (ties grouped): n²/2
+    pair kernels total instead of the n² of n independent
+    {!mst_longer_pressure_flat} calls.  The per-pair term is the same
+    flat kernel; each sum runs over the prefix in rank order, which is
+    the float summation order the batch qcheck oracle reproduces. *)
+
 val mst_longer_pressure :
   ?index:Link_index.t -> ?tol:float -> Params.t -> Linkset.t -> int -> float
 (** [I(i, T⁺_i)]: the pressure of link [i] on all strictly longer (or

@@ -1,0 +1,215 @@
+(* Far-field aggregation for the Lemma-1 pressure sums (PR 6).
+
+   The exact evaluator sums, for a query link i, the terms
+   I(i,j) = min(1, (l_i / d(i,j))^alpha) over every other link j with
+   l_j >= l_i — O(n) per link, O(n^2) for the telemetry pass.  The
+   term depends on j only through the distance d(i,j) and the length
+   filter, so a whole far-away cell of links can be summed at once:
+
+   - a quadtree over link midpoints stores, per node, the tight
+     midpoint bounding box, the maximum member length, and the member
+     lengths in ascending order (so "how many members have l_j >= l_i"
+     is one binary search);
+   - for a node at midpoint-distance in [g_lo, g_hi] from i, every
+     member j satisfies
+       d(i,j) in [g_lo - s, g_hi + s],   s = (l_i + maxlen)/2
+     (an endpoint strays at most half a link length from its
+     midpoint), and the term — monotone decreasing in d — is bracketed
+     by evaluating at the two ends;
+   - the node is accepted when the bracket is tighter than the error
+     budget tol/n per member; the per-link error is then at most
+     tol · (members accepted)/n <= tol.  Nodes over budget recurse;
+     leaves scan exactly with the same shared formula as the flat
+     exact kernel (Affectance.mst_longer_pressure_flat), so the
+     near field is exact.
+
+   The chain of nodes containing i's own midpoint is always descended
+   (never aggregated) down to i's home leaf: otherwise an accepted
+   ancestor would count a phantom self-term for i.  The returned error
+   bound is certified up to floating-point rounding of the bracket
+   ends. *)
+
+module Vec2 = Wa_geom.Vec2
+
+type node = {
+  x0 : float;
+  y0 : float;
+  x1 : float;
+  y1 : float;
+  maxlen : float;
+  ids : int array;  (* member link ids, by ascending length *)
+  lens : float array;  (* member lengths, same order *)
+  kids : node array;  (* empty iff leaf *)
+}
+
+type t = {
+  root : node;
+  mx : float array;  (* link midpoints, indexed by id *)
+  my : float array;
+  total : int;
+}
+
+let leaf_size = 16
+
+(* First index holding a length >= l (lengths ascending). *)
+let lower_bound lens l =
+  let lo = ref 0 and hi = ref (Array.length lens) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if lens.(mid) < l then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let build ls =
+  let n = Linkset.size ls in
+  let sx = Linkset.sender_xs ls
+  and sy = Linkset.sender_ys ls
+  and rx = Linkset.receiver_xs ls
+  and ry = Linkset.receiver_ys ls in
+  let mx = Array.init n (fun i -> 0.5 *. (sx.(i) +. rx.(i)))
+  and my = Array.init n (fun i -> 0.5 *. (sy.(i) +. ry.(i))) in
+  let order = Linkset.by_increasing_length ls in
+  let lengths = Linkset.lengths ls in
+  let rec make ids lens =
+    let m = Array.length ids in
+    let x0 = ref infinity and y0 = ref infinity in
+    let x1 = ref neg_infinity and y1 = ref neg_infinity in
+    Array.iter
+      (fun id ->
+        if mx.(id) < !x0 then x0 := mx.(id);
+        if mx.(id) > !x1 then x1 := mx.(id);
+        if my.(id) < !y0 then y0 := my.(id);
+        if my.(id) > !y1 then y1 := my.(id))
+      ids;
+    let maxlen = lens.(m - 1) in
+    let degenerate = !x1 -. !x0 <= 0.0 && !y1 -. !y0 <= 0.0 in
+    if m <= leaf_size || degenerate then
+      { x0 = !x0; y0 = !y0; x1 = !x1; y1 = !y1; maxlen; ids; lens; kids = [||] }
+    else begin
+      let cx = 0.5 *. (!x0 +. !x1) and cy = 0.5 *. (!y0 +. !y1) in
+      let quadrant id =
+        (if mx.(id) <= cx then 0 else 1) + if my.(id) <= cy then 0 else 2
+      in
+      let counts = Array.make 4 0 in
+      Array.iter (fun id -> counts.(quadrant id) <- counts.(quadrant id) + 1) ids;
+      if Array.exists (fun c -> c = m) counts then
+        (* The box center rounded onto an edge and every member landed
+           in one quadrant: splitting cannot make progress, so close
+           the node as an oversized leaf. *)
+        {
+          x0 = !x0;
+          y0 = !y0;
+          x1 = !x1;
+          y1 = !y1;
+          maxlen;
+          ids;
+          lens;
+          kids = [||];
+        }
+      else begin
+        (* A stable 4-way split keeps each child's members
+           length-sorted for free. *)
+        let child_ids = Array.map (fun c -> Array.make (Stdlib.max c 1) 0) counts in
+        let child_lens =
+          Array.map (fun c -> Array.make (Stdlib.max c 1) 0.0) counts
+        in
+        let fill = Array.make 4 0 in
+        Array.iteri
+          (fun k id ->
+            let q = quadrant id in
+            child_ids.(q).(fill.(q)) <- id;
+            child_lens.(q).(fill.(q)) <- lens.(k);
+            fill.(q) <- fill.(q) + 1)
+          ids;
+        let kids = ref [] in
+        for q = 3 downto 0 do
+          if counts.(q) > 0 then
+            kids := make child_ids.(q) child_lens.(q) :: !kids
+        done;
+        {
+          x0 = !x0;
+          y0 = !y0;
+          x1 = !x1;
+          y1 = !y1;
+          maxlen;
+          ids;
+          lens;
+          kids = Array.of_list !kids;
+        }
+      end
+    end
+  in
+  let lens = Array.map (fun id -> lengths.(id)) order in
+  { root = make order lens; mx; my; total = n }
+
+(* Distance range from a point to an axis-aligned box. *)
+let box_dist_lo px py x0 y0 x1 y1 =
+  let dx = if px < x0 then x0 -. px else if px > x1 then px -. x1 else 0.0 in
+  let dy = if py < y0 then y0 -. py else if py > y1 then py -. y1 else 0.0 in
+  Vec2.dist_xy dx dy
+
+let box_dist_hi px py x0 y0 x1 y1 =
+  let dx = Float.max (Float.abs (px -. x0)) (Float.abs (px -. x1)) in
+  let dy = Float.max (Float.abs (py -. y0)) (Float.abs (py -. y1)) in
+  Vec2.dist_xy dx dy
+
+let contains node px py =
+  node.x0 <= px && px <= node.x1 && node.y0 <= py && py <= node.y1
+
+let longer_pressure t (p : Params.t) ls ~tol i =
+  if not (tol > 0.0 && Float.is_finite tol) then
+    invalid_arg "Far_field.longer_pressure: tol must be positive and finite";
+  let pow = Params.alpha_pow p in
+  let lengths = Linkset.lengths ls in
+  let li = lengths.(i) in
+  let px = t.mx.(i) and py = t.my.(i) in
+  (* Error budget per aggregated member; accepting a node of c members
+     adds at most c times this, and at most [total] members are ever
+     aggregated. *)
+  let nf = float_of_int t.total in
+  let per_member = if nf > 0.0 then tol /. nf else tol in
+  let value = ref 0.0 and err = ref 0.0 in
+  let scan node k =
+    (* Exact near-field scan over members k.. (those with l_j >= l_i),
+       with the identical term formula as the flat exact kernel. *)
+    for idx = k to Array.length node.ids - 1 do
+      let j = node.ids.(idx) in
+      if j <> i then begin
+        let d = Linkset.dist ls j i in
+        let term = if d <= 0.0 then 1.0 else Float.min 1.0 (pow (li /. d)) in
+        value := !value +. term
+      end
+    done
+  in
+  let rec visit node ~home =
+    let k = lower_bound node.lens li in
+    let cnt = Array.length node.lens - k in
+    if cnt > 0 then
+      if home then begin
+        if Array.length node.kids = 0 then scan node k
+        else
+          Array.iter
+            (fun kid -> visit kid ~home:(contains kid px py))
+            node.kids
+      end
+      else begin
+        let slack = 0.5 *. (li +. node.maxlen) in
+        let d_lo = box_dist_lo px py node.x0 node.y0 node.x1 node.y1 -. slack in
+        let d_hi = box_dist_hi px py node.x0 node.y0 node.x1 node.y1 +. slack in
+        let hi_t =
+          if d_lo <= 0.0 then 1.0 else Float.min 1.0 (pow (li /. d_lo))
+        in
+        let lo_t =
+          if d_hi <= 0.0 then 1.0 else Float.min 1.0 (pow (li /. d_hi))
+        in
+        let width = hi_t -. lo_t in
+        if width <= 2.0 *. per_member then begin
+          value := !value +. (float_of_int cnt *. 0.5 *. (hi_t +. lo_t));
+          err := !err +. (float_of_int cnt *. 0.5 *. width)
+        end
+        else if Array.length node.kids = 0 then scan node k
+        else Array.iter (fun kid -> visit kid ~home:false) node.kids
+      end
+  in
+  visit t.root ~home:true;
+  (!value, !err)

@@ -1,0 +1,31 @@
+(** Far-field aggregation of Lemma-1 pressure sums.
+
+    Replaces the quadratic telemetry pass with a quadtree over link
+    midpoints: the pressure term [I(i,j) = min(1, (l_i/d(i,j))^α)]
+    depends on the other link [j] only through the distance and the
+    length filter [l_j >= l_i], so a far-away cell contributes its
+    member count (above the length threshold, found by binary search
+    in the node's sorted lengths) times a bracketed per-member term.
+    Cells whose bracket is tighter than a [tol/n] per-member budget
+    are aggregated; the rest recurse, and the near field — including
+    the chain of cells containing the query link itself — is scanned
+    exactly with the very same term formula as
+    {!Affectance.mst_longer_pressure_flat}.
+
+    The error bound returned alongside each value is certified (the
+    sum of accepted bracket half-widths, at most [tol]) up to
+    floating-point rounding of the bracket ends. *)
+
+type t
+
+val build : Linkset.t -> t
+(** Quadtree over the link midpoints; O(n log n), reusable across
+    queries and safe to share across domains (immutable after
+    construction). *)
+
+val longer_pressure :
+  t -> Params.t -> Linkset.t -> tol:float -> int -> float * float
+(** [longer_pressure t p ls ~tol i] is [(value, error_bound)] with
+    [|value - exact| <= error_bound <= tol], where exact is
+    {!Affectance.mst_longer_pressure_flat}[ p ls i].  Raises
+    [Invalid_argument] on a non-positive or non-finite [tol]. *)

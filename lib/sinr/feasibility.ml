@@ -3,7 +3,8 @@ type violation = { link : int; sinr : float; required : float }
 type verdict = Feasible | Infeasible of violation list
 
 let sinr (p : Params.t) ls ~power ~concurrent i =
-  let signal = power.(i) /. (Linkset.length ls i ** p.Params.alpha) in
+  let pow = Params.alpha_pow p in
+  let signal = power.(i) /. pow (Linkset.length ls i) in
   let interference =
     List.fold_left
       (fun acc j ->
@@ -13,7 +14,7 @@ let sinr (p : Params.t) ls ~power ~concurrent i =
           (* Links may share a node, putting a sender on top of this
              receiver (d = 0): the interference term diverges, so
              saturate explicitly rather than divide by zero. *)
-          if d > 0.0 then acc +. (power.(j) /. (d ** p.Params.alpha))
+          if d > 0.0 then acc +. (power.(j) /. pow d)
           else infinity)
       0.0 concurrent
   in
@@ -32,38 +33,62 @@ let check p ls ~power slot =
   in
   if List.is_empty violations then Feasible else Infeasible violations
 
+exception Infeasible_early
+
 (* Boolean fast path of [check]: interference terms are non-negative,
    so once a partial sum already pushes a receiver's SINR below beta
    the slot is infeasible and the remaining terms need not be summed.
-   Terms are accumulated in the same order as [check]'s fold, so when
-   the loop does run to completion the verdict compares the identical
-   floating-point sum — the two functions never disagree. *)
+   Terms are accumulated in the same order as [check]'s fold — the
+   slot's list order, read out of a flat array — and every term is
+   [sinr]'s formula with the [Linkset.sender_to_receiver] fast path
+   inlined over the struct-of-arrays accessors (same squared form,
+   same guard, same [Float.hypot] fallback, so the same bits; the
+   default alpha = 3 cube is the same product [Params.alpha_pow]
+   resolves to).  When the loop runs to completion the verdict
+   compares the identical floating-point sum — this function and
+   [check] never disagree. *)
 let is_feasible p ls ~power slot =
   let vec = Power.vector p ls power in
-  let alpha = p.Params.alpha and beta = p.Params.beta and noise = p.Params.noise in
+  let pow = Params.alpha_pow p in
+  let beta = p.Params.beta and noise = p.Params.noise in
+  let cubed = Float.equal p.Params.alpha 3.0 in
+  let sx = Linkset.sender_xs ls and sy = Linkset.sender_ys ls in
+  let rx = Linkset.receiver_xs ls and ry = Linkset.receiver_ys ls in
+  let lengths = Linkset.lengths ls in
+  let js = Array.of_list slot in
+  let k = Array.length js in
   List.for_all
     (fun i ->
-      let signal = vec.(i) /. (Linkset.length ls i ** alpha) in
-      let rec feasible_from acc = function
-        | [] ->
-            let denom = acc +. noise in
-            if Float.equal denom 0.0 then true else signal /. denom >= beta
-        | j :: rest when j = i -> feasible_from acc rest
-        | j :: rest ->
-            let d = Linkset.sender_to_receiver ls j i in
+      let signal = vec.(i) /. pow lengths.(i) in
+      let rxi = rx.(i) and ryi = ry.(i) in
+      let acc = ref 0.0 in
+      try
+        for t = 0 to k - 1 do
+          let j = js.(t) in
+          if j <> i then begin
+            let dx = sx.(j) -. rxi and dy = sy.(j) -. ryi in
+            let s = (dx *. dx) +. (dy *. dy) in
+            let d =
+              if s < 1e-300 || not (Float.is_finite s) then Float.hypot dx dy
+              else sqrt s
+            in
             (* Same zero-distance saturation as [sinr] above, keeping
                the two accumulations bit-identical. *)
-            let acc =
-              if d > 0.0 then acc +. (vec.(j) /. (d ** alpha))
-              else infinity
-            in
-            let denom = acc +. noise in
+            (acc :=
+               if d > 0.0 then
+                 !acc
+                 +. (vec.(j) /. (if cubed then d *. d *. d else pow d))
+               else infinity);
+            let denom = !acc +. noise in
             (* Strict-violation early exit; NaN comparisons fall
                through to the exhaustive sum, matching [check]. *)
-            if denom > 0.0 && signal /. denom < beta then false
-            else feasible_from acc rest
-      in
-      feasible_from 0.0 slot)
+            if denom > 0.0 && signal /. denom < beta then
+              raise Infeasible_early
+          end
+        done;
+        let denom = !acc +. noise in
+        Float.equal denom 0.0 || signal /. denom >= beta
+      with Infeasible_early -> false)
     (List.sort_uniq Int.compare slot)
 
 let pair_feasible p ls ~power i j = is_feasible p ls ~power [ i; j ]

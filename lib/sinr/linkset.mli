@@ -19,6 +19,26 @@ val size : t -> int
 val link : t -> int -> Link.t
 val length : t -> int -> float
 
+(** {2 Flat (struct-of-arrays) view}
+
+    Contiguous coordinate and length arrays for the hot pair kernels.
+    The arrays are the linkset's own storage — callers must not
+    mutate them.  Distances formed from these via
+    {!Wa_geom.Vec2.dist_xy} are bit-identical to the record-based
+    {!Link.min_distance} / {!Link.sender_to_receiver}. *)
+
+val sender_xs : t -> float array
+val sender_ys : t -> float array
+val receiver_xs : t -> float array
+val receiver_ys : t -> float array
+
+val lengths : t -> float array
+(** All link lengths, indexed by id.  Same storage caveat. *)
+
+val lengths_pow : t -> Params.t -> float array
+(** [l_i^alpha] for every link, computed with {!Params.alpha_pow} and
+    memoized per alpha.  Same storage caveat. *)
+
 val tree_child : t -> int -> int option
 (** For linksets built by {!of_tree}, the child vertex whose uplink
     this is; [None] otherwise. *)

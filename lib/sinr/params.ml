@@ -11,6 +11,29 @@ let default = make ()
 
 let strict t = { t with beta = 3.0 ** t.alpha }
 
+(* [x^alpha] resolved once per call site, outside the pair loops: the
+   paper's deployments all use small integer exponents, where repeated
+   multiplication is far cheaper than the libm [( ** )] call.  Every
+   SINR-layer evaluator (record-based and flat alike) must go through
+   this one function so their floating-point results stay bit-identical
+   — the flat-vs-record oracle tests rely on that. *)
+let alpha_pow t =
+  let a = t.alpha in
+  if Float.equal a 3.0 then fun x -> x *. x *. x
+  else if Float.equal a 4.0 then fun x ->
+    let s = x *. x in
+    s *. s
+  else if Float.equal a (Float.round a) && a > 2.0 && a <= 8.0 then begin
+    let k = int_of_float a in
+    fun x ->
+      let r = ref x in
+      for _ = 2 to k do
+        r := !r *. x
+      done;
+      !r
+  end
+  else fun x -> x ** a
+
 let pp fmt t =
   Format.fprintf fmt "alpha=%g beta=%g N=%g eps=%g" t.alpha t.beta t.noise
     t.epsilon

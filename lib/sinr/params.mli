@@ -37,4 +37,12 @@ val strict : t -> t
     Sec. 5), under which pairwise separation implies distance at least
     the longer link length. *)
 
+val alpha_pow : t -> float -> float
+(** [alpha_pow t] is [fun x -> x ** t.alpha], specialized to repeated
+    multiplication for the small integer exponents the paper's
+    deployments use.  Resolve it once outside a pair loop (partial
+    application returns the specialized closure).  All SINR evaluators
+    — record-based and flat — share this function, keeping their
+    floating-point results bit-identical across representations. *)
+
 val pp : Format.formatter -> t -> unit

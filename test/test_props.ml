@@ -322,6 +322,100 @@ let prop_inductive_independence_small =
       Conflict.inductive_independence p (Conflict.constant ()) ls <= 8
       && Conflict.inductive_independence p (Conflict.log_power ()) ls <= 10)
 
+(* Pressure-oracle instances: uniform square, tight Gaussian clusters,
+   and collinear-degenerate deployments, with MST links.  The last two
+   stress the far-field quadtree (deep recursion near clusters, zero
+   extent in one dimension on a line). *)
+let gen_pressure_instance =
+  QCheck.make
+    ~print:(fun (seed, n, kind) ->
+      Printf.sprintf "seed=%d n=%d kind=%s" seed n
+        [| "uniform"; "clustered"; "collinear" |].(kind))
+    QCheck.Gen.(
+      map
+        (fun (seed, n, kind) -> (seed, 8 + (abs n mod 60), abs kind mod 3))
+        (triple (int_bound 100000) int int))
+
+let pressure_linkset_of (seed, n, kind) =
+  let rng = Rng.create (seed + (31 * kind)) in
+  let ps =
+    match kind with
+    | 0 -> Random_deploy.uniform_square rng ~n ~side:500.0
+    | 1 ->
+        Random_deploy.clusters rng
+          ~clusters:(1 + (n / 10))
+          ~per_cluster:10 ~side:500.0 ~spread:2.0
+    | _ -> Random_deploy.uniform_line rng ~n ~length:500.0
+  in
+  (Agg_tree.mst ps).Agg_tree.links
+
+let prop_pressure_flat_matches_record =
+  QCheck.Test.make ~count:60
+    ~name:"flat pressure kernel equals the record oracle bit-for-bit"
+    gen_pressure_instance (fun input ->
+      let ls = pressure_linkset_of input in
+      let ok = ref true in
+      for i = 0 to Linkset.size ls - 1 do
+        let flat = Affectance.mst_longer_pressure_flat p ls i in
+        let record = Affectance.mst_longer_pressure p ls i in
+        if not (Float.equal flat record) then ok := false
+      done;
+      !ok)
+
+let prop_pressure_batch_matches_record =
+  QCheck.Test.make ~count:60
+    ~name:"batch pressure equals record sums in rank order bit-for-bit"
+    gen_pressure_instance (fun input ->
+      let ls = pressure_linkset_of input in
+      let n = Linkset.size ls in
+      let batch = Affectance.mst_longer_pressure_all p ls in
+      (* Independent re-derivation of the batch contract: walk the
+         descending-length order, keep summing record-based terms while
+         the candidate is not shorter than the query link. *)
+      let order = Linkset.by_decreasing_length ls in
+      let ok = ref true in
+      for r = 0 to n - 1 do
+        let i = order.(r) in
+        let li = Linkset.length ls i in
+        let total = ref 0.0 in
+        let q = ref 0 in
+        while !q < n && Linkset.length ls order.(!q) >= li do
+          if !q <> r then
+            total := !total +. Affectance.additive p ls i order.(!q);
+          incr q
+        done;
+        if not (Float.equal batch.(i) !total) then ok := false
+      done;
+      !ok)
+
+let prop_far_field_certified =
+  QCheck.Test.make ~count:40
+    ~name:"far-field pressure lands within its certified error bound"
+    gen_pressure_instance (fun input ->
+      let ls = pressure_linkset_of input in
+      let tol = 1e-3 in
+      let ff = Wa_sinr.Far_field.build ls in
+      let ok = ref true in
+      for i = 0 to Linkset.size ls - 1 do
+        let v, err = Wa_sinr.Far_field.longer_pressure ff p ls ~tol i in
+        let exact = Affectance.mst_longer_pressure_flat p ls i in
+        if not (err <= tol +. 1e-12 && Float.abs (v -. exact) <= err +. 1e-9)
+        then ok := false
+      done;
+      !ok)
+
+let prop_refinement_approx_brackets_exact =
+  QCheck.Test.make ~count:30
+    ~name:"approx pressure report brackets the exact maximum"
+    gen_pressure_instance (fun input ->
+      let ls = pressure_linkset_of input in
+      let exact = Refinement.longer_pressure ~mode:`Exact p ls in
+      let approx = Refinement.longer_pressure ~mode:(`Approx 1e-3) p ls in
+      approx.Refinement.error_bound <= 1e-3 +. 1e-12
+      && Float.abs
+           (approx.Refinement.max_pressure -. exact.Refinement.max_pressure)
+         <= approx.Refinement.error_bound +. 1e-9)
+
 let prop_tdma_always_valid =
   QCheck.Test.make ~count:30 ~name:"naive TDMA is always valid" gen_pointset
     (fun input ->
@@ -348,6 +442,10 @@ let () =
             prop_simulator_latency_monotone_frames;
             prop_schedule_partition;
             prop_affectance_feasibility_consistent;
+            prop_pressure_flat_matches_record;
+            prop_pressure_batch_matches_record;
+            prop_far_field_certified;
+            prop_refinement_approx_brackets_exact;
             prop_tdma_always_valid;
             prop_periodic_of_schedule_consistent;
             prop_monoid_aggregation_correct;

@@ -73,6 +73,7 @@ module Config = struct
     hot_paths : string list;
     capture_allowed : string list;
     positive_sources : (string * string) list;
+    positive_maps : (string * string) list;
   }
 
   let default =
@@ -87,6 +88,10 @@ module Config = struct
           ("Linkset", "min_length");
           ("Linkset", "max_length");
           ("Linkset", "diversity");
+          (* The flat views expose the same validated lengths (and
+             their alpha-powers) as arrays. *)
+          ("Linkset", "lengths");
+          ("Linkset", "lengths_pow");
           ("Link", "length");
           ("Link_index", "class_min_length");
           ("Link_index", "class_max_length");
@@ -96,6 +101,14 @@ module Config = struct
           ("Power", "value");
           ("Power", "vector");
           ("Power", "oblivious_constant");
+        ];
+      positive_maps =
+        [
+          (* x^alpha is positive for positive x whatever the exponent;
+             partial applications bound to a local name are tracked so
+             [let pow = Params.alpha_pow p in ... pow d] inherits the
+             guarantee from a guarded [d]. *)
+          ("Params", "alpha_pow");
         ];
     }
 end
@@ -870,10 +883,23 @@ let rec always_raises e =
   | Texp_ifthenelse (_, a, Some b) -> always_raises a && always_raises b
   | _ -> false
 
-(* [nonzero ctx guards pos e]: the heuristic "provably nonzero on this
-   path" judgment described in the module header. *)
-let rec nonzero ctx guards pos e =
-  let self = nonzero ctx guards pos in
+(* A (possibly partial) application of a configured positivity-
+   preserving map — [Params.alpha_pow p] and friends. *)
+let positive_map_partial ctx e =
+  match e.exp_desc with
+  | Texp_apply (f, _) -> (
+      match fn_last2 f with
+      | Some (Some m, v) -> List.mem (m, v) ctx.cfg.Config.positive_maps
+      | _ -> false)
+  | _ -> false
+
+(* [nonzero ctx guards pos maps e]: the heuristic "provably nonzero on
+   this path" judgment described in the module header.  [maps] holds
+   local idents bound to positivity-preserving closures (see
+   [positive_map_partial]): applying one to a nonzero operand is
+   nonzero. *)
+let rec nonzero ctx guards pos maps e =
+  let self = nonzero ctx guards pos maps in
   match e.exp_desc with
   | Texp_constant (Asttypes.Const_float s) -> float_const_nonzero s
   | Texp_ident (Path.Pident id, _, _) ->
@@ -891,6 +917,9 @@ let rec nonzero ctx guards pos e =
           (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
           args
       in
+      let last_positional () =
+        match List.rev positional with a :: _ -> self a | [] -> false
+      in
       match (fn_last2 f, positional) with
       | Some (Some m, v), _ when List.mem (m, v) ctx.cfg.Config.positive_sources
         ->
@@ -898,6 +927,17 @@ let rec nonzero ctx guards pos e =
       | Some (None, v), _
         when List.mem (ctx.self_module, v) ctx.cfg.Config.positive_sources ->
           true
+      | Some (Some m, v), _ when List.mem (m, v) ctx.cfg.Config.positive_maps
+        ->
+          (* Fully applied positivity-preserving map: positive iff its
+             (last) operand is. *)
+          last_positional ()
+      | _, _
+        when (match f.exp_desc with
+             | Texp_ident (Path.Pident id, _, _) ->
+                 SSet.mem (Ident.unique_name id) maps
+             | _ -> false) ->
+          last_positional ()
       | Some (None, "exp"), _ | Some (Some "Float", "exp"), _ -> true
       | Some (None, ("log" | "log10")), [ arg ] -> (
           (* log of a constant other than 1 is a nonzero constant. *)
@@ -938,8 +978,8 @@ let sort_fns =
   ]
 
 let float_walk ctx e0 =
-  let check_nonzero guards pos ~in_sort what den loc =
-    if not (nonzero ctx guards pos den) then
+  let check_nonzero guards pos maps ~in_sort what den loc =
+    if not (nonzero ctx guards pos maps den) then
       if in_sort then
         flag ctx loc rule_nan_compare
           (Printf.sprintf
@@ -955,22 +995,24 @@ let float_walk ctx e0 =
               positive source such as Linkset.length)"
              what)
   in
-  let rec go guards pos ~in_sort e =
+  let rec go guards pos maps ~in_sort e =
     with_allows ctx e.exp_attributes @@ fun () ->
-    let self = go guards pos ~in_sort in
+    let self = go guards pos maps ~in_sort in
     match e.exp_desc with
     | Texp_let (_, vbs, body) ->
         List.iter (fun vb -> self vb.vb_expr) vbs;
-        let pos =
+        let pos, maps =
           List.fold_left
-            (fun pos vb ->
+            (fun (pos, maps) vb ->
               match vb.vb_pat.pat_desc with
-              | Tpat_var (id, _) when nonzero ctx guards pos vb.vb_expr ->
-                  SSet.add (Ident.unique_name id) pos
-              | _ -> pos)
-            pos vbs
+              | Tpat_var (id, _) when nonzero ctx guards pos maps vb.vb_expr ->
+                  (SSet.add (Ident.unique_name id) pos, maps)
+              | Tpat_var (id, _) when positive_map_partial ctx vb.vb_expr ->
+                  (pos, SSet.add (Ident.unique_name id) maps)
+              | _ -> (pos, maps))
+            (pos, maps) vbs
         in
-        go guards pos ~in_sort body
+        go guards pos maps ~in_sort body
     | Texp_function { arg_label; param; cases; _ } ->
         let pos =
           let powerish =
@@ -990,15 +1032,16 @@ let float_walk ctx e0 =
             in
             match c.c_guard with
             | Some g ->
-                go guards pos ~in_sort g;
-                go (SSet.union guards (guard_idents g)) pos ~in_sort c.c_rhs
-            | None -> go guards pos ~in_sort c.c_rhs)
+                go guards pos maps ~in_sort g;
+                go (SSet.union guards (guard_idents g)) pos maps ~in_sort
+                  c.c_rhs
+            | None -> go guards pos maps ~in_sort c.c_rhs)
           cases
     | Texp_ifthenelse (c, a, b) ->
         self c;
         let guards = SSet.union guards (guard_idents c) in
-        go guards pos ~in_sort a;
-        Option.iter (go guards pos ~in_sort) b
+        go guards pos maps ~in_sort a;
+        Option.iter (go guards pos maps ~in_sort) b
     | Texp_match (s, cases, _) ->
         self s;
         List.iter
@@ -1006,7 +1049,8 @@ let float_walk ctx e0 =
             match c.c_guard with
             | Some g ->
                 self g;
-                go (SSet.union guards (guard_idents g)) pos ~in_sort c.c_rhs
+                go (SSet.union guards (guard_idents g)) pos maps ~in_sort
+                  c.c_rhs
             | None -> self c.c_rhs)
           cases
     | Texp_sequence (a, b) ->
@@ -1021,7 +1065,7 @@ let float_walk ctx e0 =
           | Texp_assert (c, _) -> SSet.union guards (guard_idents c)
           | _ -> guards
         in
-        go guards pos ~in_sort b
+        go guards pos maps ~in_sort b
     | Texp_apply (f, args) -> (
         let positional =
           List.filter_map
@@ -1030,21 +1074,22 @@ let float_walk ctx e0 =
         in
         (match (fn_last2 f, positional) with
         | Some (None, "/."), [ _; den ] ->
-            check_nonzero guards pos ~in_sort "division (/.)" den e.exp_loc
+            check_nonzero guards pos maps ~in_sort "division (/.)" den
+              e.exp_loc
         | Some (None, (("log" | "log10" | "sqrt") as fn)), [ arg ]
         | Some (Some "Float", (("log" | "log10" | "sqrt") as fn)), [ arg ] ->
-            check_nonzero guards pos ~in_sort (fn ^ " application") arg
+            check_nonzero guards pos maps ~in_sort (fn ^ " application") arg
               e.exp_loc
         | _ -> ());
         match (fn_last2 f, positional) with
         | Some (Some m, v), cmp :: rest when List.mem (m, v) sort_fns ->
-            go guards pos ~in_sort:true cmp;
+            go guards pos maps ~in_sort:true cmp;
             List.iter self rest
         | Some (None, ("&&" | "||")), [ a; b ] ->
             (* Short-circuit: the right conjunct only evaluates under
                the left one's test. *)
             self a;
-            go (SSet.union guards (guard_idents a)) pos ~in_sort b
+            go (SSet.union guards (guard_idents a)) pos maps ~in_sort b
         | _ ->
             self f;
             List.iter (fun (_, a) -> Option.iter self a) args)
@@ -1057,7 +1102,7 @@ let float_walk ctx e0 =
           cases
     | _ -> iter_children self e
   in
-  go SSet.empty SSet.empty ~in_sort:false e0
+  go SSet.empty SSet.empty SSet.empty ~in_sort:false e0
 
 (* Per-structure driver ----------------------------------------------- *)
 

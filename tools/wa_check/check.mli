@@ -42,13 +42,19 @@ module Config : sig
         (** [(Module, fn)] pairs whose results are positive by
             construction (validated at the source), trusted as nonzero
             denominators. *)
+    positive_maps : (string * string) list;
+        (** [(Module, fn)] pairs that preserve positivity: a (full)
+            application to a nonzero operand is nonzero, and a partial
+            application bound to a local name carries the guarantee to
+            later call sites ([let pow = Params.alpha_pow p]). *)
   }
 
   val default : t
   (** Hot paths [lib/sinr/] + [lib/core/conflict.ml]; capture
       whitelist [lib/obs/] + [lib/util/parallel.ml]; positive sources
       [Linkset.length] and friends (zero-length links are rejected at
-      [Link.make]) and [Power.value]/[vector] (validated positive). *)
+      [Link.make]) and [Power.value]/[vector] (validated positive);
+      positive maps [Params.alpha_pow]. *)
 end
 
 type violation = {
