@@ -8,6 +8,7 @@
      experiment  regenerate one or all of the paper's tables/figures
      serve       run the resident plan server (JSON-lines over TCP)
      client      send one operation to a running plan server
+     top         live telemetry dashboard for a running plan server
      list        list available experiments *)
 
 module Pipeline = Wa_core.Pipeline
@@ -63,6 +64,7 @@ type telemetry = {
   verbosity : int;
   trace_out : string option;
   metrics_out : string option;
+  prom_out : string option;
 }
 
 let telemetry_arg =
@@ -82,8 +84,18 @@ let telemetry_arg =
     Arg.(
       value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
   in
-  let make v t m = { verbosity = List.length v; trace_out = t; metrics_out = m } in
-  Term.(const make $ verbose $ trace_out $ metrics_out)
+  let prom_out =
+    let doc =
+      "Write the metrics registry as a Prometheus text exposition to this \
+       file (under $(b,serve): rewritten every $(b,--prom-interval) seconds \
+       while the server runs)."
+    in
+    Arg.(value & opt (some string) None & info [ "prom-out" ] ~docv:"FILE" ~doc)
+  in
+  let make v t m p =
+    { verbosity = List.length v; trace_out = t; metrics_out = m; prom_out = p }
+  in
+  Term.(const make $ verbose $ trace_out $ metrics_out $ prom_out)
 
 let write_telemetry tel =
   let report = Wa_obs.Report.capture () in
@@ -112,6 +124,14 @@ let write_telemetry tel =
             Ok ()
         | Error m -> Error (`Msg ("metrics self-check failed: " ^ m)))
   in
+  let* () =
+    match tel.prom_out with
+    | None -> Ok ()
+    | Some path ->
+        Wa_obs.Export.write_prometheus path report;
+        Printf.printf "wrote prometheus exposition to %s\n" path;
+        Ok ()
+  in
   if tel.verbosity > 0 then
     Format.eprintf "%a@." Wa_obs.Report.pp report;
   Ok ()
@@ -123,7 +143,8 @@ let write_telemetry tel =
 let with_telemetry tel f =
   Wa_obs.Log.setup ?level:(Wa_obs.Log.level_of_verbosity tel.verbosity) ();
   let wanted =
-    tel.trace_out <> None || tel.metrics_out <> None || tel.verbosity > 0
+    tel.trace_out <> None || tel.metrics_out <> None || tel.prom_out <> None
+    || tel.verbosity > 0
   in
   if wanted then begin
     Wa_obs.enable ();
@@ -414,7 +435,7 @@ let port_arg =
   Arg.(value & opt int 7461 & info [ "port" ] ~docv:"PORT" ~doc)
 
 let run_serve host port workers queue_capacity cache_entries cache_mb
-    max_sessions tel =
+    max_sessions prom_interval tel =
   with_telemetry tel @@ fun () ->
   let config =
     {
@@ -426,6 +447,8 @@ let run_serve host port workers queue_capacity cache_entries cache_mb
       cache_entries;
       cache_bytes = cache_mb * 1024 * 1024;
       max_sessions;
+      prom_out = tel.prom_out;
+      prom_interval_s = prom_interval;
     }
   in
   match Wa_service.Server.create config with
@@ -466,10 +489,16 @@ let serve_cmd =
     let doc = "Maximum concurrent churn sessions." in
     Arg.(value & opt int 64 & info [ "max-sessions" ] ~docv:"S" ~doc)
   in
+  let prom_interval =
+    let doc = "Seconds between Prometheus exposition rewrites (with \
+               --prom-out)." in
+    Arg.(value & opt float 5.0 & info [ "prom-interval" ] ~docv:"SEC" ~doc)
+  in
   let term =
     Term.(
       const run_serve $ host_arg $ port_arg $ workers $ queue_capacity
-      $ cache_entries $ cache_mb $ max_sessions $ telemetry_arg)
+      $ cache_entries $ cache_mb $ max_sessions $ prom_interval
+      $ telemetry_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -479,10 +508,115 @@ let serve_cmd =
           (DESIGN.md, section 11).  SIGINT/SIGTERM drain gracefully.")
     (Term.term_result term)
 
+(* top -------------------------------------------------------------------- *)
+
+let fmt_ms v = if Float.is_nan v then "      -" else Printf.sprintf "%7.2f" v
+
+let render_top host port (t : Wa_service.Protocol.telemetry_summary) =
+  let module P = Wa_service.Protocol in
+  let b = Buffer.create 1024 in
+  let line fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string b s;
+        Buffer.add_char b '\n')
+      fmt
+  in
+  line "wa top - %s:%d   uptime %.1fs   window %.1fs (%d roll%s)" host port
+    t.P.tel_uptime_s t.P.tel_window_s t.P.tel_windows
+    (if t.P.tel_windows = 1 then "" else "s");
+  line "in-flight %d   queue %d   sessions %d" t.P.tel_in_flight
+    t.P.tel_queue_depth t.P.tel_sessions;
+  let c = t.P.tel_cache in
+  let lookups = c.P.cs_hits + c.P.cs_misses in
+  let hit_pct =
+    if lookups = 0 then 0.0
+    else 100.0 *. float_of_int c.P.cs_hits /. float_of_int lookups
+  in
+  line "cache %d entries / %.1f MiB   hit %.1f%% (%d/%d)   coalesced %d   \
+        evicted %d"
+    c.P.cs_entries
+    (float_of_int c.P.cs_bytes /. 1048576.0)
+    hit_pct c.P.cs_hits lookups c.P.cs_coalesced c.P.cs_evictions;
+  let g = t.P.tel_gc in
+  line "gc heap %.1f MiB   minor %d   major %d   compactions %d"
+    (float_of_int (g.P.gc_heap_words * 8) /. 1048576.0)
+    g.P.gc_minor_collections g.P.gc_major_collections g.P.gc_compactions;
+  line "";
+  line "%-16s %8s %7s %7s %7s %7s" "op" "count" "p50" "p90" "p99" "max(ms)";
+  (match t.P.tel_ops with
+  | [] -> line "  (no requests in the window yet)"
+  | ops ->
+      List.iter
+        (fun (o : P.op_latency) ->
+          line "%-16s %8d %s %s %s %s" o.P.ol_op o.P.ol_count
+            (fmt_ms o.P.ol_p50_ms) (fmt_ms o.P.ol_p90_ms)
+            (fmt_ms o.P.ol_p99_ms) (fmt_ms o.P.ol_max_ms))
+        ops);
+  (match t.P.tel_exemplars with
+  | [] -> ()
+  | exemplars ->
+      line "";
+      line "slowest recent:";
+      List.iter
+        (fun (e : P.exemplar) ->
+          line "  %-14s id=%-8d %.2f ms" e.P.ex_op e.P.ex_id e.P.ex_ms)
+        exemplars);
+  Buffer.contents b
+
+let run_top host port interval iterations =
+  let module C = Wa_service.Client in
+  let module P = Wa_service.Protocol in
+  let ( let* ) = Result.bind in
+  let err m = `Msg m in
+  let* c = C.connect ~host ~port () |> Result.map_error err in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  let tty = Unix.isatty Unix.stdout in
+  let rec go i =
+    let* r = C.call c P.Telemetry |> Result.map_error err in
+    match r.P.body with
+    | P.Telemetry_r t ->
+        (* On a terminal, redraw in place; piped output just appends
+           one frame per poll. *)
+        if tty then print_string "\027[H\027[2J";
+        print_string (render_top host port t);
+        flush stdout;
+        if iterations > 0 && i >= iterations then Ok ()
+        else begin
+          Unix.sleepf interval;
+          go (i + 1)
+        end
+    | P.Error { message; _ } -> Error (`Msg ("telemetry refused: " ^ message))
+    | _ -> Error (`Msg "unexpected response to telemetry request")
+  in
+  go 1
+
+let top_cmd =
+  let interval =
+    let doc = "Seconds between telemetry polls." in
+    Arg.(value & opt float 1.0 & info [ "interval" ] ~docv:"SEC" ~doc)
+  in
+  let iterations =
+    let doc = "Stop after this many polls (0: run until interrupted)." in
+    Arg.(value & opt int 0 & info [ "iterations" ] ~docv:"N" ~doc)
+  in
+  let term =
+    Term.(const run_top $ host_arg $ port_arg $ interval $ iterations)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Poll a running plan server's telemetry op and render a live \
+          dashboard: rolling per-op latency quantiles, cache hit rates, \
+          queue depth, slow-request exemplars, GC counters.  Scrapes are \
+          answered on the server's event loop, so the dashboard stays \
+          live even when all workers are busy.")
+    (Term.term_result term)
+
 (* client ----------------------------------------------------------------- *)
 
-let run_client host port deadline_ms op seed n side deploy power alpha beta
-    gamma engine no_cache periods =
+let run_client host port deadline_ms trace op seed n side deploy power alpha
+    beta gamma engine no_cache periods =
   let module C = Wa_service.Client in
   let module P = Wa_service.Protocol in
   let ( let* ) = Result.bind in
@@ -505,7 +639,7 @@ let run_client host port deadline_ms op seed n side deploy power alpha beta
   (* Each response is printed as its raw wire line: the client doubles
      as a protocol inspector for scripting and the docs. *)
   let step body =
-    let* r = C.call ?deadline_ms c body |> Result.map_error err in
+    let* r = C.call ?deadline_ms ~trace c body |> Result.map_error err in
     print_endline (P.response_to_line r);
     Ok r
   in
@@ -524,6 +658,9 @@ let run_client host port deadline_ms op seed n side deploy power alpha beta
       Ok ()
   | "stats" ->
       let* _ = step P.Stats in
+      Ok ()
+  | "telemetry" ->
+      let* _ = step P.Telemetry in
       Ok ()
   | "shutdown" ->
       let* _ = step P.Shutdown in
@@ -567,16 +704,23 @@ let run_client host port deadline_ms op seed n side deploy power alpha beta
         (`Msg
           (Printf.sprintf
              "unknown op %S (expected ping | plan | describe | simulate | \
-              stats | churn-demo | shutdown)"
+              stats | telemetry | churn-demo | shutdown)"
              op))
 
 let client_cmd =
   let op_arg =
     let doc =
-      "Operation: ping | plan | describe | simulate | stats | churn-demo | \
-       shutdown."
+      "Operation: ping | plan | describe | simulate | stats | telemetry | \
+       churn-demo | shutdown."
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"OP" ~doc)
+  in
+  let trace_arg =
+    let doc =
+      "Ask the server to return each request's span tree in the response \
+       envelope (the protocol's trace flag)."
+    in
+    Arg.(value & flag & info [ "trace" ] ~doc)
   in
   let deadline_arg =
     let doc = "Per-request deadline in milliseconds (server-side)." in
@@ -604,9 +748,10 @@ let client_cmd =
   in
   let term =
     Term.(
-      const run_client $ host_arg $ port_arg $ deadline_arg $ op_arg $ seed_arg
-      $ nodes_arg $ side_arg $ deploy_arg $ power_arg $ alpha_arg $ beta_arg
-      $ gamma_arg $ engine_arg $ no_cache_arg $ periods_arg)
+      const run_client $ host_arg $ port_arg $ deadline_arg $ trace_arg
+      $ op_arg $ seed_arg $ nodes_arg $ side_arg $ deploy_arg $ power_arg
+      $ alpha_arg $ beta_arg $ gamma_arg $ engine_arg $ no_cache_arg
+      $ periods_arg)
   in
   Cmd.v
     (Cmd.info "client"
@@ -639,4 +784,4 @@ let () =
   exit
     (Cmd.eval (Cmd.group info
        [ plan_cmd; generate_cmd; simulate_cmd; median_cmd; kconnect_cmd;
-         experiment_cmd; serve_cmd; client_cmd; list_cmd ]))
+         experiment_cmd; serve_cmd; client_cmd; top_cmd; list_cmd ]))

@@ -29,6 +29,60 @@ let write_metrics path report =
       Json.to_channel oc (Report.metrics_to_json report);
       output_char oc '\n')
 
+(* Prometheus text exposition (version 0.0.4): counters and gauges as
+   single samples, histograms as cumulative [_bucket{le=...}] series
+   with [_sum]/[_count].  Metric names are sanitized ([a-zA-Z0-9_])
+   and prefixed "wa_" so "service.request_ms" scrapes as
+   "wa_service_request_ms".  Non-positive samples sit below every
+   dyadic bucket, so they fold into each cumulative bucket count and
+   the [+Inf] bucket equals the total count, as the format requires. *)
+
+let prom_name name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+      let ok =
+        (c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9')
+        || c = '_'
+      in
+      if not ok then Bytes.set b i '_')
+    b;
+  "wa_" ^ Bytes.to_string b
+
+let prometheus_string (t : Report.t) =
+  let buf = Buffer.create 1024 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun (n, v) ->
+      let pn = prom_name n in
+      addf "# TYPE %s counter\n%s %d\n" pn pn v)
+    t.Report.counters;
+  List.iter
+    (fun (n, v) ->
+      let pn = prom_name n in
+      addf "# TYPE %s gauge\n%s %.17g\n" pn pn v)
+    t.Report.gauges;
+  List.iter
+    (fun (n, (h : Metrics.hist_snapshot)) ->
+      let pn = prom_name n in
+      addf "# TYPE %s histogram\n" pn;
+      let cum = ref h.Metrics.nonpositive_count in
+      List.iter
+        (fun (_, hi, c) ->
+          cum := !cum + c;
+          addf "%s_bucket{le=\"%.17g\"} %d\n" pn hi !cum)
+        h.Metrics.filled;
+      addf "%s_bucket{le=\"+Inf\"} %d\n" pn h.Metrics.count;
+      addf "%s_sum %.17g\n" pn h.Metrics.sum;
+      addf "%s_count %d\n" pn h.Metrics.count)
+    t.Report.histograms;
+  Buffer.contents buf
+
+let write_prometheus path report =
+  with_out path (fun oc -> output_string oc (prometheus_string report))
+
 (* Validation: parse back what a writer produced, so exporters fail
    loudly instead of shipping malformed telemetry.  Used by the CLI
    teardown and the obs-smoke alias. *)
@@ -41,20 +95,23 @@ let read_file path =
 
 let validate_trace_file path =
   let contents = read_file path in
-  let lines =
-    String.split_on_char '\n' contents
-    |> List.filter (fun l -> String.trim l <> "")
-  in
-  let rec go n = function
+  (* Blank lines (anywhere, not just the trailing newline) are
+     tolerated and skipped, but the line counter keeps ticking so an
+     error reports the true position in the file, not the index among
+     non-blank lines. *)
+  let rec go lineno n = function
     | [] -> Ok n
-    | line :: rest -> (
-        match Json.of_string line with
-        | Ok (Json.Obj _) -> go (n + 1) rest
-        | Ok _ -> Error (Printf.sprintf "%s: line %d is not an object" path (n + 1))
-        | Error msg ->
-            Error (Printf.sprintf "%s: line %d: %s" path (n + 1) msg))
+    | line :: rest ->
+        if String.trim line = "" then go (lineno + 1) n rest
+        else (
+          match Json.of_string line with
+          | Ok (Json.Obj _) -> go (lineno + 1) (n + 1) rest
+          | Ok _ ->
+              Error (Printf.sprintf "%s: line %d is not an object" path lineno)
+          | Error msg ->
+              Error (Printf.sprintf "%s: line %d: %s" path lineno msg))
   in
-  go 0 lines
+  go 1 0 (String.split_on_char '\n' contents)
 
 let validate_metrics_file path =
   match Json.of_string (read_file path) with

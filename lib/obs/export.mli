@@ -13,8 +13,17 @@ val write_trace : string -> Report.t -> unit
 
 val write_metrics : string -> Report.t -> unit
 
+val prometheus_string : Report.t -> string
+(** Prometheus text exposition (0.0.4): counters/gauges as samples,
+    histograms as cumulative [_bucket{le=...}] + [_sum]/[_count].
+    Names are sanitized to [a-zA-Z0-9_] and prefixed ["wa_"]. *)
+
+val write_prometheus : string -> Report.t -> unit
+
 val validate_trace_file : string -> (int, string) result
-(** Parse every non-empty line; [Ok n] is the number of span records. *)
+(** Parse every line; [Ok n] is the number of span records.  Blank
+    lines anywhere are tolerated; errors report the true (1-based)
+    line number. *)
 
 val validate_metrics_file : string -> (Wa_util.Json.t, string) result
 (** Parse the document and check the expected top-level shape. *)

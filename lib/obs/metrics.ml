@@ -161,6 +161,33 @@ let hist_snapshot h =
 
 let hist_mean s = if s.count = 0 then nan else s.sum /. float_of_int s.count
 
+(* Quantile over the bucketed (positive) samples: walk the cumulative
+   bucket counts to the fractional rank and interpolate linearly
+   inside the landing bucket.  Since buckets are dyadic the estimate
+   is always within one bucket — a factor of two — of the exact
+   sorted-sample quantile, which is what the qcheck oracle asserts. *)
+let quantile s q =
+  match s.filled with
+  | [] -> nan
+  | filled ->
+      let q = Float.max 0.0 (Float.min 1.0 q) in
+      let total =
+        List.fold_left (fun acc (_, _, c) -> acc + c) 0 filled
+      in
+      let target = q *. float_of_int total in
+      let clamp v = Float.max s.min (Float.min s.max v) in
+      let rec go cum = function
+        | [] -> clamp s.max
+        | (lo, hi, c) :: rest ->
+            let cum' = cum +. float_of_int c in
+            if cum' >= target && c > 0 then
+              let frac = (target -. cum) /. float_of_int c in
+              let frac = Float.max 0.0 (Float.min 1.0 frac) in
+              clamp (lo +. (frac *. (hi -. lo)))
+            else go cum' rest
+      in
+      go 0.0 filled
+
 let by_name pairs = List.sort (fun (a, _) (b, _) -> String.compare a b) pairs
 
 let snapshot () =

@@ -52,6 +52,14 @@ val gauge_value : gauge -> float
 val hist_snapshot : histogram -> hist_snapshot
 val hist_mean : hist_snapshot -> float
 
+val quantile : hist_snapshot -> float -> float
+(** [quantile s q] estimates the [q]-quantile ([0..1], clamped) of the
+    bucketed samples by walking the cumulative dyadic bucket counts to
+    the fractional rank and interpolating linearly inside the landing
+    bucket, clamped into [[s.min, s.max]].  Always within one dyadic
+    bucket (a factor of two) of the exact sorted-sample quantile over
+    the positive samples.  [nan] when no bucket is filled. *)
+
 val snapshot :
   unit ->
   (string * int) list * (string * float) list * (string * hist_snapshot) list

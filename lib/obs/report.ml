@@ -11,6 +11,13 @@ let capture () =
   let counters, gauges, histograms = Metrics.snapshot () in
   { spans = Trace.spans (); counters; gauges; histograms }
 
+(* Metrics only — no span flush/merge.  A resident server exporting
+   Prometheus text every few seconds wants the registry without
+   touching (or retaining) the ever-growing span list. *)
+let capture_metrics () =
+  let counters, gauges, histograms = Metrics.snapshot () in
+  { spans = []; counters; gauges; histograms }
+
 let empty = { spans = []; counters = []; gauges = []; histograms = [] }
 
 let find_spans t name = List.filter (fun s -> s.Trace.name = name) t.spans
@@ -122,13 +129,14 @@ let pp fmt t =
     List.iter (fun (n, v) -> Format.fprintf fmt "  %-28s %g@," n v) t.gauges
   end;
   if not (List.is_empty t.histograms) then begin
-    Format.fprintf fmt "histograms (count / mean / min / max):@,";
+    Format.fprintf fmt "histograms (count / mean / p50 / p99 / max):@,";
     List.iter
       (fun (n, (h : Metrics.hist_snapshot)) ->
         if h.Metrics.count = 0 then Format.fprintf fmt "  %-28s empty@," n
         else
-          Format.fprintf fmt "  %-28s %d / %g / %g / %g@," n h.Metrics.count
-            (Metrics.hist_mean h) h.Metrics.min h.Metrics.max)
+          Format.fprintf fmt "  %-28s %d / %g / %g / %g / %g@," n
+            h.Metrics.count (Metrics.hist_mean h) (Metrics.quantile h 0.5)
+            (Metrics.quantile h 0.99) h.Metrics.max)
       t.histograms
   end;
   Format.fprintf fmt "@]"

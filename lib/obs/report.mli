@@ -12,6 +12,10 @@ type t = {
 val capture : unit -> t
 (** Flush the calling domain's trace buffer and snapshot everything. *)
 
+val capture_metrics : unit -> t
+(** Snapshot the metrics registry only ([spans = []]); cheap enough
+    for a periodic exposition dump on a resident server. *)
+
 val empty : t
 
 val find_spans : t -> string -> Trace.span list

@@ -21,9 +21,13 @@ type domain_state = {
   mutable stack_depth : int;
   mutable buffer : span list;  (* newest first *)
   mutable buffered : int;
+  mutable collector : span list ref option;
+      (* When set, every span recorded on this domain is also appended
+         here — the request-scoped trace capture of Wa_service. *)
 }
 
-let make_state () = { stack_depth = 0; buffer = []; buffered = 0 }
+let make_state () =
+  { stack_depth = 0; buffer = []; buffered = 0; collector = None }
 
 let dls_key = Domain.DLS.new_key make_state
 
@@ -47,6 +51,7 @@ let flush_state st =
   end
 
 let record_state st span =
+  (match st.collector with Some acc -> acc := span :: !acc | None -> ());
   st.buffer <- span :: st.buffer;
   st.buffered <- st.buffered + 1;
   if span.depth = 0 || st.buffered >= max_buffered then flush_state st
@@ -76,6 +81,30 @@ let with_span name f =
         finish ();
         raise e
   end
+
+(* Request-scoped capture: while [f] runs, every span that closes on
+   the calling domain is also appended to a private accumulator, so a
+   server can return exactly the spans of one request without fishing
+   them out of the merged global list.  Nested collectors stack (the
+   innermost wins until it exits); spans recorded on other domains —
+   e.g. Parallel chunk spans — are not captured.  Returns spans sorted
+   by start time.  Empty while telemetry is disabled. *)
+let with_collector f =
+  let st = Domain.DLS.get dls_key in
+  let saved = st.collector in
+  let acc = ref [] in
+  st.collector <- Some acc;
+  let finish () = st.collector <- saved in
+  match f () with
+  | v ->
+      finish ();
+      let spans =
+        List.sort (fun a b -> Int64.compare a.start_ns b.start_ns) !acc
+      in
+      (v, spans)
+  | exception e ->
+      finish ();
+      raise e
 
 let timed name f =
   let t0 = Runtime.now_ns () in

@@ -22,6 +22,17 @@ val with_span : string -> (unit -> 'a) -> 'a
 (** Run the thunk inside a named span.  Exceptions still close (and
     record) the span before propagating. *)
 
+val with_collector : (unit -> 'a) -> 'a * span list
+(** [with_collector f] runs [f] while additionally capturing, into a
+    private accumulator, every span that closes on the calling domain
+    — the request-scoped trace a server returns for one traced
+    request.  The captured spans (sorted by start time) are returned
+    alongside [f]'s result; they still flow into the global list as
+    usual.  Collectors nest (innermost wins until it exits); spans
+    recorded by other domains are not captured; the list is empty when
+    telemetry is disabled.  Exceptions restore the previous collector
+    before propagating. *)
+
 val timed : string -> (unit -> 'a) -> 'a * float
 (** [timed name f] is [(f (), elapsed milliseconds)], measured on the
     monotonic clock whether or not telemetry is enabled; the span

@@ -5,6 +5,7 @@
 
 module Trace = Trace
 module Metrics = Metrics
+module Live = Live
 module Report = Report
 module Export = Export
 module Log = Log

@@ -56,8 +56,8 @@ let recv t =
   | exception Sys_error m -> Error ("recv: " ^ m)
   | line -> P.response_of_line line
 
-let call ?deadline_ms t body =
-  let r = { P.id = fresh_id t; deadline_ms; body } in
+let call ?deadline_ms ?(trace = false) t body =
+  let r = { P.id = fresh_id t; deadline_ms; trace; body } in
   let* () = send t r in
   let* resp = recv t in
   if resp.P.rid = r.P.id then Ok resp
@@ -66,6 +66,7 @@ let call ?deadline_ms t body =
       (Printf.sprintf "response id %d does not match request id %d" resp.P.rid
          r.P.id)
 
-let request ?deadline_ms t body = { P.id = fresh_id t; deadline_ms; body }
+let request ?deadline_ms ?(trace = false) t body =
+  { P.id = fresh_id t; deadline_ms; trace; body }
 
 let close t = close_out_noerr t.oc

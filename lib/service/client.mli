@@ -11,8 +11,14 @@ type t
 val connect : ?host:string -> port:int -> unit -> (t, string) result
 (** TCP connect, then read and verify the server greeting. *)
 
-val request : ?deadline_ms:float -> t -> Protocol.request_body -> Protocol.request
-(** Stamp a body with this connection's next correlation id. *)
+val request :
+  ?deadline_ms:float ->
+  ?trace:bool ->
+  t ->
+  Protocol.request_body ->
+  Protocol.request
+(** Stamp a body with this connection's next correlation id.
+    [~trace:true] asks the server for the request's span tree. *)
 
 val send : t -> Protocol.request -> (unit, string) result
 val recv : t -> (Protocol.response, string) result
@@ -20,6 +26,7 @@ val recv : t -> (Protocol.response, string) result
 
 val call :
   ?deadline_ms:float ->
+  ?trace:bool ->
   t ->
   Protocol.request_body ->
   (Protocol.response, string) result

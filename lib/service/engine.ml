@@ -1,4 +1,3 @@
-module Json = Wa_util.Json
 module Pipeline = Wa_core.Pipeline
 module P = Protocol
 
@@ -202,13 +201,20 @@ let handle t (body : P.request_body) : P.response_body =
   | P.Churn_close { session } ->
       if Session.close t.sessions session then P.Churn_closed session
       else no_such_session session
-  | P.Stats | P.Shutdown ->
+  | P.Stats | P.Telemetry | P.Shutdown ->
       (* Server-level ops: they need pool and lifecycle state the
          engine does not hold, so the server answers them itself. *)
-      err P.Bad_request "stats/shutdown are handled by the server"
+      err P.Bad_request "stats/telemetry/shutdown are handled by the server"
 
-let stats_fields t =
-  [
-    ("cache", Cache.stats_json (Cache.stats t.cache));
-    ("sessions", Json.Int (Session.count t.sessions));
-  ]
+let cache_summary t : P.cache_summary =
+  let s = Cache.stats t.cache in
+  {
+    P.cs_entries = s.Cache.entries;
+    cs_bytes = s.Cache.total_bytes;
+    cs_hits = s.Cache.hits;
+    cs_misses = s.Cache.misses;
+    cs_coalesced = s.Cache.coalesced;
+    cs_evictions = s.Cache.evictions;
+  }
+
+let session_count t = Session.count t.sessions

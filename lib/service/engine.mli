@@ -4,9 +4,10 @@
     One engine is shared by every worker of a server; all state it
     holds (cache, session registry) is thread-safe, so {!handle} may
     be called concurrently from any number of pool workers — which is
-    exactly what the server does.  [Stats] and [Shutdown] are the two
-    ops answered by the server itself (they need pool and lifecycle
-    state); {!handle} answers them with a [bad_request] envelope. *)
+    exactly what the server does.  [Stats], [Telemetry] and
+    [Shutdown] are the ops answered by the server itself (they need
+    pool and lifecycle state); {!handle} answers them with a
+    [bad_request] envelope. *)
 
 type t
 
@@ -41,5 +42,7 @@ val obtain_plan : t -> Protocol.plan_spec -> Wa_core.Pipeline.plan * bool * floa
 val sessions : t -> Session.t
 val cache_stats : t -> Cache.stats
 
-val stats_fields : t -> (string * Wa_util.Json.t) list
-(** Engine-level fields of the [stats] response (cache + sessions). *)
+val cache_summary : t -> Protocol.cache_summary
+(** Cache stats in wire form, shared by [stats] and [telemetry]. *)
+
+val session_count : t -> int

@@ -36,9 +36,29 @@ type request_body =
   | Churn_info of { session : int }
   | Churn_close of { session : int }
   | Stats
+  | Telemetry
   | Shutdown
 
-type request = { id : int; deadline_ms : float option; body : request_body }
+type request = {
+  id : int;
+  deadline_ms : float option;
+  trace : bool;
+  body : request_body;
+}
+
+let op_name = function
+  | Ping -> "ping"
+  | Plan _ -> "plan"
+  | Describe _ -> "describe"
+  | Simulate _ -> "simulate"
+  | Churn_create _ -> "churn_create"
+  | Churn_add _ -> "churn_add"
+  | Churn_remove _ -> "churn_remove"
+  | Churn_info _ -> "churn_info"
+  | Churn_close _ -> "churn_close"
+  | Stats -> "stats"
+  | Telemetry -> "telemetry"
+  | Shutdown -> "shutdown"
 
 type plan_summary = {
   nodes : int;
@@ -96,6 +116,70 @@ type error_code =
   | Shutting_down
   | Internal
 
+(* Telemetry types ------------------------------------------------------- *)
+
+type trace_span = {
+  t_name : string;
+  t_start_ns : int;  (* relative to the first span of the request *)
+  t_dur_ns : int;
+  t_depth : int;
+}
+
+type cache_summary = {
+  cs_entries : int;
+  cs_bytes : int;
+  cs_hits : int;
+  cs_misses : int;
+  cs_coalesced : int;
+  cs_evictions : int;
+}
+
+type stats_summary = {
+  st_requests : int;
+  st_responses : int;
+  st_overloaded : int;
+  st_deadline_misses : int;
+  st_inflight_peak : int;
+  st_draining : bool;
+  st_workers : int;
+  st_queue_depth : int;
+  st_queue_capacity : int;
+  st_in_flight : int;
+  st_cache : cache_summary;
+  st_sessions : int;
+}
+
+type op_latency = {
+  ol_op : string;
+  ol_count : int;
+  ol_p50_ms : float;
+  ol_p90_ms : float;
+  ol_p99_ms : float;
+  ol_max_ms : float;
+}
+
+type exemplar = { ex_op : string; ex_id : int; ex_ms : float }
+
+type gc_summary = {
+  gc_heap_words : int;
+  gc_minor_collections : int;
+  gc_major_collections : int;
+  gc_compactions : int;
+}
+
+type telemetry_summary = {
+  tel_uptime_s : float;
+  tel_window_s : float;
+  tel_windows : int;
+  tel_in_flight : int;
+  tel_queue_depth : int;
+  tel_ops : op_latency list;
+  tel_cache : cache_summary;
+  tel_sessions : int;
+  tel_exemplars : exemplar list;
+  tel_gc : gc_summary;
+}
+
 type response_body =
   | Pong
   | Plan_r of plan_summary
@@ -105,13 +189,19 @@ type response_body =
   | Churn_r of churn_summary
   | Session_r of session_info
   | Churn_closed of int
-  | Stats_r of Json.t
+  | Stats_r of stats_summary
+  | Telemetry_r of telemetry_summary
   | Shutdown_ok
   | Error of { code : error_code; message : string }
 
-type response = { rid : int; body : response_body }
+type response = {
+  rid : int;
+  body : response_body;
+  rtrace : trace_span list option;
+}
 
-let error ~id code message = { rid = id; body = Error { code; message } }
+let error ~id code message =
+  { rid = id; body = Error { code; message }; rtrace = None }
 
 (* Scalar codecs -------------------------------------------------------- *)
 
@@ -203,12 +293,12 @@ let spec_fields spec =
   @ [ ("engine", Json.String (engine_to_string spec.engine)) ]
   @ (if spec.no_cache then [ ("no_cache", Json.Bool true) ] else [])
 
-let encode_request { id; deadline_ms; body } =
+let encode_request { id; deadline_ms; trace; body } =
   let op name fields =
     Json.Obj
       (( [ ("v", Json.Int version); ("id", Json.Int id) ]
        |> opt_field "deadline_ms" (Option.map (fun d -> Json.Float d) deadline_ms)
-       )
+       |> opt_field "trace" (if trace then Some (Json.Bool true) else None))
       @ (("op", Json.String name) :: fields))
   in
   match body with
@@ -233,6 +323,7 @@ let encode_request { id; deadline_ms; body } =
   | Churn_info { session } -> op "churn_info" [ ("session", Json.Int session) ]
   | Churn_close { session } -> op "churn_close" [ ("session", Json.Int session) ]
   | Stats -> op "stats" []
+  | Telemetry -> op "telemetry" []
   | Shutdown -> op "shutdown" []
 
 let plan_summary_json (p : plan_summary) =
@@ -281,16 +372,100 @@ let churn_summary_json (c : churn_summary) =
         ("recompute_slots", Json.Int c.recompute_slots);
       ])
 
-let encode_response { rid; body } =
+let trace_span_json (s : trace_span) =
+  Json.Obj
+    [
+      ("name", Json.String s.t_name);
+      ("start_ns", Json.Int s.t_start_ns);
+      ("dur_ns", Json.Int s.t_dur_ns);
+      ("depth", Json.Int s.t_depth);
+    ]
+
+let cache_summary_json (c : cache_summary) =
+  Json.Obj
+    [
+      ("entries", Json.Int c.cs_entries);
+      ("bytes", Json.Int c.cs_bytes);
+      ("hits", Json.Int c.cs_hits);
+      ("misses", Json.Int c.cs_misses);
+      ("coalesced", Json.Int c.cs_coalesced);
+      ("evictions", Json.Int c.cs_evictions);
+    ]
+
+let stats_summary_json (s : stats_summary) =
+  Json.Obj
+    [
+      ("requests", Json.Int s.st_requests);
+      ("responses", Json.Int s.st_responses);
+      ("overloaded", Json.Int s.st_overloaded);
+      ("deadline_misses", Json.Int s.st_deadline_misses);
+      ("inflight_peak", Json.Int s.st_inflight_peak);
+      ("draining", Json.Bool s.st_draining);
+      ("workers", Json.Int s.st_workers);
+      ("queue_depth", Json.Int s.st_queue_depth);
+      ("queue_capacity", Json.Int s.st_queue_capacity);
+      ("in_flight", Json.Int s.st_in_flight);
+      ("cache", cache_summary_json s.st_cache);
+      ("sessions", Json.Int s.st_sessions);
+    ]
+
+let op_latency_json (o : op_latency) =
+  Json.Obj
+    [
+      ("op", Json.String o.ol_op);
+      ("count", Json.Int o.ol_count);
+      ("p50_ms", Json.Float o.ol_p50_ms);
+      ("p90_ms", Json.Float o.ol_p90_ms);
+      ("p99_ms", Json.Float o.ol_p99_ms);
+      ("max_ms", Json.Float o.ol_max_ms);
+    ]
+
+let exemplar_json (e : exemplar) =
+  Json.Obj
+    [
+      ("op", Json.String e.ex_op);
+      ("id", Json.Int e.ex_id);
+      ("ms", Json.Float e.ex_ms);
+    ]
+
+let telemetry_summary_json (t : telemetry_summary) =
+  Json.Obj
+    [
+      ("uptime_s", Json.Float t.tel_uptime_s);
+      ("window_s", Json.Float t.tel_window_s);
+      ("windows", Json.Int t.tel_windows);
+      ("in_flight", Json.Int t.tel_in_flight);
+      ("queue_depth", Json.Int t.tel_queue_depth);
+      ("ops", Json.List (List.map op_latency_json t.tel_ops));
+      ("cache", cache_summary_json t.tel_cache);
+      ("sessions", Json.Int t.tel_sessions);
+      ("exemplars", Json.List (List.map exemplar_json t.tel_exemplars));
+      ( "gc",
+        Json.Obj
+          [
+            ("heap_words", Json.Int t.tel_gc.gc_heap_words);
+            ("minor_collections", Json.Int t.tel_gc.gc_minor_collections);
+            ("major_collections", Json.Int t.tel_gc.gc_major_collections);
+            ("compactions", Json.Int t.tel_gc.gc_compactions);
+          ] );
+    ]
+
+let encode_response { rid; body; rtrace } =
+  let trace_field =
+    match rtrace with
+    | None -> []
+    | Some spans -> [ ("trace", Json.List (List.map trace_span_json spans)) ]
+  in
   let ok op result =
     Json.Obj
-      [
-        ("v", Json.Int version);
-        ("id", Json.Int rid);
-        ("ok", Json.Bool true);
-        ("op", Json.String op);
-        ("result", result);
-      ]
+      ([
+         ("v", Json.Int version);
+         ("id", Json.Int rid);
+         ("ok", Json.Bool true);
+         ("op", Json.String op);
+         ("result", result);
+       ]
+      @ trace_field)
   in
   match body with
   | Pong -> ok "ping" Json.Null
@@ -311,21 +486,23 @@ let encode_response { rid; body } =
            ])
   | Churn_closed session ->
       ok "churn_close" (Json.Obj [ ("session", Int session) ])
-  | Stats_r j -> ok "stats" j
+  | Stats_r s -> ok "stats" (stats_summary_json s)
+  | Telemetry_r t -> ok "telemetry" (telemetry_summary_json t)
   | Shutdown_ok -> ok "shutdown" Json.Null
   | Error { code; message } ->
       Json.Obj
-        [
-          ("v", Json.Int version);
-          ("id", Json.Int rid);
-          ("ok", Json.Bool false);
-          ( "error",
-            Json.Obj
-              [
-                ("code", String (error_code_to_string code));
-                ("message", String message);
-              ] );
-        ]
+        ([
+           ("v", Json.Int version);
+           ("id", Json.Int rid);
+           ("ok", Json.Bool false);
+           ( "error",
+             Json.Obj
+               [
+                 ("code", String (error_code_to_string code));
+                 ("message", String message);
+               ] );
+         ]
+        @ trace_field)
 
 (* Decoding ------------------------------------------------------------- *)
 
@@ -436,6 +613,7 @@ let decode_request json =
       let* () = decode_version json in
       let* id = int_field "id" json in
       let* deadline_ms = opt_float_field "deadline_ms" json in
+      let* trace = bool_field_default "trace" ~default:false json in
       let* op = string_field "op" json in
       let* body =
         match op with
@@ -490,10 +668,11 @@ let decode_request json =
             let* session = int_field "session" json in
             Ok (Churn_close { session })
         | "stats" -> Ok Stats
+        | "telemetry" -> Ok Telemetry
         | "shutdown" -> Ok Shutdown
         | op -> Error ("unknown op: " ^ op)
       in
-      Ok { id; deadline_ms; body }
+      Ok { id; deadline_ms; trace; body }
   | _ -> Error "a request is a JSON object"
 
 let decode_plan_summary j =
@@ -588,18 +767,143 @@ let decode_churn_summary j =
       recompute_slots;
     }
 
+let decode_trace_span j =
+  let* t_name = string_field "name" j in
+  let* t_start_ns = int_field "start_ns" j in
+  let* t_dur_ns = int_field "dur_ns" j in
+  let* t_depth = int_field "depth" j in
+  Ok { t_name; t_start_ns; t_dur_ns; t_depth }
+
+let decode_trace json =
+  match Json.member "trace" json with
+  | None -> Ok None
+  | Some (Json.List spans) ->
+      let rec go acc = function
+        | [] -> Ok (Some (List.rev acc))
+        | s :: rest ->
+            let* sp = decode_trace_span s in
+            go (sp :: acc) rest
+      in
+      go [] spans
+  | Some _ -> Error "field \"trace\" must be an array"
+
+let decode_cache_summary j =
+  let* cs_entries = int_field "entries" j in
+  let* cs_bytes = int_field "bytes" j in
+  let* cs_hits = int_field "hits" j in
+  let* cs_misses = int_field "misses" j in
+  let* cs_coalesced = int_field "coalesced" j in
+  let* cs_evictions = int_field "evictions" j in
+  Ok { cs_entries; cs_bytes; cs_hits; cs_misses; cs_coalesced; cs_evictions }
+
+let decode_stats_summary j =
+  let* st_requests = int_field "requests" j in
+  let* st_responses = int_field "responses" j in
+  let* st_overloaded = int_field "overloaded" j in
+  let* st_deadline_misses = int_field "deadline_misses" j in
+  let* st_inflight_peak = int_field "inflight_peak" j in
+  let* st_draining = bool_field_default "draining" ~default:false j in
+  let* st_workers = int_field "workers" j in
+  let* st_queue_depth = int_field "queue_depth" j in
+  let* st_queue_capacity = int_field "queue_capacity" j in
+  let* st_in_flight = int_field "in_flight" j in
+  let* st_cache =
+    let* c = field "cache" j in
+    decode_cache_summary c
+  in
+  let* st_sessions = int_field "sessions" j in
+  Ok
+    {
+      st_requests;
+      st_responses;
+      st_overloaded;
+      st_deadline_misses;
+      st_inflight_peak;
+      st_draining;
+      st_workers;
+      st_queue_depth;
+      st_queue_capacity;
+      st_in_flight;
+      st_cache;
+      st_sessions;
+    }
+
+let decode_op_latency j =
+  let* ol_op = string_field "op" j in
+  let* ol_count = int_field "count" j in
+  let* ol_p50_ms = stat_float_field "p50_ms" j in
+  let* ol_p90_ms = stat_float_field "p90_ms" j in
+  let* ol_p99_ms = stat_float_field "p99_ms" j in
+  let* ol_max_ms = stat_float_field "max_ms" j in
+  Ok { ol_op; ol_count; ol_p50_ms; ol_p90_ms; ol_p99_ms; ol_max_ms }
+
+let decode_exemplar j =
+  let* ex_op = string_field "op" j in
+  let* ex_id = int_field "id" j in
+  let* ex_ms = float_field "ms" j in
+  Ok { ex_op; ex_id; ex_ms }
+
+let decode_list name decode j =
+  match Json.member name j with
+  | Some (Json.List items) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | x :: rest ->
+            let* v = decode x in
+            go (v :: acc) rest
+      in
+      go [] items
+  | Some _ -> Error (Printf.sprintf "field %S must be an array" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let decode_telemetry_summary j =
+  let* tel_uptime_s = float_field "uptime_s" j in
+  let* tel_window_s = float_field "window_s" j in
+  let* tel_windows = int_field "windows" j in
+  let* tel_in_flight = int_field "in_flight" j in
+  let* tel_queue_depth = int_field "queue_depth" j in
+  let* tel_ops = decode_list "ops" decode_op_latency j in
+  let* tel_cache =
+    let* c = field "cache" j in
+    decode_cache_summary c
+  in
+  let* tel_sessions = int_field "sessions" j in
+  let* tel_exemplars = decode_list "exemplars" decode_exemplar j in
+  let* tel_gc =
+    let* g = field "gc" j in
+    let* gc_heap_words = int_field "heap_words" g in
+    let* gc_minor_collections = int_field "minor_collections" g in
+    let* gc_major_collections = int_field "major_collections" g in
+    let* gc_compactions = int_field "compactions" g in
+    Ok { gc_heap_words; gc_minor_collections; gc_major_collections; gc_compactions }
+  in
+  Ok
+    {
+      tel_uptime_s;
+      tel_window_s;
+      tel_windows;
+      tel_in_flight;
+      tel_queue_depth;
+      tel_ops;
+      tel_cache;
+      tel_sessions;
+      tel_exemplars;
+      tel_gc;
+    }
+
 let decode_response json =
   match json with
   | Json.Obj _ -> (
       let* () = decode_version json in
       let* id = int_field "id" json in
       let* ok = bool_field_default "ok" ~default:false json in
+      let* rtrace = decode_trace json in
       if not ok then
         let* e = field "error" json in
         let* code_s = string_field "code" e in
         let* code = error_code_of_string code_s in
         let* message = string_field "message" e in
-        Ok { rid = id; body = Error { code; message } }
+        Ok { rid = id; body = Error { code; message }; rtrace }
       else
         let* op = string_field "op" json in
         let* result = field "result" json in
@@ -631,11 +935,16 @@ let decode_response json =
           | "churn_close" ->
               let* session = int_field "session" result in
               Ok (Churn_closed session)
-          | "stats" -> Ok (Stats_r result)
+          | "stats" ->
+              let* s = decode_stats_summary result in
+              Ok (Stats_r s)
+          | "telemetry" ->
+              let* t = decode_telemetry_summary result in
+              Ok (Telemetry_r t)
           | "shutdown" -> Ok Shutdown_ok
           | op -> Error ("unknown response op: " ^ op)
         in
-        Ok { rid = id; body })
+        Ok { rid = id; body; rtrace })
   | _ -> Error "a response is a JSON object"
 
 (* Line framing --------------------------------------------------------- *)

@@ -50,6 +50,11 @@ type request_body =
   | Churn_info of { session : int }
   | Churn_close of { session : int }
   | Stats
+  | Telemetry
+      (** Live snapshot: rolling per-op latency quantiles, cache and
+          pool gauges, slow-request exemplars, GC counters.  Answered
+          inline on the server's event loop — never queued behind the
+          worker pool — so scrapes survive any compute load. *)
   | Shutdown
 
 type request = {
@@ -58,8 +63,15 @@ type request = {
       (** Per-request budget from arrival at the server; a request
           still queued when it expires is answered
           [deadline_exceeded] instead of being run. *)
+  trace : bool;
+      (** Collect the per-stage spans of this one request on the
+          worker that runs it and return them in the response
+          envelope ([rtrace]). *)
   body : request_body;
 }
+
+val op_name : request_body -> string
+(** The wire name of the op ("ping", "plan", ...). *)
 
 (* Responses ------------------------------------------------------------ *)
 
@@ -119,6 +131,71 @@ type error_code =
   | Shutting_down
   | Internal
 
+(* Telemetry ------------------------------------------------------------ *)
+
+type trace_span = {
+  t_name : string;
+  t_start_ns : int;
+      (** Relative to the first captured span of the request. *)
+  t_dur_ns : int;
+  t_depth : int;  (** Nesting depth, 0 = outermost captured span. *)
+}
+
+type cache_summary = {
+  cs_entries : int;
+  cs_bytes : int;
+  cs_hits : int;
+  cs_misses : int;
+  cs_coalesced : int;
+  cs_evictions : int;
+}
+
+type stats_summary = {
+  st_requests : int;
+  st_responses : int;
+  st_overloaded : int;
+  st_deadline_misses : int;
+  st_inflight_peak : int;
+  st_draining : bool;
+  st_workers : int;
+  st_queue_depth : int;
+  st_queue_capacity : int;
+  st_in_flight : int;
+  st_cache : cache_summary;
+  st_sessions : int;
+}
+
+type op_latency = {
+  ol_op : string;
+  ol_count : int;
+  ol_p50_ms : float;  (** [nan] encodes as null on the wire. *)
+  ol_p90_ms : float;
+  ol_p99_ms : float;
+  ol_max_ms : float;
+}
+
+type exemplar = { ex_op : string; ex_id : int; ex_ms : float }
+
+type gc_summary = {
+  gc_heap_words : int;
+  gc_minor_collections : int;
+  gc_major_collections : int;
+  gc_compactions : int;
+}
+
+type telemetry_summary = {
+  tel_uptime_s : float;
+  tel_window_s : float;  (** Seconds covered by the merged windows. *)
+  tel_windows : int;
+  tel_in_flight : int;
+  tel_queue_depth : int;
+  tel_ops : op_latency list;  (** Rolling latency digest per op. *)
+  tel_cache : cache_summary;
+  tel_sessions : int;
+  tel_exemplars : exemplar list;  (** Slowest recent requests. *)
+  tel_gc : gc_summary;
+}
+
 type response_body =
   | Pong
   | Plan_r of plan_summary
@@ -128,11 +205,18 @@ type response_body =
   | Churn_r of churn_summary
   | Session_r of session_info
   | Churn_closed of int
-  | Stats_r of Wa_util.Json.t
+  | Stats_r of stats_summary
+  | Telemetry_r of telemetry_summary
   | Shutdown_ok
   | Error of { code : error_code; message : string }
 
-type response = { rid : int; body : response_body }
+type response = {
+  rid : int;
+  body : response_body;
+  rtrace : trace_span list option;
+      (** Span tree of a traced request ([request.trace]); [None] on
+          untraced responses. *)
+}
 
 val error : id:int -> error_code -> string -> response
 

@@ -12,6 +12,10 @@ type config = {
   cache_bytes : int;
   max_sessions : int;
   max_line : int;
+  window_s : float;
+  windows : int;
+  prom_out : string option;
+  prom_interval_s : float;
 }
 
 let default_config =
@@ -24,6 +28,10 @@ let default_config =
     cache_bytes = 256 * 1024 * 1024;
     max_sessions = 64;
     max_line = 8 * 1024 * 1024;
+    window_s = 1.0;
+    windows = 60;
+    prom_out = None;
+    prom_interval_s = 5.0;
   }
 
 type conn = {
@@ -59,13 +67,30 @@ type t = {
   g_queue_depth : Metrics.gauge;
   g_inflight_peak : Metrics.gauge;
   h_request_ms : Metrics.histogram;
+  (* Live telemetry: per-op rolling histograms (created lazily on
+     first use of each op, guarded by [state_mu]), the window ring,
+     and a rolling top-slowest exemplar list (ms-descending, bounded,
+     entries expire with the live horizon). *)
+  started : float;
+  live : Wa_obs.Live.t;
+  op_hists : (string, Metrics.histogram) Hashtbl.t;
+  mutable exemplars : (string * int * float * float) list;
+      (* (op, id, ms, wall-clock time observed) *)
+  mutable last_roll : float;
+  mutable last_prom : float;
 }
+
+let max_exemplars = 8
 
 let locked mu f =
   Mutex.lock mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
 
 let create config =
+  (* A resident server is observable by design: telemetry is on from
+     the start, so traced requests, the live window ring and the
+     Prometheus exposition all work without any CLI verbosity flag. *)
+  Wa_obs.enable ();
   (* A dead peer must surface as a write error on its connection, not
      kill the whole server. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -103,6 +128,12 @@ let create config =
     g_queue_depth = Metrics.gauge "service.queue_depth";
     g_inflight_peak = Metrics.gauge "service.inflight_peak";
     h_request_ms = Metrics.histogram "service.request_ms";
+    started = Unix.gettimeofday ();
+    live = Wa_obs.Live.create ~windows:config.windows ();
+    op_hists = Hashtbl.create 16;
+    exemplars = [];
+    last_roll = Unix.gettimeofday ();
+    last_prom = Unix.gettimeofday ();
   }
 
 let port t =
@@ -133,6 +164,50 @@ let send t conn resp =
 let request_done t conn =
   locked t.state_mu (fun () -> conn.pending <- conn.pending - 1)
 
+(* Per-op rolling latency series, created on first use of each op. *)
+let op_hist t op =
+  locked t.state_mu (fun () ->
+      match Hashtbl.find_opt t.op_hists op with
+      | Some h -> h
+      | None ->
+          let h = Metrics.histogram ("service.op_ms." ^ op) in
+          Hashtbl.add t.op_hists op h;
+          h)
+
+let observe_request t ~op ~id ms =
+  Metrics.observe t.h_request_ms ms;
+  Metrics.observe (op_hist t op) ms;
+  let now = Unix.gettimeofday () in
+  locked t.state_mu (fun () ->
+      let xs = (op, id, ms, now) :: t.exemplars in
+      let xs =
+        List.sort (fun (_, _, a, _) (_, _, b, _) -> Float.compare b a) xs
+      in
+      t.exemplars <- List.filteri (fun i _ -> i < max_exemplars) xs)
+
+(* Wire form of one request's captured spans: start times rebased to
+   the first span, depths to the outermost captured span. *)
+let trace_of_spans (spans : Wa_obs.Trace.span list) =
+  match spans with
+  | [] -> None
+  | first :: _ ->
+      let t0 = first.Wa_obs.Trace.start_ns in
+      let min_depth =
+        List.fold_left
+          (fun acc (s : Wa_obs.Trace.span) -> Stdlib.min acc s.Wa_obs.Trace.depth)
+          max_int spans
+      in
+      Some
+        (List.map
+           (fun (s : Wa_obs.Trace.span) ->
+             {
+               P.t_name = s.Wa_obs.Trace.name;
+               t_start_ns = Int64.to_int (Int64.sub s.Wa_obs.Trace.start_ns t0);
+               t_dur_ns = Int64.to_int s.Wa_obs.Trace.dur_ns;
+               t_depth = s.Wa_obs.Trace.depth - min_depth;
+             })
+           spans)
+
 (* The pool job for one accepted request. *)
 let job t conn (r : P.request) ~arrival () =
   Fun.protect
@@ -153,36 +228,97 @@ let job t conn (r : P.request) ~arrival () =
               P.error ~id:r.P.id P.Deadline_exceeded
                 "deadline expired before the request left the queue"
             end
-            else { P.rid = r.P.id; body = Engine.handle t.engine r.P.body }
+            else if r.P.trace then begin
+              let body, spans =
+                Wa_obs.Trace.with_collector (fun () ->
+                    Engine.handle t.engine r.P.body)
+              in
+              { P.rid = r.P.id; body; rtrace = trace_of_spans spans }
+            end
+            else
+              {
+                P.rid = r.P.id;
+                body = Engine.handle t.engine r.P.body;
+                rtrace = None;
+              }
           in
           send t conn resp;
-          Metrics.observe t.h_request_ms
+          observe_request t ~op:(P.op_name r.P.body) ~id:r.P.id
             ((Unix.gettimeofday () -. arrival) *. 1000.0)))
 
+let stats_summary t : P.stats_summary =
+  let cache = Engine.cache_summary t.engine in
+  let sessions = Engine.session_count t.engine in
+  let workers = Pool.workers t.pool in
+  let queue_depth = Pool.queue_depth t.pool in
+  let in_flight = Pool.in_flight t.pool in
+  locked t.state_mu (fun () ->
+      {
+        P.st_requests = t.n_requests;
+        st_responses = t.n_responses;
+        st_overloaded = t.n_overloaded;
+        st_deadline_misses = t.n_deadline_misses;
+        st_inflight_peak = t.inflight_peak;
+        st_draining = t.draining;
+        st_workers = workers;
+        st_queue_depth = queue_depth;
+        st_queue_capacity = t.config.queue_capacity;
+        st_in_flight = in_flight;
+        st_cache = cache;
+        st_sessions = sessions;
+      })
+
 let stats_response t ~id =
-  let pool_fields =
-    [
-      ("workers", Json.Int (Pool.workers t.pool));
-      ("queue_depth", Json.Int (Pool.queue_depth t.pool));
-      ("in_flight", Json.Int (Pool.in_flight t.pool));
-      ("queue_capacity", Json.Int t.config.queue_capacity);
-    ]
+  { P.rid = id; body = P.Stats_r (stats_summary t); rtrace = None }
+
+let telemetry_summary t : P.telemetry_summary =
+  let live = t.live in
+  let ops =
+    Wa_obs.Live.hist_names live
+    |> List.filter_map (fun name ->
+           let prefix = "service.op_ms." in
+           let pl = String.length prefix in
+           if String.length name > pl && String.sub name 0 pl = prefix then
+             Option.map
+               (fun (q : Wa_obs.Live.quantiles) ->
+                 {
+                   P.ol_op = String.sub name pl (String.length name - pl);
+                   ol_count = q.Wa_obs.Live.q_count;
+                   ol_p50_ms = q.Wa_obs.Live.q_p50;
+                   ol_p90_ms = q.Wa_obs.Live.q_p90;
+                   ol_p99_ms = q.Wa_obs.Live.q_p99;
+                   ol_max_ms = q.Wa_obs.Live.q_max;
+                 })
+               (Wa_obs.Live.quantiles live name)
+           else None)
   in
-  let counters =
-    locked t.state_mu (fun () ->
-        [
-          ("requests", Json.Int t.n_requests);
-          ("responses", Json.Int t.n_responses);
-          ("overloaded", Json.Int t.n_overloaded);
-          ("deadline_misses", Json.Int t.n_deadline_misses);
-          ("inflight_peak", Json.Int t.inflight_peak);
-          ("draining", Json.Bool t.draining);
-        ])
+  let horizon = Wa_obs.Live.horizon_s live in
+  let exemplars =
+    locked t.state_mu (fun () -> t.exemplars)
+    |> List.map (fun (op, id, ms, _) -> { P.ex_op = op; ex_id = id; ex_ms = ms })
   in
+  let gc = Gc.quick_stat () in
   {
-    P.rid = id;
-    body = P.Stats_r (Json.Obj (counters @ pool_fields @ Engine.stats_fields t.engine));
+    P.tel_uptime_s = Unix.gettimeofday () -. t.started;
+    tel_window_s = horizon;
+    tel_windows = Wa_obs.Live.window_count live;
+    tel_in_flight = Pool.in_flight t.pool;
+    tel_queue_depth = Pool.queue_depth t.pool;
+    tel_ops = ops;
+    tel_cache = Engine.cache_summary t.engine;
+    tel_sessions = Engine.session_count t.engine;
+    tel_exemplars = exemplars;
+    tel_gc =
+      {
+        P.gc_heap_words = gc.Gc.heap_words;
+        gc_minor_collections = gc.Gc.minor_collections;
+        gc_major_collections = gc.Gc.major_collections;
+        gc_compactions = gc.Gc.compactions;
+      };
   }
+
+let telemetry_response t ~id =
+  { P.rid = id; body = P.Telemetry_r (telemetry_summary t); rtrace = None }
 
 (* One complete request line. *)
 let handle_line t conn line =
@@ -206,6 +342,12 @@ let handle_line t conn line =
             send t conn
               (P.error ~id:r.P.id P.Shutting_down "server is draining")
         | P.Stats -> send t conn (stats_response t ~id:r.P.id)
+        | P.Telemetry ->
+            (* Answered inline on the event loop, like [Stats]: a
+               scrape never competes with compute jobs for the worker
+               pool, so monitoring keeps working — and never drops —
+               when the queue is full. *)
+            send t conn (telemetry_response t ~id:r.P.id)
         | P.Shutdown ->
             locked t.state_mu (fun () ->
                 t.draining <- true;
@@ -315,13 +457,40 @@ let reap t =
   List.iter close_conn gone;
   t.conns <- live
 
+(* Periodic event-loop work: advance the live window ring (plus the
+   runtime gauges feeding it), expire exemplars that fell out of the
+   horizon, prune the global span list — a resident server would
+   otherwise accumulate one span per request forever (per-request
+   spans are delivered through traced responses and the live series,
+   not the global list) — and dump the Prometheus exposition. *)
+let tick t =
+  let now = Unix.gettimeofday () in
+  if now -. t.last_roll >= t.config.window_s then begin
+    t.last_roll <- now;
+    Wa_obs.Live.sample_runtime ();
+    Wa_obs.Live.roll t.live;
+    Wa_obs.Trace.reset ();
+    let horizon = t.config.window_s *. float_of_int t.config.windows in
+    locked t.state_mu (fun () ->
+        t.exemplars <-
+          List.filter (fun (_, _, _, at) -> now -. at <= horizon) t.exemplars)
+  end;
+  match t.config.prom_out with
+  | Some path when now -. t.last_prom >= t.config.prom_interval_s ->
+      t.last_prom <- now;
+      (try
+         Wa_obs.Export.write_prometheus path (Wa_obs.Report.capture_metrics ())
+       with Sys_error _ -> ())
+  | _ -> ()
+
 let finish t =
   (* Stop reading, let every accepted request run to completion and
      its reply reach the wire, then answer the shutdown request
      itself, close everything and join the workers. *)
   Wa_obs.Trace.with_span "service.drain" (fun () -> Pool.drain t.pool);
   (match locked t.state_mu (fun () -> t.shutdown_reply) with
-  | Some (conn, id) -> send t conn { P.rid = id; body = P.Shutdown_ok }
+  | Some (conn, id) ->
+      send t conn { P.rid = id; body = P.Shutdown_ok; rtrace = None }
   | None -> ());
   Session.close_all (Engine.sessions t.engine);
   List.iter close_conn t.conns;
@@ -352,7 +521,8 @@ let run t =
                 | None -> ())
             readable
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-      Metrics.set t.g_queue_depth (float_of_int (Pool.queue_depth t.pool))
+      Metrics.set t.g_queue_depth (float_of_int (Pool.queue_depth t.pool));
+      tick t
     end
   done;
   finish t

@@ -23,7 +23,17 @@
     counters [service.requests]/[service.responses]/
     [service.overloaded]/[service.deadline_misses], gauges
     [service.queue_depth]/[service.inflight_peak]/[service.sessions],
-    cache series [service.cache_*], histogram [service.request_ms]. *)
+    cache series [service.cache_*], histograms [service.request_ms]
+    and per-op [service.op_ms.<op>].  {!create} enables [Wa_obs]
+    permanently — a resident server is observable by design: the
+    event loop rolls a {!Wa_obs.Live} window ring every [window_s]
+    (feeding the [telemetry] op's rolling per-op quantiles and the
+    slow-request exemplars), ticks the runtime gauges, prunes the
+    global span list (per-request spans are served through traced
+    responses, not accumulated), and — with [prom_out] set — rewrites
+    the Prometheus text exposition every [prom_interval_s].  A
+    request with [trace = true] additionally returns its own span
+    tree in the response envelope. *)
 
 type config = {
   host : string;
@@ -34,11 +44,17 @@ type config = {
   cache_bytes : int;
   max_sessions : int;
   max_line : int;  (** Reject request lines beyond this many bytes. *)
+  window_s : float;  (** Live telemetry window length. *)
+  windows : int;  (** Live window ring capacity. *)
+  prom_out : string option;
+      (** Rewrite the Prometheus text exposition here periodically. *)
+  prom_interval_s : float;
 }
 
 val default_config : config
 (** 127.0.0.1:7461, queue 128, cache 128 entries / 256 MiB,
-    64 sessions, 8 MiB lines. *)
+    64 sessions, 8 MiB lines, 60 × 1 s live windows, no prom dump
+    (5 s interval when enabled). *)
 
 type t
 

@@ -130,6 +130,253 @@ let hist_vs_stats =
              List.exists (fun (lo, hi, _) -> lo <= v && v < hi) s.Metrics.filled)
            positives)
 
+(* Quantiles ------------------------------------------------------------ *)
+
+(* Dyadic bucket index of a positive value: v lives in
+   [2^(e-1), 2^e), frexp's exponent. *)
+let dyadic_exp v = snd (Float.frexp v)
+
+let test_quantile_basic () =
+  let h = Metrics.histogram "test.quantile_point" in
+  Metrics.observe h 42.0;
+  let s = Metrics.hist_snapshot h in
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "single sample pins q=%.2f" q)
+        42.0 (Metrics.quantile s q))
+    [ 0.0; 0.5; 0.99; 1.0 ];
+  let h2 = Metrics.histogram "test.quantile_ramp" in
+  for i = 1 to 1000 do
+    Metrics.observe h2 (float_of_int i)
+  done;
+  let s2 = Metrics.hist_snapshot h2 in
+  (* monotone in q, clamped to the observed range *)
+  let qs = [ 0.0; 0.25; 0.5; 0.9; 0.99; 1.0 ] in
+  let vs = List.map (Metrics.quantile s2) qs in
+  let rec mono = function
+    | a :: b :: rest -> a <= b && mono (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "quantile monotone in q" true (mono vs);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "within observed range" true
+        (v >= 1.0 && v <= 1000.0))
+    vs;
+  (* dyadic accuracy against the exact order statistic *)
+  List.iter
+    (fun q ->
+      let exact =
+        float_of_int (max 1 (int_of_float (Float.ceil (q *. 1000.0))))
+      in
+      let est = Metrics.quantile s2 q in
+      Alcotest.(check bool)
+        (Printf.sprintf "q=%.2f within one dyadic bucket" q)
+        true
+        (abs (dyadic_exp est - dyadic_exp exact) <= 1))
+    qs;
+  (* empty histogram has no quantiles *)
+  let e = Metrics.hist_snapshot (Metrics.histogram "test.quantile_empty") in
+  Alcotest.(check bool) "empty snapshot yields nan" true
+    (Float.is_nan (Metrics.quantile e 0.5))
+
+(* Live windows --------------------------------------------------------- *)
+
+module Live = Wa_obs.Live
+
+(* The tentpole oracle: feed samples through several Live windows, then
+   check the merged rolling quantile against the exact sorted-sample
+   quantile computed from the raw list.  "Correct" means landing
+   within one dyadic bucket — the histogram's resolution — for every
+   probed q. *)
+let windowed_quantile_oracle =
+  QCheck.Test.make ~count:40 ~name:"live windowed quantile vs exact oracle"
+    QCheck.(
+      pair
+        (list_of_size Gen.(5 -- 300)
+           (map (fun v -> v +. 1e-3) (float_bound_exclusive 1e5)))
+        (int_range 1 5))
+    (fun (samples, chunks) ->
+      QCheck.assume (samples <> []);
+      Obs.enable ();
+      Obs.reset ();
+      let live = Live.create ~windows:16 () in
+      let h = Metrics.histogram "test.live_oracle" in
+      let n = List.length samples in
+      let per = max 1 (n / chunks) in
+      List.iteri
+        (fun i v ->
+          Metrics.observe h v;
+          if (i + 1) mod per = 0 then Live.roll live)
+        samples;
+      Live.roll live;
+      let sorted = List.sort Float.compare samples in
+      let exact q =
+        List.nth sorted (max 0 (int_of_float (Float.ceil (q *. float_of_int n)) - 1))
+      in
+      match Live.quantiles live "test.live_oracle" with
+      | None -> QCheck.Test.fail_report "live lost the histogram"
+      | Some d ->
+          if d.Live.q_count <> n then
+            QCheck.Test.fail_reportf "count %d <> %d" d.Live.q_count n
+          else
+            List.for_all
+              (fun (q, est) ->
+                abs (dyadic_exp est - dyadic_exp (exact q)) <= 1)
+              [ (0.5, d.Live.q_p50); (0.9, d.Live.q_p90); (0.99, d.Live.q_p99) ])
+
+let test_live_multi_domain_counters () =
+  let live = Live.create ~windows:8 () in
+  let c = Metrics.counter "test.live_parallel" in
+  let phase n =
+    Parallel.iter ~domains:4 ~threshold:1 n (fun _ -> Metrics.incr c);
+    Live.roll live
+  in
+  phase 4000;
+  phase 2500;
+  phase 1500;
+  (* every increment lands in exactly one window: totals are exact,
+     not approximate, even under domain fan-out *)
+  Alcotest.(check int) "last window exact" 1500
+    (Live.counter_delta ~last:1 live "test.live_parallel");
+  Alcotest.(check int) "last two windows exact" 4000
+    (Live.counter_delta ~last:2 live "test.live_parallel");
+  Alcotest.(check int) "all windows exact" 8000
+    (Live.counter_delta live "test.live_parallel");
+  Alcotest.(check int) "three windows held" 3 (Live.window_count live);
+  Alcotest.(check bool) "horizon is positive" true (Live.horizon_s live > 0.0);
+  Live.sample_runtime ();
+  Live.roll live;
+  let r = Report.capture () in
+  Alcotest.(check bool) "runtime heap gauge sampled" true
+    (match Report.gauge_value r "runtime.heap_words" with
+    | Some v -> v > 0.0
+    | None -> false)
+
+let test_live_window_ring_bound () =
+  let live = Live.create ~windows:3 () in
+  let c = Metrics.counter "test.live_ring" in
+  for _ = 1 to 10 do
+    Metrics.incr c;
+    Live.roll live
+  done;
+  Alcotest.(check int) "ring capped at capacity" 3 (Live.window_count live);
+  Alcotest.(check int) "delta covers only retained windows" 3
+    (Live.counter_delta live "test.live_ring")
+
+(* Request-scoped span collection --------------------------------------- *)
+
+let test_with_collector () =
+  ignore (Trace.with_span "outside.before" (fun () -> ()));
+  let v, spans =
+    Trace.with_collector (fun () ->
+        Trace.with_span "req.outer" (fun () ->
+            ignore (Trace.with_span "req.inner" (fun () -> 1));
+            17))
+  in
+  Alcotest.(check int) "value passes through" 17 v;
+  Alcotest.(check (list string)) "exactly the request's spans, in order"
+    [ "req.outer"; "req.inner" ]
+    (List.map (fun (s : Trace.span) -> s.Trace.name) spans);
+  ignore (Trace.with_span "outside.after" (fun () -> ()));
+  (* collection is additive: the global list still sees everything *)
+  let r = Report.capture () in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " in global list") true
+        (Report.has_span r name))
+    [ "outside.before"; "req.outer"; "req.inner"; "outside.after" ];
+  (* the exception path restores the previous collector *)
+  (try
+     ignore
+       (Trace.with_collector (fun () ->
+            Trace.with_span "req.boom" (fun () -> failwith "no")))
+   with Failure _ -> ());
+  let _, after = Trace.with_collector (fun () -> ()) in
+  Alcotest.(check int) "collector state clean after exception" 0
+    (List.length after)
+
+(* Prometheus exposition ------------------------------------------------ *)
+
+let test_prometheus_shape () =
+  Metrics.add (Metrics.counter "prom.requests") 3;
+  Metrics.set (Metrics.gauge "prom.depth") 2.5;
+  let h = Metrics.histogram "prom.latency_ms" in
+  List.iter (Metrics.observe h) [ 0.5; 1.5; 3.0; -1.0 ];
+  let text = Export.prometheus_string (Report.capture_metrics ()) in
+  let lines = String.split_on_char '\n' text in
+  let has s = List.exists (fun l -> l = s) lines in
+  let has_prefix p =
+    List.exists (fun l -> String.length l >= String.length p
+                          && String.sub l 0 (String.length p) = p) lines
+  in
+  Alcotest.(check bool) "counter TYPE line" true
+    (has "# TYPE wa_prom_requests counter");
+  Alcotest.(check bool) "counter sample" true (has "wa_prom_requests 3");
+  Alcotest.(check bool) "gauge TYPE line" true
+    (has "# TYPE wa_prom_depth gauge");
+  Alcotest.(check bool) "gauge sample" true (has "wa_prom_depth 2.5");
+  Alcotest.(check bool) "histogram TYPE line" true
+    (has "# TYPE wa_prom_latency_ms histogram");
+  Alcotest.(check bool) "+Inf bucket equals count" true
+    (has {|wa_prom_latency_ms_bucket{le="+Inf"} 4|});
+  Alcotest.(check bool) "_count sample" true (has "wa_prom_latency_ms_count 4");
+  Alcotest.(check bool) "_sum sample" true (has_prefix "wa_prom_latency_ms_sum ");
+  (* cumulative bucket counts never decrease *)
+  let bucket_counts =
+    List.filter_map
+      (fun l ->
+        match String.index_opt l '}' with
+        | Some i
+          when String.length l > String.length "wa_prom_latency_ms_bucket"
+               && String.sub l 0 (String.length "wa_prom_latency_ms_bucket")
+                  = "wa_prom_latency_ms_bucket" ->
+            int_of_string_opt
+              (String.trim (String.sub l (i + 1) (String.length l - i - 1)))
+        | _ -> None)
+      lines
+  in
+  let rec mono = function
+    | a :: b :: rest -> a <= b && mono (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "buckets cumulative" true (mono bucket_counts);
+  Alcotest.(check bool) "nonpositive folded into first bucket" true
+    (match bucket_counts with n :: _ -> n >= 1 | [] -> false)
+
+(* Trace file validation ------------------------------------------------ *)
+
+let test_validate_trace_blank_lines () =
+  let tmp = Filename.temp_file "wa_obs_blank" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      let oc = open_out tmp in
+      output_string oc
+        "{\"type\":\"span\",\"name\":\"a\"}\n\n  \n{\"type\":\"span\",\"name\":\"b\"}\n\n";
+      close_out oc;
+      (match Export.validate_trace_file tmp with
+      | Ok n -> Alcotest.(check int) "blank lines skipped" 2 n
+      | Error m -> Alcotest.fail ("blank lines rejected: " ^ m));
+      let oc = open_out tmp in
+      output_string oc "{\"ok\":1}\n\n{\"ok\":2}\nnot json\n";
+      close_out oc;
+      match Export.validate_trace_file tmp with
+      | Ok _ -> Alcotest.fail "bad line accepted"
+      | Error m ->
+          (* the blank line still advances the count: the report names
+             the true position in the file *)
+          Alcotest.(check bool)
+            (Printf.sprintf "error names line 4: %s" m)
+            true
+            (let needle = "line 4" in
+             let rec find i =
+               i + String.length needle <= String.length m
+               && (String.sub m i (String.length needle) = needle || find (i + 1))
+             in
+             find 0))
+
 (* Disabled sink -------------------------------------------------------- *)
 
 let test_disabled_sink () =
@@ -288,12 +535,28 @@ let () =
           Alcotest.test_case "counter and gauge" `Quick
             (with_fresh test_counter_gauge);
           QCheck_alcotest.to_alcotest hist_vs_stats;
+          Alcotest.test_case "quantile basics" `Quick
+            (with_fresh test_quantile_basic);
           Alcotest.test_case "disabled sink" `Quick test_disabled_sink;
+        ] );
+      ( "live",
+        [
+          QCheck_alcotest.to_alcotest windowed_quantile_oracle;
+          Alcotest.test_case "multi-domain counter exactness" `Quick
+            (with_fresh test_live_multi_domain_counters);
+          Alcotest.test_case "window ring bound" `Quick
+            (with_fresh test_live_window_ring_bound);
+          Alcotest.test_case "request span collector" `Quick
+            (with_fresh test_with_collector);
         ] );
       ( "export",
         [
           Alcotest.test_case "json round-trip" `Quick
             (with_fresh test_export_roundtrip);
+          Alcotest.test_case "prometheus shape" `Quick
+            (with_fresh test_prometheus_shape);
+          Alcotest.test_case "trace file blank lines" `Quick
+            test_validate_trace_blank_lines;
         ] );
       ( "pipeline",
         [

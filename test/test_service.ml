@@ -59,6 +59,7 @@ let gen_request_body =
     [
       (1, QCheck.Gen.return P.Ping);
       (1, QCheck.Gen.return P.Stats);
+      (1, QCheck.Gen.return P.Telemetry);
       (1, QCheck.Gen.return P.Shutdown);
       (4, QCheck.Gen.map (fun s -> P.Plan s) gen_spec);
       (2, QCheck.Gen.map (fun s -> P.Describe s) gen_spec);
@@ -94,11 +95,11 @@ let gen_request_body =
 
 let gen_request =
   QCheck.Gen.map
-    (fun (id, deadline_ms, body) -> { P.id; deadline_ms; body })
+    (fun (id, deadline_ms, trace, body) -> { P.id; deadline_ms; trace; body })
     QCheck.Gen.(
-      triple (int_range 0 1_000_000)
+      quad (int_range 0 1_000_000)
         (opt (gen_finite 0.1 60_000.0))
-        gen_request_body)
+        bool gen_request_body)
 
 let gen_plan_summary =
   QCheck.Gen.map
@@ -126,6 +127,114 @@ let gen_plan_summary =
         (triple (int_range 0 500) (int_range 0 100) bool)
         (triple (gen_finite 0.0 1e6) (gen_finite 0.0 1e6) string_printable)
         (pair bool (gen_finite 0.0 1e5)))
+
+let gen_cache_summary =
+  QCheck.Gen.map
+    (fun ((cs_entries, cs_bytes, cs_hits), (cs_misses, cs_coalesced, cs_evictions)) ->
+      { P.cs_entries; cs_bytes; cs_hits; cs_misses; cs_coalesced; cs_evictions })
+    QCheck.Gen.(
+      pair
+        (triple (int_range 0 10_000) (int_range 0 1_000_000) (int_range 0 100_000))
+        (triple (int_range 0 100_000) (int_range 0 1000) (int_range 0 1000)))
+
+let gen_stats_summary =
+  QCheck.Gen.map
+    (fun ((st_requests, st_responses, st_overloaded, st_deadline_misses),
+          (st_inflight_peak, st_draining, st_workers, st_queue_depth),
+          (st_queue_capacity, st_in_flight, st_sessions),
+          st_cache) ->
+      {
+        P.st_requests;
+        st_responses;
+        st_overloaded;
+        st_deadline_misses;
+        st_inflight_peak;
+        st_draining;
+        st_workers;
+        st_queue_depth;
+        st_queue_capacity;
+        st_in_flight;
+        st_cache;
+        st_sessions;
+      })
+    QCheck.Gen.(
+      quad
+        (quad (int_range 0 1_000_000) (int_range 0 1_000_000) (int_range 0 1000)
+           (int_range 0 1000))
+        (quad (int_range 0 256) bool (int_range 1 64) (int_range 0 256))
+        (triple (int_range 1 1024) (int_range 0 256) (int_range 0 64))
+        gen_cache_summary)
+
+(* The latency quantiles travel through the nan <-> null codec; make
+   sure the empty-window shape (all nan) is generated too. *)
+let gen_stat_float =
+  QCheck.Gen.frequency
+    [ (6, gen_finite 0.0 10_000.0); (1, QCheck.Gen.return Float.nan) ]
+
+let gen_op_latency =
+  QCheck.Gen.map
+    (fun ((ol_op, ol_count), (ol_p50_ms, ol_p90_ms, ol_p99_ms, ol_max_ms)) ->
+      { P.ol_op; ol_count; ol_p50_ms; ol_p90_ms; ol_p99_ms; ol_max_ms })
+    QCheck.Gen.(
+      pair
+        (pair (oneofl [ "plan"; "simulate"; "churn_add"; "ping" ])
+           (int_range 0 100_000))
+        (quad gen_stat_float gen_stat_float gen_stat_float gen_stat_float))
+
+let gen_exemplar =
+  QCheck.Gen.map
+    (fun (ex_op, ex_id, ex_ms) -> { P.ex_op; ex_id; ex_ms })
+    QCheck.Gen.(
+      triple (oneofl [ "plan"; "simulate" ]) (int_range 0 1_000_000)
+        (gen_finite 0.0 60_000.0))
+
+let gen_gc_summary =
+  QCheck.Gen.map
+    (fun (gc_heap_words, gc_minor_collections, gc_major_collections,
+          gc_compactions) ->
+      { P.gc_heap_words; gc_minor_collections; gc_major_collections;
+        gc_compactions })
+    QCheck.Gen.(
+      quad (int_range 0 100_000_000) (int_range 0 1_000_000)
+        (int_range 0 100_000) (int_range 0 100))
+
+let gen_telemetry_summary =
+  QCheck.Gen.map
+    (fun ((tel_uptime_s, tel_window_s, tel_windows),
+          (tel_in_flight, tel_queue_depth, tel_sessions),
+          (tel_ops, tel_cache, tel_exemplars),
+          tel_gc) ->
+      {
+        P.tel_uptime_s;
+        tel_window_s;
+        tel_windows;
+        tel_in_flight;
+        tel_queue_depth;
+        tel_ops;
+        tel_cache;
+        tel_sessions;
+        tel_exemplars;
+        tel_gc;
+      })
+    QCheck.Gen.(
+      quad
+        (triple (gen_finite 0.0 1e6) (gen_finite 0.0 3600.0) (int_range 0 60))
+        (triple (int_range 0 256) (int_range 0 256) (int_range 0 64))
+        (triple
+           (list_size (int_range 0 6) gen_op_latency)
+           gen_cache_summary
+           (list_size (int_range 0 8) gen_exemplar))
+        gen_gc_summary)
+
+let gen_trace_span =
+  QCheck.Gen.map
+    (fun (t_name, t_start_ns, t_dur_ns, t_depth) ->
+      { P.t_name; t_start_ns; t_dur_ns; t_depth })
+    QCheck.Gen.(
+      quad
+        (oneofl
+           [ "service.request"; "plan.links"; "plan.color"; "plan.repair" ])
+        (int_range 0 1_000_000_000) (int_range 0 1_000_000_000) (int_range 0 8))
 
 let gen_response_body =
   QCheck.Gen.frequency
@@ -167,10 +276,8 @@ let gen_response_body =
         QCheck.Gen.map
           (fun s -> P.Churn_closed s)
           QCheck.Gen.(int_range 1 1000) );
-      ( 1,
-        QCheck.Gen.map
-          (fun n -> P.Stats_r (Json.Obj [ ("requests", Json.Int n) ]))
-          QCheck.Gen.(int_range 0 100_000) );
+      (1, QCheck.Gen.map (fun s -> P.Stats_r s) gen_stats_summary);
+      (1, QCheck.Gen.map (fun t -> P.Telemetry_r t) gen_telemetry_summary);
       ( 2,
         QCheck.Gen.map
           (fun (code, message) -> P.Error { code; message })
@@ -191,8 +298,10 @@ let gen_response_body =
 
 let gen_response =
   QCheck.Gen.map
-    (fun (rid, body) -> { P.rid; body })
-    QCheck.Gen.(pair (int_range 0 1_000_000) gen_response_body)
+    (fun (rid, body, rtrace) -> { P.rid; body; rtrace })
+    QCheck.Gen.(
+      triple (int_range 0 1_000_000) gen_response_body
+        (opt (list_size (int_range 1 6) gen_trace_span)))
 
 (* Round-trip properties ------------------------------------------------- *)
 
@@ -244,6 +353,7 @@ let bad_requests =
       {|{"v":1,"id":1,"op":"plan","deploy":{"points":[[0,0],[1,1]]},"power":"oblivious:1.5"}|}
     );
     ("churn_add without session", {|{"v":1,"id":1,"op":"churn_add","point":[1,2]}|});
+    ("non-bool trace", {|{"v":1,"id":1,"op":"ping","trace":"yes"}|});
     ( "simulate with string periods",
       {|{"v":1,"id":1,"op":"simulate","deploy":{"points":[[0,0],[1,1]]},"periods":"many"}|}
     );
@@ -266,6 +376,13 @@ let bad_responses =
     ( "error with unknown code",
       {|{"v":1,"id":1,"ok":false,"error":{"code":"doom","message":"m"}}|} );
     ("ok without result", {|{"v":1,"id":1,"ok":true,"op":"ping"}|});
+    ( "telemetry without ops",
+      {|{"v":1,"id":1,"ok":true,"op":"telemetry","result":{"uptime_s":1}}|} );
+    ( "non-array trace in response",
+      {|{"v":1,"id":1,"ok":true,"op":"ping","result":null,"trace":"spans"}|} );
+    ( "trace span without name",
+      {|{"v":1,"id":1,"ok":true,"op":"ping","result":null,"trace":[{"start_ns":0,"dur_ns":1,"depth":0}]}|}
+    );
   ]
 
 let test_malformed_responses () =

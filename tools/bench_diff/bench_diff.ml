@@ -1,0 +1,228 @@
+(* bench_diff: regression gate over two benchmark JSON documents.
+
+   Usage:
+     bench_diff [--tol PCT] [--field-tol SUBSTR=PCT]... [--min-delta V]
+                [--quiet] BASELINE.json CURRENT.json
+
+   Both documents are flattened to path -> number maps (arrays of
+   objects are keyed by an identifying field — n, op, name, id — when
+   one is present, so adding a row never misaligns the others).  Only
+   paths present in both documents are compared; everything else is
+   informational.  Whether a move is a regression follows from the
+   metric's name: *_ms / *_ns / *_s / *bytes / misses / overloaded /
+   evictions are lower-is-better, *rps / *speedup / rate / hits are
+   higher-is-better, anything else is reported but never gates.
+
+   Exit status: 0 when no compared field regressed beyond its
+   tolerance, 1 otherwise, 2 on usage or parse errors. *)
+
+module Json = Wa_util.Json
+
+(* Flattening ----------------------------------------------------------- *)
+
+let key_fields = [ "n"; "op"; "name"; "id"; "key" ]
+
+let element_key fields =
+  List.find_map
+    (fun k ->
+      match List.assoc_opt k fields with
+      | Some (Json.Int v) -> Some (Printf.sprintf "%s=%d" k v)
+      | Some (Json.String v) -> Some (Printf.sprintf "%s=%s" k v)
+      | _ -> None)
+    key_fields
+
+let flatten json =
+  let out = ref [] in
+  let rec go path = function
+    | Json.Int v -> out := (path, float_of_int v) :: !out
+    | Json.Float v -> if not (Float.is_nan v) then out := (path, v) :: !out
+    | Json.Bool _ | Json.String _ | Json.Null -> ()
+    | Json.Obj fields ->
+        List.iter (fun (k, v) -> go (path ^ "." ^ k) v) fields
+    | Json.List items ->
+        List.iteri
+          (fun i item ->
+            let seg =
+              match item with
+              | Json.Obj fields -> (
+                  match element_key fields with
+                  | Some k -> k
+                  | None -> string_of_int i)
+              | _ -> string_of_int i
+            in
+            go (Printf.sprintf "%s[%s]" path seg) item)
+          items
+  in
+  go "" json;
+  List.rev !out
+
+(* Direction heuristics -------------------------------------------------- *)
+
+let has_suffix s suf =
+  String.length s >= String.length suf
+  && String.sub s (String.length s - String.length suf) (String.length suf)
+     = suf
+
+let contains s sub =
+  let n = String.length sub in
+  let rec at i =
+    i + n <= String.length s && (String.sub s i n = sub || at (i + 1))
+  in
+  at 0
+
+let leaf path =
+  match String.rindex_opt path '.' with
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+  | None -> path
+
+type direction = Lower_better | Higher_better | Neutral
+
+let direction path =
+  let l = String.lowercase_ascii (leaf path) in
+  if
+    has_suffix l "_ms" || has_suffix l "_ns" || has_suffix l "_s"
+    || has_suffix l "ms" && contains l "latency"
+    || has_suffix l "bytes" || contains l "misses" || contains l "overloaded"
+    || contains l "evictions" || contains l "violations"
+    || contains l "deadline" || contains l "dropped" || contains l "idle"
+  then Lower_better
+  else if
+    has_suffix l "rps" || contains l "speedup" || contains l "throughput"
+    || has_suffix l "rate" || contains l "hits" || contains l "delivered"
+  then Higher_better
+  else Neutral
+
+(* Comparison ------------------------------------------------------------ *)
+
+type verdict = Ok_ | Regression | Improvement | Info
+
+let compare_field ~tol ~min_delta path base cur =
+  let delta = cur -. base in
+  let pct =
+    if Float.equal delta 0.0 then 0.0
+    else if Float.equal base 0.0 then Float.infinity *. delta
+    else 100.0 *. delta /. Float.abs base
+  in
+  match direction path with
+  | Neutral -> (Info, pct)
+  | dir ->
+      if Float.abs delta <= min_delta then (Ok_, pct)
+      else
+        let worse =
+          match dir with
+          | Lower_better -> pct > tol
+          | Higher_better -> pct < -.tol
+          | Neutral -> false
+        in
+        let better =
+          match dir with
+          | Lower_better -> pct < -.tol
+          | Higher_better -> pct > tol
+          | Neutral -> false
+        in
+        if worse then (Regression, pct)
+        else if better then (Improvement, pct)
+        else (Ok_, pct)
+
+(* Driver ----------------------------------------------------------------- *)
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error m ->
+      Error (Printf.sprintf "%s: %s" path m)
+  | contents -> (
+      match Json.of_string contents with
+      | Ok j -> Ok j
+      | Error m -> Error (Printf.sprintf "%s: %s" path m))
+
+let usage () =
+  prerr_endline
+    "usage: bench_diff [--tol PCT] [--field-tol SUBSTR=PCT]... \
+     [--min-delta V] [--quiet] BASELINE.json CURRENT.json";
+  exit 2
+
+let () =
+  let tol = ref 10.0 in
+  let min_delta = ref 0.0 in
+  let field_tols = ref [] in
+  let quiet = ref false in
+  let files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--tol" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some t -> tol := t
+        | None -> usage ());
+        parse rest
+    | "--min-delta" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some t -> min_delta := t
+        | None -> usage ());
+        parse rest
+    | "--field-tol" :: v :: rest ->
+        (match String.index_opt v '=' with
+        | Some i -> (
+            let sub = String.sub v 0 i in
+            let pct = String.sub v (i + 1) (String.length v - i - 1) in
+            match float_of_string_opt pct with
+            | Some t -> field_tols := (sub, t) :: !field_tols
+            | None -> usage ())
+        | None -> usage ());
+        parse rest
+    | "--quiet" :: rest ->
+        quiet := true;
+        parse rest
+    | f :: rest when String.length f > 0 && f.[0] <> '-' ->
+        files := f :: !files;
+        parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let base_path, cur_path =
+    match List.rev !files with [ a; b ] -> (a, b) | _ -> usage ()
+  in
+  let die m =
+    prerr_endline ("bench_diff: " ^ m);
+    exit 2
+  in
+  let base = match load base_path with Ok j -> j | Error m -> die m in
+  let cur = match load cur_path with Ok j -> j | Error m -> die m in
+  let base_map = flatten base in
+  let cur_map = flatten cur in
+  let tol_for path =
+    match List.find_opt (fun (sub, _) -> contains path sub) !field_tols with
+    | Some (_, t) -> t
+    | None -> !tol
+  in
+  let regressions = ref 0 in
+  let compared = ref 0 in
+  let say fmt = Printf.ksprintf (fun s -> if not !quiet then print_endline s) fmt in
+  say "bench_diff: %s -> %s (tol %.1f%%)" base_path cur_path !tol;
+  List.iter
+    (fun (path, b) ->
+      match List.assoc_opt path cur_map with
+      | None -> ()
+      | Some c ->
+          incr compared;
+          let v, pct = compare_field ~tol:(tol_for path) ~min_delta:!min_delta path b c in
+          let tag =
+            match v with
+            | Regression ->
+                incr regressions;
+                "REGRESSION"
+            | Improvement -> "improved"
+            | Ok_ -> "ok"
+            | Info -> "info"
+          in
+          if v <> Ok_ && v <> Info then
+            say "  %-10s %-60s %14.6g -> %14.6g  (%+.1f%%)" tag path b c pct
+          else if not !quiet && v = Ok_ && Float.abs pct > tol_for path /. 2.0
+          then say "  %-10s %-60s %14.6g -> %14.6g  (%+.1f%%)" tag path b c pct)
+    base_map;
+  let missing =
+    List.length (List.filter (fun (p, _) -> List.assoc_opt p cur_map = None) base_map)
+  in
+  say "compared %d field(s), %d regression(s), %d baseline-only field(s)"
+    !compared !regressions missing;
+  if !compared = 0 then die "no shared numeric fields - wrong file pair?";
+  exit (if !regressions > 0 then 1 else 0)
