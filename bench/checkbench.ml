@@ -1,0 +1,92 @@
+(* Analyzer-runtime benchmark (PR 8): times the whole-program wa_check
+   run over the built tree, cold (empty summary cache) and warm (second
+   run against the cache it just wrote), and enforces the performance
+   budget from the roadmap: cold under 5 s, warm at least 3x faster,
+   and the warm aggregate report byte-identical to the cold one.
+
+   Emits a bench-diff-compatible JSON row set with --json so CI can
+   gate drift against the committed baseline. *)
+
+module Check = Wa_check_core.Check
+module Summary = Wa_check_core.Summary
+module Json = Wa_util.Json
+
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("checkbench: " ^ m); exit 1) fmt
+
+let () =
+  let json_path = ref None in
+  let roots = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        parse rest
+    | "--json" :: [] -> fail "--json needs a file argument"
+    | root :: rest ->
+        roots := root :: !roots;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let roots = match List.rev !roots with [] -> [ "lib" ] | rs -> rs in
+  let cache = Filename.temp_file "wa_check_bench_cache" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove cache with Sys_error _ -> ())
+    (fun () ->
+      let (cold, cold_stats), cold_ms =
+        time_ms (fun () -> Check.analyze_program ~cache roots)
+      in
+      let (warm, warm_stats), warm_ms =
+        time_ms (fun () -> Check.analyze_program ~cache roots)
+      in
+      if cold_stats.Summary.st_warm then
+        fail "first run was already warm; stale cache at %s?" cache;
+      if not warm_stats.Summary.st_warm then
+        fail "second run was not warm (%d/%d hits)" warm_stats.Summary.st_hits
+          warm_stats.Summary.st_units;
+      let cold_json = Json.to_string (Check.report_to_json cold) in
+      let warm_json = Json.to_string (Check.report_to_json warm) in
+      if not (String.equal cold_json warm_json) then
+        fail "warm report differs from cold report";
+      let speedup = cold_ms /. Float.max warm_ms 1e-6 in
+      if cold_ms >= 5000.0 then
+        fail "cold whole-program run took %.1f ms (budget 5000 ms)" cold_ms;
+      if speedup < 3.0 then
+        fail "warm run only %.2fx faster than cold (budget 3x)" speedup;
+      Printf.printf
+        "wa_check %s: %d units, %d files, %d violations | cold %.1f ms, warm \
+         %.1f ms (%.1fx, %d/%d hits)\n"
+        (String.concat " " roots)
+        warm_stats.Summary.st_units cold.Check.files_scanned
+        (List.length cold.Check.violations)
+        cold_ms warm_ms speedup warm_stats.Summary.st_hits
+        warm_stats.Summary.st_units;
+      match !json_path with
+      | None -> ()
+      | Some path ->
+          let doc =
+            Json.Obj
+              [
+                ("benchmark", Json.String "wa_check analyzer runtime");
+                ( "whole_program",
+                  Json.Obj
+                    [
+                      ("units", Json.Int warm_stats.Summary.st_units);
+                      ("files_scanned", Json.Int cold.Check.files_scanned);
+                      ( "violations",
+                        Json.Int (List.length cold.Check.violations) );
+                      ("cold_ms", Json.Float cold_ms);
+                      ("warm_ms", Json.Float warm_ms);
+                      ("speedup", Json.Float speedup);
+                      ("warm_hits", Json.Int warm_stats.Summary.st_hits);
+                    ] );
+              ]
+          in
+          let oc = open_out path in
+          output_string oc (Json.to_string doc);
+          output_char oc '\n';
+          close_out oc)

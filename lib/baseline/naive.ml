@@ -14,7 +14,10 @@ let uniform_power_schedule ?guard_beta p ls =
   let graph_params =
     match guard_beta with
     | None -> p
-    | Some b -> { p with Params.beta = b }
+    | Some b ->
+        if b <= 0.0 then
+          invalid_arg "Naive.uniform_power_schedule: guard_beta must be positive";
+        { p with Params.beta = b }
   in
   let coloring =
     Greedy_schedule.coloring graph_params ls (Greedy_schedule.Fixed_scheme Power.Uniform)

@@ -36,22 +36,20 @@ let log_power ?(gamma = 1.0) () =
   check_gamma gamma;
   Log_power gamma
 
-let eval (p : Params.t) th x =
+let[@wa.hot] eval (p : Params.t) th x =
   if x < 1.0 then invalid_arg "Conflict.eval: length ratio below 1";
   match th with
   | Constant gamma -> gamma
   | Power_law { gamma; delta } -> gamma *. (x ** delta)
   | Log_power gamma ->
-      (* [Params.make] rejects alpha <= 2, so the exponent denominator
-         is strictly positive — an invariant the intraprocedural
-         checker cannot see across the smart constructor. *)
+      (* Every construction of [Params.t] proves alpha > 2, so the
+         whole-program field-bound summary discharges the exponent
+         denominator here. *)
       gamma
       *. Float.max 1.0
-           (Growth.log2 x
-           ** (2.0 /. (p.Params.alpha -. 2.0)
-              [@wa.check.allow "float-unguarded"]))
+           (Growth.log2 x ** (2.0 /. (p.Params.alpha -. 2.0)))
 
-let conflicting p th ls i j =
+let[@wa.hot] conflicting p th ls i j =
   if i = j then false
   else begin
     let li = Linkset.length ls i and lj = Linkset.length ls j in
@@ -74,14 +72,14 @@ let conflicting p th ls i j =
    correctness. *)
 let radius_slack = 1.0 +. 1e-9
 
-let class_radius p th ~li ~cmin ~cmax =
+let[@wa.hot] class_radius p th ~li ~cmin ~cmax =
   (* [li], [cmin] arrive from [Linkset.length] / class bounds, both
-     positive by construction ([Link.make] rejects zero-length links);
-     the checker cannot track that through these function parameters. *)
-  (Float.min li cmax
-   *. eval p th (Float.max li cmax /. Float.min li cmin)
-   *. radius_slack)
-  [@wa.check.allow "float-unguarded"]
+     positive by construction; the positivity preconditions on these
+     parameters are collected by the summary pass and discharged at
+     every call site. *)
+  Float.min li cmax
+  *. eval p th (Float.max li cmax /. Float.min li cmin)
+  *. radius_slack
 
 (* Conflicting neighbors of [i] in class position [c] of the index,
    found by an exact-radius-bounded grid query.  Ascending ids. *)

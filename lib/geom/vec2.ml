@@ -20,7 +20,7 @@ let dist2 a b = norm2 (sub a b)
    the squared form overflows or loses precision to subnormals — the
    doubly-exponential instances put coordinates near sqrt(max_float),
    where dx*dx is infinite while hypot is still exact. *)
-let dist_xy dx dy =
+let[@wa.hot] dist_xy dx dy =
   let s = (dx *. dx) +. (dy *. dy) in
   if s < 1e-300 || not (Float.is_finite s) then Float.hypot dx dy else sqrt s
 

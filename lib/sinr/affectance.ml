@@ -1,14 +1,16 @@
-(* All affectance terms go through [Params.alpha_pow] so that every
-   evaluator — these record-based oracles and the flat kernels in
-   [Flat_kernels] — computes the identical floating-point value for
-   the same pair. *)
+(* All affectance terms go through [Params.alpha_pow] or its
+   bit-identical closure-free twin [Params.pow_apply] so that every
+   evaluator — these record-based oracles and the flat kernels —
+   computes the identical floating-point value for the same pair.
+   The [@wa.hot] kernels are certified allocation-free (transitively)
+   by [wa_check]'s [hot-alloc] pass, hence [pow_apply] there. *)
 
-let additive (p : Params.t) ls j i =
+let[@wa.hot] additive (p : Params.t) ls j i =
   if j = i then 0.0
   else
     let d = Linkset.dist ls i j in
     if d <= 0.0 then 1.0
-    else Float.min 1.0 (Params.alpha_pow p (Linkset.length ls j /. d))
+    else Float.min 1.0 (Params.pow_apply p (Linkset.length ls j /. d))
 
 let additive_on_set p ls s i =
   List.fold_left (fun acc j -> acc +. additive p ls i j) 0.0 s
@@ -16,15 +18,14 @@ let additive_on_set p ls s i =
 let additive_from_set p ls s i =
   List.fold_left (fun acc j -> acc +. additive p ls j i) 0.0 s
 
-let relative (p : Params.t) ls ~power j i =
+let[@wa.hot] relative (p : Params.t) ls ~power j i =
   if j = i then 0.0
   else
     let d_ji = Linkset.sender_to_receiver ls j i in
     if d_ji <= 0.0 then infinity
     else
-      let pow = Params.alpha_pow p in
-      power.(j) *. pow (Linkset.length ls i)
-      /. (power.(i) *. pow d_ji)
+      power.(j) *. Params.pow_apply p (Linkset.length ls i)
+      /. (power.(i) *. Params.pow_apply p d_ji)
 
 let relative_total p ls ~power s i =
   List.fold_left
@@ -37,8 +38,7 @@ let relative_total p ls ~power s i =
    alpha-power resolved once and lengths read from the flat array, so
    the result is bit-identical to the record-based oracle while the
    loop stays allocation-free. *)
-let mst_longer_pressure_flat (p : Params.t) ls i =
-  let pow = Params.alpha_pow p in
+let[@wa.hot] mst_longer_pressure_flat (p : Params.t) ls i =
   let lengths = Linkset.lengths ls in
   let sx = Linkset.sender_xs ls and sy = Linkset.sender_ys ls in
   let rx = Linkset.receiver_xs ls and ry = Linkset.receiver_ys ls in
@@ -65,7 +65,10 @@ let mst_longer_pressure_flat (p : Params.t) ls i =
       let d =
         if m >= 1e-300 && m < 1e300 then sqrt m else Linkset.dist ls j i
       in
-      let term = if d <= 0.0 then 1.0 else Float.min 1.0 (pow (li /. d)) in
+      let term =
+        if d <= 0.0 then 1.0
+        else Float.min 1.0 (Params.pow_apply p (li /. d))
+      in
       total := !total +. term
     end
   done;

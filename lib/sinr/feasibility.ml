@@ -47,48 +47,53 @@ exception Infeasible_early
    resolves to).  When the loop runs to completion the verdict
    compares the identical floating-point sum — this function and
    [check] never disagree. *)
-let is_feasible p ls ~power slot =
-  let vec = Power.vector p ls power in
-  let pow = Params.alpha_pow p in
+(* One receiver's feasibility check, extracted as the flat kernel so
+   the [hot-alloc] pass certifies the whole inner loop allocation-free
+   ([Params.pow_apply] instead of the closure-returning [alpha_pow];
+   same branch, same bits). *)
+let[@wa.hot] receiver_feasible (p : Params.t) ls vec js k i =
   let beta = p.Params.beta and noise = p.Params.noise in
   let cubed = Float.equal p.Params.alpha 3.0 in
   let sx = Linkset.sender_xs ls and sy = Linkset.sender_ys ls in
   let rx = Linkset.receiver_xs ls and ry = Linkset.receiver_ys ls in
   let lengths = Linkset.lengths ls in
+  let signal = vec.(i) /. Params.pow_apply p lengths.(i) in
+  let rxi = rx.(i) and ryi = ry.(i) in
+  let acc = ref 0.0 in
+  try
+    for t = 0 to k - 1 do
+      let j = js.(t) in
+      if j <> i then begin
+        let dx = sx.(j) -. rxi and dy = sy.(j) -. ryi in
+        let s = (dx *. dx) +. (dy *. dy) in
+        let d =
+          if s < 1e-300 || not (Float.is_finite s) then Float.hypot dx dy
+          else sqrt s
+        in
+        (* Same zero-distance saturation as [sinr] above, keeping
+           the two accumulations bit-identical. *)
+        (acc :=
+           if d > 0.0 then
+             !acc
+             +. (vec.(j)
+                /. (if cubed then d *. d *. d else Params.pow_apply p d))
+           else infinity);
+        let denom = !acc +. noise in
+        (* Strict-violation early exit; NaN comparisons fall
+           through to the exhaustive sum, matching [check]. *)
+        if denom > 0.0 && signal /. denom < beta then raise Infeasible_early
+      end
+    done;
+    let denom = !acc +. noise in
+    Float.equal denom 0.0 || signal /. denom >= beta
+  with Infeasible_early -> false
+
+let is_feasible p ls ~power slot =
+  let vec = Power.vector p ls power in
   let js = Array.of_list slot in
   let k = Array.length js in
   List.for_all
-    (fun i ->
-      let signal = vec.(i) /. pow lengths.(i) in
-      let rxi = rx.(i) and ryi = ry.(i) in
-      let acc = ref 0.0 in
-      try
-        for t = 0 to k - 1 do
-          let j = js.(t) in
-          if j <> i then begin
-            let dx = sx.(j) -. rxi and dy = sy.(j) -. ryi in
-            let s = (dx *. dx) +. (dy *. dy) in
-            let d =
-              if s < 1e-300 || not (Float.is_finite s) then Float.hypot dx dy
-              else sqrt s
-            in
-            (* Same zero-distance saturation as [sinr] above, keeping
-               the two accumulations bit-identical. *)
-            (acc :=
-               if d > 0.0 then
-                 !acc
-                 +. (vec.(j) /. (if cubed then d *. d *. d else pow d))
-               else infinity);
-            let denom = !acc +. noise in
-            (* Strict-violation early exit; NaN comparisons fall
-               through to the exhaustive sum, matching [check]. *)
-            if denom > 0.0 && signal /. denom < beta then
-              raise Infeasible_early
-          end
-        done;
-        let denom = !acc +. noise in
-        Float.equal denom 0.0 || signal /. denom >= beta
-      with Infeasible_early -> false)
+    (fun i -> receiver_feasible p ls vec js k i)
     (List.sort_uniq Int.compare slot)
 
 let pair_feasible p ls ~power i j = is_feasible p ls ~power [ i; j ]

@@ -69,7 +69,7 @@ let of_tree ps tree =
 
 let size t = Array.length t.links
 let link t i = t.links.(i)
-let length t i = t.lengths.(i)
+let[@wa.hot] length t i = t.lengths.(i)
 
 let sender_xs t = t.sx
 let sender_ys t = t.sy
@@ -83,7 +83,12 @@ let lengths_pow t (p : Params.t) =
   | _ ->
       let f = Params.alpha_pow p in
       let arr = Array.map f t.lengths in
-      t.pow_cache <- Some (p.alpha, arr);
+      (* Benign race: every domain computes the identical array for a
+         given alpha, and the single-field store is atomic in the OCaml
+         memory model, so concurrent fills can only replace the cache
+         with an equivalent value.  The analyzer's transitive write
+         summary cannot see idempotence; discharge it at the write. *)
+      (t.pow_cache <- Some (p.alpha, arr)) [@wa.check.allow "domain-capture"];
       arr
 
 let tree_child t i =
@@ -98,7 +103,7 @@ let diversity t = max_length t /. min_length t
    [dist_xy (ax -. bx) (ay -. by)], so computing the differences from
    the SoA arrays rounds identically to [Link.min_distance] /
    [Link.sender_to_receiver] on the records. *)
-let dist t i j =
+let[@wa.hot] dist t i j =
   let sxi = t.sx.(i) and syi = t.sy.(i) and rxi = t.rx.(i) and ryi = t.ry.(i) in
   let sxj = t.sx.(j) and syj = t.sy.(j) and rxj = t.rx.(j) and ryj = t.ry.(j) in
   let dx1 = sxi -. sxj and dy1 = syi -. syj in
@@ -125,7 +130,7 @@ let dist t i j =
     let rr = Vec2.dist_xy dx4 dy4 in
     Float.min (Float.min ss sr) (Float.min rs rr)
 
-let sender_to_receiver t i j =
+let[@wa.hot] sender_to_receiver t i j =
   Vec2.dist_xy (t.sx.(i) -. t.rx.(j)) (t.sy.(i) -. t.ry.(j))
 
 let sorted_ids t cmp =

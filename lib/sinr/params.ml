@@ -34,6 +34,28 @@ let alpha_pow t =
   end
   else fun x -> x ** a
 
+(* Direct (closure-free) twin of [alpha_pow]: the same branch on the
+   same alpha runs the same float operations, so for every (t, x) the
+   result is bit-identical to [alpha_pow t x] — a qcheck oracle pins
+   this.  The [@wa.hot] kernels must use this form: [alpha_pow]
+   allocates its branch closure per call, this never allocates. *)
+let[@wa.hot] pow_apply t x =
+  let a = t.alpha in
+  if Float.equal a 3.0 then x *. x *. x
+  else if Float.equal a 4.0 then begin
+    let s = x *. x in
+    s *. s
+  end
+  else if Float.equal a (Float.round a) && a > 2.0 && a <= 8.0 then begin
+    let k = int_of_float a in
+    let r = ref x in
+    for _ = 2 to k do
+      r := !r *. x
+    done;
+    !r
+  end
+  else x ** a
+
 let pp fmt t =
   Format.fprintf fmt "alpha=%g beta=%g N=%g eps=%g" t.alpha t.beta t.noise
     t.epsilon

@@ -42,7 +42,15 @@ val alpha_pow : t -> float -> float
     multiplication for the small integer exponents the paper's
     deployments use.  Resolve it once outside a pair loop (partial
     application returns the specialized closure).  All SINR evaluators
-    — record-based and flat — share this function, keeping their
-    floating-point results bit-identical across representations. *)
+    — record-based and flat — share this function or its closure-free
+    twin {!pow_apply}, keeping their floating-point results
+    bit-identical across representations. *)
+
+val pow_apply : t -> float -> float
+(** [pow_apply t x = alpha_pow t x], bit-for-bit, without allocating
+    the branch closure.  This is the form the [\[@wa.hot\]]
+    allocation-certified kernels use; [wa_check]'s [hot-alloc] pass
+    verifies it (and everything it reaches) performs no heap
+    allocation. *)
 
 val pp : Format.formatter -> t -> unit

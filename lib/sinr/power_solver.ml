@@ -35,7 +35,7 @@ let gain_flat (p : Params.t) ls slot =
   done;
   (ids, m)
 
-let mat_vec k m x y =
+let[@wa.hot] mat_vec k m x y =
   for a = 0 to k - 1 do
     let base = a * k in
     let acc = ref 0.0 in
@@ -45,7 +45,16 @@ let mat_vec k m x y =
     y.(a) <- !acc
   done
 
-let inf_norm x = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 x
+(* Explicit loop rather than [Array.fold_left]: same accumulation
+   order (hence the same float), minus the folded closure — the CW
+   iteration calls this every round and it must stay allocation-free
+   under [hot-alloc]. *)
+let[@wa.hot] inf_norm x =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    acc := Float.max !acc (Float.abs x.(i))
+  done;
+  !acc
 
 let has_infinite m = Array.exists (fun v -> not (Float.is_finite v)) m
 
@@ -119,9 +128,9 @@ let cw_decide k m =
     for a = 0 to k - 1 do
       (* [x] starts at all-ones and every update floors entries at
          1e-300 below, so the denominator is positive by loop
-         invariant — beyond the checker's dataflow (a NaN from a
-         degenerate ratio is still caught explicitly right after). *)
-      let r = (y.(a) /. x.(a) [@wa.check.allow "float-unguarded"]) in
+         invariant — the positive-array pass certifies the init, the
+         floored writes, and that no callee writes through [x]. *)
+      let r = y.(a) /. x.(a) in
       if r < !lo then lo := r;
       if r > !hi then hi := r
     done;
@@ -221,8 +230,10 @@ let solve_linear k m c =
       done;
       (* Reached only when elimination completed without [Exit], which
          certifies every pivot magnitude exceeded the degeneracy
-         threshold — a loop invariant outside the checker's dataflow. *)
-      x.(i) <- (!acc /. a.(i).(i) [@wa.check.allow "float-unguarded"])
+         threshold — the [ok] witness ref carries that fact across the
+         [try]: the refuting branch charges [a], and the [not !ok]
+         early return promotes it to division-safe here. *)
+      x.(i) <- !acc /. a.(i).(i)
     done;
     if Array.for_all Float.is_finite x then Some x else None
   end

@@ -1,0 +1,7 @@
+(* Known-bad transitive [domain-capture]: the chunk closure never
+   touches shared state directly — the racy write hides one call
+   deep, in [Fix_sources.bump], and the write-footprint summary must
+   surface it with the chain. *)
+let bad n =
+  Wa_util.Parallel.iter n (fun _ -> Fix_sources.bump ());
+  !Fix_sources.counter

@@ -1,0 +1,4 @@
+(* Known-bad interprocedural [exn-escape]: [Fix_sources.pick] may
+   raise Not_found per its summary, and nothing inside the chunk
+   handles it, so the exception would tear down the worker domain. *)
+let bad n = Wa_util.Parallel.iter n (fun i -> ignore (Fix_sources.pick i))

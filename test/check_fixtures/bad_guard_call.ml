@@ -1,0 +1,4 @@
+(* Known-bad interprocedural [float-unguarded]: [Fix_sources.scale]
+   divides by its first argument (a summarized precondition) and this
+   hot call site passes an arbitrary parameter without proving it. *)
+let bad l x = Fix_sources.scale l x

@@ -1,0 +1,4 @@
+(* Known-bad [hot-alloc]: the [@wa.hot] kernel is allocation-free in
+   its own body but calls a helper whose summary allocates; the
+   diagnostic must print the call chain. *)
+let[@wa.hot] bad x = fst (Fix_sources.alloc_pair x)

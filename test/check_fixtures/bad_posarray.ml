@@ -1,0 +1,13 @@
+(* Known-bad positive-array shape: the scratch array starts nonzero
+   but a write stores an unfloored value, so elements may be zero at
+   the division. *)
+let bad k ys =
+  let x = Array.make k 1.0 in
+  for i = 0 to k - 1 do
+    x.(i) <- ys.(i)
+  done;
+  let acc = ref 0.0 in
+  for i = 0 to k - 1 do
+    acc := !acc +. (1.0 /. x.(i))
+  done;
+  !acc

@@ -1,0 +1,9 @@
+(* Known-bad [float-unguarded] through a guard-free smart
+   constructor: no construction site of [cfg] proves [rate] positive,
+   so the whole-program field bound stays unknown and the division by
+   it must report even WITH summaries. *)
+type cfg = { rate : float; burst : float }
+
+let make rate burst = { rate; burst }
+
+let per_token c = 1.0 /. c.rate

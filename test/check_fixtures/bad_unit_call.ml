@@ -1,0 +1,4 @@
+(* Known-bad interprocedural [unit-mix]: [Fix_sources.log_len] returns
+   a log-domain value (per its summary) and adding a raw linear
+   distance to it mixes domains across the call. *)
+let bad ls i = Fix_sources.log_len ls i +. Wa_sinr.Linkset.length ls i

@@ -1,0 +1,13 @@
+(* Known-bad witness shape: [ok] records the refutation but is never
+   tested before the divisions, so the scan proves nothing. *)
+let bad xs =
+  let ok = ref true in
+  for i = 0 to Array.length xs - 1 do
+    if xs.(i) <= 0.0 then ok := false
+  done;
+  ignore !ok;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length xs - 1 do
+    acc := !acc +. (1.0 /. xs.(i))
+  done;
+  !acc

@@ -1,0 +1,25 @@
+(* Shared callees for the interprocedural fixtures: the *_call twins
+   exercise the summary engine ACROSS units by calling into this one.
+   This module itself must stay silent under every pass. *)
+
+(* Divides by its first parameter: the summary records [l > 0] as a
+   precondition, discharged (or reported) at each hot call site. *)
+let scale l x = x /. l
+
+(* Result lives in the log domain; the summary carries the domain to
+   callers in other units. *)
+let log_len ls i = Float.log (Wa_sinr.Linkset.length ls i)
+
+(* Transitive shared-state write: racy when reached from a Parallel
+   chunk, in any caller, through any chain. *)
+let counter = ref 0
+let bump () = incr counter
+
+(* May raise Not_found, recorded in the may-raise summary. *)
+let pick x = if x < 0 then raise Not_found else x
+
+(* Allocates a tuple: poison for a [@wa.hot] caller. *)
+let alloc_pair x = (x, x)
+
+(* Allocation-free helper: safe for a [@wa.hot] caller. *)
+let triple_product x = x *. x *. x

@@ -1,0 +1,9 @@
+(* The compliant twin: the helper the chunk calls only touches an
+   Atomic, so its write footprint is empty and the chunk is clean. *)
+let hits = Atomic.make 0
+
+let tick () = Atomic.incr hits
+
+let good n =
+  Wa_util.Parallel.iter n (fun _ -> tick ());
+  Atomic.get hits

@@ -1,0 +1,5 @@
+(* The compliant twin: the chunk catches exactly the exception the
+   callee's summary says it may raise. *)
+let good n =
+  Wa_util.Parallel.iter n (fun i ->
+      try ignore (Fix_sources.pick i) with Not_found -> ())

@@ -1,0 +1,11 @@
+(* Cleanup-delegating chunk: [Fun.protect ~finally] is recognized as a
+   handler boundary, so a raising body wrapped in it needs no
+   suppression — the runtime reraises after cleanup and the pool's
+   own join barrier surfaces it deterministically. *)
+let cleanups = Atomic.make 0
+
+let good n =
+  Wa_util.Parallel.iter n (fun i ->
+      Fun.protect
+        ~finally:(fun () -> Atomic.incr cleanups)
+        (fun () -> ignore (Fix_sources.pick i)))

@@ -1,0 +1,4 @@
+(* The compliant twin: the guard proves [l] positive on the branch
+   that calls [Fix_sources.scale], discharging the callee's summarized
+   precondition at this call site. *)
+let good l x = if l <= 0.0 then 0.0 else Fix_sources.scale l x

@@ -1,0 +1,3 @@
+(* The compliant twin: every callee of the [@wa.hot] kernel is
+   summarized allocation-free, so the kernel certifies transitively. *)
+let[@wa.hot] good x = Fix_sources.triple_product x +. 1.0

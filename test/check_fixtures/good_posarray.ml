@@ -1,0 +1,13 @@
+(* The compliant twin: nonzero initialization, every write floored,
+   and no callee writes the array — elements stay nonzero, so the
+   division needs no guard. *)
+let good k ys =
+  let x = Array.make k 1.0 in
+  for i = 0 to k - 1 do
+    x.(i) <- Float.max ys.(i) 1e-9
+  done;
+  let acc = ref 0.0 in
+  for i = 0 to k - 1 do
+    acc := !acc +. (1.0 /. x.(i))
+  done;
+  !acc

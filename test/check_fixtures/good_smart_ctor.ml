@@ -1,0 +1,12 @@
+(* The guarded twin: every construction of [cfg] proves [rate]
+   positive, so the summary engine discharges the division.  WITHOUT
+   summaries (a plain per-file run) this same file must still report —
+   pinning that the deleted lib suppressions relied on whole-program
+   proof, not on a laxer per-file rule. *)
+type cfg = { rate : float; burst : float }
+
+let make rate burst =
+  if rate <= 0.0 then invalid_arg "Good_smart_ctor.make: rate must be positive";
+  { rate; burst }
+
+let per_token c = 1.0 /. c.rate

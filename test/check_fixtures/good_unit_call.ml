@@ -1,0 +1,4 @@
+(* The compliant twin: both addends live in the log domain, one via
+   the callee's summarized result domain. *)
+let good ls i =
+  Fix_sources.log_len ls i +. Float.log (Wa_sinr.Linkset.length ls i)

@@ -1,0 +1,16 @@
+(* The compliant twin: the refutation scan sets [ok := false] when an
+   element fails, and the divisions only run under [if !ok], so the
+   witness promotion proves the denominators positive. *)
+let good xs =
+  let ok = ref true in
+  for i = 0 to Array.length xs - 1 do
+    if xs.(i) <= 0.0 then ok := false
+  done;
+  if !ok then begin
+    let acc = ref 0.0 in
+    for i = 0 to Array.length xs - 1 do
+      acc := !acc +. (1.0 /. xs.(i))
+    done;
+    !acc
+  end
+  else 0.0

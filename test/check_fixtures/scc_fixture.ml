@@ -1,0 +1,9 @@
+(* Mutually recursive positivity: the greatest-fixpoint pass must
+   converge over the {gain, boost} SCC and prove both results
+   positive, so the division in [safe] needs no local guard.  Also
+   pins that the fixpoint terminates on call-graph cycles. *)
+let rec gain k x = if k <= 0 then 1.0 else 1.0 +. boost (k - 1) x
+
+and boost k x = if k <= 0 then 2.0 else gain (k - 1) x *. 2.0
+
+let safe k x = x /. gain k x

@@ -2,9 +2,16 @@
    check_fixtures/ triggers its rule exactly once (from the .cmt files
    dune produced while building the fixture library), the good_* twins
    and the suppressed spellings stay silent, and reports round-trip
-   through the check_report.json schema (qcheck). *)
+   through the check_report.json schema (qcheck).
+
+   The *_call fixture twins exercise the whole-program summary engine:
+   their verdicts depend on facts about callees living in
+   fix_sources.ml, a different compilation unit.  [good_smart_ctor]
+   additionally pins the intraprocedural/interprocedural boundary: the
+   same file reports without summaries and is proven clean with them. *)
 
 module Check = Wa_check_core.Check
+module Summary = Wa_check_core.Summary
 module Json = Wa_util.Json
 
 (* The test runner's cwd is _build/default/test; the fixture library's
@@ -16,17 +23,32 @@ let cmt name =
 (* Only the division fixtures are hot: the unit-mix fixtures use bare
    [Float.log] and must not pick up float-unguarded noise. *)
 let config =
+  let hot name = "test/check_fixtures/" ^ name ^ ".ml" in
   {
     Check.Config.default with
     Check.Config.hot_paths =
-      [ "test/check_fixtures/bad_div.ml"; "test/check_fixtures/good_div.ml" ];
+      [
+        hot "bad_div"; hot "good_div"; hot "bad_guard_call";
+        hot "good_guard_call"; hot "scc_fixture"; hot "bad_smart_ctor";
+        hot "good_smart_ctor"; hot "bad_witness"; hot "good_witness";
+        hot "bad_posarray"; hot "good_posarray";
+      ];
     capture_allowed = [];
   }
 
+(* Phase 1+2 over the whole fixture library, shared by every
+   summary-consuming case below. *)
+let summaries = lazy (Check.summarize_paths ~config [ "check_fixtures" ])
+
 let rules_of violations = List.map (fun v -> v.Check.rule) violations
 
-let check_fixture unit_name expected () =
-  let fr = Check.analyze_cmt ~config (cmt unit_name) in
+let analyze ~summaries:with_summaries unit_name =
+  if with_summaries then
+    Check.analyze_cmt ~config ~summaries:(Lazy.force summaries) (cmt unit_name)
+  else Check.analyze_cmt ~config (cmt unit_name)
+
+let check_fixture ?(summaries = true) unit_name expected () =
+  let fr = analyze ~summaries unit_name in
   Alcotest.(check bool) (unit_name ^ " was analyzed") true fr.Check.analyzed;
   Alcotest.(check (list string))
     (unit_name ^ " rules") expected
@@ -37,8 +59,42 @@ let check_fixture unit_name expected () =
         "positions are 1-based lines" true (v.Check.line >= 1))
     fr.Check.file_violations
 
+(* Satellite pin: re-adding the guard-free smart-constructor shape must
+   still report when the summary engine is off — deleting the lib
+   suppressions relied on whole-program proof, not on a laxer rule. *)
+let test_smart_ctor_boundary () =
+  let without = analyze ~summaries:false "Good_smart_ctor" in
+  Alcotest.(check (list string))
+    "per-file run still reports the unproven field" [ "float-unguarded" ]
+    (rules_of without.Check.file_violations);
+  let with_s = analyze ~summaries:true "Good_smart_ctor" in
+  Alcotest.(check (list string))
+    "whole-program run discharges it" []
+    (rules_of with_s.Check.file_violations)
+
+(* The hot-alloc diagnostic must name the allocating call chain, not
+   just the kernel. *)
+let test_hot_chain () =
+  let fr = analyze ~summaries:true "Bad_hot_call" in
+  match fr.Check.file_violations with
+  | [ v ] ->
+      Alcotest.(check string) "rule" "hot-alloc" v.Check.rule;
+      let contains sub s =
+        let n = String.length sub and m = String.length s in
+        let rec go i =
+          i + n <= m && (String.equal (String.sub s i n) sub || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool)
+        "message names the allocating callee" true
+        (contains "alloc_pair" v.Check.message)
+  | vs ->
+      Alcotest.failf "expected exactly one hot-alloc violation, got %d"
+        (List.length vs)
+
 let test_stats () =
-  let fr = Check.analyze_cmt ~config (cmt "Bad_capture") in
+  let fr = analyze ~summaries:true "Bad_capture" in
   Alcotest.(check int) "one chunk closure analyzed" 1 fr.Check.file_closures;
   Alcotest.(check bool)
     "unit pass visited expressions" true
@@ -54,20 +110,43 @@ let test_cmt_error () =
 let test_tree_totals () =
   let report = Check.analyze_paths ~config [ "check_fixtures" ] in
   Alcotest.(check int)
-    "analyzed all eleven fixtures (alias module skipped)" 11
+    "analyzed all thirty fixtures (alias module skipped)" 30
     report.Check.files_scanned;
   let expected =
     [
-      "domain-capture"; "exn-escape"; "float-unguarded"; "nan-compare";
-      "unit-mix";
+      "domain-capture"; "domain-capture"; "exn-escape"; "exn-escape";
+      "float-unguarded"; "float-unguarded"; "float-unguarded";
+      "float-unguarded"; "float-unguarded"; "hot-alloc"; "nan-compare";
+      "unit-mix"; "unit-mix";
     ]
   in
   Alcotest.(check (list string))
-    "exactly the five planted violations" expected
-    (List.sort_uniq String.compare (rules_of report.Check.violations));
-  Alcotest.(check int)
-    "no rule fires twice" (List.length expected)
-    (List.length report.Check.violations)
+    "exactly the thirteen planted violations" expected
+    (List.sort String.compare (rules_of report.Check.violations))
+
+(* The on-disk summary cache: a second run over unchanged .cmt files is
+   fully warm and rebuilds the aggregate report byte-for-byte. *)
+let test_cache_roundtrip () =
+  let cache = Filename.temp_file "wa_check_cache" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove cache with Sys_error _ -> ())
+    (fun () ->
+      let cold, cold_stats =
+        Check.analyze_program ~config ~cache [ "check_fixtures" ]
+      in
+      Alcotest.(check bool)
+        "first run is cold" false cold_stats.Summary.st_warm;
+      let warm, warm_stats =
+        Check.analyze_program ~config ~cache [ "check_fixtures" ]
+      in
+      Alcotest.(check bool) "second run is warm" true warm_stats.Summary.st_warm;
+      Alcotest.(check int)
+        "every unit is a cache hit" warm_stats.Summary.st_units
+        warm_stats.Summary.st_hits;
+      Alcotest.(check string)
+        "warm report is byte-identical"
+        (Json.to_string (Check.report_to_json cold))
+        (Json.to_string (Check.report_to_json warm)))
 
 (* JSON round-trips ----------------------------------------------------- *)
 
@@ -144,6 +223,47 @@ let () =
             (check_fixture "Bad_exn" [ "exn-escape" ]);
           Alcotest.test_case "cmt-error" `Quick test_cmt_error;
         ] );
+      ( "interprocedural",
+        [
+          Alcotest.test_case "callee precondition unproven" `Quick
+            (check_fixture "Bad_guard_call" [ "float-unguarded" ]);
+          Alcotest.test_case "callee precondition discharged" `Quick
+            (check_fixture "Good_guard_call" []);
+          Alcotest.test_case "callee result domain mixes" `Quick
+            (check_fixture "Bad_unit_call" [ "unit-mix" ]);
+          Alcotest.test_case "callee result domain consistent" `Quick
+            (check_fixture "Good_unit_call" []);
+          Alcotest.test_case "transitive chunk write" `Quick
+            (check_fixture "Bad_capture_call" [ "domain-capture" ]);
+          Alcotest.test_case "transitive atomic helper" `Quick
+            (check_fixture "Good_capture_call" []);
+          Alcotest.test_case "transitive chunk raise" `Quick
+            (check_fixture "Bad_exn_call" [ "exn-escape" ]);
+          Alcotest.test_case "caller try covers summary" `Quick
+            (check_fixture "Good_exn_call" []);
+          Alcotest.test_case "Fun.protect delegates cleanup" `Quick
+            (check_fixture "Good_exn_protect" []);
+          Alcotest.test_case "hot kernel allocates via callee" `Quick
+            (check_fixture "Bad_hot_call" [ "hot-alloc" ]);
+          Alcotest.test_case "hot kernel certified transitively" `Quick
+            (check_fixture "Good_hot_call" []);
+          Alcotest.test_case "hot-alloc chain names callee" `Quick
+            test_hot_chain;
+          Alcotest.test_case "SCC positivity fixpoint" `Quick
+            (check_fixture "Scc_fixture" []);
+          Alcotest.test_case "guard-free smart constructor" `Quick
+            (check_fixture "Bad_smart_ctor" [ "float-unguarded" ]);
+          Alcotest.test_case "smart-ctor proof needs summaries" `Quick
+            test_smart_ctor_boundary;
+          Alcotest.test_case "untested witness ref" `Quick
+            (check_fixture "Bad_witness" [ "float-unguarded" ]);
+          Alcotest.test_case "tested witness ref" `Quick
+            (check_fixture "Good_witness" []);
+          Alcotest.test_case "unfloored scratch write" `Quick
+            (check_fixture "Bad_posarray" [ "float-unguarded" ]);
+          Alcotest.test_case "floored scratch array" `Quick
+            (check_fixture "Good_posarray" []);
+        ] );
       ( "clean",
         [
           Alcotest.test_case "atomic counter" `Quick
@@ -158,11 +278,15 @@ let () =
             (check_fixture "Good_exn" []);
           Alcotest.test_case "suppressions" `Quick
             (check_fixture "Allowed_check" []);
+          Alcotest.test_case "shared callees stay silent" `Quick
+            (check_fixture "Fix_sources" []);
         ] );
       ( "coverage",
         [
           Alcotest.test_case "closure/expression stats" `Quick test_stats;
           Alcotest.test_case "whole-tree scan" `Quick test_tree_totals;
+          Alcotest.test_case "summary cache round-trip" `Quick
+            test_cache_roundtrip;
         ] );
       ( "json",
         [

@@ -3,7 +3,12 @@
    Where wa_lint is deliberately syntactic (Parsetree, no types), this
    analyzer loads the .cmt files dune already produces and walks the
    Typedtree, so every rule below sees resolved paths and inferred
-   types.  Four passes:
+   types.  Since PR 8 the analysis is whole-program: a first phase
+   extracts serializable per-function facts from every unit
+   ([Summary.unit_facts]), a second phase builds the call graph and
+   runs a bottom-up fixpoint over its SCCs ([Summary.solve]), and a
+   third phase re-walks each unit with the summary table in hand.  Six
+   passes:
 
    - [domain-capture]: for every closure reaching
      [Wa_util.Parallel.{iter,init,map_array,fold_float_max}], compute
@@ -12,38 +17,56 @@
      arrays ([Array.set], [a.(i) <- v]) and mutating container calls
      ([Hashtbl.replace], [Buffer.add_*], ...) on free variables of
      the closure — unsynchronized mutable state shared across worker
-     domains.  [Atomic.t] state is exempt, as are whitelisted sites
+     domains.  With summaries the check is transitive: a call whose
+     callee (through any chain) writes module-level state, or writes
+     through a parameter bound to free non-[Atomic] state, is rejected
+     too.  [Atomic.t] state is exempt, as are whitelisted sites
      ([lib/obs/], [lib/util/parallel.ml] by default, where the
      disjoint-write and per-domain-buffer invariants are documented).
    - [unit-mix]: a small abstract interpretation over the lattice
      {power, distance, distance^alpha, gain, log-domain,
      dimensionless, unknown} seeded from declared sources
      ([Power.value], [Linkset.length], [Logfloat.log_value], [log],
-     [Params] fields, ...).  Flags additions/subtractions and
-     comparisons that mix the log domain with a linear quantity,
-     additions of distinct linear quantities (power + distance),
-     log-domain floats passed to a linear [~power:] argument, and
-     misuse of the [Logfloat.of_log]/[of_float] boundary.
+     [Params] fields, ...) and, with summaries, from the recorded
+     result domain of any resolvable callee.
    - [float-unguarded]: on configured hot paths, a division / [log] /
-     [sqrt] whose denominator/argument is not provably nonzero —
-     positive-by-construction sources ([Linkset.length]: zero-length
-     links are rejected at [Link.make]; validated [Params] fields),
-     nonzero literals, products/powers of those, or operands whose
-     identifiers are tested by an enclosing [if]/[when] guard (or by a
-     preceding [if ... then raise]-style check in the same sequence).
+     [sqrt] whose denominator/argument is not provably nonzero.
+     Provers: positive-by-construction sources, nonzero literals,
+     products/powers of those, enclosing guards, record-field bounds
+     proven over every construction site in the program
+     ([Params.make]'s [alpha > 2] and friends), callees summarized as
+     returning a positive float (through mutual recursion), witness
+     refs ([let ok = ref true] refuted before use), and positive-array
+     invariants ([Array.make _ c] with every write floored).  A
+     denominator that only a caller can prove becomes a recorded
+     precondition, discharged at every hot call site instead of
+     flagged at the definition.
    - [nan-compare]: the same unguarded NaN-producing shapes appearing
      inside a comparator closure passed to [List.sort] /
      [Array.sort] / [sort_uniq] — NaN keys silently corrupt order.
-   - [exn-escape]: a syntactic raise ([raise], [failwith],
-     [invalid_arg], [assert]) inside a [Parallel] chunk closure with
-     no enclosing [try] inside that closure: the exception crosses the
-     chunk boundary and kills the fan-out on a worker domain.
+   - [exn-escape]: a raise that can cross a [Parallel] chunk boundary
+     and kill the fan-out on a worker domain: either a syntactic raise
+     ([raise], [failwith], [invalid_arg], [assert]) with no enclosing
+     [try] inside the closure, or — with summaries — a call whose
+     transitive may-raise set is not covered by the enclosing
+     handlers.  [Fun.protect] bodies count as handled (they delegate
+     cleanup deliberately).
+   - [hot-alloc]: functions annotated [@wa.hot] are certified to
+     perform no heap allocation transitively: tuples, records, array
+     literals, non-constant constructors, closures that capture,
+     partial applications and calls to unsummarized functions are all
+     diagnosed with the allocating call chain.  Cold paths (branches
+     that always raise, assertion payloads) and non-escaping local
+     refs are excluded; float boxing at returns and calls through
+     function-typed parameters are out of the model (documented in
+     DESIGN.md §14).
 
-   The analysis is intraprocedural: closure bodies are analyzed as
-   written; calls into other functions are not followed.  Suppress
-   with [[@wa.check.allow "rule ..."]] on the offending expression (or
-   any enclosing one), or a floating [[@@@wa.check.allow "rule ..."]]
-   for the whole file. *)
+   Suppress with [[@wa.check.allow "rule ..."]] on the offending
+   expression (or any enclosing one), or a floating
+   [[@@@wa.check.allow "rule ..."]] for the whole file.  An on-disk
+   cache keyed by .cmt digest ([analyze_program ~cache]) makes warm
+   whole-program runs reconstruct byte-identical reports without
+   reading a single Typedtree. *)
 
 module Json = Wa_util.Json
 
@@ -54,6 +77,7 @@ let rule_unit_mix = "unit-mix"
 let rule_float_unguarded = "float-unguarded"
 let rule_nan_compare = "nan-compare"
 let rule_exn_escape = "exn-escape"
+let rule_hot_alloc = "hot-alloc"
 let rule_cmt_error = "cmt-error"
 
 let all_rules =
@@ -63,6 +87,7 @@ let all_rules =
     rule_float_unguarded;
     rule_nan_compare;
     rule_exn_escape;
+    rule_hot_alloc;
     rule_cmt_error;
   ]
 
@@ -109,6 +134,7 @@ module Config = struct
              [let pow = Params.alpha_pow p in ... pow d] inherits the
              guarantee from a guarded [d]. *)
           ("Params", "alpha_pow");
+          ("Params", "pow_apply");
         ];
     }
 end
@@ -173,7 +199,7 @@ let report_to_json r =
   Json.Obj
     [
       ("tool", Json.String "wa_check");
-      ("version", Json.Int 1);
+      ("version", Json.Int 2);
       ("files_scanned", Json.Int r.files_scanned);
       ("closures_analyzed", Json.Int r.closures_analyzed);
       ("expressions_analyzed", Json.Int r.expressions_analyzed);
@@ -203,6 +229,61 @@ let report_of_json j =
           { files_scanned; closures_analyzed; expressions_analyzed; violations })
         (collect [] vs)
   | _ -> Error "report_of_json: missing files_scanned/stats/violations"
+
+(* Per-file reports: the unit of caching. ----------------------------- *)
+
+type file_report = {
+  source : string option;
+  analyzed : bool;
+  file_violations : violation list;
+  file_closures : int;
+  file_expressions : int;
+}
+
+let skipped =
+  {
+    source = None;
+    analyzed = false;
+    file_violations = [];
+    file_closures = 0;
+    file_expressions = 0;
+  }
+
+let file_report_to_json r =
+  Json.Obj
+    [
+      ( "source",
+        match r.source with None -> Json.Null | Some s -> Json.String s );
+      ("analyzed", Json.Bool r.analyzed);
+      ("closures", Json.Int r.file_closures);
+      ("expressions", Json.Int r.file_expressions);
+      ("violations", Json.List (List.map violation_to_json r.file_violations));
+    ]
+
+let file_report_of_json j =
+  let int k = Option.bind (Json.member k j) Json.to_int_opt in
+  let source =
+    match Json.member "source" j with Some (Json.String s) -> Some s | _ -> None
+  in
+  let analyzed =
+    match Json.member "analyzed" j with Some (Json.Bool b) -> Some b | _ -> None
+  in
+  match (analyzed, int "closures", int "expressions", Json.member "violations" j)
+  with
+  | Some analyzed, Some file_closures, Some file_expressions,
+    Some (Json.List vs) ->
+      let rec collect acc = function
+        | [] -> Ok (List.rev acc)
+        | v :: rest -> (
+            match violation_of_json v with
+            | Ok v -> collect (v :: acc) rest
+            | Error _ as e -> e)
+      in
+      Result.map
+        (fun file_violations ->
+          { source; analyzed; file_violations; file_closures; file_expressions })
+        (collect [] vs)
+  | _ -> Error "file_report_of_json: missing or ill-typed field"
 
 (* Path helpers ------------------------------------------------------- *)
 
@@ -251,6 +332,11 @@ let last2 parts =
   | v :: "Stdlib" :: _ -> (None, v)
   | v :: m :: _ -> (Some m, v)
 
+let short_fq fq =
+  match List.rev (String.split_on_char '.' fq) with
+  | v :: m :: _ -> m ^ "." ^ v
+  | _ -> fq
+
 open Typedtree
 
 let fn_path e =
@@ -269,6 +355,85 @@ let is_stdlib_fn names e =
   | Some (Some "Float", v) -> List.mem v names
   | _ -> false
 
+(* Resolver: local identifiers and module aliases of one unit -------- *)
+
+type resolver = {
+  unit_parts : string list;  (* ["Wa_sinr"; "Linkset"] *)
+  r_values : (string, string) Hashtbl.t;
+      (* Ident.unique_name of a toplevel binder -> dotted fq name *)
+  r_aliases : (string, string list) Hashtbl.t;
+      (* local module alias name -> aliased module parts *)
+}
+
+let build_resolver unit_parts str =
+  let r =
+    {
+      unit_parts;
+      r_values = Hashtbl.create 64;
+      r_aliases = Hashtbl.create 8;
+    }
+  in
+  let rec do_items prefix items =
+    List.iter
+      (fun item ->
+        match item.str_desc with
+        | Tstr_value (_, vbs) ->
+            List.iter
+              (fun vb ->
+                List.iter
+                  (fun id ->
+                    Hashtbl.replace r.r_values (Ident.unique_name id)
+                      (String.concat "."
+                         (unit_parts @ prefix @ [ Ident.name id ])))
+                  (pat_bound_idents vb.vb_pat))
+              vbs
+        | Tstr_module mb -> do_module prefix mb
+        | Tstr_recmodule mbs -> List.iter (do_module prefix) mbs
+        | Tstr_include incl -> do_module_expr prefix incl.incl_mod
+        | _ -> ())
+      items
+  and do_module prefix mb =
+    match mb.mb_id with
+    | None -> ()
+    | Some id -> (
+        let name = Ident.name id in
+        match mb.mb_expr.mod_desc with
+        | Tmod_ident (p, _) -> Hashtbl.replace r.r_aliases name (path_parts p)
+        | _ -> do_module_expr (prefix @ [ name ]) mb.mb_expr)
+  and do_module_expr prefix me =
+    match me.mod_desc with
+    | Tmod_structure s -> do_items prefix s.str_items
+    | Tmod_constraint (me, _, _, _) -> do_module_expr prefix me
+    | Tmod_functor (_, me) -> do_module_expr prefix me
+    | _ -> ()
+  in
+  do_items [] str.str_items;
+  r
+
+let resolve_parts r parts =
+  let parts =
+    match parts with "Stdlib" :: (_ :: _ as rest) -> rest | _ -> parts
+  in
+  match parts with
+  | head :: rest -> (
+      match Hashtbl.find_opt r.r_aliases head with
+      | Some alias -> alias @ rest
+      | None -> parts)
+  | [] -> []
+
+(* Resolve a callee expression to the dotted name [Summary.lookup]
+   understands: a local Pident through [r_values], anything dotted
+   through its path (aliases rewritten).  [None] for parameters, local
+   closures and unresolvable shapes. *)
+let resolve_fn r e =
+  match fn_path e with
+  | Some (Path.Pident id) -> Hashtbl.find_opt r.r_values (Ident.unique_name id)
+  | Some p -> (
+      match resolve_parts r (path_parts p) with
+      | _ :: _ :: _ as parts -> Some (String.concat "." parts)
+      | _ -> None)
+  | None -> None
+
 (* Type-head inspection ----------------------------------------------- *)
 
 let type_last2 ty =
@@ -283,7 +448,20 @@ let is_arrow_type ty =
   match Types.get_desc ty with Types.Tarrow _ -> true | _ -> false
 
 let is_float_type ty =
-  match type_last2 ty with Some (None, "float") -> true | _ -> false
+  match type_last2 ty with
+  | Some (None, "float") | Some (Some "Float", "t") -> true
+  | _ -> false
+
+(* The fully qualified name of a (record) type: a bare in-unit ["t"]
+   is prefixed with the unit itself. *)
+let type_fq r ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) -> (
+      match resolve_parts r (path_parts p) with
+      | [ single ] -> Some (String.concat "." (r.unit_parts @ [ single ]))
+      | [] -> None
+      | parts -> Some (String.concat "." parts))
+  | _ -> None
 
 (* Suppressions ------------------------------------------------------- *)
 
@@ -313,7 +491,17 @@ let allows_of_attrs attrs =
       else [])
     attrs
 
+let is_wa_hot attrs =
+  List.exists
+    (fun (a : Parsetree.attribute) -> String.equal a.attr_name.txt "wa.hot")
+    attrs
+
 (* Analysis context --------------------------------------------------- *)
+
+type summaries = {
+  tbl : Summary.table;
+  facts : (string, Summary.fn_fact) Hashtbl.t;
+}
 
 type ctx = {
   cfg : Config.t;
@@ -323,6 +511,10 @@ type ctx = {
          carry no module qualifier inside their own module. *)
   hot : bool;
   capture_ok : bool;
+  quiet : bool;
+      (* Extraction mode: collect facts, never flag, never count. *)
+  resolver : resolver;
+  summaries : summaries option;
   file_allows : string list;
   mutable allow_stack : string list;
   mutable found : violation list;
@@ -330,21 +522,23 @@ type ctx = {
   mutable exprs : int;
 }
 
-let flag ctx loc rule message =
+let lookup_summary ctx name =
+  match ctx.summaries with
+  | None -> None
+  | Some s -> Summary.lookup s.tbl name
+
+let flag_at ctx ~line ~col rule message =
   if
-    (not (List.mem rule ctx.file_allows))
+    (not ctx.quiet)
+    && (not (List.mem rule ctx.file_allows))
     && not (List.mem rule ctx.allow_stack)
-  then
-    let pos = loc.Location.loc_start in
-    ctx.found <-
-      {
-        file = ctx.src;
-        line = pos.Lexing.pos_lnum;
-        col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
-        rule;
-        message;
-      }
-      :: ctx.found
+  then ctx.found <- { file = ctx.src; line; col; rule; message } :: ctx.found
+
+let flag ctx loc rule message =
+  let pos = loc.Location.loc_start in
+  flag_at ctx ~line:pos.Lexing.pos_lnum
+    ~col:(pos.Lexing.pos_cnum - pos.Lexing.pos_bol)
+    rule message
 
 (* Run [f] with the allow-list of [attrs] pushed: suppressions on an
    enclosing expression cover everything beneath it. *)
@@ -375,7 +569,47 @@ let idents_in e0 =
   go e0;
   !acc
 
-(* Pass 1 + 4: domain-capture and exn-escape -------------------------- *)
+(* Idents bound anywhere inside [e0] (params, lets, match cases, for
+   indices): everything else referenced from inside is captured. *)
+let bound_idents e0 =
+  let tbl = Hashtbl.create 32 in
+  let add id = Hashtbl.replace tbl (Ident.unique_name id) () in
+  let add_pat p = List.iter add (pat_bound_idents p) in
+  let rec go e =
+    (match e.exp_desc with
+    | Texp_let (_, vbs, _) -> List.iter (fun vb -> add_pat vb.vb_pat) vbs
+    | Texp_function { param; cases; _ } ->
+        add param;
+        List.iter (fun c -> add_pat c.c_lhs) cases
+    | Texp_match (_, cases, _) -> List.iter (fun c -> add_pat c.c_lhs) cases
+    | Texp_try (_, cases) -> List.iter (fun c -> add_pat c.c_lhs) cases
+    | Texp_for (id, _, _, _, _, _) -> add id
+    | _ -> ());
+    iter_children go e
+  in
+  go e0;
+  tbl
+
+(* Function-spine peeling: the parameters of a toplevel binding, with
+   display names and float-ness, plus the innermost body.  Stops at a
+   dispatching [function] (multiple cases). *)
+let rec peel_params e =
+  match e.exp_desc with
+  | Texp_function { param; cases = [ c ]; _ } ->
+      let unique, display, fl =
+        match c.c_lhs.pat_desc with
+        | Tpat_var (id, _) ->
+            (Ident.unique_name id, Ident.name id, is_float_type c.c_lhs.pat_type)
+        | _ ->
+            ( Ident.unique_name param,
+              Ident.name param,
+              is_float_type c.c_lhs.pat_type )
+      in
+      let rest, body = peel_params c.c_rhs in
+      ((unique, display, fl) :: rest, body)
+  | _ -> ([], e)
+
+(* Pass 1 + 5: domain-capture and exn-escape -------------------------- *)
 
 let parallel_entries = [ "iter"; "init"; "map_array"; "fold_float_max"; "map" ]
 
@@ -403,27 +637,6 @@ let container_mut_fns =
     ("Stack", "push"); ("Stack", "pop"); ("Stack", "clear");
   ]
 
-(* Idents bound anywhere inside [e0] (params, lets, match cases, for
-   indices): everything else referenced from inside is captured. *)
-let bound_idents e0 =
-  let tbl = Hashtbl.create 32 in
-  let add id = Hashtbl.replace tbl (Ident.unique_name id) () in
-  let add_pat p = List.iter add (pat_bound_idents p) in
-  let rec go e =
-    (match e.exp_desc with
-    | Texp_let (_, vbs, _) -> List.iter (fun vb -> add_pat vb.vb_pat) vbs
-    | Texp_function { param; cases; _ } ->
-        add param;
-        List.iter (fun c -> add_pat c.c_lhs) cases
-    | Texp_match (_, cases, _) -> List.iter (fun c -> add_pat c.c_lhs) cases
-    | Texp_try (_, cases) -> List.iter (fun c -> add_pat c.c_lhs) cases
-    | Texp_for (id, _, _, _, _, _) -> add id
-    | _ -> ());
-    iter_children go e
-  in
-  go e0;
-  tbl
-
 (* The variable ultimately written through an lvalue-ish expression:
    [x], [x.contents], [x.(i)], [!x] chains. *)
 let rec head_ident e =
@@ -443,8 +656,54 @@ let describe_write = function
   | `Array -> "write into captured array"
   | `Container -> "mutating call on captured container"
 
+(* Exception-handler names of a try case pattern; "*" is a catch-all
+   (unknown shapes are treated as catch-alls: quieter, not sound). *)
+let rec handler_names p acc =
+  match p.pat_desc with
+  | Tpat_construct (_, cd, _, _) -> cd.Types.cstr_name :: acc
+  | Tpat_or (a, b, _) -> handler_names a (handler_names b acc)
+  | Tpat_alias (inner, _, _) -> handler_names inner acc
+  | _ -> "*" :: acc
+
+let caught_of_cases cases =
+  List.fold_left (fun acc c -> handler_names c.c_lhs acc) [] cases
+
+let is_fun_protect e =
+  match fn_last2 e with Some (Some "Fun", "protect") -> true | _ -> false
+
+(* Positional argument expressions, in order. *)
+let positional_args args =
+  List.filter_map
+    (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
+    args
+
+(* Map callee parameter display names to argument expressions:
+   labelled arguments by name, then positional ones in declaration
+   order over the remaining parameters. *)
+let align_args s_params args =
+  let labelled =
+    List.filter_map
+      (fun (l, a) ->
+        match (l, a) with
+        | (Asttypes.Labelled n | Asttypes.Optional n), Some a -> Some (n, a)
+        | _ -> None)
+      args
+  in
+  let positional = positional_args args in
+  let unlabelled =
+    List.filter (fun p -> not (List.mem_assoc p labelled)) s_params
+  in
+  let rec zip ps qs =
+    match (ps, qs) with
+    | p :: ps', q :: qs' -> (p, q) :: zip ps' qs'
+    | _ -> []
+  in
+  labelled @ zip unlabelled positional
+
 (* Analyze one closure that runs as a Parallel chunk: writes to free
-   mutable state and raises that can cross the chunk boundary. *)
+   mutable state and raises that can cross the chunk boundary, both
+   directly and — when summaries are available — through any call
+   chain. *)
 let analyze_chunk_closure ctx closure =
   ctx.closures <- ctx.closures + 1;
   let bound = bound_idents closure in
@@ -461,16 +720,58 @@ let analyze_chunk_closure ctx closure =
              (describe_write kind) (Ident.name id))
     | _ -> ()
   in
-  let rec go ~try_depth e =
+  let check_call e f args caught =
+    match resolve_fn ctx.resolver f with
+    | None -> ()
+    | Some callee -> (
+        match lookup_summary ctx callee with
+        | None -> ()
+        | Some s ->
+            (if not (List.is_empty s.Summary.s_global_writes) then
+               flag ctx e.exp_loc rule_domain_capture
+                 (Printf.sprintf
+                    "call to %s inside a Parallel chunk closure writes \
+                     shared state (%s): unsynchronized across worker domains"
+                    (short_fq callee)
+                    (String.concat "; " s.Summary.s_global_writes)));
+            (let positional = positional_args args in
+             List.iter
+               (fun j ->
+                 match List.nth_opt positional j with
+                 | Some arg -> (
+                     match head_ident arg with
+                     | Some (root, id)
+                       when free id && not (is_atomic_type root.exp_type) ->
+                         flag ctx e.exp_loc rule_domain_capture
+                           (Printf.sprintf
+                              "call to %s inside a Parallel chunk closure \
+                               writes through its argument '%s', captured \
+                               mutable state shared across worker domains"
+                              (short_fq callee) (Ident.name id))
+                     | _ -> ())
+                 | None -> ())
+               s.Summary.s_param_writes);
+            let escaping =
+              if List.mem "*" caught then Summary.SSet.empty
+              else
+                Summary.SSet.filter
+                  (fun exn -> not (List.mem exn caught))
+                  s.Summary.s_raises
+            in
+            if not (Summary.SSet.is_empty escaping) then
+              flag ctx e.exp_loc rule_exn_escape
+                (Printf.sprintf
+                   "call to %s may raise %s, which would cross the Parallel \
+                    chunk boundary: no matching handler inside the closure"
+                   (short_fq callee)
+                   (String.concat ", " (Summary.SSet.elements escaping))))
+  in
+  let rec go ~caught e =
     with_allows ctx e.exp_attributes @@ fun () ->
     (match e.exp_desc with
     | Texp_setfield (obj, _, _, _) -> check_write `Field obj e.exp_loc
     | Texp_apply (f, args) -> (
-        let positional =
-          List.filter_map
-            (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
-            args
-        in
+        let positional = positional_args args in
         match (fn_last2 f, positional) with
         | Some (None, ":="), lhs :: _ -> check_write `Ref lhs e.exp_loc
         | Some (None, ("incr" | "decr")), r :: _ -> check_write `Ref r e.exp_loc
@@ -479,30 +780,38 @@ let analyze_chunk_closure ctx closure =
         | Some (Some m, v), first :: _ when List.mem (m, v) container_mut_fns
           ->
             check_write `Container first e.exp_loc
-        | Some (None, v), _ when List.mem v raise_like && try_depth = 0 ->
+        | Some (None, v), _ when List.mem v raise_like && List.is_empty caught
+          ->
             flag ctx e.exp_loc rule_exn_escape
               (Printf.sprintf
                  "'%s' can cross the Parallel chunk boundary: no enclosing \
                   try inside the closure (handle it locally or return an \
                   error value)"
                  v)
-        | _ -> ())
-    | Texp_assert _ when try_depth = 0 ->
+        | _ -> check_call e f args caught)
+    | Texp_assert _ when List.is_empty caught ->
         flag ctx e.exp_loc rule_exn_escape
           "assert failure would cross the Parallel chunk boundary: no \
            enclosing try inside the closure"
     | _ -> ());
     match e.exp_desc with
     | Texp_try (body, cases) ->
-        go ~try_depth:(try_depth + 1) body;
+        go ~caught:(caught_of_cases cases @ caught) body;
         List.iter
           (fun c ->
-            Option.iter (go ~try_depth) c.c_guard;
-            go ~try_depth c.c_rhs)
+            Option.iter (go ~caught) c.c_guard;
+            go ~caught c.c_rhs)
           cases
-    | _ -> iter_children (go ~try_depth) e
+    | Texp_apply (f, args) when is_fun_protect f ->
+        (* Fun.protect delegates cleanup deliberately: its thunk and
+           ~finally run under the protection discipline the caller
+           chose, so raises inside are not chunk-boundary escapes. *)
+        List.iter
+          (fun (_, a) -> Option.iter (go ~caught:("*" :: caught)) a)
+          args
+    | _ -> iter_children (go ~caught) e
   in
-  go ~try_depth:0 closure
+  go ~caught:[] closure
 
 (* Find Parallel fan-out applications and analyze their function
    arguments, resolving let-bound closures by identifier. *)
@@ -572,6 +881,15 @@ let dom_name = function
   | LogDom -> "log-domain"
   | Dimless -> "dimensionless"
   | Unknown -> "unknown"
+
+let dom_of_name = function
+  | "power" -> Power
+  | "distance" -> Distance
+  | "distance^alpha" -> DistPow
+  | "gain" -> Gain
+  | "log-domain" -> LogDom
+  | "dimensionless" -> Dimless
+  | _ -> Unknown
 
 let dom_equal (a : dom) (b : dom) = a = b
 
@@ -714,11 +1032,7 @@ let rec infer ctx env e : dom =
       Unknown
 
 and infer_apply ctx env e f args =
-  let positional =
-    List.filter_map
-      (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
-      args
-  in
+  let positional = positional_args args in
   (* Labelled ~power: arguments expect a linear-domain value. *)
   List.iter
     (fun (lbl, a) ->
@@ -861,7 +1175,13 @@ and infer_apply ctx env e f args =
   | _ ->
       ignore (infer ctx env f);
       infer_rest [];
-      Unknown
+      (* Interprocedural fallback: the callee's summarized result
+         domain (only for a saturated float-valued application). *)
+      if is_float_type e.exp_type then
+        match Option.bind (resolve_fn ctx.resolver f) (lookup_summary ctx) with
+        | Some s -> dom_of_name s.Summary.s_dom
+        | None -> Unknown
+      else Unknown
 
 (* Pass 3: float-safety dataflow -------------------------------------- *)
 
@@ -871,6 +1191,11 @@ let float_const_nonzero s =
   match float_of_string_opt s with
   | Some v -> Float.is_finite v && not (Float.equal v 0.0)
   | None -> false
+
+let float_const_value e =
+  match e.exp_desc with
+  | Texp_constant (Asttypes.Const_float s) -> float_of_string_opt s
+  | _ -> None
 
 let rec always_raises e =
   match e.exp_desc with
@@ -893,30 +1218,83 @@ let positive_map_partial ctx e =
       | _ -> false)
   | _ -> false
 
-(* [nonzero ctx guards pos maps e]: the heuristic "provably nonzero on
-   this path" judgment described in the module header.  [maps] holds
-   local idents bound to positivity-preserving closures (see
+(* A conservative lower bound for a float expression, rooted in the
+   whole-program record-field invariant table: [p.Params.alpha] is
+   [> 2.0] because every construction site of [Params.t] in the
+   program proves it. *)
+let rec lower_bound ctx e : Summary.bound option =
+  match e.exp_desc with
+  | Texp_constant (Asttypes.Const_float s) -> (
+      match float_of_string_opt s with
+      | Some v when Float.is_finite v -> Some { Summary.lb = v; strict = false }
+      | _ -> None)
+  | Texp_field (_, _, lbl) when is_float_type e.exp_type -> (
+      match ctx.summaries with
+      | None -> None
+      | Some s -> (
+          match type_fq ctx.resolver lbl.Types.lbl_res with
+          | Some tfq ->
+              Summary.field_bound s.tbl ~type_fq:tfq ~field:lbl.Types.lbl_name
+          | None -> None))
+  | Texp_open (_, b) -> lower_bound ctx b
+  | Texp_apply (f, args) -> (
+      let positional = positional_args args in
+      match (fn_last2 f, positional) with
+      | Some (None, "-."), [ a; b ] -> (
+          match (lower_bound ctx a, float_const_value b) with
+          | Some { Summary.lb; strict }, Some c
+            when Float.is_finite c ->
+              Some { Summary.lb = lb -. c; strict }
+          | _ -> None)
+      | Some (None, "+."), [ a; b ] -> (
+          match (lower_bound ctx a, lower_bound ctx b) with
+          | Some ba, Some bb ->
+              Some
+                {
+                  Summary.lb = ba.Summary.lb +. bb.Summary.lb;
+                  strict = ba.Summary.strict || bb.Summary.strict;
+                }
+          | _ -> None)
+      | Some (None, "**"), [ base; _ ] -> (
+          match float_const_value base with
+          | Some c when c > 0.0 -> Some { Summary.lb = 0.0; strict = true }
+          | _ -> None)
+      | Some (Some "Float", "max"), [ a; b ] -> (
+          match (lower_bound ctx a, lower_bound ctx b) with
+          | Some ba, Some bb ->
+              if ba.Summary.lb >= bb.Summary.lb then Some ba else Some bb
+          | Some b, None | None, Some b -> Some b
+          | None, None -> None)
+      | _ -> None)
+  | _ -> None
+
+(* [nonzero ctx guards pos maps e]: the "provably nonzero on this
+   path" judgment described in the module header.  [maps] holds local
+   idents bound to positivity-preserving closures (see
    [positive_map_partial]): applying one to a nonzero operand is
-   nonzero. *)
+   nonzero.  With summaries, three interprocedural provers kick in:
+   record-field lower bounds, callees summarized as returning a
+   positive float, and module-level positive constants. *)
 let rec nonzero ctx guards pos maps e =
   let self = nonzero ctx guards pos maps in
   match e.exp_desc with
   | Texp_constant (Asttypes.Const_float s) -> float_const_nonzero s
-  | Texp_ident (Path.Pident id, _, _) ->
+  | Texp_ident (Path.Pident id, _, _) -> (
       let n = Ident.unique_name id in
       SSet.mem n guards || SSet.mem n pos
-  | Texp_field (_, _, lbl)
-    when is_params_record lbl.Types.lbl_res
-         && List.mem lbl.Types.lbl_name [ "alpha"; "beta"; "epsilon" ] ->
-      (* Params.make validates alpha > 2, beta > 0, epsilon > 0. *)
-      true
+      ||
+      (* A module-level constant summarized as positive
+         (e.g. [radius_slack = 1.0 +. 1e-9]). *)
+      match Hashtbl.find_opt ctx.resolver.r_values n with
+      | Some fq -> (
+          match lookup_summary ctx fq with
+          | Some s -> s.Summary.s_pos && List.is_empty s.Summary.s_params
+          | None -> false)
+      | None -> false)
+  | Texp_field _ -> Summary.bound_positive (lower_bound ctx e)
   | Texp_open (_, b) -> self b
   | Texp_apply (f, args) -> (
-      let positional =
-        List.filter_map
-          (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
-          args
-      in
+      let positional = positional_args args in
       let last_positional () =
         match List.rev positional with a :: _ -> self a | [] -> false
       in
@@ -962,7 +1340,14 @@ let rec nonzero ctx guards pos maps e =
                  | _ -> false)
                [ a; b ]
       | Some (Some "Array", ("get" | "unsafe_get")), arr :: _ -> self arr
-      | _ -> false)
+      | _ ->
+          is_float_type e.exp_type
+          && ((match
+                 Option.bind (resolve_fn ctx.resolver f) (lookup_summary ctx)
+               with
+              | Some s -> s.Summary.s_pos
+              | None -> false)
+             || Summary.bound_positive (lower_bound ctx e)))
   | _ ->
       (* Fallback: any identifier inside the operand is covered by an
          enclosing guard. *)
@@ -977,24 +1362,266 @@ let sort_fns =
     ("Array", "fast_sort");
   ]
 
-let float_walk ctx e0 =
+(* Positive-array invariant: [let x = Array.make _ c] with a nonzero
+   float [c], where every write to [x] has a statically nonzero
+   right-hand side, every call passing [x] is summarized as not
+   writing that parameter, and [x] never escapes otherwise.  Elements
+   of such arrays are nonzero forever. *)
+let posarrays ctx e0 =
+  match ctx.summaries with
+  | None -> SSet.empty
+  | Some _ ->
+      let cands = Hashtbl.create 4 in
+      let rec collect e =
+        (match e.exp_desc with
+        | Texp_let (_, vbs, _) ->
+            List.iter
+              (fun vb ->
+                match (vb.vb_pat.pat_desc, vb.vb_expr.exp_desc) with
+                | Tpat_var (id, _), Texp_apply (f, args)
+                  when matches_table [ ("Array", "make") ] f -> (
+                    match positional_args args with
+                    | [ _; init ] -> (
+                        match float_const_value init with
+                        | Some v
+                          when Float.is_finite v && not (Float.equal v 0.0) ->
+                            Hashtbl.replace cands (Ident.unique_name id) true
+                        | _ -> ())
+                    | _ -> ())
+                | _ -> ())
+              vbs
+        | _ -> ());
+        iter_children collect e
+      in
+      collect e0;
+      if Hashtbl.length cands = 0 then SSet.empty
+      else begin
+        let disqualify n =
+          if Hashtbl.mem cands n then Hashtbl.replace cands n false
+        in
+        let is_cand e =
+          match e.exp_desc with
+          | Texp_ident (Path.Pident id, _, _)
+            when Hashtbl.mem cands (Ident.unique_name id) ->
+              Some (Ident.unique_name id)
+          | _ -> None
+        in
+        (* Statically nonzero RHS for a write: constants, floored
+           maxes, powers, products of those. *)
+        let static_nonzero e = nonzero ctx SSet.empty SSet.empty SSet.empty e in
+        let rec scan e =
+          match e.exp_desc with
+          | Texp_apply (f, args) -> (
+              let positional = positional_args args in
+              match (fn_last2 f, positional) with
+              | Some (Some ("Array" | "Bytes"), ("set" | "unsafe_set")),
+                arr :: rest -> (
+                  (match (is_cand arr, List.rev rest) with
+                  | Some n, rhs :: _ ->
+                      if not (static_nonzero rhs) then disqualify n
+                  | Some n, [] -> disqualify n
+                  | None, _ -> ());
+                  List.iter scan rest;
+                  match is_cand arr with Some _ -> () | None -> scan arr)
+              | ( Some
+                    (Some "Array", ("get" | "unsafe_get" | "length" | "copy")),
+                  arr :: rest ) ->
+                  (match is_cand arr with Some _ -> () | None -> scan arr);
+                  List.iter scan rest
+              | _ ->
+                  (* A call: arguments that are candidate arrays must
+                     be summarized as unwritten parameters. *)
+                  let callee =
+                    Option.bind (resolve_fn ctx.resolver f) (lookup_summary ctx)
+                  in
+                  List.iteri
+                    (fun j a ->
+                      match is_cand a with
+                      | Some n -> (
+                          match callee with
+                          | Some s
+                            when not (List.mem j s.Summary.s_param_writes) ->
+                              ()
+                          | _ -> disqualify n)
+                      | None -> scan a)
+                    positional;
+                  (* Non-positional (labelled) occurrences escape. *)
+                  List.iter
+                    (fun (lbl, a) ->
+                      match (lbl, a) with
+                      | Asttypes.Nolabel, _ -> ()
+                      | _, Some a -> (
+                          match is_cand a with
+                          | Some n -> disqualify n
+                          | None -> scan a)
+                      | _, None -> ())
+                    args;
+                  scan f)
+          | Texp_ident (Path.Pident id, _, _)
+            when Hashtbl.mem cands (Ident.unique_name id) ->
+              (* Bare occurrence outside the allowed shapes: escape. *)
+              disqualify (Ident.unique_name id)
+          | Texp_let (_, vbs, body) ->
+              List.iter
+                (fun vb ->
+                  match (vb.vb_pat.pat_desc, vb.vb_expr.exp_desc) with
+                  | Tpat_var _, Texp_apply (f, args)
+                    when matches_table [ ("Array", "make") ] f ->
+                      List.iter (fun (_, a) -> Option.iter scan a) args
+                  | _ -> scan vb.vb_expr)
+                vbs;
+              scan body
+          | _ -> iter_children scan e
+        in
+        scan e0;
+        Hashtbl.fold
+          (fun n ok acc -> if ok then SSet.add n acc else acc)
+          cands SSet.empty
+      end
+
+(* The per-binding context the float walk runs under: the enclosing
+   toplevel function's parameters (for precondition inference and
+   discharge) and, in collect mode, the accumulator preconditions are
+   recorded into. *)
+type fw_fn = {
+  fw_fq : string option;
+  fw_params : (string * string * bool) list;  (* unique, display, float *)
+  fw_collect : string list ref option;  (* Some acc: extraction mode *)
+}
+
+let float_walk ctx fw e0 =
+  let float_params = List.filter (fun (_, _, fl) -> fl) fw.fw_params in
+  let rescued guards pos maps den =
+    (* Can the operand be proven if some float parameters are assumed
+       positive?  Singletons first, then the whole set. *)
+    let with_extra extra =
+      nonzero ctx guards (SSet.union pos (SSet.of_list extra)) maps den
+    in
+    match
+      List.find_opt (fun (u, _, _) -> with_extra [ u ]) float_params
+    with
+    | Some (_, d, _) -> Some [ d ]
+    | None ->
+        let all = List.map (fun (u, _, _) -> u) float_params in
+        if (not (List.is_empty all)) && with_extra all then begin
+          let den_ids = idents_in den in
+          match
+            List.filter_map
+              (fun (u, d, _) -> if List.mem u den_ids then Some d else None)
+              float_params
+          with
+          | [] -> None
+          | ds -> Some ds
+        end
+        else None
+  in
   let check_nonzero guards pos maps ~in_sort what den loc =
     if not (nonzero ctx guards pos maps den) then
-      if in_sort then
-        flag ctx loc rule_nan_compare
-          (Printf.sprintf
-             "%s with an operand not provably nonzero inside a sort \
-              comparator: a NaN key silently corrupts the order — guard \
-              the operand or precompute a safe key"
-             what)
-      else if ctx.hot then
-        flag ctx loc rule_float_unguarded
-          (Printf.sprintf
-             "unguarded %s on a hot path: the operand is not provably \
-              nonzero (guard with an explicit test, or derive it from a \
-              positive source such as Linkset.length)"
-             what)
+      match fw.fw_collect with
+      | Some acc ->
+          (* Extraction: an unprovable operand rescued by parameters
+             becomes a precondition; anything else stays silent here
+             (the check-mode walk owns the diagnostics). *)
+          if not in_sort then (
+            match rescued guards pos maps den with
+            | Some ds -> acc := ds @ !acc
+            | None -> ())
+      | None ->
+          if in_sort then
+            flag ctx loc rule_nan_compare
+              (Printf.sprintf
+                 "%s with an operand not provably nonzero inside a sort \
+                  comparator: a NaN key silently corrupts the order — guard \
+                  the operand or precompute a safe key"
+                 what)
+          else if ctx.hot then begin
+            (* A parameter-rescuable operand whose function has known
+               call sites is a discharged precondition, not a defect:
+               every hot call site proves the argument instead. *)
+            let discharged =
+              match (rescued guards pos maps den, fw.fw_fq) with
+              | Some _, Some fq -> (
+                  match lookup_summary ctx fq with
+                  | Some s -> s.Summary.s_callers > 0
+                  | None -> false)
+              | _ -> false
+            in
+            if not discharged then
+              flag ctx loc rule_float_unguarded
+                (Printf.sprintf
+                   "unguarded %s on a hot path: the operand is not provably \
+                    nonzero (guard with an explicit test, or derive it from \
+                    a positive source such as Linkset.length)"
+                   what)
+          end
   in
+  let check_preconds guards pos maps ~in_sort e f args =
+    (* Call-site discharge: a hot caller must prove every recorded
+       precondition of the callee. *)
+    if (not in_sort) && ctx.hot && fw.fw_collect = None then
+      match Option.bind (resolve_fn ctx.resolver f) (lookup_summary ctx) with
+      | Some s when not (List.is_empty s.Summary.s_preconds) ->
+          let aligned = align_args s.Summary.s_params args in
+          List.iter
+            (fun pname ->
+              match List.assoc_opt pname aligned with
+              | Some arg ->
+                  if not (nonzero ctx guards pos maps arg) then
+                    flag ctx e.exp_loc rule_float_unguarded
+                      (Printf.sprintf
+                         "call into %s requires '%s' > 0 (the callee divides \
+                          by it) but the argument is not provably nonzero"
+                         (short_fq s.Summary.s_fq) pname)
+              | None -> ())
+            (List.sort_uniq String.compare s.Summary.s_preconds)
+      | _ -> ()
+  in
+  (* Witness refs: [let ok = ref true] with every refutation site
+     [if cond then (... ok := false ...)] recorded; once [!ok] is
+     tested true, the idents of every refuting condition are known
+     positive on that branch. *)
+  let witnesses : (string, SSet.t) Hashtbl.t = Hashtbl.create 4 in
+  let writes_false id e0 =
+    let found = ref false in
+    let rec go e =
+      (match e.exp_desc with
+      | Texp_apply (f, args) when is_stdlib_fn [ ":=" ] f -> (
+          match positional_args args with
+          | { exp_desc = Texp_ident (Path.Pident w, _, _); _ } :: _
+            when String.equal (Ident.unique_name w) id ->
+              found := true
+          | _ -> ())
+      | _ -> ());
+      iter_children go e
+    in
+    go e0;
+    !found
+  in
+  let witness_test e =
+    (* [!ok] or [not !ok] over a registered witness. *)
+    let deref e =
+      match e.exp_desc with
+      | Texp_apply (f, args) when is_stdlib_fn [ "!" ] f -> (
+          match positional_args args with
+          | [ { exp_desc = Texp_ident (Path.Pident id, _, _); _ } ]
+            when Hashtbl.mem witnesses (Ident.unique_name id) ->
+              Some (Ident.unique_name id)
+          | _ -> None)
+      | _ -> None
+    in
+    match e.exp_desc with
+    | Texp_apply (f, args) when is_stdlib_fn [ "not" ] f -> (
+        match positional_args args with
+        | [ inner ] -> Option.map (fun id -> (id, `Negated)) (deref inner)
+        | _ -> None)
+    | _ -> Option.map (fun id -> (id, `Plain)) (deref e)
+  in
+  let witness_pos id pos =
+    match Hashtbl.find_opt witnesses id with
+    | Some ids -> SSet.union pos ids
+    | None -> pos
+  in
+  let pos0 = if fw.fw_collect = None then posarrays ctx e0 else SSet.empty in
   let rec go guards pos maps ~in_sort e =
     with_allows ctx e.exp_attributes @@ fun () ->
     let self = go guards pos maps ~in_sort in
@@ -1009,6 +1636,12 @@ let float_walk ctx e0 =
                   (SSet.add (Ident.unique_name id) pos, maps)
               | Tpat_var (id, _) when positive_map_partial ctx vb.vb_expr ->
                   (pos, SSet.add (Ident.unique_name id) maps)
+              | Tpat_var (id, _)
+                when (match vb.vb_expr.exp_desc with
+                     | Texp_apply (f, _) -> is_stdlib_fn [ "ref" ] f
+                     | _ -> false) ->
+                  Hashtbl.replace witnesses (Ident.unique_name id) SSet.empty;
+                  (pos, maps)
               | _ -> (pos, maps))
             (pos, maps) vbs
         in
@@ -1037,11 +1670,37 @@ let float_walk ctx e0 =
                   c.c_rhs
             | None -> go guards pos maps ~in_sort c.c_rhs)
           cases
-    | Texp_ifthenelse (c, a, b) ->
+    | Texp_ifthenelse (c, a, b) -> (
         self c;
-        let guards = SSet.union guards (guard_idents c) in
-        go guards pos maps ~in_sort a;
-        Option.iter (go guards pos maps ~in_sort) b
+        (* A refutation site charges the witness; a witness test
+           promotes its recorded idents on the surviving branch. *)
+        Hashtbl.iter
+          (fun id ids ->
+            if writes_false id a || (match b with
+                                    | Some b -> writes_false id b
+                                    | None -> false)
+            then
+              Hashtbl.replace witnesses id
+                (SSet.union ids (guard_idents c)))
+          (Hashtbl.copy witnesses);
+        match witness_test c with
+        | Some (id, `Plain) ->
+            go (SSet.union guards (guard_idents c)) (witness_pos id pos) maps
+              ~in_sort a;
+            Option.iter
+              (go (SSet.union guards (guard_idents c)) pos maps ~in_sort)
+              b
+        | Some (id, `Negated) ->
+            go (SSet.union guards (guard_idents c)) pos maps ~in_sort a;
+            Option.iter
+              (go
+                 (SSet.union guards (guard_idents c))
+                 (witness_pos id pos) maps ~in_sort)
+              b
+        | None ->
+            let guards = SSet.union guards (guard_idents c) in
+            go guards pos maps ~in_sort a;
+            Option.iter (go guards pos maps ~in_sort) b)
     | Texp_match (s, cases, _) ->
         self s;
         List.iter
@@ -1067,11 +1726,7 @@ let float_walk ctx e0 =
         in
         go guards pos maps ~in_sort b
     | Texp_apply (f, args) -> (
-        let positional =
-          List.filter_map
-            (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
-            args
-        in
+        let positional = positional_args args in
         (match (fn_last2 f, positional) with
         | Some (None, "/."), [ _; den ] ->
             check_nonzero guards pos maps ~in_sort "division (/.)" den
@@ -1081,6 +1736,7 @@ let float_walk ctx e0 =
             check_nonzero guards pos maps ~in_sort (fn ^ " application") arg
               e.exp_loc
         | _ -> ());
+        check_preconds guards pos maps ~in_sort e f args;
         match (fn_last2 f, positional) with
         | Some (Some m, v), cmp :: rest when List.mem (m, v) sort_fns ->
             go guards pos maps ~in_sort:true cmp;
@@ -1102,9 +1758,585 @@ let float_walk ctx e0 =
           cases
     | _ -> iter_children self e
   in
-  go SSet.empty SSet.empty SSet.empty ~in_sort:false e0
+  go SSet.empty pos0 SSet.empty ~in_sort:false e0
 
-(* Per-structure driver ----------------------------------------------- *)
+(* Extraction: positivity judgment ------------------------------------ *)
+
+(* Three-valued positivity of a function result: [`P] provably
+   positive here, [`D deps] positive iff every callee in [deps] is
+   (resolved to the exact fact keys [Summary.solve] refutes against),
+   [`N] not provable.  Guards use loose polarity — a tested ident is
+   assumed positive on both branches; the greatest fixpoint in
+   [Summary.solve] is what makes mutual recursion work. *)
+let rec pos3 ctx guards e =
+  if nonzero ctx guards SSet.empty SSet.empty e then `P
+  else
+    let comb a b =
+      match (a, b) with
+      | `N, _ | _, `N -> `N
+      | `P, x | x, `P -> x
+      | `D s1, `D s2 -> `D (SSet.union s1 s2)
+    in
+    match e.exp_desc with
+    | Texp_let (_, _, b) | Texp_open (_, b) -> pos3 ctx guards b
+    | Texp_sequence (a, b) ->
+        let guards =
+          match a.exp_desc with
+          | Texp_ifthenelse (c, th, None) when always_raises th ->
+              SSet.union guards (guard_idents c)
+          | Texp_assert (c, _) -> SSet.union guards (guard_idents c)
+          | _ -> guards
+        in
+        pos3 ctx guards b
+    | Texp_ifthenelse (c, a, b) -> (
+        match b with
+        | None -> `N
+        | Some b ->
+            let g = SSet.union guards (guard_idents c) in
+            let branches =
+              List.filter (fun br -> not (always_raises br)) [ a; b ]
+            in
+            List.fold_left (fun acc br -> comb acc (pos3 ctx g br)) `P branches)
+    | Texp_match (_, cases, _) ->
+        List.fold_left
+          (fun acc c ->
+            if always_raises c.c_rhs then acc
+            else
+              let g =
+                match c.c_guard with
+                | Some gd -> SSet.union guards (guard_idents gd)
+                | None -> guards
+              in
+              comb acc (pos3 ctx g c.c_rhs))
+          `P cases
+    | Texp_apply (f, args) -> (
+        let positional = positional_args args in
+        match (fn_last2 f, positional) with
+        | Some (None, ("*." | "+." | "/.")), [ a; b ] ->
+            comb (pos3 ctx guards a) (pos3 ctx guards b)
+        | Some (None, "**"), [ base; _ ] -> pos3 ctx guards base
+        | Some (Some "Float", "abs"), [ a ] -> pos3 ctx guards a
+        | _ ->
+            if is_float_type e.exp_type then
+              match resolve_fn ctx.resolver f with
+              | Some callee -> `D (SSet.singleton callee)
+              | None -> `N
+            else `N)
+    | _ -> `N
+
+(* Extraction: allocation model --------------------------------------- *)
+
+let noalloc_bare =
+  [
+    "+."; "-."; "*."; "/."; "**"; "~-."; "+"; "-"; "*"; "/"; "mod"; "land";
+    "lor"; "lxor"; "lsl"; "lsr"; "asr"; "abs"; "abs_float"; "sqrt"; "log";
+    "log10"; "log1p"; "exp"; "expm1"; "floor"; "ceil"; "not"; "&&"; "||";
+    "="; "<>"; "<"; ">"; "<="; ">="; "=="; "!="; "compare"; "min"; "max";
+    "ignore"; "fst"; "snd"; "float_of_int"; "int_of_float"; "truncate";
+    "succ"; "pred"; "!"; ":="; "incr"; "decr";
+  ]
+
+let noalloc_qualified =
+  [
+    ( "Float",
+      [
+        "min"; "max"; "abs"; "equal"; "compare"; "is_nan"; "is_finite";
+        "is_integer"; "round"; "trunc"; "floor"; "ceil"; "hypot"; "of_int";
+        "to_int"; "pow"; "sqrt"; "log"; "log2"; "log10"; "log1p"; "exp";
+        "expm1"; "add"; "sub"; "mul"; "div"; "rem"; "neg"; "fma"; "succ";
+        "pred"; "copy_sign"; "sign_bit";
+      ] );
+    ("Array", [ "get"; "set"; "unsafe_get"; "unsafe_set"; "length" ]);
+    ("Bytes", [ "get"; "set"; "unsafe_get"; "unsafe_set"; "length" ]);
+    ( "Int",
+      [
+        "min"; "max"; "abs"; "equal"; "compare"; "succ"; "pred"; "add";
+        "sub"; "mul"; "div"; "rem"; "neg"; "shift_left"; "shift_right";
+        "logand"; "logor"; "logxor"; "lognot"; "to_float"; "of_float";
+      ] );
+    ("Bool", [ "not"; "equal"; "compare" ]);
+    ( "Atomic",
+      [
+        "get"; "set"; "exchange"; "compare_and_set"; "fetch_and_add";
+        "incr"; "decr";
+      ] );
+  ]
+
+let is_noalloc = function
+  | None, v -> List.mem v noalloc_bare
+  | Some m, v -> (
+      match List.assoc_opt m noalloc_qualified with
+      | Some vs -> List.mem v vs
+      | None -> false)
+
+(* Like [resolve_fn] but keeps single-component Stdlib names
+   ("string_of_int"): extraction records them so [hot-alloc] can
+   reject calls with unknown allocation behavior. *)
+let resolve_callee r e =
+  match fn_path e with
+  | Some (Path.Pident id) -> Hashtbl.find_opt r.r_values (Ident.unique_name id)
+  | Some p -> (
+      match resolve_parts r (path_parts p) with
+      | [] -> None
+      | parts -> Some (String.concat "." parts))
+  | None -> None
+
+(* Let-bound refs used only through [!], [:=], [incr], [decr]: local
+   accumulators the backend keeps well-behaved (float contents may
+   still box — documented model limitation), so [hot-alloc] admits
+   them. *)
+let benign_refs e0 =
+  let cands = Hashtbl.create 4 in
+  let rec collect e =
+    (match e.exp_desc with
+    | Texp_let (_, vbs, _) ->
+        List.iter
+          (fun vb ->
+            match (vb.vb_pat.pat_desc, vb.vb_expr.exp_desc) with
+            | Tpat_var (id, _), Texp_apply (f, _)
+              when is_stdlib_fn [ "ref" ] f ->
+                Hashtbl.replace cands (Ident.unique_name id) true
+            | _ -> ())
+          vbs
+    | _ -> ());
+    iter_children collect e
+  in
+  collect e0;
+  let rec scan e =
+    match e.exp_desc with
+    | Texp_apply (f, args) when is_stdlib_fn [ "!"; ":="; "incr"; "decr" ] f
+      -> (
+        match positional_args args with
+        | { exp_desc = Texp_ident (Path.Pident _, _, _); _ } :: rest ->
+            List.iter scan rest
+        | ps -> List.iter scan ps)
+    | Texp_ident (Path.Pident id, _, _)
+      when Hashtbl.mem cands (Ident.unique_name id) ->
+        Hashtbl.replace cands (Ident.unique_name id) false
+    | Texp_let (_, vbs, body) ->
+        List.iter
+          (fun vb ->
+            match (vb.vb_pat.pat_desc, vb.vb_expr.exp_desc) with
+            | Tpat_var _, Texp_apply (f, args) when is_stdlib_fn [ "ref" ] f
+              ->
+                List.iter (fun (_, a) -> Option.iter scan a) args
+            | _ -> scan vb.vb_expr)
+          vbs;
+        scan body
+    | _ -> iter_children scan e
+  in
+  scan e0;
+  Hashtbl.fold (fun n ok acc -> if ok then SSet.add n acc else acc) cands
+    SSet.empty
+
+(* Extraction: record-field bounds ------------------------------------ *)
+
+(* [if id <= c then <raise>] proves [id > c] afterwards. *)
+let guard_bound cond =
+  match cond.exp_desc with
+  | Texp_apply (f, args) -> (
+      match (fn_last2 f, positional_args args) with
+      | ( Some (None, (("<=" | "<") as op)),
+          [ { exp_desc = Texp_ident (Path.Pident id, _, _); _ }; b ] ) -> (
+          match float_const_value b with
+          | Some c when Float.is_finite c ->
+              Some
+                ( Ident.unique_name id,
+                  { Summary.lb = c; strict = String.equal op "<=" } )
+          | None | Some _ -> None)
+      | _ -> None)
+  | _ -> None
+
+let expr_bound bmap fe =
+  match fe.exp_desc with
+  | Texp_constant (Asttypes.Const_float s) -> (
+      match float_of_string_opt s with
+      | Some v when Float.is_finite v -> Some { Summary.lb = v; strict = false }
+      | _ -> None)
+  | Texp_ident (Path.Pident id, _, _) ->
+      List.assoc_opt (Ident.unique_name id) bmap
+  | Texp_apply (f, args) -> (
+      match (fn_last2 f, positional_args args) with
+      | Some (None, "**"), [ base; _ ] -> (
+          match float_const_value base with
+          | Some c when c > 0.0 -> Some { Summary.lb = 0.0; strict = true }
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* Record every float field of every record construction site, with
+   the strongest bound the guard sequence in scope proves.  A site
+   with no provable bound records [None] — which absorbs in
+   [Summary.meet_bound], correctly killing the whole-program
+   invariant. *)
+let rec field_scan ctx bmap acc e =
+  match e.exp_desc with
+  | Texp_function { cases; _ } ->
+      List.iter
+        (fun c ->
+          Option.iter (field_scan ctx bmap acc) c.c_guard;
+          field_scan ctx bmap acc c.c_rhs)
+        cases
+  | Texp_let (_, vbs, body) ->
+      List.iter (fun vb -> field_scan ctx bmap acc vb.vb_expr) vbs;
+      let bmap =
+        List.fold_left
+          (fun bmap vb ->
+            match vb.vb_pat.pat_desc with
+            | Tpat_var (id, _) -> (
+                match expr_bound bmap vb.vb_expr with
+                | Some b -> (Ident.unique_name id, b) :: bmap
+                | None -> bmap)
+            | _ -> bmap)
+          bmap vbs
+      in
+      field_scan ctx bmap acc body
+  | Texp_sequence (a, b) ->
+      field_scan ctx bmap acc a;
+      let bmap =
+        match a.exp_desc with
+        | Texp_ifthenelse (cond, th, None) when always_raises th -> (
+            match guard_bound cond with
+            | Some (u, bnd) -> (u, bnd) :: bmap
+            | None -> bmap)
+        | _ -> bmap
+      in
+      field_scan ctx bmap acc b
+  | Texp_record { fields; extended_expression; _ } ->
+      Option.iter (field_scan ctx bmap acc) extended_expression;
+      (match type_fq ctx.resolver e.exp_type with
+      | Some tfq ->
+          Array.iter
+            (fun (lbl, def) ->
+              match def with
+              | Overridden (_, fe) ->
+                  if is_float_type lbl.Types.lbl_arg then
+                    acc :=
+                      {
+                        Summary.r_type = tfq;
+                        r_field = lbl.Types.lbl_name;
+                        r_bound = expr_bound bmap fe;
+                      }
+                      :: !acc;
+                  field_scan ctx bmap acc fe
+              | Kept _ -> ())
+            fields
+      | None ->
+          Array.iter
+            (fun (_, def) ->
+              match def with
+              | Overridden (_, fe) -> field_scan ctx bmap acc fe
+              | Kept _ -> ())
+            fields)
+  | _ -> iter_children (field_scan ctx bmap acc) e
+
+(* Extraction: one toplevel binding -> one fact ----------------------- *)
+
+let extract_binding ctx env vb fq =
+  let params, body = peel_params vb.vb_expr in
+  let param_uniques = List.map (fun (u, _, _) -> u) params in
+  let param_index u = List.find_index (String.equal u) param_uniques in
+  let locals = bound_idents vb.vb_expr in
+  let benign = benign_refs vb.vb_expr in
+  let calls = ref [] in
+  let raises = ref [] in
+  let gwrites = ref [] in
+  let pwrites = ref [] in
+  let alloc = ref None in
+  let closure_captures e =
+    let inner = bound_idents e in
+    List.exists
+      (fun u ->
+        (not (Hashtbl.mem inner u))
+        && Hashtbl.mem locals u
+        && not (Hashtbl.mem ctx.resolver.r_values u))
+      (idents_in e)
+  in
+  let record_write ~allows target =
+    if
+      not
+        (List.mem rule_domain_capture allows
+        || List.mem rule_domain_capture ctx.file_allows)
+    then
+      match head_ident target with
+      | Some (root, id) when not (is_atomic_type root.exp_type) -> (
+          let u = Ident.unique_name id in
+          match param_index u with
+          | Some i -> pwrites := i :: !pwrites
+          | None ->
+              if not (Hashtbl.mem locals u) then
+                gwrites := Ident.name id :: !gwrites)
+      | _ -> ()
+  in
+  let rec walk ~caught ~cold ~allows e =
+    let allows = allows_of_attrs e.exp_attributes @ allows in
+    let go = walk ~caught ~cold ~allows in
+    let go_cold = walk ~caught ~cold:true ~allows in
+    let note what =
+      if (not cold) && !alloc = None then
+        alloc :=
+          Some
+            (Printf.sprintf "%s (%s:%d)" what ctx.src
+               e.exp_loc.Location.loc_start.Lexing.pos_lnum)
+    in
+    match e.exp_desc with
+    | Texp_tuple es ->
+        note "allocates a tuple";
+        List.iter go es
+    | Texp_array es ->
+        note "allocates an array literal";
+        List.iter go es
+    | Texp_record { fields; extended_expression; _ } ->
+        note "allocates a record";
+        Option.iter go extended_expression;
+        Array.iter
+          (fun (_, def) ->
+            match def with Overridden (_, fe) -> go fe | Kept _ -> ())
+          fields
+    | Texp_construct (_, cd, args) ->
+        if not (List.is_empty args) then
+          note (Printf.sprintf "allocates constructor %s" cd.Types.cstr_name);
+        List.iter go args
+    | Texp_variant (_, arg) ->
+        Option.iter
+          (fun a ->
+            note "allocates a variant";
+            go a)
+          arg
+    | Texp_lazy e' ->
+        note "allocates a lazy value";
+        go e'
+    | Texp_function _ ->
+        if closure_captures e then note "allocates a capturing closure";
+        iter_children go e
+    | Texp_setfield (obj, _, _, rhs) ->
+        record_write ~allows obj;
+        go obj;
+        go rhs
+    | Texp_try (body, cases) ->
+        walk ~caught:(caught_of_cases cases @ caught) ~cold ~allows body;
+        List.iter
+          (fun c ->
+            Option.iter go c.c_guard;
+            go c.c_rhs)
+          cases
+    | Texp_assert (cond, _) -> go_cold cond
+    | Texp_ifthenelse (c, a, b) ->
+        go c;
+        (if always_raises a then go_cold a else go a);
+        Option.iter (fun b -> if always_raises b then go_cold b else go b) b
+    | Texp_match (scrut, cases, _) ->
+        go scrut;
+        List.iter
+          (fun c ->
+            Option.iter go c.c_guard;
+            if always_raises c.c_rhs then go_cold c.c_rhs else go c.c_rhs)
+          cases
+    | Texp_let (_, vbs, bd) ->
+        List.iter
+          (fun vb' ->
+            match (vb'.vb_pat.pat_desc, vb'.vb_expr.exp_desc) with
+            | Tpat_var (id, _), Texp_apply (f, args)
+              when is_stdlib_fn [ "ref" ] f
+                   && SSet.mem (Ident.unique_name id) benign ->
+                (* Non-escaping accumulator ref: admitted. *)
+                List.iter (fun (_, a) -> Option.iter go a) args
+            | _ -> go vb'.vb_expr)
+          vbs;
+        go bd
+    | Texp_apply (f, args) -> (
+        let positional = positional_args args in
+        (match (fn_last2 f, positional) with
+        | Some (None, ":="), lhs :: _ -> record_write ~allows lhs
+        | Some (None, ("incr" | "decr")), r :: _ -> record_write ~allows r
+        | Some (Some m, v), first :: _ when List.mem (m, v) array_set_fns ->
+            record_write ~allows first
+        | Some (Some m, v), first :: _ when List.mem (m, v) container_mut_fns
+          ->
+            record_write ~allows first
+        | _ -> ());
+        match (fn_last2 f, positional) with
+        | Some (None, ("raise" | "raise_notrace")), arg :: _ ->
+            let name =
+              match arg.exp_desc with
+              | Texp_construct (_, cd, _) -> cd.Types.cstr_name
+              | _ -> "exn"
+            in
+            if not (List.mem "*" caught || List.mem name caught) then
+              raises := name :: !raises;
+            List.iter go_cold positional
+        | Some (None, v), _ when List.mem v raise_like ->
+            (* failwith / invalid_arg: excluded from the may-raise
+               summary by policy (ubiquitous precondition guards);
+               their argument construction is cold. *)
+            List.iter go_cold positional
+        | key, _ ->
+            (match f.exp_desc with Texp_apply _ -> go f | _ -> ());
+            if is_arrow_type e.exp_type then
+              note "allocates a partial application (the result is a closure)";
+            (match key with
+            | Some k when is_noalloc k -> ()
+            | _ -> (
+                if not cold then
+                  match resolve_callee ctx.resolver f with
+                  | Some callee ->
+                      let c_args =
+                        List.mapi (fun j a -> (j, a)) positional
+                        |> List.filter_map (fun (j, a) ->
+                               match a.exp_desc with
+                               | Texp_ident (Path.Pident id, _, _) ->
+                                   Option.map
+                                     (fun i -> (j, i))
+                                     (param_index (Ident.unique_name id))
+                               | _ -> None)
+                      in
+                      calls :=
+                        { Summary.c_callee = callee; c_args; c_caught = caught }
+                        :: !calls
+                  | None -> ()));
+            List.iter (fun (_, a) -> Option.iter go a) args)
+    | _ -> iter_children go e
+  in
+  walk ~caught:[] ~cold:false ~allows:[] body;
+  let f_pos, f_pos_deps =
+    match pos3 ctx SSet.empty body with
+    | `P -> (true, None)
+    | `D deps -> (false, Some (SSet.elements deps))
+    | `N -> (false, None)
+  in
+  let preconds = ref [] in
+  float_walk ctx
+    { fw_fq = Some fq; fw_params = params; fw_collect = Some preconds }
+    vb.vb_expr;
+  let d = infer ctx env body in
+  let loc = vb.vb_pat.pat_loc.Location.loc_start in
+  let fact =
+    {
+      Summary.f_fq = fq;
+      f_params = List.map (fun (_, disp, _) -> disp) params;
+      f_line = loc.Lexing.pos_lnum;
+      f_col = loc.Lexing.pos_cnum - loc.Lexing.pos_bol;
+      f_hot = is_wa_hot vb.vb_attributes;
+      f_alloc = !alloc;
+      f_raises =
+        (if ctx.capture_ok then []
+         else List.sort_uniq String.compare !raises);
+      f_global_writes =
+        (if ctx.capture_ok then []
+         else List.sort_uniq String.compare !gwrites);
+      f_param_writes =
+        (if ctx.capture_ok then [] else List.sort_uniq Int.compare !pwrites);
+      f_pos;
+      f_pos_deps;
+      f_preconds = List.sort_uniq String.compare !preconds;
+      f_dom = dom_name d;
+      f_calls = List.rev !calls;
+    }
+  in
+  (fact, d)
+
+let extract_structure ctx str =
+  let env = Hashtbl.create 64 in
+  let fns = ref [] in
+  let fields = ref [] in
+  let rec do_items items =
+    List.iter
+      (fun item ->
+        match item.str_desc with
+        | Tstr_value (_, vbs) ->
+            List.iter
+              (fun vb ->
+                field_scan ctx [] fields vb.vb_expr;
+                match vb.vb_pat.pat_desc with
+                | Tpat_var (id, _) -> (
+                    match
+                      Hashtbl.find_opt ctx.resolver.r_values
+                        (Ident.unique_name id)
+                    with
+                    | Some fq ->
+                        let fact, d = extract_binding ctx env vb fq in
+                        fns := fact :: !fns;
+                        if List.is_empty fact.Summary.f_params then
+                          Hashtbl.replace env (Ident.unique_name id) d
+                    | None -> ())
+                | _ -> ())
+              vbs
+        | Tstr_eval (e, _) ->
+            field_scan ctx [] fields e;
+            ignore (infer ctx env e)
+        | Tstr_module mb -> do_module_expr mb.mb_expr
+        | Tstr_recmodule mbs ->
+            List.iter (fun mb -> do_module_expr mb.mb_expr) mbs
+        | Tstr_include incl -> do_module_expr incl.incl_mod
+        | _ -> ())
+      items
+  and do_module_expr me =
+    match me.mod_desc with
+    | Tmod_structure s -> do_items s.str_items
+    | Tmod_constraint (me, _, _, _) -> do_module_expr me
+    | Tmod_functor (_, me) -> do_module_expr me
+    | _ -> ()
+  in
+  do_items str.str_items;
+  (List.rev !fns, List.rev !fields)
+
+(* Pass 6: hot-alloc certification ------------------------------------ *)
+
+let diagnose_hot_alloc ctx =
+  match ctx.summaries with
+  | None -> ()
+  | Some s ->
+      let prefix = String.concat "." ctx.resolver.unit_parts ^ "." in
+      Hashtbl.iter
+        (fun fq (f : Summary.fn_fact) ->
+          if f.Summary.f_hot && String.starts_with ~prefix fq then begin
+            (match Summary.find s.tbl fq with
+            | Some sum -> (
+                match sum.Summary.s_alloc with
+                | Some chain ->
+                    flag_at ctx ~line:f.Summary.f_line ~col:f.Summary.f_col
+                      rule_hot_alloc
+                      (Printf.sprintf "[@wa.hot] %s may allocate: %s"
+                         (short_fq fq) chain)
+                | None -> ())
+            | None -> ());
+            (* Any call chain reaching a function without a summary
+               leaves the certificate open: reject it. *)
+            let visited = Hashtbl.create 16 in
+            let flagged = Hashtbl.create 4 in
+            let rec dfs chain (g : Summary.fn_fact) =
+              if not (Hashtbl.mem visited g.Summary.f_fq) then begin
+                Hashtbl.add visited g.Summary.f_fq ();
+                List.iter
+                  (fun (c : Summary.call) ->
+                    match Summary.lookup s.tbl c.Summary.c_callee with
+                    | Some sum -> (
+                        match Hashtbl.find_opt s.facts sum.Summary.s_fq with
+                        | Some g' ->
+                            dfs (chain @ [ short_fq c.Summary.c_callee ]) g'
+                        | None -> ())
+                    | None ->
+                        if not (Hashtbl.mem flagged c.Summary.c_callee) then begin
+                          Hashtbl.add flagged c.Summary.c_callee ();
+                          flag_at ctx ~line:f.Summary.f_line
+                            ~col:f.Summary.f_col rule_hot_alloc
+                            (Printf.sprintf
+                               "[@wa.hot] %s calls %s (via %s), which has no \
+                                summary: allocation behavior unknown — \
+                                inline it, extend the analyzer's no-alloc \
+                                table, or drop the annotation"
+                               (short_fq fq) c.Summary.c_callee
+                               (String.concat " -> "
+                                  (chain @ [ c.Summary.c_callee ])))
+                        end)
+                  g.Summary.f_calls
+              end
+            in
+            dfs [ short_fq fq ] f
+          end)
+        s.facts
+
+(* Per-structure drivers ---------------------------------------------- *)
 
 let file_allows_of_structure str =
   List.concat_map
@@ -1128,7 +2360,17 @@ let analyze_structure ctx str =
               (fun vb ->
                 with_allows ctx vb.vb_attributes @@ fun () ->
                 if not ctx.capture_ok then scan_parallel ctx fns vb.vb_expr;
-                float_walk ctx vb.vb_expr;
+                let fw_fq =
+                  match vb.vb_pat.pat_desc with
+                  | Tpat_var (id, _) ->
+                      Hashtbl.find_opt ctx.resolver.r_values
+                        (Ident.unique_name id)
+                  | _ -> None
+                in
+                let fw_params, _ = peel_params vb.vb_expr in
+                float_walk ctx
+                  { fw_fq; fw_params; fw_collect = None }
+                  vb.vb_expr;
                 let d = infer ctx env vb.vb_expr in
                 match vb.vb_pat.pat_desc with
                 | Tpat_var (id, _) ->
@@ -1138,7 +2380,9 @@ let analyze_structure ctx str =
         | Tstr_eval (e, attrs) ->
             with_allows ctx attrs @@ fun () ->
             if not ctx.capture_ok then scan_parallel ctx fns e;
-            float_walk ctx e;
+            float_walk ctx
+              { fw_fq = None; fw_params = []; fw_collect = None }
+              e;
             ignore (infer ctx env e)
         | Tstr_module mb -> do_module_expr mb.mb_expr
         | Tstr_recmodule mbs ->
@@ -1153,80 +2397,121 @@ let analyze_structure ctx str =
     | Tmod_functor (_, me) -> do_module_expr me
     | _ -> ()
   in
-  do_items str.str_items
+  do_items str.str_items;
+  diagnose_hot_alloc ctx
 
-(* Cmt driver --------------------------------------------------------- *)
-
-type file_report = {
-  source : string option;
-  analyzed : bool;
-  file_violations : violation list;
-  file_closures : int;
-  file_expressions : int;
-}
-
-let skipped =
-  {
-    source = None;
-    analyzed = false;
-    file_violations = [];
-    file_closures = 0;
-    file_expressions = 0;
-  }
+(* Cmt drivers -------------------------------------------------------- *)
 
 let is_generated src =
   Filename.check_suffix src "-gen" || Filename.check_suffix src ".ml-gen"
 
-let analyze_cmt ?(config = Config.default) path =
+type loaded =
+  | L_err of file_report
+  | L_skip
+  | L_impl of string * string list * structure
+      (* source path, unit parts (["Wa_sinr"; "Linkset"]), typedtree *)
+
+let load_unit path =
   match Cmt_format.read_cmt path with
   | exception exn ->
-      {
-        skipped with
-        source = Some (normalize_path path);
-        file_violations =
-          [
-            {
-              file = normalize_path path;
-              line = 1;
-              col = 0;
-              rule = rule_cmt_error;
-              message =
-                Printf.sprintf "cannot read cmt: %s" (Printexc.to_string exn);
-            };
-          ];
-      }
+      L_err
+        {
+          skipped with
+          source = Some (normalize_path path);
+          file_violations =
+            [
+              {
+                file = normalize_path path;
+                line = 1;
+                col = 0;
+                rule = rule_cmt_error;
+                message =
+                  Printf.sprintf "cannot read cmt: %s"
+                    (Printexc.to_string exn);
+              };
+            ];
+        }
   | infos -> (
       match (infos.Cmt_format.cmt_annots, infos.Cmt_format.cmt_sourcefile)
       with
       | Cmt_format.Implementation str, Some src when not (is_generated src)
         ->
-          let src = normalize_path src in
-          let ctx =
-            {
-              cfg = config;
-              src;
-              self_module =
-                String.capitalize_ascii
-                  (Filename.remove_extension (Filename.basename src));
-              hot = path_matches ~prefixes:config.Config.hot_paths src;
-              capture_ok =
-                path_matches ~prefixes:config.Config.capture_allowed src;
-              file_allows = file_allows_of_structure str;
-              allow_stack = [];
-              found = [];
-              closures = 0;
-              exprs = 0;
-            }
-          in
-          analyze_structure ctx str;
-          {
-            source = Some src;
-            analyzed = true;
-            file_violations = List.sort compare_violation ctx.found;
-            file_closures = ctx.closures;
-            file_expressions = ctx.exprs;
-          }
-      | _ -> skipped)
+          L_impl
+            ( normalize_path src,
+              split_wrapped infos.Cmt_format.cmt_modname,
+              str )
+      | _ -> L_skip)
+
+let make_ctx ~config ~quiet ~src ~unit_parts ~summaries str =
+  {
+    cfg = config;
+    src;
+    self_module =
+      String.capitalize_ascii
+        (Filename.remove_extension (Filename.basename src));
+    hot = path_matches ~prefixes:config.Config.hot_paths src;
+    capture_ok = path_matches ~prefixes:config.Config.capture_allowed src;
+    quiet;
+    resolver = build_resolver unit_parts str;
+    summaries;
+    file_allows = file_allows_of_structure str;
+    allow_stack = [];
+    found = [];
+    closures = 0;
+    exprs = 0;
+  }
+
+let extract_unit ~config path digest loaded =
+  match loaded with
+  | L_impl (src, unit_parts, str) ->
+      let ctx =
+        make_ctx ~config ~quiet:true ~src ~unit_parts ~summaries:None str
+      in
+      let fns, fields = extract_structure ctx str in
+      {
+        Summary.u_path = normalize_path path;
+        u_src = src;
+        u_digest = digest;
+        u_fns = fns;
+        u_fields = fields;
+      }
+  | L_err _ | L_skip ->
+      {
+        Summary.u_path = normalize_path path;
+        u_src = "";
+        u_digest = digest;
+        u_fns = [];
+        u_fields = [];
+      }
+
+let diagnose_unit ~config ~summaries loaded =
+  match loaded with
+  | L_err r -> r
+  | L_skip -> skipped
+  | L_impl (src, unit_parts, str) ->
+      let ctx = make_ctx ~config ~quiet:false ~src ~unit_parts ~summaries str in
+      analyze_structure ctx str;
+      {
+        source = Some src;
+        analyzed = true;
+        file_violations = List.sort compare_violation ctx.found;
+        file_closures = ctx.closures;
+        file_expressions = ctx.exprs;
+      }
+
+let analyze_cmt ?(config = Config.default) ?summaries path =
+  diagnose_unit ~config ~summaries (load_unit path)
+
+let summaries_of_units units =
+  let tbl = Summary.solve units in
+  let facts = Hashtbl.create 256 in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun (f : Summary.fn_fact) -> Hashtbl.replace facts f.Summary.f_fq f)
+        u.Summary.u_fns)
+    units;
+  { tbl; facts }
 
 (* Directory driver: collect .cmt files, descending into dune's hidden
    .objs directories (unlike source scanners, dotted dirs are the
@@ -1242,11 +2527,16 @@ let rec collect_cmt acc path =
   else if Filename.check_suffix path ".cmt" then path :: acc
   else acc
 
-let analyze_paths ?(config = Config.default) paths =
+let summarize_paths ?(config = Config.default) paths =
   let files =
     List.fold_left collect_cmt [] paths |> List.sort_uniq String.compare
   in
-  let reports = List.map (analyze_cmt ~config) files in
+  summaries_of_units
+    (List.map
+       (fun p -> extract_unit ~config p (Summary.digest_file p) (load_unit p))
+       files)
+
+let aggregate reports =
   let analyzed = List.filter (fun r -> r.analyzed) reports in
   {
     files_scanned = List.length analyzed;
@@ -1258,3 +2548,90 @@ let analyze_paths ?(config = Config.default) paths =
       List.concat_map (fun r -> r.file_violations) reports
       |> List.sort_uniq compare_violation;
   }
+
+let analyze_program ?(config = Config.default) ?cache paths =
+  let files =
+    List.fold_left collect_cmt [] paths |> List.sort_uniq String.compare
+  in
+  let cached = Hashtbl.create 16 in
+  (match Option.bind cache Summary.load_cache with
+  | Some c ->
+      List.iter
+        (fun (cu : Summary.cached_unit) ->
+          Hashtbl.replace cached cu.Summary.cu_facts.Summary.u_path cu)
+        c.Summary.c_units
+  | None -> ());
+  let digests = List.map (fun p -> (p, Summary.digest_file p)) files in
+  let hit p digest =
+    match Hashtbl.find_opt cached (normalize_path p) with
+    | Some cu when String.equal cu.Summary.cu_facts.Summary.u_digest digest ->
+        Some cu
+    | _ -> None
+  in
+  (* Warm path: every unit hits and every cached report parses -> the
+     aggregate is reconstructed without reading a single cmt. *)
+  let warm_reports =
+    if Hashtbl.length cached = 0 then None
+    else
+      List.fold_left
+        (fun acc (p, digest) ->
+          match acc with
+          | None -> None
+          | Some rs -> (
+              match hit p digest with
+              | Some cu -> (
+                  match file_report_of_json cu.Summary.cu_report with
+                  | Ok r -> Some (r :: rs)
+                  | Error _ -> None)
+              | None -> None))
+        (Some []) digests
+      |> Option.map List.rev
+  in
+  match warm_reports with
+  | Some reports ->
+      ( aggregate reports,
+        {
+          Summary.st_units = List.length files;
+          st_hits = List.length files;
+          st_warm = true;
+        } )
+  | None ->
+      let loadeds =
+        List.map (fun (p, digest) -> (p, digest, load_unit p)) digests
+      in
+      let hits = ref 0 in
+      let units =
+        List.map
+          (fun (p, digest, l) ->
+            match hit p digest with
+            | Some cu ->
+                incr hits;
+                cu.Summary.cu_facts
+            | None -> extract_unit ~config p digest l)
+          loadeds
+      in
+      let summaries = summaries_of_units units in
+      let reports =
+        List.map
+          (fun (_, _, l) -> diagnose_unit ~config ~summaries:(Some summaries) l)
+          loadeds
+      in
+      (match cache with
+      | Some cache_file ->
+          let c_units =
+            List.map2
+              (fun u r ->
+                { Summary.cu_facts = u; cu_report = file_report_to_json r })
+              units reports
+          in
+          ignore (Summary.save_cache cache_file { Summary.c_units })
+      | None -> ());
+      ( aggregate reports,
+        {
+          Summary.st_units = List.length files;
+          st_hits = !hits;
+          st_warm = false;
+        } )
+
+let analyze_paths ?(config = Config.default) paths =
+  fst (analyze_program ~config paths)

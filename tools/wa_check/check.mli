@@ -2,29 +2,43 @@
 
     Complements the syntactic [Wa_lint_core.Lint]: the passes here see
     resolved paths and inferred types, so they check the {e meaning}
-    of the code —
+    of the code.  Since PR 8 the analysis is whole-program: a first
+    phase extracts serializable per-function facts from every unit, a
+    second builds the call graph and runs a bottom-up fixpoint over
+    its SCCs ([Summary.solve]), and a third re-walks each unit with
+    the summary table in hand.  Passes —
 
     - [domain-capture] — a closure reaching
       [Wa_util.Parallel.{iter,init,map_array,fold_float_max}] writes a
-      captured ref / mutable field / array / container: unsynchronized
-      shared state across worker domains ([Atomic.t] exempt,
-      whitelisted sites skipped);
+      captured ref / mutable field / array / container, directly or
+      through any call chain whose summary records a write to
+      module-level or parameter-reachable non-[Atomic] state
+      ([Atomic.t] exempt, whitelisted sites skipped);
     - [unit-mix] — abstract interpretation over
       {power, distance, distance{^α}, gain, log-domain, dimensionless}:
       additions/comparisons mixing log- and linear-domain quantities,
       distinct linear quantities added, log-domain floats passed to a
-      [~power:] argument, [Logfloat.of_log]/[of_float] boundary misuse;
+      [~power:] argument, [Logfloat.of_log]/[of_float] boundary
+      misuse; callee result domains come from the summary table;
     - [float-unguarded] — on hot paths, division / [log] / [sqrt]
-      whose denominator/argument is not provably nonzero (positive
-      sources, nonzero literals, products/powers of those, or
-      enclosing guards);
+      whose denominator/argument is not provably nonzero: positive
+      sources, literals, products/powers, enclosing guards,
+      whole-program record-field bounds (every construction site of
+      [Params.t] proves [alpha > 2]), callees summarized as returning
+      a positive float, witness refs, and positive-array invariants;
+      operands only a caller can prove become preconditions discharged
+      at every hot call site;
     - [nan-compare] — the same unguarded shapes inside a comparator
       passed to a sort;
-    - [exn-escape] — a raise inside a [Parallel] chunk closure with no
-      enclosing [try] in the closure;
+    - [exn-escape] — a raise that can cross a [Parallel] chunk
+      boundary: direct, or via a callee whose transitive may-raise set
+      is not covered by enclosing handlers ([Fun.protect] bodies count
+      as handled);
+    - [hot-alloc] — functions annotated [[@wa.hot]] are certified
+      transitively allocation-free, with the allocating call chain
+      printed (model limits documented in DESIGN.md §14);
     - [cmt-error] — the [.cmt] file cannot be read.
 
-    The analysis is intraprocedural (calls are not followed).
     Suppress with [[@wa.check.allow "rule …"]] on the offending
     expression or any enclosing one, or a floating
     [[@@@wa.check.allow "rule …"]] for the whole file. *)
@@ -37,7 +51,8 @@ module Config : sig
         (** Path prefixes where [float-unguarded] applies. *)
     capture_allowed : string list;
         (** Path prefixes exempt from [domain-capture]/[exn-escape]
-            (the audited concurrency core). *)
+            (the audited concurrency core); their summaries record no
+            writes or raises. *)
     positive_sources : (string * string) list;
         (** [(Module, fn)] pairs whose results are positive by
             construction (validated at the source), trusted as nonzero
@@ -54,7 +69,7 @@ module Config : sig
       whitelist [lib/obs/] + [lib/util/parallel.ml]; positive sources
       [Linkset.length] and friends (zero-length links are rejected at
       [Link.make]) and [Power.value]/[vector] (validated positive);
-      positive maps [Params.alpha_pow]. *)
+      positive maps [Params.alpha_pow]/[Params.pow_apply]. *)
 end
 
 type violation = {
@@ -93,11 +108,41 @@ type file_report = {
   file_expressions : int;
 }
 
-val analyze_cmt : ?config:Config.t -> string -> file_report
-(** Analyze one [.cmt] file; violations sorted by position. *)
+val file_report_to_json : file_report -> Wa_util.Json.t
+val file_report_of_json : Wa_util.Json.t -> (file_report, string) result
+(** Canonical codec for the cache: [of_json] of its own [to_json]
+    output reconstructs the report exactly, which is what makes warm
+    aggregate reports byte-identical to cold ones. *)
+
+type summaries = {
+  tbl : Summary.table;
+  facts : (string, Summary.fn_fact) Hashtbl.t;
+}
+(** The whole-program phase-2 result: solved summaries plus the raw
+    facts (the latter drive [hot-alloc]'s call-chain walk). *)
+
+val summarize_paths : ?config:Config.t -> string list -> summaries
+(** Extract facts from every [.cmt] under the given roots and solve.
+    No diagnostics are emitted. *)
+
+val analyze_cmt :
+  ?config:Config.t -> ?summaries:summaries -> string -> file_report
+(** Analyze one [.cmt] file; violations sorted by position.  Without
+    [summaries] the interprocedural provers and [hot-alloc] are
+    disabled (intraprocedural behavior). *)
+
+val analyze_program :
+  ?config:Config.t ->
+  ?cache:string ->
+  string list ->
+  report * Summary.cache_stats
+(** Whole-program run over every [.cmt] under the given
+    files/directories (including dune's [.objs] dirs).  With [~cache],
+    per-unit facts and reports are keyed by [.cmt] digest in the given
+    file: a fully-warm run rebuilds the aggregate report byte-for-byte
+    without loading a single Typedtree; a partial hit skips extraction
+    for unchanged units but re-solves and re-diagnoses everything
+    (summaries are global), then rewrites the cache. *)
 
 val analyze_paths : ?config:Config.t -> string list -> report
-(** Recursively analyze every [.cmt] under the given files/directories
-    (descending into dune's hidden [.objs] directories).
-    Deterministic: files and violations are sorted, duplicates
-    removed. *)
+(** [analyze_program] without a cache, keeping only the report. *)
