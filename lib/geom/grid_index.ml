@@ -39,17 +39,15 @@ let max_ring_reach = 256
    Wa_util.Parallel (the wa-lint atomic-scope rule), and this path is
    already degraded, so a lock is free by comparison. *)
 let budget_warned = ref false
+[@@wa.guarded_by "Grid_index.budget_warned_mutex"]
+
 let budget_warned_mutex = Mutex.create ()
 
 let first_budget_overrun () =
   Mutex.protect budget_warned_mutex (fun () ->
       if !budget_warned then false
       else begin
-        (* The write is serialized by [budget_warned_mutex] just above;
-           the analyzer's write-footprint summary does not model mutex
-           ownership, so discharge the transitive domain-capture report
-           here at the write site. *)
-        (budget_warned := true) [@wa.check.allow "domain-capture"];
+        budget_warned := true;
         true
       end)
 

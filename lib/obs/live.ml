@@ -32,11 +32,13 @@ type window = {
 type t = {
   capacity : int;
   mu : Mutex.t;
-  mutable base_ns : int64;
-  mutable base_counters : (string * int) list;
+  mutable base_ns : int64; [@wa.guarded_by "Live.t.mu"]
+  mutable base_counters : (string * int) list; [@wa.guarded_by "Live.t.mu"]
   mutable base_hists : (string * M.hist_snapshot) list;
-  mutable windows : window list;  (* newest first, length <= capacity *)
-  mutable n_windows : int;
+      [@wa.guarded_by "Live.t.mu"]
+  mutable windows : window list; [@wa.guarded_by "Live.t.mu"]
+      (* newest first, length <= capacity *)
+  mutable n_windows : int; [@wa.guarded_by "Live.t.mu"]
 }
 
 let empty_hist =

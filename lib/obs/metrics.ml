@@ -12,7 +12,11 @@
 
 type counter = { c_name : string; value : int Atomic.t }
 
-type gauge = { g_name : string; g_mutex : Mutex.t; mutable g_value : float }
+type gauge = {
+  g_name : string;
+  g_mutex : Mutex.t;
+  mutable g_value : float; [@wa.guarded_by "Metrics.gauge.g_mutex"]
+}
 
 (* Buckets are powers of two: bucket [i] holds observations in
    [2^(i-bias), 2^(i-bias+1)).  With bias 80 the range spans 2^-80 ..
@@ -28,11 +32,11 @@ type histogram = {
   h_name : string;
   buckets : int Atomic.t array;
   h_mutex : Mutex.t;
-  mutable h_count : int;
-  mutable h_sum : float;
-  mutable h_min : float;
-  mutable h_max : float;
-  mutable nonpositive : int;
+  mutable h_count : int; [@wa.guarded_by "Metrics.histogram.h_mutex"]
+  mutable h_sum : float; [@wa.guarded_by "Metrics.histogram.h_mutex"]
+  mutable h_min : float; [@wa.guarded_by "Metrics.histogram.h_mutex"]
+  mutable h_max : float; [@wa.guarded_by "Metrics.histogram.h_mutex"]
+  mutable nonpositive : int; [@wa.guarded_by "Metrics.histogram.h_mutex"]
 }
 
 let bucket_of_value v =
@@ -45,6 +49,8 @@ let bucket_hi i = Float.pow 2.0 (float_of_int (i - bucket_bias + 1))
 type metric = C of counter | G of gauge | H of histogram
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+[@@wa.guarded_by "Metrics.registry_mutex"]
+
 let registry_mutex = Mutex.create ()
 
 let get_or_create name make classify describe =

@@ -32,6 +32,8 @@ let make_state () =
 let dls_key = Domain.DLS.new_key make_state
 
 let completed : span list ref = ref []  (* newest first *)
+[@@wa.guarded_by "Trace.completed_mutex"]
+
 let completed_mutex = Mutex.create ()
 
 let max_buffered = 64

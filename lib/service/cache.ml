@@ -3,17 +3,21 @@ module Metrics = Wa_obs.Metrics
 
 let content_key json = Digest.to_hex (Digest.string (Json.to_string ~pretty:false json))
 
-type 'a slot = { value : 'a; bytes : int; mutable last_used : int }
+type 'a slot = {
+  value : 'a;
+  bytes : int;
+  mutable last_used : int; [@wa.guarded_by "Cache.t.mutex"]
+}
 
 type 'a t = {
   mutex : Mutex.t;
   done_cond : Condition.t;  (** Broadcast when an in-flight compute settles. *)
-  table : (string, 'a slot) Hashtbl.t;
-  inflight : (string, unit) Hashtbl.t;
+  table : (string, 'a slot) Hashtbl.t; [@wa.guarded_by "Cache.t.mutex"]
+  inflight : (string, unit) Hashtbl.t; [@wa.guarded_by "Cache.t.mutex"]
   max_entries : int;
   max_bytes : int;
-  mutable tick : int;
-  mutable total_bytes : int;
+  mutable tick : int; [@wa.guarded_by "Cache.t.mutex"]
+  mutable total_bytes : int; [@wa.guarded_by "Cache.t.mutex"]
   (* Telemetry handles; all updates are no-ops while telemetry is off. *)
   m_hits : Metrics.counter;
   m_misses : Metrics.counter;
@@ -22,10 +26,10 @@ type 'a t = {
   g_entries : Metrics.gauge;
   g_bytes : Metrics.gauge;
   (* Plain tallies so {!stats} works with telemetry disabled. *)
-  mutable n_hits : int;
-  mutable n_misses : int;
-  mutable n_coalesced : int;
-  mutable n_evictions : int;
+  mutable n_hits : int; [@wa.guarded_by "Cache.t.mutex"]
+  mutable n_misses : int; [@wa.guarded_by "Cache.t.mutex"]
+  mutable n_coalesced : int; [@wa.guarded_by "Cache.t.mutex"]
+  mutable n_evictions : int; [@wa.guarded_by "Cache.t.mutex"]
 }
 
 type stats = {

@@ -38,11 +38,15 @@ type conn = {
   fd : Unix.file_descr;
   oc : out_channel;
   wlock : Mutex.t;  (** Serializes whole response lines on [oc]. *)
-  rbuf : Buffer.t;
-  mutable pending : int;  (** Accepted requests not yet replied to. *)
-  mutable eof : bool;  (** Client closed its write side. *)
-  mutable alive : bool;  (** Our write side still works. *)
-  mutable fd_closed : bool;
+  rbuf : Buffer.t;  (** Event-loop-confined (see DESIGN.md §15). *)
+  mutable pending : int; [@wa.guarded_by "Server.t.state_mu"]
+      (** Accepted requests not yet replied to. *)
+  mutable eof : bool;  (** Client closed its write side; loop-confined. *)
+  mutable alive : bool; [@wa.benign_race]
+      (** Our write side still works.  Written under [wlock] on the
+          send path but read/written bare on the loop; a stale read
+          only delays reaping by one iteration. *)
+  mutable fd_closed : bool;  (** Loop-confined. *)
 }
 
 type t = {
@@ -51,15 +55,16 @@ type t = {
   engine : Engine.t;
   pool : Pool.t;
   state_mu : Mutex.t;
-  mutable conns : conn list;
-  mutable draining : bool;
-  mutable stop_requested : bool;
+  mutable conns : conn list;  (** Event-loop-confined. *)
+  mutable draining : bool; [@wa.guarded_by "Server.t.state_mu"]
+  mutable stop_requested : bool; [@wa.guarded_by "Server.t.state_mu"]
   mutable shutdown_reply : (conn * int) option;
-  mutable n_requests : int;
-  mutable n_responses : int;
-  mutable n_overloaded : int;
-  mutable n_deadline_misses : int;
-  mutable inflight_peak : int;
+      [@wa.guarded_by "Server.t.state_mu"]
+  mutable n_requests : int; [@wa.guarded_by "Server.t.state_mu"]
+  mutable n_responses : int; [@wa.guarded_by "Server.t.state_mu"]
+  mutable n_overloaded : int; [@wa.guarded_by "Server.t.state_mu"]
+  mutable n_deadline_misses : int; [@wa.guarded_by "Server.t.state_mu"]
+  mutable inflight_peak : int; [@wa.guarded_by "Server.t.state_mu"]
   c_requests : Metrics.counter;
   c_responses : Metrics.counter;
   c_overloaded : Metrics.counter;
@@ -74,10 +79,12 @@ type t = {
   started : float;
   live : Wa_obs.Live.t;
   op_hists : (string, Metrics.histogram) Hashtbl.t;
+      [@wa.guarded_by "Server.t.state_mu"]
   mutable exemplars : (string * int * float * float) list;
+      [@wa.guarded_by "Server.t.state_mu"]
       (* (op, id, ms, wall-clock time observed) *)
-  mutable last_roll : float;
-  mutable last_prom : float;
+  mutable last_roll : float;  (* event-loop-confined *)
+  mutable last_prom : float;  (* event-loop-confined *)
 }
 
 let max_exemplars = 8
@@ -401,7 +408,13 @@ let drain_lines t conn =
     conn.alive <- false
   end
 
-let handle_readable t conn =
+(* The four event-loop roots below are annotated [@@wa.event_loop]:
+   wa_check certifies, over transitive whole-program summaries, that
+   no blocking primitive is reachable from them outside closures
+   deferred to the pool — the static form of the "scrapes never queue
+   behind compute" invariant (telemetry is answered inline, so a
+   blocked loop is a dropped scrape). *)
+let[@wa.event_loop] handle_readable t conn =
   let read_chunk = Bytes.create 65536 in
   match Unix.read conn.fd read_chunk 0 (Bytes.length read_chunk) with
   | 0 -> conn.eof <- true
@@ -415,7 +428,7 @@ let handle_readable t conn =
     ->
       ()
 
-let accept_conn t =
+let[@wa.event_loop] accept_conn t =
   match Unix.accept t.listen_fd with
   | fd, _ ->
       let conn =
@@ -448,7 +461,7 @@ let close_conn conn =
   end
 
 (* Reap connections that are gone and have no replies outstanding. *)
-let reap t =
+let[@wa.event_loop] reap t =
   let gone, live =
     List.partition
       (fun c -> (c.eof || not c.alive) && locked t.state_mu (fun () -> c.pending = 0))
@@ -463,7 +476,7 @@ let reap t =
    otherwise accumulate one span per request forever (per-request
    spans are delivered through traced responses and the live series,
    not the global list) — and dump the Prometheus exposition. *)
-let tick t =
+let[@wa.event_loop] tick t =
   let now = Unix.gettimeofday () in
   if now -. t.last_roll >= t.config.window_s then begin
     t.last_roll <- now;

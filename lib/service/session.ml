@@ -8,9 +8,9 @@ type entry = {
 
 type t = {
   mutex : Mutex.t;  (** Guards the table and id counter only. *)
-  table : (int, entry) Hashtbl.t;
+  table : (int, entry) Hashtbl.t; [@wa.guarded_by "Session.t.mutex"]
   max_sessions : int;
-  mutable next_id : int;
+  mutable next_id : int; [@wa.guarded_by "Session.t.mutex"]
   g_sessions : Metrics.gauge;
 }
 

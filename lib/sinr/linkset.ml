@@ -19,9 +19,10 @@ type t = {
                        fold over [lengths] per call is O(n) *)
   max_len : float;
   tree_children : int array option; (* child vertex per link id, for of_tree *)
-  mutable pow_cache : (float * float array) option;
+  mutable pow_cache : (float * float array) option; [@wa.benign_race]
       (* lengths^alpha memo, keyed by alpha.  Benign race under
-         domains: losers recompute the same array. *)
+         domains: losers recompute the same identical array, and the
+         single-field store is atomic in the OCaml memory model. *)
 }
 
 let of_array arr =
@@ -83,12 +84,7 @@ let lengths_pow t (p : Params.t) =
   | _ ->
       let f = Params.alpha_pow p in
       let arr = Array.map f t.lengths in
-      (* Benign race: every domain computes the identical array for a
-         given alpha, and the single-field store is atomic in the OCaml
-         memory model, so concurrent fills can only replace the cache
-         with an equivalent value.  The analyzer's transitive write
-         summary cannot see idempotence; discharge it at the write. *)
-      (t.pow_cache <- Some (p.alpha, arr)) [@wa.check.allow "domain-capture"];
+      t.pow_cache <- Some (p.alpha, arr);
       arr
 
 let tree_child t i =

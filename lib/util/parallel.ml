@@ -99,11 +99,14 @@ module Pool = struct
     mutex : Mutex.t;
     not_empty : Condition.t;
     settled : Condition.t;  (** Signalled whenever a job finishes. *)
-    queue : (unit -> unit) Queue.t;
+    queue : (unit -> unit) Queue.t; [@wa.guarded_by "Pool.t.mutex"]
     capacity : int;
-    mutable running : int;  (** Jobs currently executing. *)
-    mutable stopping : bool;
+    mutable running : int; [@wa.guarded_by "Pool.t.mutex"]
+        (** Jobs currently executing. *)
+    mutable stopping : bool; [@wa.guarded_by "Pool.t.mutex"]
     mutable domains : unit Domain.t list;
+        (** Owner-confined: touched only by [create]/[shutdown], which
+            the owning thread calls at most once each. *)
   }
 
   let worker pool () =

@@ -1,0 +1,15 @@
+(* Fixture: the concurrency passes' suppression channels stay silent —
+   a [@wa.benign_race] field written bare, and a file-level allow for
+   the check-then-act shape. *)
+
+[@@@wa.check.allow "check-then-act"]
+
+type t = { mutable seen : bool [@wa.benign_race] }
+
+let make () = { seen = false }
+
+(* Benign by annotation: losers of the race store the same value. *)
+let mark t = t.seen <- true
+
+let once = Atomic.make false
+let fire () = if not (Atomic.get once) then Atomic.set once true

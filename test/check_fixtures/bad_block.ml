@@ -1,0 +1,7 @@
+(* Fixture: exactly one [event-loop-block] violation — an
+   [@wa.event_loop] root reaches a [@wa.compute] function through a
+   plain (non-deferred) call. *)
+
+let crunch xs = List.fold_left ( +. ) 0.0 xs [@@wa.compute]
+
+let[@wa.event_loop] step xs = ignore (crunch xs)

@@ -1,0 +1,11 @@
+(* Fixture: exactly one [check-then-act] violation — an [Atomic.set]
+   committed under a branch that read the same atom. *)
+
+let warned = Atomic.make false
+
+let warn_once () =
+  if not (Atomic.get warned) then begin
+    Atomic.set warned true;
+    true
+  end
+  else false

@@ -1,0 +1,13 @@
+(* Fixture: exactly one [lockset] violation — a root function touches
+   a guarded field with no lock held anywhere on the path. *)
+
+type t = {
+  mu : Mutex.t;
+  mutable hits : int; [@wa.guarded_by "Bad_lockset.t.mu"]
+}
+
+let make () = { mu = Mutex.create (); hits = 0 }
+
+(* No caller ever takes [t.mu] around this, so the lock requirement
+   survives to a root: a real race. *)
+let bump t = t.hits <- t.hits + 1

@@ -1,0 +1,9 @@
+(* Twin of bad_block: the same compute runs deferred on the pool, so
+   the event-loop root is certified non-blocking. *)
+
+module Pool = Wa_util.Parallel.Pool
+
+let crunch xs = List.fold_left ( +. ) 0.0 xs [@@wa.compute]
+
+let[@wa.event_loop] step pool xs =
+  ignore (Pool.submit pool (fun () -> ignore (crunch xs)))

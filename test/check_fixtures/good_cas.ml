@@ -1,0 +1,5 @@
+(* Twin of bad_ctoa: the atomic spelling of check-then-act — one
+   compare_and_set closes the race window. *)
+
+let warned = Atomic.make false
+let warn_once () = Atomic.compare_and_set warned false true

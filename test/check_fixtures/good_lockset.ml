@@ -1,0 +1,16 @@
+(* Twin of bad_lockset: the same unlocked helper is clean because its
+   only caller holds the guard across the call — the lock requirement
+   propagates into [bump] and is discharged there. *)
+
+type t = {
+  mu : Mutex.t;
+  mutable hits : int; [@wa.guarded_by "Good_lockset.t.mu"]
+}
+
+let make () = { mu = Mutex.create (); hits = 0 }
+let bump_unlocked t = t.hits <- t.hits + 1
+let bump t = Mutex.protect t.mu (fun () -> bump_unlocked t)
+
+(* A direct access under the guard: counted as a certified guarded
+   access in the report. *)
+let read t = Mutex.protect t.mu (fun () -> t.hits)

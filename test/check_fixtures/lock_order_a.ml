@@ -1,0 +1,7 @@
+(* Fixture: one edge (a -> b) of the lock-order cycle with
+   lock_order_b; each unit owning an in-cycle edge reports exactly one
+   [lock-order] violation. *)
+
+let transfer () =
+  Mutex.protect Lock_order_locks.a (fun () ->
+      Mutex.protect Lock_order_locks.b (fun () -> ()))

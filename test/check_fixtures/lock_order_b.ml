@@ -1,0 +1,6 @@
+(* Fixture: the reverse edge (b -> a) of the lock-order cycle with
+   lock_order_a. *)
+
+let transfer () =
+  Mutex.protect Lock_order_locks.b (fun () ->
+      Mutex.protect Lock_order_locks.a (fun () -> ()))

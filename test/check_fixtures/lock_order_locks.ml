@@ -1,0 +1,5 @@
+(* Shared locks for the lock-order fixture pair: lock_order_a acquires
+   a then b, lock_order_b acquires b then a — a cross-unit cycle. *)
+
+let a = Mutex.create ()
+let b = Mutex.create ()

@@ -1,0 +1,3 @@
+(* Fixture: exactly one [unix-scope] violation (when the test config
+   empties the allow-list). *)
+let now () = Unix.gettimeofday ()

@@ -110,19 +110,26 @@ let test_cmt_error () =
 let test_tree_totals () =
   let report = Check.analyze_paths ~config [ "check_fixtures" ] in
   Alcotest.(check int)
-    "analyzed all thirty fixtures (alias module skipped)" 30
+    "analyzed all forty fixtures (alias module skipped)" 40
     report.Check.files_scanned;
   let expected =
     [
-      "domain-capture"; "domain-capture"; "exn-escape"; "exn-escape";
-      "float-unguarded"; "float-unguarded"; "float-unguarded";
-      "float-unguarded"; "float-unguarded"; "hot-alloc"; "nan-compare";
-      "unit-mix"; "unit-mix";
+      "check-then-act"; "domain-capture"; "domain-capture"; "event-loop-block";
+      "exn-escape"; "exn-escape"; "float-unguarded"; "float-unguarded";
+      "float-unguarded"; "float-unguarded"; "float-unguarded"; "hot-alloc";
+      "lock-order"; "lock-order"; "lockset"; "nan-compare"; "unit-mix";
+      "unit-mix";
     ]
   in
   Alcotest.(check (list string))
-    "exactly the thirteen planted violations" expected
-    (List.sort String.compare (rules_of report.Check.violations))
+    "exactly the eighteen planted violations" expected
+    (List.sort String.compare (rules_of report.Check.violations));
+  Alcotest.(check bool)
+    "guarded accesses certified in the fixtures" true
+    (report.Check.guarded_accesses > 0);
+  Alcotest.(check int)
+    "exactly the one good event-loop root certified" 1
+    report.Check.event_loop_roots
 
 (* The on-disk summary cache: a second run over unchanged .cmt files is
    fully warm and rebuilds the aggregate report byte-for-byte. *)
@@ -172,12 +179,16 @@ let report_arb =
       let* files_scanned = int_range 0 1_000 in
       let* closures_analyzed = int_range 0 1_000 in
       let* expressions_analyzed = int_range 0 1_000_000 in
+      let* guarded_accesses = int_range 0 10_000 in
+      let* event_loop_roots = int_range 0 100 in
       let* violations = list_size (int_range 0 8) violation_gen in
       return
         {
           Check.files_scanned;
           closures_analyzed;
           expressions_analyzed;
+          guarded_accesses;
+          event_loop_roots;
           violations;
         })
 
@@ -203,6 +214,8 @@ let test_report_roundtrip =
               r.Check.files_scanned = r'.Check.files_scanned
               && r.Check.closures_analyzed = r'.Check.closures_analyzed
               && r.Check.expressions_analyzed = r'.Check.expressions_analyzed
+              && r.Check.guarded_accesses = r'.Check.guarded_accesses
+              && r.Check.event_loop_roots = r'.Check.event_loop_roots
               && List.equal Check.equal_violation r.Check.violations
                    r'.Check.violations))
 
@@ -263,6 +276,30 @@ let () =
             (check_fixture "Bad_posarray" [ "float-unguarded" ]);
           Alcotest.test_case "floored scratch array" `Quick
             (check_fixture "Good_posarray" []);
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "unguarded access at a root" `Quick
+            (check_fixture "Bad_lockset" [ "lockset" ]);
+          Alcotest.test_case "requirement discharged by locked caller"
+            `Quick
+            (check_fixture "Good_lockset" []);
+          Alcotest.test_case "lock-order cycle, first edge" `Quick
+            (check_fixture "Lock_order_a" [ "lock-order" ]);
+          Alcotest.test_case "lock-order cycle, second edge" `Quick
+            (check_fixture "Lock_order_b" [ "lock-order" ]);
+          Alcotest.test_case "lock definitions stay silent" `Quick
+            (check_fixture "Lock_order_locks" []);
+          Alcotest.test_case "event-loop root reaches compute" `Quick
+            (check_fixture "Bad_block" [ "event-loop-block" ]);
+          Alcotest.test_case "deferred compute certified" `Quick
+            (check_fixture "Good_block" []);
+          Alcotest.test_case "atomic check-then-act window" `Quick
+            (check_fixture "Bad_ctoa" [ "check-then-act" ]);
+          Alcotest.test_case "compare_and_set spelling" `Quick
+            (check_fixture "Good_cas" []);
+          Alcotest.test_case "concurrency suppressions" `Quick
+            (check_fixture "Allowed_conc" []);
         ] );
       ( "clean",
         [

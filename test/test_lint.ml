@@ -13,6 +13,7 @@ let config =
   {
     Lint.Config.hot_paths = [ fixture "bad_printf_hot.ml" ];
     atomic_allowed = [];
+    unix_allowed = [];
     float_modules = [ "Link"; "Vec2"; "Float" ];
     mli_required_roots = [ "lint_fixtures/liblike" ];
     export_roots = [ "lint_fixtures/exportlike" ];
@@ -84,7 +85,7 @@ let test_paths_totals () =
   let report = Lint.lint_paths ~config [ "lint_fixtures" ] in
   Alcotest.(check bool)
     "scanned every fixture" true
-    (report.Lint.files_scanned >= 9);
+    (report.Lint.files_scanned >= 10);
   (* One violation per bad_* fixture plus the orphan .mli. *)
   let expected =
     [
@@ -95,10 +96,11 @@ let test_paths_totals () =
       "obj-magic";
       "poly-compare";
       "printf-hot";
+      "unix-scope";
     ]
   in
   Alcotest.(check (list string))
-    "exactly the seven planted violations" expected
+    "exactly the eight planted violations" expected
     (List.sort_uniq String.compare (rules_of report.Lint.violations));
   Alcotest.(check int)
     "no rule fires twice" (List.length expected)
@@ -168,6 +170,8 @@ let () =
             (check_single_rule "bad_poly_compare.ml" "poly-compare");
           Alcotest.test_case "atomic-scope" `Quick
             (check_single_rule "bad_atomic.ml" "atomic-scope");
+          Alcotest.test_case "unix-scope" `Quick
+            (check_single_rule "bad_unix.ml" "unix-scope");
           Alcotest.test_case "obj-magic" `Quick
             (check_single_rule "bad_obj_magic.ml" "obj-magic");
           Alcotest.test_case "printf-hot" `Quick

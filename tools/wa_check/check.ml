@@ -7,7 +7,7 @@
    extracts serializable per-function facts from every unit
    ([Summary.unit_facts]), a second phase builds the call graph and
    runs a bottom-up fixpoint over its SCCs ([Summary.solve]), and a
-   third phase re-walks each unit with the summary table in hand.  Six
+   third phase re-walks each unit with the summary table in hand.  Ten
    passes:
 
    - [domain-capture]: for every closure reaching
@@ -60,6 +60,33 @@
      refs are excluded; float boxing at returns and calls through
      function-typed parameters are out of the model (documented in
      DESIGN.md §14).
+   - [lockset]: fields and top-level refs annotated
+     [[@wa.guarded_by "Cache.t.mutex"]] must only be touched with the
+     named mutex held.  Extraction threads the held-lock set through
+     [Mutex.lock]/[unlock] sequences, [Mutex.protect] thunks and
+     in-unit lock-wrapper functions; an access without the guard
+     becomes a {e requirement} that call sites discharge by holding
+     the lock ([Summary.solve] propagates undischarged requirements up
+     the call graph), so helpers that run under their caller's lock
+     are certified interprocedurally.  Requirements left on a function
+     no summarized caller discharges are reported with the access
+     chain.  [[@wa.benign_race]] marks an intentional unguarded field.
+   - [lock-order]: the global lock-acquisition-order graph — direct
+     nested acquisitions plus calls made with locks held into callees
+     that transitively acquire more — must be acyclic; every edge of a
+     cycle is reported with both conflicting chains.
+   - [event-loop-block]: functions annotated [[@wa.event_loop]] (the
+     per-iteration handlers of the select loop) are certified to reach
+     no blocking primitive — [Condition.wait], [Thread.delay],
+     [Domain.join], blocking [Unix] syscalls (the [select] itself is
+     exempt), [Pool.drain] (blocks via its [Condition.wait]), or
+     functions marked [[@wa.compute]] — through any non-deferred call
+     chain.  Closures handed to [Pool.submit] / [Domain.spawn] /
+     [Parallel] entries run on other domains and are exempt.
+   - [check-then-act]: an [Atomic.get] in the scrutinee of a
+     conditional followed by [Atomic.set] on the same atomic in a
+     dependent branch is a lost-update window; use
+     [Atomic.compare_and_set].
 
    Suppress with [[@wa.check.allow "rule ..."]] on the offending
    expression (or any enclosing one), or a floating
@@ -78,6 +105,10 @@ let rule_float_unguarded = "float-unguarded"
 let rule_nan_compare = "nan-compare"
 let rule_exn_escape = "exn-escape"
 let rule_hot_alloc = "hot-alloc"
+let rule_lockset = "lockset"
+let rule_lock_order = "lock-order"
+let rule_event_loop = "event-loop-block"
+let rule_check_then_act = "check-then-act"
 let rule_cmt_error = "cmt-error"
 
 let all_rules =
@@ -88,6 +119,10 @@ let all_rules =
     rule_nan_compare;
     rule_exn_escape;
     rule_hot_alloc;
+    rule_lockset;
+    rule_lock_order;
+    rule_event_loop;
+    rule_check_then_act;
     rule_cmt_error;
   ]
 
@@ -192,6 +227,8 @@ type report = {
   files_scanned : int;
   closures_analyzed : int;
   expressions_analyzed : int;
+  guarded_accesses : int;  (* guarded-field accesses certified lock-held *)
+  event_loop_roots : int;  (* [@wa.event_loop] roots certified non-blocking *)
   violations : violation list;
 }
 
@@ -199,10 +236,12 @@ let report_to_json r =
   Json.Obj
     [
       ("tool", Json.String "wa_check");
-      ("version", Json.Int 2);
+      ("version", Json.Int 3);
       ("files_scanned", Json.Int r.files_scanned);
       ("closures_analyzed", Json.Int r.closures_analyzed);
       ("expressions_analyzed", Json.Int r.expressions_analyzed);
+      ("guarded_accesses", Json.Int r.guarded_accesses);
+      ("event_loop_roots", Json.Int r.event_loop_roots);
       ("violation_count", Json.Int (List.length r.violations));
       ("violations", Json.List (List.map violation_to_json r.violations));
     ]
@@ -213,10 +252,12 @@ let report_of_json j =
     ( int "files_scanned",
       int "closures_analyzed",
       int "expressions_analyzed",
+      int "guarded_accesses",
+      int "event_loop_roots",
       Json.member "violations" j )
   with
   | Some files_scanned, Some closures_analyzed, Some expressions_analyzed,
-    Some (Json.List vs) ->
+    Some guarded_accesses, Some event_loop_roots, Some (Json.List vs) ->
       let rec collect acc = function
         | [] -> Ok (List.rev acc)
         | v :: rest -> (
@@ -226,7 +267,14 @@ let report_of_json j =
       in
       Result.map
         (fun violations ->
-          { files_scanned; closures_analyzed; expressions_analyzed; violations })
+          {
+            files_scanned;
+            closures_analyzed;
+            expressions_analyzed;
+            guarded_accesses;
+            event_loop_roots;
+            violations;
+          })
         (collect [] vs)
   | _ -> Error "report_of_json: missing files_scanned/stats/violations"
 
@@ -238,6 +286,8 @@ type file_report = {
   file_violations : violation list;
   file_closures : int;
   file_expressions : int;
+  file_guarded : int;  (* certified guarded-field accesses in this unit *)
+  file_roots : int;  (* certified [@wa.event_loop] roots in this unit *)
 }
 
 let skipped =
@@ -247,6 +297,8 @@ let skipped =
     file_violations = [];
     file_closures = 0;
     file_expressions = 0;
+    file_guarded = 0;
+    file_roots = 0;
   }
 
 let file_report_to_json r =
@@ -257,6 +309,8 @@ let file_report_to_json r =
       ("analyzed", Json.Bool r.analyzed);
       ("closures", Json.Int r.file_closures);
       ("expressions", Json.Int r.file_expressions);
+      ("guarded", Json.Int r.file_guarded);
+      ("roots", Json.Int r.file_roots);
       ("violations", Json.List (List.map violation_to_json r.file_violations));
     ]
 
@@ -268,10 +322,16 @@ let file_report_of_json j =
   let analyzed =
     match Json.member "analyzed" j with Some (Json.Bool b) -> Some b | _ -> None
   in
-  match (analyzed, int "closures", int "expressions", Json.member "violations" j)
+  match
+    ( analyzed,
+      int "closures",
+      int "expressions",
+      int "guarded",
+      int "roots",
+      Json.member "violations" j )
   with
   | Some analyzed, Some file_closures, Some file_expressions,
-    Some (Json.List vs) ->
+    Some file_guarded, Some file_roots, Some (Json.List vs) ->
       let rec collect acc = function
         | [] -> Ok (List.rev acc)
         | v :: rest -> (
@@ -281,7 +341,15 @@ let file_report_of_json j =
       in
       Result.map
         (fun file_violations ->
-          { source; analyzed; file_violations; file_closures; file_expressions })
+          {
+            source;
+            analyzed;
+            file_violations;
+            file_closures;
+            file_expressions;
+            file_guarded;
+            file_roots;
+          })
         (collect [] vs)
   | _ -> Error "file_report_of_json: missing or ill-typed field"
 
@@ -491,16 +559,143 @@ let allows_of_attrs attrs =
       else [])
     attrs
 
-let is_wa_hot attrs =
+let has_attr name attrs =
   List.exists
-    (fun (a : Parsetree.attribute) -> String.equal a.attr_name.txt "wa.hot")
+    (fun (a : Parsetree.attribute) -> String.equal a.attr_name.txt name)
     attrs
+
+let attr_string name attrs =
+  List.find_map
+    (fun (a : Parsetree.attribute) ->
+      if String.equal a.attr_name.txt name then
+        match a.attr_payload with
+        | Parsetree.PStr
+            [
+              {
+                pstr_desc =
+                  Pstr_eval
+                    ( {
+                        pexp_desc =
+                          Pexp_constant (Parsetree.Pconst_string (s, _, _));
+                        _;
+                      },
+                      _ );
+                _;
+              };
+            ] ->
+            Some s
+        | _ -> None
+      else None)
+    attrs
+
+let is_wa_hot attrs = has_attr "wa.hot" attrs
+
+(* Guard tables: [@wa.guarded_by "Lock.name"] annotations ------------- *)
+
+(* Keys are short "Module.type.field" strings for record fields
+   ("Cache.t.tick", with the module being the nearest enclosing
+   submodule, or the unit itself) and short "Module.name" strings for
+   top-level refs ("Grid_index.budget_warned").  Lock names follow the
+   same scheme ("Cache.t.mutex", "Metrics.registry_mutex"). *)
+type guards = {
+  g_decls : (string, string) Hashtbl.t;
+      (* unique name of an in-unit type ident -> its display key
+         ("Pool.t"): a bare [t] used inside [module Pool] carries no
+         module path, so uses are resolved through the declaration *)
+  g_locks : (string, string) Hashtbl.t;  (* access key -> guarding lock *)
+  g_benign : (string, unit) Hashtbl.t;  (* intentional unguarded state *)
+}
+
+let collect_guards unit_parts str =
+  let g =
+    {
+      g_decls = Hashtbl.create 8;
+      g_locks = Hashtbl.create 8;
+      g_benign = Hashtbl.create 4;
+    }
+  in
+  let unit_last =
+    match List.rev unit_parts with m :: _ -> m | [] -> ""
+  in
+  let display prefix name =
+    let m = match List.rev prefix with m :: _ -> m | [] -> unit_last in
+    m ^ "." ^ name
+  in
+  let do_label tkey (ld : label_declaration) =
+    let attrs = ld.ld_attributes @ ld.ld_type.ctyp_attributes in
+    let key = tkey ^ "." ^ Ident.name ld.ld_id in
+    (match attr_string "wa.guarded_by" attrs with
+    | Some lock -> Hashtbl.replace g.g_locks key lock
+    | None -> ());
+    if has_attr "wa.benign_race" attrs then Hashtbl.replace g.g_benign key ()
+  in
+  let rec do_items prefix items =
+    List.iter
+      (fun item ->
+        match item.str_desc with
+        | Tstr_type (_, decls) ->
+            List.iter
+              (fun (d : type_declaration) ->
+                let tkey = display prefix (Ident.name d.typ_id) in
+                Hashtbl.replace g.g_decls (Ident.unique_name d.typ_id) tkey;
+                match d.typ_kind with
+                | Ttype_record lds -> List.iter (do_label tkey) lds
+                | _ -> ())
+              decls
+        | Tstr_value (_, vbs) ->
+            List.iter
+              (fun vb ->
+                match vb.vb_pat.pat_desc with
+                | Tpat_var (id, _) -> (
+                    let key = display prefix (Ident.name id) in
+                    (match attr_string "wa.guarded_by" vb.vb_attributes with
+                    | Some lock -> Hashtbl.replace g.g_locks key lock
+                    | None -> ());
+                    if has_attr "wa.benign_race" vb.vb_attributes then
+                      Hashtbl.replace g.g_benign key ())
+                | _ -> ())
+              vbs
+        | Tstr_module mb -> (
+            match mb.mb_id with
+            | Some id -> do_module_expr (prefix @ [ Ident.name id ]) mb.mb_expr
+            | None -> ())
+        | Tstr_recmodule mbs ->
+            List.iter
+              (fun mb ->
+                match mb.mb_id with
+                | Some id ->
+                    do_module_expr (prefix @ [ Ident.name id ]) mb.mb_expr
+                | None -> ())
+              mbs
+        | Tstr_include incl -> do_module_expr prefix incl.incl_mod
+        | _ -> ())
+      items
+  and do_module_expr prefix me =
+    match me.mod_desc with
+    | Tmod_structure s -> do_items prefix s.str_items
+    | Tmod_constraint (me, _, _, _) -> do_module_expr prefix me
+    | Tmod_functor (_, me) -> do_module_expr prefix me
+    | _ -> ()
+  in
+  do_items [] str.str_items;
+  g
 
 (* Analysis context --------------------------------------------------- *)
 
 type summaries = {
   tbl : Summary.table;
   facts : (string, Summary.fn_fact) Hashtbl.t;
+  srcs : (string, string) Hashtbl.t;
+      (* fq -> source path of the unit that defined it.  Whole-program
+         diagnoses must attribute each fact to exactly one unit; a
+         module-name prefix test is not enough, because a dune library
+         wrapper module (Wa_service) is a prefix of every fq in its
+         library and would claim them all a second time. *)
+  lock_cycles : (string * int * string) list;
+      (* (owning function fq, line, message) for every edge of every
+         cycle in the global lock-order graph: computed once over the
+         whole program, attributed to the unit that owns the edge so
+         per-file reports (the unit of caching) stay deterministic *)
 }
 
 type ctx = {
@@ -514,12 +709,18 @@ type ctx = {
   quiet : bool;
       (* Extraction mode: collect facts, never flag, never count. *)
   resolver : resolver;
+  guards : guards;
+  wrappers : (string, int * int) Hashtbl.t;
+      (* fq of an in-unit lock-wrapper -> (mutex arg, thunk arg):
+         calls run the thunk with the mutex argument held *)
   summaries : summaries option;
   file_allows : string list;
   mutable allow_stack : string list;
   mutable found : violation list;
   mutable closures : int;
   mutable exprs : int;
+  mutable guarded : int;  (* guarded accesses certified lock-held *)
+  mutable roots : int;  (* [@wa.event_loop] roots certified non-blocking *)
 }
 
 let lookup_summary ctx name =
@@ -549,6 +750,57 @@ let with_allows ctx attrs f =
       let saved = ctx.allow_stack in
       ctx.allow_stack <- allows @ saved;
       Fun.protect ~finally:(fun () -> ctx.allow_stack <- saved) f
+
+(* Access keys and lock names (see [collect_guards] for the naming
+   scheme).  An in-unit record type is resolved through the guard
+   table's declaration map; cross-unit types fall back to the last two
+   path components. *)
+let type_key ctx ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (Path.Pident id, _, _) ->
+      Hashtbl.find_opt ctx.guards.g_decls (Ident.unique_name id)
+  | Types.Tconstr (p, _, _) -> (
+      match List.rev (resolve_parts ctx.resolver (path_parts p)) with
+      | v :: m :: _ -> Some (m ^ "." ^ v)
+      | _ -> None)
+  | _ -> None
+
+let field_key ctx robj (lbl : Types.label_description) =
+  Option.map
+    (fun tk -> tk ^ "." ^ lbl.Types.lbl_name)
+    (type_key ctx robj.exp_type)
+
+let global_key ctx id =
+  Option.map short_fq
+    (Hashtbl.find_opt ctx.resolver.r_values (Ident.unique_name id))
+
+(* The name of a mutex expression: a record field ("Server.t.state_mu"),
+   a toplevel value ("Metrics.registry_mutex"), or a dotted path.
+   Parameters and locals have no stable name and go untracked (lock
+   wrappers are the supported way to pass a mutex around). *)
+let lock_name ctx e =
+  match e.exp_desc with
+  | Texp_field (r, _, lbl) -> field_key ctx r lbl
+  | Texp_ident (Path.Pident id, _, _) -> global_key ctx id
+  | Texp_ident (p, _, _) -> (
+      match resolve_parts ctx.resolver (path_parts p) with
+      | _ :: _ :: _ as parts -> Some (short_fq (String.concat "." parts))
+      | _ -> None)
+  | _ -> None
+
+(* Blocking primitives for the event-loop pass.  [Unix.select] is the
+   event loop itself; [Unix.read]/[write]/[accept] follow the
+   readiness discipline (only called on ready fds) and are excluded —
+   a documented model caveat, see DESIGN.md §15. *)
+let blocking_prim f =
+  match fn_last2 f with
+  | Some (Some "Condition", "wait") -> Some "Condition.wait"
+  | Some (Some "Thread", "delay") -> Some "Thread.delay"
+  | Some (Some "Domain", "join") -> Some "Domain.join"
+  | Some (Some "Unix", (("sleep" | "sleepf" | "wait" | "waitpid" | "system") as v))
+    ->
+      Some ("Unix." ^ v)
+  | _ -> None
 
 (* Generic child traversal: applies [f] to every direct subexpression
    of [e] (descending through cases, bindings, etc. exactly once). *)
@@ -699,6 +951,49 @@ let align_args s_params args =
     | _ -> []
   in
   labelled @ zip unlabelled positional
+
+(* A lock-wrapper shape: [let locked mu f = Mutex.lock mu;
+   Fun.protect ~finally:(fun () -> Mutex.unlock mu) f] (or a direct
+   [Mutex.protect mu f] eta-expansion).  Calls to such a wrapper run
+   the thunk argument with the mutex argument held; [params] are the
+   wrapper's own parameters in curried order. *)
+let wrapper_shape params body =
+  let idx e =
+    match e.exp_desc with
+    | Texp_ident (Path.Pident id, _, _) ->
+        List.find_index
+          (fun (u, _, _) -> String.equal u (Ident.unique_name id))
+          params
+    | _ -> None
+  in
+  match body.exp_desc with
+  | Texp_sequence (a, b) -> (
+      match (a.exp_desc, b.exp_desc) with
+      | Texp_apply (lf, largs), Texp_apply (pf, pargs)
+        when matches_table [ ("Mutex", "lock") ] lf && is_fun_protect pf -> (
+          match (positional_args largs, positional_args pargs) with
+          | [ m ], [ th ] -> (
+              match (idx m, idx th) with
+              | Some i, Some j -> Some (i, j)
+              | _ -> None)
+          | _ -> None)
+      | _ -> None)
+  | Texp_apply (pf, pargs) when matches_table [ ("Mutex", "protect") ] pf -> (
+      match positional_args pargs with
+      | [ m; th ] -> (
+          match (idx m, idx th) with
+          | Some i, Some j -> Some (i, j)
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* Spawn points: closures handed to these run on another domain, so
+   the creator's held locks do not apply inside and nothing inside
+   can block the creator. *)
+let spawn_like_fn f =
+  match fn_last2 f with
+  | Some (Some "Pool", "submit") | Some (Some "Domain", "spawn") -> true
+  | _ -> is_parallel_entry f
 
 (* Analyze one closure that runs as a Parallel chunk: writes to free
    mutable state and raises that can cross the chunk boundary, both
@@ -868,6 +1163,104 @@ let collect_fn_bindings str =
   in
   it.structure it str;
   tbl
+
+(* Pass: Atomic check-then-act ---------------------------------------- *)
+
+(* [if Atomic.get a ... then Atomic.set a v] leaves a race window
+   between the read and the write: another domain can update [a] after
+   the check commits but before the act lands. Flag branch-guarded
+   sets whose guard read the same atom (identified syntactically:
+   same ident, module path, or record field) and point at
+   [compare_and_set]. *)
+let scan_check_then_act ctx e0 =
+  let flagged = Hashtbl.create 4 in
+  let atom_key env e =
+    match e.exp_desc with
+    | Texp_ident (Path.Pident id, _, _) -> (
+        let u = Ident.unique_name id in
+        match Hashtbl.find_opt env u with
+        | Some k -> Some k
+        | None -> Some ("i:" ^ u))
+    | Texp_ident (p, _, _) -> Some ("p:" ^ Path.name p)
+    | Texp_field (r, _, lbl) -> (
+        match r.exp_desc with
+        | Texp_ident (Path.Pident id, _, _) ->
+            Some ("f:" ^ Ident.unique_name id ^ "." ^ lbl.Types.lbl_name)
+        | Texp_ident (p, _, _) ->
+            Some ("f:" ^ Path.name p ^ "." ^ lbl.Types.lbl_name)
+        | _ -> None)
+    | _ -> None
+  in
+  (* Atoms read inside the scrutinee, directly ([Atomic.get a]) or via
+     a let-bound alias of an earlier get. *)
+  let rec gets env acc e =
+    (match e.exp_desc with
+    | Texp_apply (f, args) -> (
+        match (fn_last2 f, positional_args args) with
+        | Some (Some "Atomic", "get"), [ a ] ->
+            Option.iter (fun k -> acc := k :: !acc) (atom_key env a)
+        | _ -> ())
+    | Texp_ident (Path.Pident id, _, _) -> (
+        match Hashtbl.find_opt env (Ident.unique_name id) with
+        | Some k -> acc := k :: !acc
+        | None -> ())
+    | _ -> ());
+    iter_children (gets env acc) e
+  in
+  let rec sets env keys e =
+    with_allows ctx e.exp_attributes @@ fun () ->
+    (match e.exp_desc with
+    | Texp_apply (f, args) -> (
+        match (fn_last2 f, positional_args args) with
+        | Some (Some "Atomic", "set"), a :: _ -> (
+            match atom_key env a with
+            | Some k
+              when List.mem k keys
+                   && not (Hashtbl.mem flagged e.exp_loc.Location.loc_start)
+              ->
+                Hashtbl.add flagged e.exp_loc.Location.loc_start ();
+                flag ctx e.exp_loc rule_check_then_act
+                  "Atomic.set guarded by a branch on Atomic.get of the \
+                   same atom: the check-then-act window races with other \
+                   domains — use Atomic.compare_and_set in a retry loop \
+                   (or Atomic.fetch_and_add for counters)"
+            | _ -> ())
+        | _ -> ())
+    | _ -> ());
+    iter_children (sets env keys) e
+  in
+  let rec go env e =
+    with_allows ctx e.exp_attributes @@ fun () ->
+    (match e.exp_desc with
+    | Texp_let (_, vbs, _) ->
+        List.iter
+          (fun vb ->
+            match (vb.vb_pat.pat_desc, vb.vb_expr.exp_desc) with
+            | Tpat_var (id, _), Texp_apply (f, args) -> (
+                match (fn_last2 f, positional_args args) with
+                | Some (Some "Atomic", "get"), [ a ] ->
+                    Option.iter
+                      (Hashtbl.replace env (Ident.unique_name id))
+                      (atom_key env a)
+                | _ -> ())
+            | _ -> ())
+          vbs
+    | Texp_ifthenelse (cond, bt, bf) ->
+        let acc = ref [] in
+        gets env acc cond;
+        if not (List.is_empty !acc) then begin
+          sets env !acc bt;
+          Option.iter (sets env !acc) bf
+        end
+    | Texp_match (scrut, cases, _) ->
+        let acc = ref [] in
+        gets env acc scrut;
+        if not (List.is_empty !acc) then
+          List.iter (fun c -> sets env !acc c.c_rhs) cases
+    | _ -> ());
+    iter_children (go env) e
+  in
+  go (Hashtbl.create 8) e0
 
 (* Pass 2: unit / log-domain abstract interpretation ------------------ *)
 
@@ -2043,6 +2436,75 @@ let extract_binding ctx env vb fq =
   let gwrites = ref [] in
   let pwrites = ref [] in
   let alloc = ref None in
+  let bind_line = vb.vb_pat.pat_loc.Location.loc_start.Lexing.pos_lnum in
+  let block =
+    ref
+      (if has_attr "wa.compute" vb.vb_attributes then
+         Some
+           (Printf.sprintf "[@wa.compute] unbounded compute (%s:%d)" ctx.src
+              bind_line)
+       else None)
+  in
+  let locks_acq = ref [] in
+  let lock_edges = ref [] in
+  let requires = ref [] in
+  let guarded = ref 0 in
+  (* Register lock-wrapper shapes before any later binding calls
+     them: [extract_structure] processes bindings in source order. *)
+  (match wrapper_shape params body with
+  | Some ij -> Hashtbl.replace ctx.wrappers fq ij
+  | None -> ());
+  let record_acquire ~held ~deferred l line =
+    match l with
+    | None -> ()
+    | Some l ->
+        if (not deferred) && not (List.mem l !locks_acq) then
+          locks_acq := l :: !locks_acq;
+        List.iter
+          (fun h ->
+            if not (String.equal h l) then
+              lock_edges := (h, l, line) :: !lock_edges)
+          held
+  in
+  let check_access ~allows ~held key line =
+    match key with
+    | None -> ()
+    | Some key ->
+        if Hashtbl.mem ctx.guards.g_benign key then ()
+        else (
+          match Hashtbl.find_opt ctx.guards.g_locks key with
+          | None -> ()
+          | Some lock ->
+              if List.mem lock held then incr guarded
+              else if
+                not
+                  (List.mem rule_lockset allows
+                  || List.mem rule_lockset ctx.file_allows)
+              then
+                requires :=
+                  ( lock,
+                    Printf.sprintf "%s touched without %s (%s:%d)" key lock
+                      ctx.src line )
+                  :: !requires)
+  in
+  (* A write already synchronized (guard held) or declared an
+     intentional race is not a cross-domain write footprint. *)
+  let write_synced ~held key =
+    match key with
+    | None -> false
+    | Some k -> (
+        Hashtbl.mem ctx.guards.g_benign k
+        ||
+        match Hashtbl.find_opt ctx.guards.g_locks k with
+        | Some lock -> List.mem lock held
+        | None -> false)
+  in
+  let target_key t =
+    match t.exp_desc with
+    | Texp_ident (Path.Pident id, _, _) -> global_key ctx id
+    | Texp_field (r, _, lbl) -> field_key ctx r lbl
+    | _ -> None
+  in
   let closure_captures e =
     let inner = bound_idents e in
     List.exists
@@ -2068,18 +2530,48 @@ let extract_binding ctx env vb fq =
                 gwrites := Ident.name id :: !gwrites)
       | _ -> ()
   in
-  let rec walk ~caught ~cold ~allows e =
+  let rec walk ~caught ~cold ~allows ~held ~deferred e =
     let allows = allows_of_attrs e.exp_attributes @ allows in
-    let go = walk ~caught ~cold ~allows in
-    let go_cold = walk ~caught ~cold:true ~allows in
+    let go = walk ~caught ~cold ~allows ~held ~deferred in
+    let go_cold = walk ~caught ~cold:true ~allows ~held ~deferred in
+    let line = e.exp_loc.Location.loc_start.Lexing.pos_lnum in
     let note what =
       if (not cold) && !alloc = None then
-        alloc :=
-          Some
-            (Printf.sprintf "%s (%s:%d)" what ctx.src
-               e.exp_loc.Location.loc_start.Lexing.pos_lnum)
+        alloc := Some (Printf.sprintf "%s (%s:%d)" what ctx.src line)
+    in
+    (* Lock delta of a statement position: [Mutex.lock m] holds [m]
+       for the rest of the enclosing sequence (or let body),
+       [Mutex.unlock m] releases it. *)
+    let apply_delta held st =
+      match st.exp_desc with
+      | Texp_apply (f, args) -> (
+          match (fn_last2 f, positional_args args) with
+          | Some (Some "Mutex", "lock"), [ m ] -> (
+              match lock_name ctx m with
+              | Some l ->
+                  l :: List.filter (fun x -> not (String.equal x l)) held
+              | None -> held)
+          | Some (Some "Mutex", "unlock"), [ m ] -> (
+              match lock_name ctx m with
+              | Some l -> List.filter (fun x -> not (String.equal x l)) held
+              | None -> held)
+          | _ -> held)
+      | _ -> held
     in
     match e.exp_desc with
+    | Texp_sequence (a, b) ->
+        go a;
+        walk ~caught ~cold ~allows ~held:(apply_delta held a) ~deferred b
+    | Texp_field (r, _, lbl) ->
+        check_access ~allows ~held (field_key ctx r lbl) line;
+        go r
+    | Texp_ident (Path.Pident id, _, _) ->
+        (match global_key ctx id with
+        | Some k
+          when Hashtbl.mem ctx.guards.g_locks k
+               || Hashtbl.mem ctx.guards.g_benign k ->
+            check_access ~allows ~held (Some k) line
+        | _ -> ())
     | Texp_tuple es ->
         note "allocates a tuple";
         List.iter go es
@@ -2109,12 +2601,15 @@ let extract_binding ctx env vb fq =
     | Texp_function _ ->
         if closure_captures e then note "allocates a capturing closure";
         iter_children go e
-    | Texp_setfield (obj, _, _, rhs) ->
-        record_write ~allows obj;
+    | Texp_setfield (obj, _, lbl, rhs) ->
+        let key = field_key ctx obj lbl in
+        check_access ~allows ~held key line;
+        if not (write_synced ~held key) then record_write ~allows obj;
         go obj;
         go rhs
     | Texp_try (body, cases) ->
-        walk ~caught:(caught_of_cases cases @ caught) ~cold ~allows body;
+        walk ~caught:(caught_of_cases cases @ caught) ~cold ~allows ~held
+          ~deferred body;
         List.iter
           (fun c ->
             Option.iter go c.c_guard;
@@ -2143,61 +2638,136 @@ let extract_binding ctx env vb fq =
                 List.iter (fun (_, a) -> Option.iter go a) args
             | _ -> go vb'.vb_expr)
           vbs;
-        go bd
+        let held' =
+          List.fold_left (fun h vb' -> apply_delta h vb'.vb_expr) held vbs
+        in
+        walk ~caught ~cold ~allows ~held:held' ~deferred bd
     | Texp_apply (f, args) -> (
         let positional = positional_args args in
+        let record_call callee =
+          let c_args =
+            List.mapi (fun j a -> (j, a)) positional
+            |> List.filter_map (fun (j, a) ->
+                   match a.exp_desc with
+                   | Texp_ident (Path.Pident id, _, _) ->
+                       Option.map
+                         (fun i -> (j, i))
+                         (param_index (Ident.unique_name id))
+                   | _ -> None)
+          in
+          calls :=
+            {
+              Summary.c_callee = callee;
+              c_args;
+              c_caught = caught;
+              c_held = List.sort_uniq String.compare held;
+              c_deferred = deferred;
+            }
+            :: !calls
+        in
+        (* Blocking primitives: deferred closures run on another
+           domain and cannot block this function. *)
+        (match blocking_prim f with
+        | Some reason when (not deferred) && !block = None ->
+            block := Some (Printf.sprintf "%s (%s:%d)" reason ctx.src line)
+        | _ -> ());
         (match (fn_last2 f, positional) with
-        | Some (None, ":="), lhs :: _ -> record_write ~allows lhs
-        | Some (None, ("incr" | "decr")), r :: _ -> record_write ~allows r
+        | Some (Some "Mutex", "lock"), [ m ] ->
+            record_acquire ~held ~deferred (lock_name ctx m) line
+        | Some (None, ":="), lhs :: _ ->
+            if not (write_synced ~held (target_key lhs)) then
+              record_write ~allows lhs
+        | Some (None, ("incr" | "decr")), r :: _ ->
+            if not (write_synced ~held (target_key r)) then
+              record_write ~allows r
         | Some (Some m, v), first :: _ when List.mem (m, v) array_set_fns ->
-            record_write ~allows first
+            if not (write_synced ~held (target_key first)) then
+              record_write ~allows first
         | Some (Some m, v), first :: _ when List.mem (m, v) container_mut_fns
           ->
-            record_write ~allows first
+            if not (write_synced ~held (target_key first)) then
+              record_write ~allows first
         | _ -> ());
-        match (fn_last2 f, positional) with
-        | Some (None, ("raise" | "raise_notrace")), arg :: _ ->
-            let name =
-              match arg.exp_desc with
-              | Texp_construct (_, cd, _) -> cd.Types.cstr_name
-              | _ -> "exn"
+        (* Scoped acquisitions: [Mutex.protect m thunk] and in-unit
+           lock wrappers run their thunk with the lock held. *)
+        let scoped =
+          match (fn_last2 f, positional) with
+          | Some (Some "Mutex", "protect"), m :: rest -> Some (m, rest)
+          | _ -> (
+              match resolve_callee ctx.resolver f with
+              | Some callee -> (
+                  match Hashtbl.find_opt ctx.wrappers callee with
+                  | Some (i, j) -> (
+                      match
+                        (List.nth_opt positional i, List.nth_opt positional j)
+                      with
+                      | Some m, Some th -> Some (m, [ th ])
+                      | _ -> None)
+                  | None -> None)
+              | None -> None)
+        in
+        match scoped with
+        | Some (m, thunks) ->
+            let l = lock_name ctx m in
+            record_acquire ~held ~deferred l line;
+            let held' =
+              match l with
+              | Some l when not (List.mem l held) -> l :: held
+              | _ -> held
             in
-            if not (List.mem "*" caught || List.mem name caught) then
-              raises := name :: !raises;
-            List.iter go_cold positional
-        | Some (None, v), _ when List.mem v raise_like ->
-            (* failwith / invalid_arg: excluded from the may-raise
-               summary by policy (ubiquitous precondition guards);
-               their argument construction is cold. *)
-            List.iter go_cold positional
-        | key, _ ->
-            (match f.exp_desc with Texp_apply _ -> go f | _ -> ());
-            if is_arrow_type e.exp_type then
-              note "allocates a partial application (the result is a closure)";
-            (match key with
-            | Some k when is_noalloc k -> ()
-            | _ -> (
-                if not cold then
-                  match resolve_callee ctx.resolver f with
-                  | Some callee ->
-                      let c_args =
-                        List.mapi (fun j a -> (j, a)) positional
-                        |> List.filter_map (fun (j, a) ->
-                               match a.exp_desc with
-                               | Texp_ident (Path.Pident id, _, _) ->
-                                   Option.map
-                                     (fun i -> (j, i))
-                                     (param_index (Ident.unique_name id))
-                               | _ -> None)
-                      in
-                      calls :=
-                        { Summary.c_callee = callee; c_args; c_caught = caught }
-                        :: !calls
-                  | None -> ()));
-            List.iter (fun (_, a) -> Option.iter go a) args)
+            List.iter
+              (fun (_, a) ->
+                Option.iter
+                  (fun a ->
+                    if List.memq a thunks then
+                      walk ~caught ~cold ~allows ~held:held' ~deferred a
+                    else go a)
+                  a)
+              args;
+            if not cold then
+              Option.iter record_call (resolve_callee ctx.resolver f)
+        | None -> (
+            match (fn_last2 f, positional) with
+            | Some (None, ("raise" | "raise_notrace")), arg :: _ ->
+                let name =
+                  match arg.exp_desc with
+                  | Texp_construct (_, cd, _) -> cd.Types.cstr_name
+                  | _ -> "exn"
+                in
+                if not (List.mem "*" caught || List.mem name caught) then
+                  raises := name :: !raises;
+                List.iter go_cold positional
+            | Some (None, v), _ when List.mem v raise_like ->
+                (* failwith / invalid_arg: excluded from the may-raise
+                   summary by policy (ubiquitous precondition guards);
+                   their argument construction is cold. *)
+                List.iter go_cold positional
+            | key, _ ->
+                (match f.exp_desc with Texp_apply _ -> go f | _ -> ());
+                if is_arrow_type e.exp_type then
+                  note
+                    "allocates a partial application (the result is a \
+                     closure)";
+                (match key with
+                | Some k when is_noalloc k -> ()
+                | _ -> (
+                    if not cold then
+                      match resolve_callee ctx.resolver f with
+                      | Some callee -> record_call callee
+                      | None -> ()));
+                let spawn = spawn_like_fn f in
+                List.iter
+                  (fun (_, a) ->
+                    Option.iter
+                      (fun a ->
+                        if spawn && is_arrow_type a.exp_type then
+                          walk ~caught ~cold ~allows ~held:[] ~deferred:true a
+                        else go a)
+                      a)
+                  args))
     | _ -> iter_children go e
   in
-  walk ~caught:[] ~cold:false ~allows:[] body;
+  walk ~caught:[] ~cold:false ~allows:[] ~held:[] ~deferred:false body;
   let f_pos, f_pos_deps =
     match pos3 ctx SSet.empty body with
     | `P -> (true, None)
@@ -2231,6 +2801,33 @@ let extract_binding ctx env vb fq =
       f_preconds = List.sort_uniq String.compare !preconds;
       f_dom = dom_name d;
       f_calls = List.rev !calls;
+      f_event_loop = has_attr "wa.event_loop" vb.vb_attributes;
+      f_block = !block;
+      f_locks = List.sort_uniq String.compare !locks_acq;
+      f_lock_edges =
+        List.sort_uniq
+          (fun (h, l, i) (h', l', i') ->
+            match String.compare h h' with
+            | 0 -> (
+                match String.compare l l' with
+                | 0 -> Int.compare i i'
+                | n -> n)
+            | n -> n)
+          !lock_edges;
+      f_requires =
+        (* one witness per missing lock, deterministic choice *)
+        (List.sort_uniq
+           (fun (a, wa) (b, wb) ->
+             match String.compare a b with
+             | 0 -> String.compare wa wb
+             | n -> n)
+           !requires
+        |> List.fold_left
+             (fun acc (l, w) ->
+               if List.mem_assoc l acc then acc else (l, w) :: acc)
+             []
+        |> List.rev);
+      f_guarded = !guarded;
     }
   in
   (fact, d)
@@ -2286,10 +2883,14 @@ let diagnose_hot_alloc ctx =
   match ctx.summaries with
   | None -> ()
   | Some s ->
-      let prefix = String.concat "." ctx.resolver.unit_parts ^ "." in
+      let owned fq =
+        match Hashtbl.find_opt s.srcs fq with
+        | Some src -> String.equal src ctx.src
+        | None -> false
+      in
       Hashtbl.iter
         (fun fq (f : Summary.fn_fact) ->
-          if f.Summary.f_hot && String.starts_with ~prefix fq then begin
+          if f.Summary.f_hot && owned fq then begin
             (match Summary.find s.tbl fq with
             | Some sum -> (
                 match sum.Summary.s_alloc with
@@ -2336,6 +2937,61 @@ let diagnose_hot_alloc ctx =
           end)
         s.facts
 
+(* Passes 7–9: lockset, lock-order, event-loop certification ---------- *)
+
+let diagnose_concurrency ctx =
+  match ctx.summaries with
+  | None -> ()
+  | Some s ->
+      let owned fq =
+        match Hashtbl.find_opt s.srcs fq with
+        | Some src -> String.equal src ctx.src
+        | None -> false
+      in
+      (* Lock-order cycles are global facts; attribute each conflicting
+         edge to the unit that owns its outer acquisition so per-file
+         reports stay cacheable. *)
+      List.iter
+        (fun (owner, line, msg) ->
+          if owned owner then
+            flag_at ctx ~line ~col:0 rule_lock_order msg)
+        s.lock_cycles;
+      Hashtbl.iter
+        (fun fq (f : Summary.fn_fact) ->
+          if owned fq then begin
+            ctx.guarded <- ctx.guarded + f.Summary.f_guarded;
+            match Summary.find s.tbl fq with
+            | None -> ()
+            | Some sum ->
+                (* A lock requirement that survives to a function no
+                   call site discharges is a real race: nothing in the
+                   program ever holds the guard across this path. *)
+                if sum.Summary.s_callers = 0 then
+                  List.iter
+                    (fun (lock, witness) ->
+                      flag_at ctx ~line:f.Summary.f_line ~col:f.Summary.f_col
+                        rule_lockset
+                        (Printf.sprintf
+                           "%s touches state guarded by %s without holding \
+                            it (no call site provides the lock): %s — take \
+                            the lock around the access, or declare the race \
+                            intentional with [@wa.benign_race]"
+                           (short_fq fq) lock witness))
+                    sum.Summary.s_requires;
+                if f.Summary.f_event_loop then (
+                  match sum.Summary.s_block with
+                  | Some chain ->
+                      flag_at ctx ~line:f.Summary.f_line ~col:f.Summary.f_col
+                        rule_event_loop
+                        (Printf.sprintf
+                           "[@wa.event_loop] %s can block the select loop: \
+                            %s — push the work onto the pool, make the fd \
+                            non-blocking, or drop the annotation"
+                           (short_fq fq) chain)
+                  | None -> ctx.roots <- ctx.roots + 1)
+          end)
+        s.facts
+
 (* Per-structure drivers ---------------------------------------------- *)
 
 let file_allows_of_structure str =
@@ -2360,6 +3016,7 @@ let analyze_structure ctx str =
               (fun vb ->
                 with_allows ctx vb.vb_attributes @@ fun () ->
                 if not ctx.capture_ok then scan_parallel ctx fns vb.vb_expr;
+                scan_check_then_act ctx vb.vb_expr;
                 let fw_fq =
                   match vb.vb_pat.pat_desc with
                   | Tpat_var (id, _) ->
@@ -2380,6 +3037,7 @@ let analyze_structure ctx str =
         | Tstr_eval (e, attrs) ->
             with_allows ctx attrs @@ fun () ->
             if not ctx.capture_ok then scan_parallel ctx fns e;
+            scan_check_then_act ctx e;
             float_walk ctx
               { fw_fq = None; fw_params = []; fw_collect = None }
               e;
@@ -2398,7 +3056,8 @@ let analyze_structure ctx str =
     | _ -> ()
   in
   do_items str.str_items;
-  diagnose_hot_alloc ctx
+  diagnose_hot_alloc ctx;
+  diagnose_concurrency ctx
 
 (* Cmt drivers -------------------------------------------------------- *)
 
@@ -2454,11 +3113,15 @@ let make_ctx ~config ~quiet ~src ~unit_parts ~summaries str =
     quiet;
     resolver = build_resolver unit_parts str;
     summaries;
+    guards = collect_guards unit_parts str;
+    wrappers = Hashtbl.create 8;
     file_allows = file_allows_of_structure str;
     allow_stack = [];
     found = [];
     closures = 0;
     exprs = 0;
+    guarded = 0;
+    roots = 0;
   }
 
 let extract_unit ~config path digest loaded =
@@ -2497,6 +3160,8 @@ let diagnose_unit ~config ~summaries loaded =
         file_violations = List.sort compare_violation ctx.found;
         file_closures = ctx.closures;
         file_expressions = ctx.exprs;
+        file_guarded = ctx.guarded;
+        file_roots = ctx.roots;
       }
 
 let analyze_cmt ?(config = Config.default) ?summaries path =
@@ -2505,13 +3170,110 @@ let analyze_cmt ?(config = Config.default) ?summaries path =
 let summaries_of_units units =
   let tbl = Summary.solve units in
   let facts = Hashtbl.create 256 in
+  let srcs = Hashtbl.create 256 in
   List.iter
     (fun u ->
       List.iter
-        (fun (f : Summary.fn_fact) -> Hashtbl.replace facts f.Summary.f_fq f)
+        (fun (f : Summary.fn_fact) ->
+          Hashtbl.replace facts f.Summary.f_fq f;
+          Hashtbl.replace srcs f.Summary.f_fq u.Summary.u_src)
         u.Summary.u_fns)
     units;
-  { tbl; facts }
+  (* Lock-order graph: an edge h -> l for every site acquiring [l]
+     while [h] is held — directly ([f_lock_edges]) or through a call
+     into a function whose summary says it acquires [l]. One
+     representative witness per edge, chosen deterministically. *)
+  let edges = Hashtbl.create 16 in
+  let add_edge h l owner line desc =
+    if not (String.equal h l) then
+      match Hashtbl.find_opt edges (h, l) with
+      | Some (_, _, d) when String.compare d desc <= 0 -> ()
+      | _ -> Hashtbl.replace edges (h, l) (owner, line, desc)
+  in
+  Hashtbl.iter
+    (fun fq (f : Summary.fn_fact) ->
+      let src = Option.value ~default:"?" (Hashtbl.find_opt srcs fq) in
+      List.iter
+        (fun (h, l, line) ->
+          add_edge h l fq line
+            (Printf.sprintf "%s -> %s at %s (%s:%d)" h l (short_fq fq) src
+               line))
+        f.Summary.f_lock_edges;
+      List.iter
+        (fun (c : Summary.call) ->
+          if (not c.Summary.c_deferred) && not (List.is_empty c.Summary.c_held)
+          then
+            match Summary.lookup tbl c.Summary.c_callee with
+            | Some sum ->
+                List.iter
+                  (fun (l, via) ->
+                    let chain =
+                      if String.equal via "" then short_fq c.Summary.c_callee
+                      else short_fq c.Summary.c_callee ^ " -> " ^ via
+                    in
+                    List.iter
+                      (fun h ->
+                        add_edge h l fq f.Summary.f_line
+                          (Printf.sprintf "%s -> %s at %s (%s:%d) via %s" h
+                             l (short_fq fq) src f.Summary.f_line chain))
+                      c.Summary.c_held)
+                  sum.Summary.s_locks
+            | None -> ())
+        f.Summary.f_calls)
+    facts;
+  let nodes =
+    Hashtbl.fold (fun (h, l) _ acc -> h :: l :: acc) edges []
+    |> List.sort_uniq String.compare
+  in
+  let succ n =
+    Hashtbl.fold
+      (fun (h, l) _ acc -> if String.equal h n then l :: acc else acc)
+      edges []
+    |> List.sort String.compare
+  in
+  let lock_cycles =
+    Summary.sccs nodes succ
+    |> List.concat_map (fun comp ->
+           if List.length comp < 2 then []
+           else
+             let in_comp =
+               Hashtbl.fold
+                 (fun (h, l) w acc ->
+                   if List.mem h comp && List.mem l comp then (w, (h, l)) :: acc
+                   else acc)
+                 edges []
+               |> List.sort (fun ((_, _, d), _) ((_, _, d'), _) ->
+                      String.compare d d')
+             in
+             List.map
+               (fun ((owner, line, desc), _) ->
+                 let others =
+                   List.filter_map
+                     (fun ((_, _, d), _) ->
+                       if String.equal d desc then None else Some d)
+                     in_comp
+                 in
+                 let others =
+                   List.filteri (fun i _ -> i < 3) others
+                   |> String.concat "; "
+                 in
+                 ( owner,
+                   line,
+                   Printf.sprintf
+                     "lock-order cycle: %s conflicts with %s — a thread in \
+                      each chain deadlocks; impose a global acquisition \
+                      order"
+                     desc others ))
+               in_comp)
+    |> List.sort (fun (o, i, m) (o', i', m') ->
+           match String.compare o o' with
+           | 0 -> (
+               match Int.compare i i' with
+               | 0 -> String.compare m m'
+               | n -> n)
+           | n -> n)
+  in
+  { tbl; facts; srcs; lock_cycles }
 
 (* Directory driver: collect .cmt files, descending into dune's hidden
    .objs directories (unlike source scanners, dotted dirs are the
@@ -2544,6 +3306,9 @@ let aggregate reports =
       List.fold_left (fun a r -> a + r.file_closures) 0 analyzed;
     expressions_analyzed =
       List.fold_left (fun a r -> a + r.file_expressions) 0 analyzed;
+    guarded_accesses =
+      List.fold_left (fun a r -> a + r.file_guarded) 0 analyzed;
+    event_loop_roots = List.fold_left (fun a r -> a + r.file_roots) 0 analyzed;
     violations =
       List.concat_map (fun r -> r.file_violations) reports
       |> List.sort_uniq compare_violation;

@@ -37,6 +37,26 @@
     - [hot-alloc] — functions annotated [[@wa.hot]] are certified
       transitively allocation-free, with the allocating call chain
       printed (model limits documented in DESIGN.md §14);
+    - [lockset] — mutable state annotated
+      [[@wa.guarded_by "Cache.t.mutex"]] must only be touched with the
+      guard held; held-lock sets flow through [Mutex.protect], in-unit
+      lock wrappers, and lock–unlock statement sequences, and
+      undischarged requirements propagate to callers through the
+      summary table — a requirement surviving to a function nothing
+      calls is a race ([[@wa.benign_race]] declares an intentional
+      one);
+    - [lock-order] — the global lock-acquisition-order graph (nested
+      acquisitions, direct and through calls made with locks held)
+      must be acyclic; each edge of a cycle is reported with both
+      conflicting chains;
+    - [event-loop-block] — from [[@wa.event_loop]] roots, no blocking
+      primitive ([Condition.wait], [Thread.delay], blocking [Unix]
+      syscalls, [[@wa.compute]] bodies) may be transitively reachable
+      outside closures deferred to the pool; the blocking chain is
+      printed (soundness caveats in DESIGN.md §15);
+    - [check-then-act] — [Atomic.set] guarded by a branch on
+      [Atomic.get] of the same atom is a race window; use
+      [compare_and_set];
     - [cmt-error] — the [.cmt] file cannot be read.
 
     Suppress with [[@wa.check.allow "rule …"]] on the offending
@@ -93,6 +113,10 @@ type report = {
   expressions_analyzed : int;
       (** Expressions visited by the unit pass — the coverage number
           surfaced by [--stats]. *)
+  guarded_accesses : int;
+      (** Guarded-field accesses certified lock-held. *)
+  event_loop_roots : int;
+      (** [[@wa.event_loop]] roots certified non-blocking. *)
   violations : violation list;
 }
 
@@ -106,6 +130,9 @@ type file_report = {
   file_violations : violation list;
   file_closures : int;
   file_expressions : int;
+  file_guarded : int;  (** Certified guarded accesses in this unit. *)
+  file_roots : int;
+      (** Certified [[@wa.event_loop]] roots in this unit. *)
 }
 
 val file_report_to_json : file_report -> Wa_util.Json.t
@@ -117,9 +144,19 @@ val file_report_of_json : Wa_util.Json.t -> (file_report, string) result
 type summaries = {
   tbl : Summary.table;
   facts : (string, Summary.fn_fact) Hashtbl.t;
+  srcs : (string, string) Hashtbl.t;
+      (** fq -> defining unit's source path; whole-program diagnoses
+          attribute each fact to exactly one unit through this (a
+          module-prefix test would let a dune wrapper module claim its
+          whole library a second time). *)
+  lock_cycles : (string * int * string) list;
+      (** [(owner fq, line, message)]: lock-order cycle edges, each
+          attributed to the unit owning its outer acquisition so
+          per-file reports stay cacheable. *)
 }
 (** The whole-program phase-2 result: solved summaries plus the raw
-    facts (the latter drive [hot-alloc]'s call-chain walk). *)
+    facts (the latter drive [hot-alloc]'s call-chain walk) and the
+    global lock-order verdict. *)
 
 val summarize_paths : ?config:Config.t -> string list -> summaries
 (** Extract facts from every [.cmt] under the given roots and solve.

@@ -49,13 +49,19 @@ let bound_positive = function
 
 (* One call site, as much as the fixpoint needs: the resolved callee
    (dotted fully qualified name), which of the caller's parameters
-   flow into which callee argument positions, and the exception
+   flow into which callee argument positions, the exception
    constructors an enclosing [try] around the call would catch ("*"
-   for a catch-all pattern). *)
+   for a catch-all pattern), the mutex names held when the call is
+   made, and whether the call happens inside a closure handed to a
+   spawn point ([Pool.submit] / [Domain.spawn] / the [Parallel]
+   entries) — deferred calls run on another domain, so the caller's
+   held locks do not apply and the call cannot block the caller. *)
 type call = {
   c_callee : string;
   c_args : (int * int) list;  (* callee arg position -> caller param index *)
   c_caught : string list;
+  c_held : string list;  (* lock names held at the call site *)
+  c_deferred : bool;
 }
 
 type fn_fact = {
@@ -74,6 +80,17 @@ type fn_fact = {
   f_preconds : string list;  (* params that must be positive (divisors) *)
   f_dom : string;  (* result unit-domain name, "unknown" when unhelpful *)
   f_calls : call list;
+  f_event_loop : bool;  (* carries a [@wa.event_loop] annotation *)
+  f_block : string option;
+      (* direct blocking primitive reached outside deferred closures:
+         "Condition.wait (src:line)", None = locally non-blocking *)
+  f_locks : string list;  (* lock names acquired anywhere in the body *)
+  f_lock_edges : (string * string * int) list;
+      (* (held, acquired, line): nested acquisition observed in the body *)
+  f_requires : (string * string) list;
+      (* (lock, witness): guarded state touched without the lock held;
+         becomes a call-site precondition during the fixpoint *)
+  f_guarded : int;  (* guarded accesses certified with the lock held *)
 }
 
 (* Record-field bound observed at one construction site. *)
@@ -107,6 +124,14 @@ type fn_summary = {
   s_preconds : string list;
   s_dom : string;
   s_callers : int;  (* in-tree call sites targeting this function *)
+  s_event_loop : bool;
+  s_block : string option;  (* Some chain: "f -> g: Condition.wait (...)" *)
+  s_locks : (string * string) list;
+      (* (lock, via): locks this function may acquire, transitively;
+         via is the call path, "" when acquired directly *)
+  s_requires : (string * string) list;
+      (* (lock, chain): locks that must be held by the caller — every
+         requirement left on a zero-caller root is a lockset violation *)
 }
 
 type table = {
@@ -253,12 +278,38 @@ let solve (units : unit_facts list) : table =
   let pwrites = Hashtbl.create 256 in
   let pos = Hashtbl.create 256 in
   let callers = Hashtbl.create 256 in
+  let block = Hashtbl.create 256 in
+  let locks = Hashtbl.create 256 in
+  let requires = Hashtbl.create 256 in
+  (* Requirements keyed by lock, first witness wins; sorted so the
+     fixpoint (and therefore the cache) is deterministic. *)
+  let norm_req l =
+    let sorted =
+      List.sort
+        (fun (a, ca) (b, cb) ->
+          match String.compare a b with 0 -> String.compare ca cb | c -> c)
+        l
+    in
+    let rec dedup = function
+      | (a, ca) :: (b, _) :: rest when String.equal a b ->
+          dedup ((a, ca) :: rest)
+      | x :: rest -> x :: dedup rest
+      | [] -> []
+    in
+    dedup sorted
+  in
   Hashtbl.iter
     (fun fq f ->
       Hashtbl.replace alloc fq f.f_alloc;
       Hashtbl.replace raises fq (SSet.of_list f.f_raises);
       Hashtbl.replace gwrites fq f.f_global_writes;
       Hashtbl.replace pwrites fq f.f_param_writes;
+      Hashtbl.replace block fq f.f_block;
+      Hashtbl.replace locks fq
+        (List.map
+           (fun l -> (l, ""))
+           (List.sort_uniq String.compare f.f_locks));
+      Hashtbl.replace requires fq (norm_req f.f_requires);
       List.iter
         (fun c ->
           Hashtbl.replace callers c.c_callee
@@ -335,7 +386,56 @@ let solve (units : unit_facts list) : table =
                           changed := true
                         end
                     | None -> ())
-                  cpw)
+                  cpw;
+                (* blocking chains: a deferred call runs on another
+                   domain and cannot block this one *)
+                (if not c.c_deferred then
+                   match
+                     (Hashtbl.find block fq, Hashtbl.find block c.c_callee)
+                   with
+                   | None, Some reason ->
+                       Hashtbl.replace block fq
+                         (Some (short c.c_callee ^ " -> " ^ reason));
+                       changed := true
+                   | _ -> ());
+                (* transitive lock acquisitions, for the order graph *)
+                (if not c.c_deferred then begin
+                   let mine = Hashtbl.find locks fq in
+                   let add =
+                     List.filter_map
+                       (fun (l, via) ->
+                         if List.mem_assoc l mine then None
+                         else
+                           let via' =
+                             if String.equal via "" then short c.c_callee
+                             else short c.c_callee ^ " -> " ^ via
+                           in
+                           Some (l, via'))
+                       (Hashtbl.find locks c.c_callee)
+                   in
+                   if not (List.is_empty add) then begin
+                     Hashtbl.replace locks fq
+                       (List.sort
+                          (fun (a, _) (b, _) -> String.compare a b)
+                          (add @ mine));
+                     changed := true
+                   end
+                 end);
+                (* lock requirements, discharged by locks held at the
+                   call site (none apply across a deferral boundary) *)
+                let held = if c.c_deferred then [] else c.c_held in
+                let mine = Hashtbl.find requires fq in
+                let add =
+                  List.filter_map
+                    (fun (l, chain) ->
+                      if List.mem l held || List.mem_assoc l mine then None
+                      else Some (l, short c.c_callee ^ " -> " ^ chain))
+                    (Hashtbl.find requires c.c_callee)
+                in
+                if not (List.is_empty add) then begin
+                  Hashtbl.replace requires fq (norm_req (add @ mine));
+                  changed := true
+                end)
           f.f_calls;
         !changed
   in
@@ -399,6 +499,10 @@ let solve (units : unit_facts list) : table =
           s_preconds = f.f_preconds;
           s_dom = f.f_dom;
           s_callers = Option.value ~default:0 (Hashtbl.find_opt callers fq);
+          s_event_loop = f.f_event_loop;
+          s_block = Hashtbl.find block fq;
+          s_locks = Hashtbl.find locks fq;
+          s_requires = Hashtbl.find requires fq;
         }
       in
       Hashtbl.replace t.fns fq s;
@@ -433,6 +537,21 @@ let strings_of j =
       Some (List.filter_map Json.to_string_opt l)
   | _ -> None
 
+let pairs l =
+  Json.List
+    (List.map (fun (a, b) -> Json.List [ Json.String a; Json.String b ]) l)
+
+let pairs_of j =
+  match j with
+  | Some (Json.List l) ->
+      Some
+        (List.filter_map
+           (function
+             | Json.List [ Json.String a; Json.String b ] -> Some (a, b)
+             | _ -> None)
+           l)
+  | _ -> None
+
 let call_to_json c =
   Json.Obj
     [
@@ -443,15 +562,23 @@ let call_to_json c =
              (fun (a, b) -> Json.List [ Json.Int a; Json.Int b ])
              c.c_args) );
       ("caught", strings c.c_caught);
+      ("held", strings c.c_held);
+      ("deferred", Json.Bool c.c_deferred);
     ]
 
 let call_of_json j =
   match
     ( Option.bind (Json.member "callee" j) Json.to_string_opt,
       Json.member "args" j,
-      strings_of (Json.member "caught" j) )
+      strings_of (Json.member "caught" j),
+      strings_of (Json.member "held" j),
+      Json.member "deferred" j )
   with
-  | Some c_callee, Some (Json.List args), Some c_caught ->
+  | ( Some c_callee,
+      Some (Json.List args),
+      Some c_caught,
+      Some c_held,
+      Some (Json.Bool c_deferred) ) ->
       let c_args =
         List.filter_map
           (function
@@ -459,7 +586,7 @@ let call_of_json j =
             | _ -> None)
           args
       in
-      Some { c_callee; c_args; c_caught }
+      Some { c_callee; c_args; c_caught; c_held; c_deferred }
   | _ -> None
 
 let fn_to_json f =
@@ -481,6 +608,18 @@ let fn_to_json f =
       ("preconds", strings f.f_preconds);
       ("dom", Json.String f.f_dom);
       ("calls", Json.List (List.map call_to_json f.f_calls));
+      ("event_loop", Json.Bool f.f_event_loop);
+      ( "block",
+        match f.f_block with None -> Json.Null | Some r -> Json.String r );
+      ("locks", strings f.f_locks);
+      ( "lock_edges",
+        Json.List
+          (List.map
+             (fun (a, b, ln) ->
+               Json.List [ Json.String a; Json.String b; Json.Int ln ])
+             f.f_lock_edges) );
+      ("requires", pairs f.f_requires);
+      ("guarded", Json.Int f.f_guarded);
     ]
 
 let fn_of_json j =
@@ -518,11 +657,43 @@ let fn_of_json j =
         | Some (Json.List l) -> List.filter_map call_of_json l
         | _ -> []
       in
+      let f_event_loop =
+        match Json.member "event_loop" j with
+        | Some (Json.Bool b) -> b
+        | _ -> false
+      in
+      let f_block =
+        match Json.member "block" j with
+        | Some (Json.String s) -> Some s
+        | _ -> None
+      in
+      let f_locks =
+        Option.value ~default:[] (strings_of (Json.member "locks" j))
+      in
+      let f_lock_edges =
+        match Json.member "lock_edges" j with
+        | Some (Json.List l) ->
+            List.filter_map
+              (function
+                | Json.List [ Json.String a; Json.String b; Json.Int ln ] ->
+                    Some (a, b, ln)
+                | _ -> None)
+              l
+        | _ -> []
+      in
+      let f_requires =
+        Option.value ~default:[] (pairs_of (Json.member "requires" j))
+      in
+      let f_guarded =
+        Option.value ~default:0
+          (Option.bind (Json.member "guarded" j) Json.to_int_opt)
+      in
       Some
         {
           f_fq; f_params; f_line; f_col; f_hot; f_alloc; f_raises;
           f_global_writes; f_param_writes; f_pos; f_pos_deps; f_preconds;
-          f_dom; f_calls;
+          f_dom; f_calls; f_event_loop; f_block; f_locks; f_lock_edges;
+          f_requires; f_guarded;
         }
   | _ -> None
 
@@ -578,7 +749,10 @@ let unit_of_json j =
 
 (* Cache -------------------------------------------------------------- *)
 
-let cache_version = 1
+(* Version 2: concurrency facts (held locks at call sites, deferred
+   closures, blocking reasons, lock acquisitions and order edges,
+   guarded-access requirements) joined the per-function record. *)
+let cache_version = 2
 
 let digest_file path = Digest.to_hex (Digest.file path)
 

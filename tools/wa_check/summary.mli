@@ -29,6 +29,14 @@ type call = {
   c_caught : string list;
       (** Exception constructors an enclosing [try] catches at this
           call site; ["*"] for a catch-all pattern. *)
+  c_held : string list;
+      (** Lock keys held at the call site (sorted), from enclosing
+          [Mutex.protect] / lock wrappers / lock–unlock sequences. *)
+  c_deferred : bool;
+      (** The call happens inside a closure handed to [Pool.submit] /
+          [Domain.spawn] / a [Parallel] entry: it runs on another
+          domain, so it neither blocks the caller nor inherits its
+          locks. *)
 }
 
 type fn_fact = {
@@ -46,6 +54,17 @@ type fn_fact = {
   f_preconds : string list;
   f_dom : string;
   f_calls : call list;
+  f_event_loop : bool;  (** Annotated [[@wa.event_loop]]. *)
+  f_block : string option;
+      (** [Some reason] when the body reaches a blocking primitive
+          directly (or is marked [[@wa.compute]]). *)
+  f_locks : string list;  (** Lock keys this function acquires. *)
+  f_lock_edges : (string * string * int) list;
+      (** [(held, acquired, line)]: nested-acquisition sites. *)
+  f_requires : (string * string) list;
+      (** [(lock, witness)]: guarded state touched without the lock;
+          discharged at call sites that hold it. *)
+  f_guarded : int;  (** Guarded accesses certified lock-held. *)
 }
 (** Direct (intraprocedural) facts about one function, as extracted by
     [Check]; every field is serializable. *)
@@ -83,6 +102,16 @@ type fn_summary = {
           them); discharged at call sites. *)
   s_dom : string;  (** Result unit-domain name. *)
   s_callers : int;  (** In-tree call sites targeting this function. *)
+  s_event_loop : bool;
+  s_block : string option;
+      (** [Some chain] when a blocking primitive is transitively
+          reachable outside deferred closures, chain spelled out. *)
+  s_locks : (string * string) list;
+      (** [(lock, via)]: locks transitively acquired, with the call
+          chain that reaches the acquisition. *)
+  s_requires : (string * string) list;
+      (** [(lock, witness)]: lock requirements no analyzed call path
+          discharges; a violation when [s_callers = 0]. *)
 }
 
 type table
@@ -101,6 +130,10 @@ val field_bound : table -> type_fq:string -> field:string -> bound option
 
 val solve : unit_facts list -> table
 (** Build the call graph and run every fixpoint. *)
+
+val sccs : string list -> (string -> string list) -> string list list
+(** Tarjan SCCs of an arbitrary string graph, callees-first; exposed
+    for [Check]'s lock-order cycle detection. *)
 
 (** {1 Cache} *)
 

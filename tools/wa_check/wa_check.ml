@@ -80,9 +80,11 @@ let () =
     !cache_stats_out;
   if !stats then
     Printf.printf
-      "wa_check stats: %d closure(s) analyzed, %d expression(s) visited, %d/%d \
+      "wa_check stats: %d closure(s) analyzed, %d expression(s) visited, %d \
+       guarded access(es) certified, %d event-loop root(s) certified, %d/%d \
        cache hit(s)%s\n"
       report.Check.closures_analyzed report.Check.expressions_analyzed
+      report.Check.guarded_accesses report.Check.event_loop_roots
       cstats.Summary.st_hits cstats.Summary.st_units
       (if cstats.Summary.st_warm then " (warm)" else "")
   else if !cache <> None && not !quiet then

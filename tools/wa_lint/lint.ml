@@ -23,6 +23,11 @@
    - [atomic-scope]: [Atomic.*] outside the approved concurrency core
      (default: [lib/obs/] and [lib/util/parallel.ml]).  Lock-free code
      is only reviewable while it stays in one place.
+   - [unix-scope]: [Unix.*] outside the I/O perimeter (default:
+     [lib/service/], [lib/io/], [bin/], [bench/]).  Syscalls in the
+     numeric and algorithmic layers make them untestable without a
+     kernel and invisible to the event-loop blocking certification in
+     wa_check, which audits the perimeter only.
    - [obj-magic]: [Obj.magic], anywhere.
    - [printf-hot]: any [Printf.*] reference inside a configured hot
      path (default: [lib/sinr/] and [lib/core/conflict.ml]).  Hot paths
@@ -49,6 +54,7 @@ let rule_list_eq = "list-eq"
 let rule_float_eq = "float-eq"
 let rule_poly_compare = "poly-compare"
 let rule_atomic_scope = "atomic-scope"
+let rule_unix_scope = "unix-scope"
 let rule_obj_magic = "obj-magic"
 let rule_printf_hot = "printf-hot"
 let rule_missing_mli = "missing-mli"
@@ -61,6 +67,7 @@ let all_rules =
     rule_float_eq;
     rule_poly_compare;
     rule_atomic_scope;
+    rule_unix_scope;
     rule_obj_magic;
     rule_printf_hot;
     rule_missing_mli;
@@ -74,6 +81,7 @@ module Config = struct
   type t = {
     hot_paths : string list;
     atomic_allowed : string list;
+    unix_allowed : string list;
     float_modules : string list;
     mli_required_roots : string list;
     export_roots : string list;
@@ -83,6 +91,7 @@ module Config = struct
     {
       hot_paths = [ "lib/sinr/"; "lib/core/conflict.ml" ];
       atomic_allowed = [ "lib/obs/"; "lib/util/parallel.ml" ];
+      unix_allowed = [ "lib/service/"; "lib/io/"; "bin/"; "bench/" ];
       float_modules = [ "Link"; "Vec2"; "Float" ];
       mli_required_roots = [ "lib/" ];
       export_roots = [ "lib/" ];
@@ -298,6 +307,7 @@ type file_ctx = {
   path : string;
   hot : bool;
   atomic_ok : bool;
+  unix_ok : bool;
   allows : string list;
   mutable found : violation list;
 }
@@ -351,6 +361,11 @@ let check_ident ctx e =
           flag ctx ~attrs:e.pexp_attributes e.pexp_loc rule_atomic_scope
             "Atomic.* outside the concurrency core (allowed: lib/obs/, \
              lib/util/parallel.ml); use a Mutex or move the code"
+      | "Unix" :: _ when not ctx.unix_ok ->
+          flag ctx ~attrs:e.pexp_attributes e.pexp_loc rule_unix_scope
+            "Unix.* outside the I/O perimeter (allowed: lib/service/, \
+             lib/io/, bin/, bench/); raise the syscall into the caller \
+             or move the code"
       | [ "Obj"; "magic" ] ->
           flag ctx ~attrs:e.pexp_attributes e.pexp_loc rule_obj_magic
             "Obj.magic defeats the type system; find another way"
@@ -407,6 +422,7 @@ let lint_file ?(config = Config.default) path =
           path = npath;
           hot = path_matches ~prefixes:config.Config.hot_paths npath;
           atomic_ok = path_matches ~prefixes:config.Config.atomic_allowed npath;
+          unix_ok = path_matches ~prefixes:config.Config.unix_allowed npath;
           allows = file_allows structure;
           found = [];
         }

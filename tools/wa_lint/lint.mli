@@ -10,6 +10,7 @@
       arithmetic, or a call into a float-bearing module);
     - [poly-compare] — bare [compare]/[Stdlib.compare];
     - [atomic-scope] — [Atomic.*] outside the concurrency core;
+    - [unix-scope] — [Unix.*] outside the I/O perimeter;
     - [obj-magic] — [Obj.magic];
     - [printf-hot] — [Printf.*] inside a configured hot path;
     - [missing-mli] — a library [.ml] with no sibling [.mli];
@@ -29,6 +30,8 @@ module Config : sig
         (** Path prefixes where [printf-hot] applies. *)
     atomic_allowed : string list;
         (** Path prefixes where [Atomic.*] is permitted. *)
+    unix_allowed : string list;
+        (** Path prefixes where [Unix.*] is permitted. *)
     float_modules : string list;
         (** Modules whose applications count as float-bearing operands
             ([Link], [Vec2], [Float] by default). *)
@@ -41,7 +44,8 @@ module Config : sig
 
   val default : t
   (** The project rules: hot paths [lib/sinr/] + [lib/core/conflict.ml],
-      atomics confined to [lib/obs/] + [lib/util/parallel.ml], [.mli]
+      atomics confined to [lib/obs/] + [lib/util/parallel.ml], syscalls
+      confined to [lib/service/] + [lib/io/] + [bin/] + [bench/], [.mli]
       required (and exports audited) under [lib/]. *)
 end
 
